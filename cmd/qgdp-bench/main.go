@@ -1,0 +1,110 @@
+// Command qgdp-bench regenerates the paper's evaluation artifacts:
+// Fig. 8 (fidelity grid), Fig. 9 (layout metrics), Table II (runtimes),
+// and Table III (detailed placement evaluation).
+//
+// Usage:
+//
+//	qgdp-bench                 # everything, 50 mappings per bar
+//	qgdp-bench -exp fig8       # a single experiment
+//	qgdp-bench -mappings 10    # faster, noisier fidelity bars
+//	qgdp-bench -topology Grid  # restrict to one topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, table2, table3, all")
+	mappings := flag.Int("mappings", 50, "seeded mappings averaged per fidelity bar")
+	topoName := flag.String("topology", "", "restrict to one topology (default: all six)")
+	flag.Parse()
+
+	if err := run(*exp, *mappings, *topoName); err != nil {
+		fmt.Fprintln(os.Stderr, "qgdp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, mappings int, topoName string) error {
+	cfg := core.DefaultConfig()
+	cfg.Mappings = mappings
+
+	devs := topology.All()
+	if topoName != "" {
+		dev, err := topology.ByName(topoName)
+		if err != nil {
+			return err
+		}
+		devs = []*topology.Device{dev}
+	}
+
+	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
+	ran := false
+
+	if want("fig8") {
+		ran = true
+		res, err := experiments.Fig8(devs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if want("fig9") {
+		ran = true
+		res, err := experiments.Fig9(devs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if want("table2") {
+		ran = true
+		res, err := experiments.Table2(devs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("table3") {
+		ran = true
+		res, err := experiments.Table3(devs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	// Extensions beyond the paper's figures: the quantified Fig. 1 curve
+	// and the §III-C padding sweep run only when explicitly requested.
+	if want("fig1") && exp != "all" {
+		ran = true
+		for _, dev := range devs {
+			res, err := experiments.Fig1(dev, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		}
+	}
+	if want("sweep") && exp != "all" {
+		ran = true
+		for _, dev := range devs {
+			res, err := experiments.PaddingSweep(dev, cfg, []float64{0, 0.25, 0.5, 1.0, 1.5})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (valid: fig8, fig9, table2, table3, fig1, sweep, all)", exp)
+	}
+	return nil
+}

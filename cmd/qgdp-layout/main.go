@@ -1,0 +1,115 @@
+// Command qgdp-layout renders an ASCII picture of a legalized layout:
+// qubit macros as 'Q', wire blocks as per-resonator letters, free cells
+// as dots. Useful for eyeballing what each legalization strategy does to
+// the same global placement.
+//
+// Usage:
+//
+//	qgdp-layout -topology Grid -strategy qGDP-LG
+//	qgdp-layout -topology Falcon -strategy Tetris
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/layoutio"
+	"repro/internal/netlist"
+	"repro/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topology", "Grid", "device topology: Grid, Xtree, Falcon, Eagle, Aspen-11, Aspen-M")
+	strategy := flag.String("strategy", "qGDP-DP", "legalization strategy (or GP for the raw global placement)")
+	svgPath := flag.String("svg", "", "also write an SVG rendering to this path")
+	jsonPath := flag.String("json", "", "also write the layout as JSON to this path")
+	flag.Parse()
+
+	if err := run(*topoName, *strategy, *svgPath, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "qgdp-layout:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName, strategy, svgPath, jsonPath string) error {
+	dev, err := topology.ByName(topoName)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	gp := core.Prepare(dev, cfg)
+
+	var n *netlist.Netlist
+	if strings.EqualFold(strategy, "GP") {
+		n = gp
+	} else {
+		lay, err := core.Legalize(gp, core.Strategy(strategy), cfg)
+		if err != nil {
+			return err
+		}
+		n = lay.Netlist
+	}
+
+	fmt.Printf("%s / %s — %gx%g cells, %d qubits, %d resonators, %d wire blocks\n\n",
+		dev.Name, strategy, n.W, n.H, len(n.Qubits), len(n.Resonators), len(n.Blocks))
+	fmt.Print(render(n))
+
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := layoutio.WriteSVG(f, n, layoutio.SVGOptions{Routes: true}); err != nil {
+			return err
+		}
+		fmt.Printf("\nSVG written to %s\n", svgPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := layoutio.WriteJSON(f, n); err != nil {
+			return err
+		}
+		fmt.Printf("layout JSON written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// render draws the cell grid top row last (y grows upward).
+func render(n *netlist.Netlist) string {
+	w, h := int(n.W), int(n.H)
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", w))
+	}
+	glyphs := "abcdefghijklmnopqrstuvwxyz0123456789"
+	for _, b := range n.Blocks {
+		x, y := int(b.Pos.X), int(b.Pos.Y)
+		if x >= 0 && x < w && y >= 0 && y < h {
+			grid[y][x] = glyphs[b.Edge%len(glyphs)]
+		}
+	}
+	for _, q := range n.Qubits {
+		r := q.Rect()
+		for y := int(r.MinY()); y < int(r.MaxY()+0.5) && y < h; y++ {
+			for x := int(r.MinX()); x < int(r.MaxX()+0.5) && x < w; x++ {
+				if x >= 0 && y >= 0 {
+					grid[y][x] = 'Q'
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	for y := h - 1; y >= 0; y-- {
+		sb.Write(grid[y])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

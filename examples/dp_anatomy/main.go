@@ -1,0 +1,56 @@
+// DP anatomy: watch the detailed placer work (Table III, per topology).
+//
+// Runs qGDP-LG on every evaluation topology, then qGDP-DP, and prints
+// the before/after metric deltas — the Table III story: DP unifies the
+// remaining fragmented resonators, removes crossings, and cuts the
+// hotspot proportion, without ever regressing a metric.
+//
+//	go run ./examples/dp_anatomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dplace"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	headers := []string{"topology", "#cells",
+		"Iedge LG→DP", "X LG→DP", "Ph(%) LG→DP", "HQ LG→DP", "windows"}
+	var rows [][]string
+
+	for _, dev := range topology.All() {
+		gp := core.Prepare(dev, cfg)
+		lg, err := core.Legalize(gp, core.QGDPLG, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := core.Analyze(lg.Netlist, cfg)
+
+		// Run the detailed placer explicitly to read its work counters.
+		dpNet := lg.Netlist.Clone()
+		res, err := dplace.Refine(dpNet, cfg.DP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after := core.Analyze(dpNet, cfg)
+
+		rows = append(rows, []string{
+			dev.Name,
+			fmt.Sprintf("%d", lg.Netlist.NumCells()),
+			fmt.Sprintf("%d/%d → %d/%d", before.Unified, before.TotalResonators,
+				after.Unified, after.TotalResonators),
+			fmt.Sprintf("%d → %d", before.Crossings, after.Crossings),
+			fmt.Sprintf("%.2f → %.2f", before.Ph, after.Ph),
+			fmt.Sprintf("%d → %d", before.HQ, after.HQ),
+			fmt.Sprintf("%d/%d accepted", res.Accepted, res.Considered),
+		})
+	}
+	fmt.Println("detailed placement anatomy (Table III)")
+	fmt.Print(report.Table(headers, rows))
+}

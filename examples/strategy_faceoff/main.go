@@ -1,0 +1,63 @@
+// Strategy faceoff: the paper's central comparison on one device.
+//
+// Legalizes the same global placement of the Rigetti Aspen-11 processor
+// under all five evaluation strategies plus qGDP-DP and prints the
+// Fig. 9-style metric table, showing why quantum-aware legalization
+// matters: classical legalizers leave qubit spacing violations and
+// fragment resonators, collapsing program fidelity.
+//
+//	go run ./examples/strategy_faceoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+func main() {
+	dev, err := topology.ByName("Aspen-11")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mappings = 20
+
+	gp := core.Prepare(dev, cfg)
+	fmt.Printf("%s: one global placement, six legalization flows\n\n", dev.Name)
+
+	headers := []string{"strategy", "violations", "unified", "X", "Ph(%)", "bv-4", "qgan-4"}
+	var rows [][]string
+	for _, s := range append(core.Strategies(), core.QGDPDP) {
+		lay, err := core.Legalize(gp, s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := core.Analyze(lay.Netlist, cfg)
+		viol := len(metrics.QubitViolationPairs(lay.Netlist, cfg.Metrics))
+		fBV, err := core.AverageFidelity(lay.Netlist, "bv-4", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fQG, err := core.AverageFidelity(lay.Netlist, "qgan-4", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			string(s),
+			fmt.Sprintf("%d", viol),
+			fmt.Sprintf("%d/%d", rep.Unified, rep.TotalResonators),
+			fmt.Sprintf("%d", rep.Crossings),
+			fmt.Sprintf("%.2f", rep.Ph),
+			report.Fidelity(fBV),
+			report.Fidelity(fQG),
+		})
+	}
+	fmt.Print(report.Table(headers, rows))
+	fmt.Println("\nviolations = qubit pairs closer than the quantum minimum spacing;")
+	fmt.Println("classical flows (Abacus, Tetris) ignore it and pay in fidelity.")
+}

@@ -1,0 +1,235 @@
+// Package abacus is the Abacus standard-cell legalizer (Spindler et al.,
+// ISPD'08 [29]) used as a baseline for resonator wire blocks: cells are
+// processed in GP-x order; each is tried in the rows near its GP
+// position and inserted into the best row segment with quadratic-cost
+// cluster clumping. Like Tetris, it is blind to resonator membership and
+// therefore fragments resonators into multiple clusters.
+package abacus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/reslegal"
+)
+
+// Result reports legalization statistics.
+type Result struct {
+	// Displacement is the total L1 movement of wire blocks from GP.
+	Displacement float64
+}
+
+// cell is a unit-width wire block in row coordinates (bin indices).
+type cell struct {
+	id  int
+	gpx float64 // desired x in bin coordinates (center - 0.5)
+}
+
+// cluster is Abacus's clumped run of cells within a segment.
+type cluster struct {
+	x     float64 // optimal (continuous) start position
+	e     float64 // total weight
+	q     float64 // Σ w·(gpx − offset-in-cluster)
+	w     float64 // total width
+	cells []cell
+}
+
+// segment is an obstacle-free interval [lo, hi) of one row.
+type segment struct {
+	lo, hi int
+	cls    []cluster
+}
+
+func (s *segment) used() float64 {
+	var u float64
+	for i := range s.cls {
+		u += s.cls[i].w
+	}
+	return u
+}
+
+// insert places c into the segment with standard Abacus clumping and
+// returns the resulting clusters (the segment itself is not modified;
+// callers commit by assigning the result).
+func (s *segment) insert(c cell) []cluster {
+	cls := make([]cluster, len(s.cls))
+	for i := range s.cls {
+		cls[i] = s.cls[i]
+		cls[i].cells = append([]cell(nil), s.cls[i].cells...)
+	}
+	nc := cluster{x: clampF(c.gpx, float64(s.lo), float64(s.hi)-1), e: 1, q: c.gpx, w: 1, cells: []cell{c}}
+	// Find insertion position by current optimal x.
+	pos := len(cls)
+	for i := range cls {
+		if nc.x < cls[i].x {
+			pos = i
+			break
+		}
+	}
+	cls = append(cls, cluster{})
+	copy(cls[pos+1:], cls[pos:])
+	cls[pos] = nc
+	// Collapse overlapping clusters left and right.
+	for {
+		moved := false
+		for i := 0; i+1 < len(cls); i++ {
+			a, b := &cls[i], &cls[i+1]
+			ax := optimal(a, s)
+			bx := optimal(b, s)
+			if ax+a.w > bx+1e-9 {
+				// Merge b into a.
+				for _, cc := range b.cells {
+					a.q += cc.gpx - a.w
+					a.e++
+					a.w++
+					a.cells = append(a.cells, cc)
+				}
+				cls = append(cls[:i+1], cls[i+2:]...)
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for i := range cls {
+		cls[i].x = optimal(&cls[i], s)
+	}
+	return cls
+}
+
+// optimal returns the cluster's cost-minimizing start position clamped
+// to the segment.
+func optimal(c *cluster, s *segment) float64 {
+	x := c.q / c.e
+	return clampF(x, float64(s.lo), float64(s.hi)-c.w)
+}
+
+// cost returns the total squared displacement of a cluster arrangement.
+func cost(cls []cluster) float64 {
+	var total float64
+	for i := range cls {
+		off := 0.0
+		for _, cc := range cls[i].cells {
+			d := cls[i].x + off - cc.gpx
+			total += d * d
+			off++
+		}
+	}
+	return total
+}
+
+// Legalize runs Abacus over all wire blocks, mutating their positions in
+// place. Qubits must already be legalized; their footprints split rows
+// into segments.
+func Legalize(n *netlist.Netlist) (Result, error) {
+	ix := reslegal.BuildIndex(n)
+	h := ix.H()
+
+	rows := make([][]*segment, h)
+	for y := 0; y < h; y++ {
+		for _, run := range ix.FreeRuns(y) {
+			rows[y] = append(rows[y], &segment{lo: run[0], hi: run[1]})
+		}
+	}
+
+	order := make([]int, len(n.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := n.Blocks[order[a]].Pos, n.Blocks[order[b]].Pos
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return order[a] < order[b]
+	})
+
+	var res Result
+	for _, id := range order {
+		b := &n.Blocks[id]
+		c := cell{id: id, gpx: b.Pos.X - 0.5}
+		gpy := b.Pos.Y - 0.5
+
+		bestCost := math.Inf(1)
+		var bestSeg *segment
+		var bestCls []cluster
+
+		cy := int(math.Round(gpy))
+		for d := 0; d < h; d++ {
+			// Prune: even a perfect x fit cannot beat bestCost once the
+			// row distance alone exceeds it.
+			dyMin := float64(d - 1)
+			if !math.IsInf(bestCost, 1) && dyMin > 0 && dyMin*dyMin >= bestCost {
+				break
+			}
+			ys := []int{cy + d}
+			if d > 0 {
+				ys = append(ys, cy-d)
+			}
+			for _, y := range ys {
+				if y < 0 || y >= h {
+					continue
+				}
+				dy := float64(y) - gpy
+				for _, seg := range rows[y] {
+					if seg.used()+1 > float64(seg.hi-seg.lo) {
+						continue
+					}
+					before := cost(seg.cls)
+					cls := seg.insert(c)
+					after := cost(cls)
+					total := (after - before) + dy*dy
+					if total < bestCost-1e-12 {
+						bestCost = total
+						bestSeg = seg
+						bestCls = cls
+					}
+				}
+			}
+		}
+		if bestSeg == nil {
+			return res, fmt.Errorf("abacus: %s: no segment can host block %d", n.Name, id)
+		}
+		bestSeg.cls = bestCls
+	}
+
+	// Commit: write integer positions row by row.
+	for y := 0; y < h; y++ {
+		for _, seg := range rows[y] {
+			for i := range seg.cls {
+				start := int(math.Round(seg.cls[i].x))
+				if start < seg.lo {
+					start = seg.lo
+				}
+				if start+len(seg.cls[i].cells) > seg.hi {
+					start = seg.hi - len(seg.cls[i].cells)
+				}
+				for k, cc := range seg.cls[i].cells {
+					b := &n.Blocks[cc.id]
+					newPos := geom.Pt{X: float64(start+k) + 0.5, Y: float64(y) + 0.5}
+					res.Displacement += b.Pos.Manhattan(newPos)
+					b.Pos = newPos
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

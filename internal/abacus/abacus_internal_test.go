@@ -1,0 +1,109 @@
+package abacus
+
+import (
+	"math"
+	"testing"
+)
+
+func seg(lo, hi int) *segment { return &segment{lo: lo, hi: hi} }
+
+func TestInsertSingleCell(t *testing.T) {
+	s := seg(0, 10)
+	cls := s.insert(cell{id: 0, gpx: 4.0})
+	if len(cls) != 1 {
+		t.Fatalf("clusters = %d", len(cls))
+	}
+	if cls[0].x != 4.0 || cls[0].w != 1 {
+		t.Errorf("cluster = %+v", cls[0])
+	}
+}
+
+func TestInsertClampsToSegment(t *testing.T) {
+	s := seg(2, 8)
+	cls := s.insert(cell{id: 0, gpx: -5})
+	if cls[0].x != 2 {
+		t.Errorf("left clamp: x = %v", cls[0].x)
+	}
+	cls = s.insert(cell{id: 0, gpx: 99})
+	if cls[0].x != 7 { // hi - w = 8 - 1
+		t.Errorf("right clamp: x = %v", cls[0].x)
+	}
+}
+
+func TestInsertNonOverlappingStaysSeparate(t *testing.T) {
+	s := seg(0, 20)
+	s.cls = s.insert(cell{id: 0, gpx: 2})
+	s.cls = s.insert(cell{id: 1, gpx: 10})
+	if len(s.cls) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(s.cls))
+	}
+}
+
+func TestInsertOverlappingMerges(t *testing.T) {
+	s := seg(0, 20)
+	s.cls = s.insert(cell{id: 0, gpx: 5})
+	s.cls = s.insert(cell{id: 1, gpx: 5.2})
+	if len(s.cls) != 1 {
+		t.Fatalf("clusters = %d, want 1 after merge", len(s.cls))
+	}
+	c := s.cls[0]
+	if c.w != 2 || len(c.cells) != 2 {
+		t.Errorf("merged cluster = %+v", c)
+	}
+	// Optimal start: minimize (x-5)^2 + (x+1-5.2)^2 -> x = (5+4.2)/2.
+	if want := (5.0 + 4.2) / 2; math.Abs(c.x-want) > 1e-9 {
+		t.Errorf("merged x = %v, want %v", c.x, want)
+	}
+}
+
+func TestInsertChainMerge(t *testing.T) {
+	// Three cells wanting the same place collapse to one cluster of 3.
+	s := seg(0, 20)
+	for i := 0; i < 3; i++ {
+		s.cls = s.insert(cell{id: i, gpx: 7})
+	}
+	if len(s.cls) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(s.cls))
+	}
+	if s.cls[0].w != 3 {
+		t.Errorf("w = %v, want 3", s.cls[0].w)
+	}
+	// Cost of the optimal arrangement around 7: offsets {0,1,2} at start 6.
+	if got := cost(s.cls); math.Abs(got-2) > 1e-9 {
+		t.Errorf("cost = %v, want 2", got)
+	}
+}
+
+func TestUsed(t *testing.T) {
+	s := seg(0, 5)
+	if s.used() != 0 {
+		t.Error("fresh segment should be empty")
+	}
+	s.cls = s.insert(cell{id: 0, gpx: 1})
+	s.cls = s.insert(cell{id: 1, gpx: 4})
+	if s.used() != 2 {
+		t.Errorf("used = %v, want 2", s.used())
+	}
+}
+
+func TestInsertDoesNotMutateSegment(t *testing.T) {
+	s := seg(0, 10)
+	s.cls = s.insert(cell{id: 0, gpx: 3})
+	before := len(s.cls[0].cells)
+	_ = s.insert(cell{id: 1, gpx: 3.1}) // trial, not committed
+	if len(s.cls) != 1 || len(s.cls[0].cells) != before {
+		t.Error("trial insert mutated the segment")
+	}
+}
+
+func TestClampF(t *testing.T) {
+	if clampF(5, 0, 3) != 3 || clampF(-2, 0, 3) != 0 || clampF(1, 0, 3) != 1 {
+		t.Error("clampF wrong")
+	}
+}
+
+func TestCostEmpty(t *testing.T) {
+	if cost(nil) != 0 {
+		t.Error("empty cost must be 0")
+	}
+}

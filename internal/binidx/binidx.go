@@ -1,0 +1,220 @@
+// Package binidx is the bin-aided free-space index of §III-D: the
+// substrate is divided into unit bins (one per standard cell site),
+// organized as sorted per-row structures along the y axis. Nearest-free
+// queries binary-search each candidate row and expand outward in y,
+// pruning once the row distance alone exceeds the best candidate —
+// giving the O(log n) per-row behaviour the paper adopts from
+// mixed-cell-height legalization on CPU-GPU systems [28].
+package binidx
+
+import (
+	"math"
+	"sort"
+)
+
+// Bin identifies a unit cell site by its integer grid coordinates; the
+// site's center in layout coordinates is (X+0.5, Y+0.5).
+type Bin struct {
+	X, Y int
+}
+
+// Index tracks which bins are free. The zero value is unusable; call
+// New.
+type Index struct {
+	w, h int
+	// rows[y] is the sorted slice of free x coordinates in row y.
+	rows [][]int
+	free int
+}
+
+// New returns an index over a w×h bin grid with every bin free.
+func New(w, h int) *Index {
+	ix := &Index{w: w, h: h, rows: make([][]int, h), free: w * h}
+	for y := 0; y < h; y++ {
+		row := make([]int, w)
+		for x := range row {
+			row[x] = x
+		}
+		ix.rows[y] = row
+	}
+	return ix
+}
+
+// W returns the grid width in bins.
+func (ix *Index) W() int { return ix.w }
+
+// H returns the grid height in bins.
+func (ix *Index) H() int { return ix.h }
+
+// FreeCount returns the number of free bins.
+func (ix *Index) FreeCount() int { return ix.free }
+
+// InBounds reports whether (x, y) is a valid bin.
+func (ix *Index) InBounds(x, y int) bool {
+	return x >= 0 && x < ix.w && y >= 0 && y < ix.h
+}
+
+// IsFree reports whether bin (x, y) is free. Out-of-bounds bins are not
+// free.
+func (ix *Index) IsFree(x, y int) bool {
+	if !ix.InBounds(x, y) {
+		return false
+	}
+	row := ix.rows[y]
+	i := sort.SearchInts(row, x)
+	return i < len(row) && row[i] == x
+}
+
+// Occupy marks bin (x, y) occupied. It reports whether the bin was free
+// before the call.
+func (ix *Index) Occupy(x, y int) bool {
+	if !ix.InBounds(x, y) {
+		return false
+	}
+	row := ix.rows[y]
+	i := sort.SearchInts(row, x)
+	if i >= len(row) || row[i] != x {
+		return false
+	}
+	ix.rows[y] = append(row[:i], row[i+1:]...)
+	ix.free--
+	return true
+}
+
+// Release marks bin (x, y) free again. It reports whether the bin was
+// occupied before the call.
+func (ix *Index) Release(x, y int) bool {
+	if !ix.InBounds(x, y) {
+		return false
+	}
+	row := ix.rows[y]
+	i := sort.SearchInts(row, x)
+	if i < len(row) && row[i] == x {
+		return false // already free
+	}
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = x
+	ix.rows[y] = row
+	ix.free++
+	return true
+}
+
+// NearestFree returns the free bin whose center is nearest (squared
+// Euclidean distance) to the continuous point (px, py). Ties break on
+// smaller y, then smaller x, keeping results deterministic. ok is false
+// when no free bin exists.
+func (ix *Index) NearestFree(px, py float64) (best Bin, ok bool) {
+	if ix.free == 0 {
+		return Bin{}, false
+	}
+	bestD := math.MaxFloat64
+
+	// The row whose center is nearest to py.
+	cy := int(py - 0.5)
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= ix.h {
+		cy = ix.h - 1
+	}
+
+	consider := func(y int) {
+		row := ix.rows[y]
+		if len(row) == 0 {
+			return
+		}
+		dy := float64(y) + 0.5 - py
+		// Nearest x in this sorted row to px.
+		target := px - 0.5
+		i := sort.Search(len(row), func(k int) bool { return float64(row[k]) >= target })
+		for _, cand := range []int{i - 1, i} {
+			if cand < 0 || cand >= len(row) {
+				continue
+			}
+			b := Bin{row[cand], y}
+			dx := float64(b.X) + 0.5 - px
+			d := dx*dx + dy*dy
+			if !ok || d < bestD-1e-12 || (d < bestD+1e-12 && better(b, best)) {
+				bestD, best, ok = d, b, true
+			}
+		}
+	}
+
+	// Expand outward in y; stop once the vertical distance alone
+	// dominates the best squared distance.
+	for d := 0; ; d++ {
+		lo, hi := cy-d, cy+d
+		if lo < 0 && hi >= ix.h {
+			break
+		}
+		dyLow := float64(d - 1) // minimal |dy| achievable at offset d is ~d-1
+		if ok && dyLow > 0 && dyLow*dyLow > bestD {
+			break
+		}
+		if hi < ix.h {
+			consider(hi)
+		}
+		if d > 0 && lo >= 0 {
+			consider(lo)
+		}
+	}
+	return best, ok
+}
+
+// better is the deterministic tie-break: smaller y, then smaller x.
+func better(a, b Bin) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// FreeNeighbors returns the free bins 8-adjacent to (x, y), in a
+// deterministic scan order. Eight-connectivity matches the cluster
+// definition: corner-touching wire blocks are integrated.
+func (ix *Index) FreeNeighbors(x, y int) []Bin {
+	var out []Bin
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if ix.IsFree(x+dx, y+dy) {
+				out = append(out, Bin{x + dx, y + dy})
+			}
+		}
+	}
+	return out
+}
+
+// FreeRuns returns the maximal runs of free bins in row y as
+// half-open [start, end) x-intervals, in increasing x order. Row-based
+// legalizers (Abacus) treat each run as an obstacle-free placement
+// segment.
+func (ix *Index) FreeRuns(y int) [][2]int {
+	if y < 0 || y >= ix.h {
+		return nil
+	}
+	row := ix.rows[y]
+	var runs [][2]int
+	for i := 0; i < len(row); {
+		j := i
+		for j+1 < len(row) && row[j+1] == row[j]+1 {
+			j++
+		}
+		runs = append(runs, [2]int{row[i], row[j] + 1})
+		i = j + 1
+	}
+	return runs
+}
+
+// OccupyRect marks every bin intersecting the rectangle
+// [x0,x0+w) × [y0,y0+h) as occupied; used for qubit macros.
+func (ix *Index) OccupyRect(x0, y0, w, h int) {
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			ix.Occupy(x, y)
+		}
+	}
+}

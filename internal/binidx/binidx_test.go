@@ -1,0 +1,194 @@
+package binidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllFree(t *testing.T) {
+	ix := New(4, 3)
+	if ix.FreeCount() != 12 {
+		t.Fatalf("free = %d, want 12", ix.FreeCount())
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			if !ix.IsFree(x, y) {
+				t.Errorf("(%d,%d) should be free", x, y)
+			}
+		}
+	}
+	if ix.IsFree(-1, 0) || ix.IsFree(0, 3) || ix.IsFree(4, 0) {
+		t.Error("out-of-bounds bins must not be free")
+	}
+}
+
+func TestOccupyRelease(t *testing.T) {
+	ix := New(3, 3)
+	if !ix.Occupy(1, 1) {
+		t.Fatal("first Occupy should succeed")
+	}
+	if ix.Occupy(1, 1) {
+		t.Error("double Occupy should fail")
+	}
+	if ix.IsFree(1, 1) {
+		t.Error("occupied bin reported free")
+	}
+	if ix.FreeCount() != 8 {
+		t.Errorf("free = %d, want 8", ix.FreeCount())
+	}
+	if !ix.Release(1, 1) {
+		t.Error("Release of occupied bin should succeed")
+	}
+	if ix.Release(1, 1) {
+		t.Error("Release of free bin should fail")
+	}
+	if !ix.IsFree(1, 1) || ix.FreeCount() != 9 {
+		t.Error("Release did not restore the bin")
+	}
+	if ix.Occupy(-1, 0) || ix.Release(5, 5) {
+		t.Error("out-of-bounds mutations should fail")
+	}
+}
+
+func TestNearestFreeExact(t *testing.T) {
+	ix := New(5, 5)
+	b, ok := ix.NearestFree(2.5, 2.5)
+	if !ok || b != (Bin{2, 2}) {
+		t.Errorf("NearestFree = %v, %v; want (2,2)", b, ok)
+	}
+	ix.Occupy(2, 2)
+	b, ok = ix.NearestFree(2.5, 2.5)
+	if !ok {
+		t.Fatal("no bin found")
+	}
+	// Any 4-neighbor is distance 1; deterministic tie-break picks
+	// smallest y then x among equidistant: (2,1) and (1,2) and (3,2),(2,3)
+	// all at distance 1 -> (2,1).
+	if b != (Bin{2, 1}) {
+		t.Errorf("NearestFree after occupy = %v, want (2,1)", b)
+	}
+}
+
+func TestNearestFreeExhausted(t *testing.T) {
+	ix := New(2, 2)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			ix.Occupy(x, y)
+		}
+	}
+	if _, ok := ix.NearestFree(1, 1); ok {
+		t.Error("NearestFree on a full grid should report !ok")
+	}
+}
+
+// Property: NearestFree agrees with brute-force scanning.
+func TestQuickNearestFreeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 6+rng.Intn(6), 6+rng.Intn(6)
+		ix := New(w, h)
+		occupied := map[Bin]bool{}
+		for k := 0; k < rng.Intn(w*h); k++ {
+			b := Bin{rng.Intn(w), rng.Intn(h)}
+			if !occupied[b] {
+				ix.Occupy(b.X, b.Y)
+				occupied[b] = true
+			}
+		}
+		px := rng.Float64() * float64(w)
+		py := rng.Float64() * float64(h)
+		got, ok := ix.NearestFree(px, py)
+
+		// Brute force.
+		bestD := 1e18
+		var want Bin
+		found := false
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if occupied[Bin{x, y}] {
+					continue
+				}
+				dx := float64(x) + 0.5 - px
+				dy := float64(y) + 0.5 - py
+				d := dx*dx + dy*dy
+				if d < bestD-1e-12 {
+					bestD = d
+					want = Bin{x, y}
+					found = true
+				}
+			}
+		}
+		if ok != found {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		// Accept any bin at the optimal distance (tie-breaks differ in
+		// scan order but distance must match).
+		gdx := float64(got.X) + 0.5 - px
+		gdy := float64(got.Y) + 0.5 - py
+		_ = want
+		return gdx*gdx+gdy*gdy <= bestD+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeNeighbors(t *testing.T) {
+	ix := New(3, 3)
+	nb := ix.FreeNeighbors(1, 1)
+	if len(nb) != 8 {
+		t.Fatalf("neighbors = %d, want 8", len(nb))
+	}
+	ix.Occupy(0, 0)
+	ix.Occupy(2, 2)
+	nb = ix.FreeNeighbors(1, 1)
+	if len(nb) != 6 {
+		t.Errorf("neighbors = %d, want 6", len(nb))
+	}
+	// Corner bin has only 3 neighbors.
+	if got := len(ix.FreeNeighbors(0, 0)); got != 3 {
+		t.Errorf("corner neighbors = %d, want 3", got)
+	}
+}
+
+func TestOccupyRect(t *testing.T) {
+	ix := New(6, 6)
+	ix.OccupyRect(1, 1, 3, 3)
+	if ix.FreeCount() != 36-9 {
+		t.Errorf("free = %d, want 27", ix.FreeCount())
+	}
+	for y := 1; y < 4; y++ {
+		for x := 1; x < 4; x++ {
+			if ix.IsFree(x, y) {
+				t.Errorf("(%d,%d) should be occupied", x, y)
+			}
+		}
+	}
+}
+
+func TestFreeRuns(t *testing.T) {
+	ix := New(8, 2)
+	ix.Occupy(3, 0)
+	ix.Occupy(4, 0)
+	runs := ix.FreeRuns(0)
+	if len(runs) != 2 || runs[0] != [2]int{0, 3} || runs[1] != [2]int{5, 8} {
+		t.Errorf("runs = %v", runs)
+	}
+	if runs := ix.FreeRuns(1); len(runs) != 1 || runs[0] != [2]int{0, 8} {
+		t.Errorf("untouched row runs = %v", runs)
+	}
+	if ix.FreeRuns(-1) != nil || ix.FreeRuns(2) != nil {
+		t.Error("out-of-range rows should return nil")
+	}
+	// Fully occupied row.
+	for x := 0; x < 8; x++ {
+		ix.Occupy(x, 1)
+	}
+	if runs := ix.FreeRuns(1); len(runs) != 0 {
+		t.Errorf("full row runs = %v", runs)
+	}
+}

@@ -1,0 +1,119 @@
+// Package cgraph builds the horizontal and vertical constraint graphs of
+// macro legalization (§III-C): every pair of qubit macros is assigned a
+// separation direction — horizontal or vertical — based on its relative
+// GP position, producing two DAGs of difference constraints that the
+// lp1d solver then satisfies with minimum displacement.
+package cgraph
+
+import (
+	"repro/internal/geom"
+	"repro/internal/lp1d"
+)
+
+// Graphs holds the two constraint DAGs. Arc separations are in integer
+// grid cells.
+type Graphs struct {
+	H, V []lp1d.Arc
+}
+
+// Build assigns a direction to every macro pair and emits the
+// corresponding constraint arcs. The direction with the larger
+// normalized slack at the GP positions is chosen, so macros that are
+// already mostly side-by-side separate horizontally and stacked macros
+// separate vertically — the assignment that needs the least movement.
+//
+// The optional extra function adds pair-specific spacing on top of the
+// uniform requirement — the quantum legalizer uses it to hold
+// frequency-close (hotspot-prone) qubit pairs further apart. For the
+// transitive pruning below to remain sound, extra(i,j) must never exceed
+// the smallest macro size; callers clamp accordingly.
+//
+// Transitively implied arcs are pruned: with additive separations, the
+// arc i→j is redundant whenever some k lies between i and j with both
+// (i,k) and (k,j) assigned the same direction. Pruning keeps the LP
+// small without changing its feasible region.
+func Build(pos []geom.Pt, sizes []int64, spacing int64, extra func(i, j int) int64) Graphs {
+	if extra == nil {
+		extra = func(int, int) int64 { return 0 }
+	}
+	n := len(pos)
+	// dir[i][j]: 0 = horizontal, 1 = vertical (i < j).
+	type pairKey struct{ a, b int }
+	horiz := make(map[pairKey]bool, n*n/2)
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := abs(pos[i].X - pos[j].X)
+			dy := abs(pos[i].Y - pos[j].Y)
+			needX := float64(sizes[i]+sizes[j])/2 + float64(spacing+extra(i, j))
+			needY := needX
+			// Normalized slack comparison; ties go horizontal.
+			horiz[pairKey{i, j}] = dx/needX >= dy/needY
+		}
+	}
+
+	isH := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return horiz[pairKey{a, b}]
+	}
+
+	var g Graphs
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sep := (sizes[i]+sizes[j])/2 + spacing + extra(i, j)
+			if isH(i, j) {
+				lo, hi := i, j
+				if pos[lo].X > pos[hi].X || (pos[lo].X == pos[hi].X && lo > hi) {
+					lo, hi = hi, lo
+				}
+				if !prunedH(pos, lo, hi, isH) {
+					g.H = append(g.H, lp1d.Arc{From: lo, To: hi, Sep: sep})
+				}
+			} else {
+				lo, hi := i, j
+				if pos[lo].Y > pos[hi].Y || (pos[lo].Y == pos[hi].Y && lo > hi) {
+					lo, hi = hi, lo
+				}
+				if !prunedV(pos, lo, hi, isH) {
+					g.V = append(g.V, lp1d.Arc{From: lo, To: hi, Sep: sep})
+				}
+			}
+		}
+	}
+	return g
+}
+
+// prunedH reports whether the horizontal arc lo→hi is implied through an
+// intermediate macro k with lo→k→hi all horizontal.
+func prunedH(pos []geom.Pt, lo, hi int, isH func(int, int) bool) bool {
+	for k := range pos {
+		if k == lo || k == hi {
+			continue
+		}
+		if pos[k].X > pos[lo].X && pos[k].X < pos[hi].X && isH(lo, k) && isH(k, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+func prunedV(pos []geom.Pt, lo, hi int, isH func(int, int) bool) bool {
+	for k := range pos {
+		if k == lo || k == hi {
+			continue
+		}
+		if pos[k].Y > pos[lo].Y && pos[k].Y < pos[hi].Y && !isH(lo, k) && !isH(k, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

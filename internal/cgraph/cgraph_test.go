@@ -1,0 +1,119 @@
+package cgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lp1d"
+)
+
+func TestDirectionAssignment(t *testing.T) {
+	// Two macros side by side: horizontal separation expected.
+	pos := []geom.Pt{{X: 0, Y: 0}, {X: 5, Y: 0.5}}
+	sizes := []int64{3, 3}
+	g := Build(pos, sizes, 1, nil)
+	if len(g.H) != 1 || len(g.V) != 0 {
+		t.Fatalf("H/V = %d/%d, want 1/0", len(g.H), len(g.V))
+	}
+	if g.H[0].From != 0 || g.H[0].To != 1 || g.H[0].Sep != 4 {
+		t.Errorf("arc = %+v", g.H[0])
+	}
+
+	// Stacked macros: vertical.
+	pos = []geom.Pt{{X: 0, Y: 0}, {X: 0.5, Y: 5}}
+	g = Build(pos, sizes, 1, nil)
+	if len(g.H) != 0 || len(g.V) != 1 {
+		t.Fatalf("H/V = %d/%d, want 0/1", len(g.H), len(g.V))
+	}
+}
+
+func TestArcOrientationFollowsCoordinates(t *testing.T) {
+	pos := []geom.Pt{{X: 9, Y: 0}, {X: 1, Y: 0}}
+	g := Build(pos, []int64{3, 3}, 0, nil)
+	if len(g.H) != 1 {
+		t.Fatalf("H arcs = %d", len(g.H))
+	}
+	// Node 1 is left of node 0: arc 1 -> 0.
+	if g.H[0].From != 1 || g.H[0].To != 0 {
+		t.Errorf("arc = %+v, want 1 -> 0", g.H[0])
+	}
+}
+
+func TestTransitivePruning(t *testing.T) {
+	// Three collinear macros: the 0->2 arc is implied by 0->1->2.
+	pos := []geom.Pt{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 10, Y: 0}}
+	g := Build(pos, []int64{3, 3, 3}, 1, nil)
+	if len(g.H) != 2 {
+		t.Fatalf("H arcs = %d, want 2 after pruning", len(g.H))
+	}
+	for _, a := range g.H {
+		if a.From == 0 && a.To == 2 {
+			t.Error("transitively implied arc 0->2 not pruned")
+		}
+	}
+}
+
+// Property: solving the (possibly pruned) constraint graphs always
+// yields an overlap-free layout at the requested spacing.
+func TestRandomLayoutsLegalizeWithoutOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(12)
+		span := 40.0
+		pos := make([]geom.Pt, n)
+		sizes := make([]int64, n)
+		for i := range pos {
+			pos[i] = geom.Pt{X: rng.Float64() * span, Y: rng.Float64() * span}
+			sizes[i] = 3
+		}
+		spacing := int64(rng.Intn(2))
+		g := Build(pos, sizes, spacing, nil)
+
+		solve := func(arcs []lp1d.Arc, coord func(geom.Pt) float64) []int64 {
+			p := &lp1d.Problem{N: n, Arcs: arcs}
+			for i := 0; i < n; i++ {
+				p.Target = append(p.Target, int64(math.Round(coord(pos[i]))))
+				p.Lo = append(p.Lo, -1000)
+				p.Hi = append(p.Hi, 1000)
+			}
+			x, err := p.Solve()
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			return x
+		}
+		xs := solve(g.H, func(p geom.Pt) float64 { return p.X })
+		ys := solve(g.V, func(p geom.Pt) float64 { return p.Y })
+
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				need := sizes[i]/2 + sizes[j]/2 + spacing
+				dx := xs[i] - xs[j]
+				if dx < 0 {
+					dx = -dx
+				}
+				dy := ys[i] - ys[j]
+				if dy < 0 {
+					dy = -dy
+				}
+				if dx < need && dy < need {
+					t.Fatalf("trial %d: macros %d,%d overlap (dx=%d dy=%d need=%d)",
+						trial, i, j, dx, dy, need)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	g := Build(nil, nil, 1, nil)
+	if len(g.H)+len(g.V) != 0 {
+		t.Error("empty input should produce no arcs")
+	}
+	g = Build([]geom.Pt{{X: 1, Y: 1}}, []int64{3}, 1, nil)
+	if len(g.H)+len(g.V) != 0 {
+		t.Error("single macro should produce no arcs")
+	}
+}

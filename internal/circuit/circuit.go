@@ -1,0 +1,190 @@
+// Package circuit is a minimal quantum circuit IR: enough structure for
+// the NISQ benchmark generators (package qbench) and the transpiler
+// (package transpile) to produce the observables the fidelity model
+// needs — per-qubit gate counts, two-qubit interactions, and scheduled
+// program duration.
+package circuit
+
+import "fmt"
+
+// Kind enumerates the gate set.
+type Kind int
+
+// Gate kinds. RZ is virtual (frame update) on fixed-frequency hardware
+// but is kept explicit in the IR; the scheduler assigns it zero
+// duration.
+const (
+	H Kind = iota
+	X
+	RX
+	RY
+	RZ
+	CX
+	SWAP
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case H:
+		return "h"
+	case X:
+		return "x"
+	case RX:
+		return "rx"
+	case RY:
+		return "ry"
+	case RZ:
+		return "rz"
+	case CX:
+		return "cx"
+	case SWAP:
+		return "swap"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// IsTwoQubit reports whether the kind acts on two qubits.
+func (k Kind) IsTwoQubit() bool { return k == CX || k == SWAP }
+
+// Gate is one operation. Q2 is -1 for single-qubit gates.
+type Gate struct {
+	Kind   Kind
+	Q1, Q2 int
+	Param  float64 // rotation angle where applicable
+}
+
+// Circuit is an ordered gate list over NumQubits logical qubits.
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []Gate
+}
+
+// New returns an empty circuit.
+func New(name string, numQubits int) *Circuit {
+	return &Circuit{Name: name, NumQubits: numQubits}
+}
+
+func (c *Circuit) add(g Gate) *Circuit {
+	if g.Q1 < 0 || g.Q1 >= c.NumQubits {
+		panic(fmt.Sprintf("circuit %s: qubit %d out of range", c.Name, g.Q1))
+	}
+	if g.Kind.IsTwoQubit() {
+		if g.Q2 < 0 || g.Q2 >= c.NumQubits || g.Q2 == g.Q1 {
+			panic(fmt.Sprintf("circuit %s: bad second qubit %d", c.Name, g.Q2))
+		}
+	} else {
+		g.Q2 = -1
+	}
+	c.Gates = append(c.Gates, g)
+	return c
+}
+
+// AddH appends a Hadamard.
+func (c *Circuit) AddH(q int) *Circuit { return c.add(Gate{Kind: H, Q1: q}) }
+
+// AddX appends a Pauli-X.
+func (c *Circuit) AddX(q int) *Circuit { return c.add(Gate{Kind: X, Q1: q}) }
+
+// AddRX appends an X rotation.
+func (c *Circuit) AddRX(q int, theta float64) *Circuit {
+	return c.add(Gate{Kind: RX, Q1: q, Param: theta})
+}
+
+// AddRY appends a Y rotation.
+func (c *Circuit) AddRY(q int, theta float64) *Circuit {
+	return c.add(Gate{Kind: RY, Q1: q, Param: theta})
+}
+
+// AddRZ appends a Z rotation.
+func (c *Circuit) AddRZ(q int, theta float64) *Circuit {
+	return c.add(Gate{Kind: RZ, Q1: q, Param: theta})
+}
+
+// AddCX appends a controlled-X.
+func (c *Circuit) AddCX(ctrl, tgt int) *Circuit {
+	return c.add(Gate{Kind: CX, Q1: ctrl, Q2: tgt})
+}
+
+// AddSWAP appends a SWAP.
+func (c *Circuit) AddSWAP(a, b int) *Circuit {
+	return c.add(Gate{Kind: SWAP, Q1: a, Q2: b})
+}
+
+// OneQubitCount returns the number of single-qubit gates.
+func (c *Circuit) OneQubitCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if !g.Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// TwoQubitCount returns the number of two-qubit gates (SWAP counts as
+// one here; the transpiler decomposes it into three CX).
+func (c *Circuit) TwoQubitCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth: the longest chain of gates sharing
+// qubits.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		l := level[g.Q1]
+		if g.Q2 >= 0 && level[g.Q2] > l {
+			l = level[g.Q2]
+		}
+		l++
+		level[g.Q1] = l
+		if g.Q2 >= 0 {
+			level[g.Q2] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// Interactions returns the multiset of logical qubit pairs that interact
+// via two-qubit gates, normalized to (min, max) order.
+func (c *Circuit) Interactions() map[[2]int]int {
+	out := map[[2]int]int{}
+	for _, g := range c.Gates {
+		if !g.Kind.IsTwoQubit() {
+			continue
+		}
+		a, b := g.Q1, g.Q2
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]int{a, b}]++
+	}
+	return out
+}
+
+// Validate checks gate indices (defensive; add already panics on misuse
+// during construction).
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if g.Q1 < 0 || g.Q1 >= c.NumQubits {
+			return fmt.Errorf("gate %d: qubit %d out of range", i, g.Q1)
+		}
+		if g.Kind.IsTwoQubit() && (g.Q2 < 0 || g.Q2 >= c.NumQubits || g.Q2 == g.Q1) {
+			return fmt.Errorf("gate %d: bad pair (%d, %d)", i, g.Q1, g.Q2)
+		}
+	}
+	return nil
+}

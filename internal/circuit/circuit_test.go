@@ -1,0 +1,81 @@
+package circuit
+
+import "testing"
+
+func TestBuilderAndCounts(t *testing.T) {
+	c := New("t", 3)
+	c.AddH(0).AddCX(0, 1).AddRZ(1, 0.5).AddCX(1, 2).AddRX(2, 0.3)
+	if c.OneQubitCount() != 3 {
+		t.Errorf("1q = %d, want 3", c.OneQubitCount())
+	}
+	if c.TwoQubitCount() != 2 {
+		t.Errorf("2q = %d, want 2", c.TwoQubitCount())
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New("d", 3)
+	// Parallel H's: depth 1.
+	c.AddH(0).AddH(1).AddH(2)
+	if c.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", c.Depth())
+	}
+	// Chain of CX: each adds a level.
+	c.AddCX(0, 1).AddCX(1, 2)
+	if c.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", c.Depth())
+	}
+	if New("e", 1).Depth() != 0 {
+		t.Error("empty circuit depth must be 0")
+	}
+}
+
+func TestInteractions(t *testing.T) {
+	c := New("i", 3)
+	c.AddCX(0, 1).AddCX(1, 0).AddSWAP(1, 2)
+	inter := c.Interactions()
+	if inter[[2]int{0, 1}] != 2 {
+		t.Errorf("pair (0,1) = %d, want 2", inter[[2]int{0, 1}])
+	}
+	if inter[[2]int{1, 2}] != 1 {
+		t.Errorf("pair (1,2) = %d, want 1", inter[[2]int{1, 2}])
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	c := New("p", 2)
+	mustPanic(func() { c.AddH(5) })
+	mustPanic(func() { c.AddCX(0, 0) })
+	mustPanic(func() { c.AddCX(0, 7) })
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{H: "h", X: "x", RX: "rx", RY: "ry", RZ: "rz", CX: "cx", SWAP: "swap"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", int(k), k.String())
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestSingleQubitGateClearsQ2(t *testing.T) {
+	c := New("q2", 2)
+	c.Gates = nil
+	c.AddH(0)
+	if c.Gates[0].Q2 != -1 {
+		t.Errorf("Q2 = %d, want -1", c.Gates[0].Q2)
+	}
+}

@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteQASM serializes the circuit as OpenQASM 2.0, the interchange
+// format of the NISQ toolchains the paper's benchmarks come from. SWAP
+// gates are emitted directly (qelib1.inc defines swap).
+func (c *Circuit) WriteQASM(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "// %s\n", c.Name)
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case H:
+			fmt.Fprintf(&b, "h q[%d];\n", g.Q1)
+		case X:
+			fmt.Fprintf(&b, "x q[%d];\n", g.Q1)
+		case RX:
+			fmt.Fprintf(&b, "rx(%g) q[%d];\n", g.Param, g.Q1)
+		case RY:
+			fmt.Fprintf(&b, "ry(%g) q[%d];\n", g.Param, g.Q1)
+		case RZ:
+			fmt.Fprintf(&b, "rz(%g) q[%d];\n", g.Param, g.Q1)
+		case CX:
+			fmt.Fprintf(&b, "cx q[%d],q[%d];\n", g.Q1, g.Q2)
+		case SWAP:
+			fmt.Fprintf(&b, "swap q[%d],q[%d];\n", g.Q1, g.Q2)
+		default:
+			return fmt.Errorf("circuit %s: cannot serialize gate kind %v", c.Name, g.Kind)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadQASM parses the OpenQASM 2.0 subset produced by WriteQASM (one
+// qreg, the gate set of this IR, no classical registers). It is not a
+// general QASM frontend; unsupported statements are reported as errors
+// so silently-dropped semantics cannot occur.
+func ReadQASM(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	c := &Circuit{Name: "qasm"}
+	declared := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+			// The header comment (before the qreg declaration) names the
+			// circuit, matching WriteQASM; later comments are ignored.
+			if strings.HasPrefix(line, "// ") && !declared {
+				c.Name = strings.TrimPrefix(line, "// ")
+			}
+			continue
+		case strings.HasPrefix(line, "OPENQASM"), strings.HasPrefix(line, "include"):
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		if strings.HasPrefix(line, "qreg") {
+			n, err := parseQreg(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if declared {
+				return nil, fmt.Errorf("line %d: multiple qreg declarations", lineNo)
+			}
+			c.NumQubits = n
+			declared = true
+			continue
+		}
+		if !declared {
+			return nil, fmt.Errorf("line %d: gate before qreg declaration", lineNo)
+		}
+		if err := parseGate(c, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !declared {
+		return nil, fmt.Errorf("no qreg declaration")
+	}
+	return c, nil
+}
+
+func parseQreg(line string) (int, error) {
+	// qreg q[N]
+	open := strings.IndexByte(line, '[')
+	close := strings.IndexByte(line, ']')
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("malformed qreg %q", line)
+	}
+	n, err := strconv.Atoi(line[open+1 : close])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad qreg size in %q", line)
+	}
+	return n, nil
+}
+
+func parseGate(c *Circuit, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed gate %q", line)
+	}
+	head := fields[0]
+	args := strings.Join(fields[1:], "")
+
+	name := head
+	param := 0.0
+	if i := strings.IndexByte(head, '('); i >= 0 {
+		j := strings.IndexByte(head, ')')
+		if j < i {
+			return fmt.Errorf("malformed parameter in %q", line)
+		}
+		var err error
+		param, err = strconv.ParseFloat(head[i+1:j], 64)
+		if err != nil {
+			return fmt.Errorf("bad parameter in %q: %w", line, err)
+		}
+		name = head[:i]
+	}
+
+	qubits, err := parseOperands(args)
+	if err != nil {
+		return fmt.Errorf("%q: %w", line, err)
+	}
+	one := func(k Kind) error {
+		if len(qubits) != 1 {
+			return fmt.Errorf("%s expects 1 operand, got %d", name, len(qubits))
+		}
+		c.add(Gate{Kind: k, Q1: qubits[0], Param: param})
+		return nil
+	}
+	two := func(k Kind) error {
+		if len(qubits) != 2 {
+			return fmt.Errorf("%s expects 2 operands, got %d", name, len(qubits))
+		}
+		c.add(Gate{Kind: k, Q1: qubits[0], Q2: qubits[1]})
+		return nil
+	}
+	switch name {
+	case "h":
+		return one(H)
+	case "x":
+		return one(X)
+	case "rx":
+		return one(RX)
+	case "ry":
+		return one(RY)
+	case "rz":
+		return one(RZ)
+	case "cx":
+		return two(CX)
+	case "swap":
+		return two(SWAP)
+	default:
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+}
+
+func parseOperands(args string) ([]int, error) {
+	var out []int
+	for _, op := range strings.Split(args, ",") {
+		op = strings.TrimSpace(op)
+		open := strings.IndexByte(op, '[')
+		close := strings.IndexByte(op, ']')
+		if !strings.HasPrefix(op, "q") || open < 0 || close < open {
+			return nil, fmt.Errorf("malformed operand %q", op)
+		}
+		q, err := strconv.Atoi(op[open+1 : close])
+		if err != nil {
+			return nil, fmt.Errorf("bad qubit index %q", op)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func TestStrategiesOrder(t *testing.T) {
+	want := []Strategy{QGDPLG, QAbacus, QTetris, AbacusS, TetrisS}
+	got := Strategies()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Strategies()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLegalizeAllStrategiesFalcon(t *testing.T) {
+	cfg := DefaultConfig()
+	gp := Prepare(topology.Falcon27(), cfg)
+	for _, s := range append(Strategies(), QGDPDP) {
+		lay, err := Legalize(gp, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := lay.Netlist.Validate(); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if lay.QubitTime <= 0 || lay.ResonatorTime <= 0 {
+			t.Errorf("%s: missing stage timings", s)
+		}
+		if s == QGDPDP && lay.DPTime <= 0 {
+			t.Errorf("%s: missing DP timing", s)
+		}
+		// No block overlaps regardless of strategy.
+		occupied := map[[2]int]bool{}
+		for i := range lay.Netlist.Blocks {
+			key := [2]int{int(lay.Netlist.Blocks[i].Pos.X), int(lay.Netlist.Blocks[i].Pos.Y)}
+			if occupied[key] {
+				t.Fatalf("%s: block overlap at %v", s, key)
+			}
+			occupied[key] = true
+		}
+	}
+}
+
+func TestLegalizeDoesNotMutateGP(t *testing.T) {
+	cfg := DefaultConfig()
+	gp := Prepare(topology.Grid25(), cfg)
+	before := gp.Clone()
+	if _, err := Legalize(gp, QGDPLG, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gp.Qubits {
+		if gp.Qubits[i].Pos != before.Qubits[i].Pos {
+			t.Fatal("Legalize mutated the shared GP solution (qubits)")
+		}
+	}
+	for i := range gp.Blocks {
+		if gp.Blocks[i].Pos != before.Blocks[i].Pos {
+			t.Fatal("Legalize mutated the shared GP solution (blocks)")
+		}
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	cfg := DefaultConfig()
+	gp := Prepare(topology.Grid25(), cfg)
+	if _, err := Legalize(gp, Strategy("bogus"), cfg); err == nil {
+		t.Error("bogus strategy should fail")
+	}
+}
+
+// The headline claim (Fig. 8): qGDP-LG beats the classical legalizers on
+// program fidelity; classical legalizers leave qubit spacing violations.
+func TestFidelityShapeFalcon(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mappings = 15
+	gp := Prepare(topology.Falcon27(), cfg)
+
+	q, err := Legalize(gp, QGDPLG, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Legalize(gp, TetrisS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v := len(metrics.QubitViolationPairs(cl.Netlist, cfg.Metrics)); v == 0 {
+		t.Error("classic legalization should leave spacing violations on Falcon")
+	}
+	if v := len(metrics.QubitViolationPairs(q.Netlist, cfg.Metrics)); v != 0 {
+		t.Errorf("quantum legalization left %d spacing violations", v)
+	}
+
+	fq, err := AverageFidelity(q.Netlist, "bv-4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := AverageFidelity(cl.Netlist, "bv-4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fq < 5*fc {
+		t.Errorf("qGDP fidelity %v not well above classic %v", fq, fc)
+	}
+}
+
+// Table III shape: DP never regresses LG and improves P_h.
+func TestDPShapeGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	gp := Prepare(topology.Grid25(), cfg)
+	lg, err := Legalize(gp, QGDPLG, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := Legalize(gp, QGDPDP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := Analyze(lg.Netlist, cfg)
+	rd := Analyze(dp.Netlist, cfg)
+	if rd.Unified < rl.Unified {
+		t.Errorf("DP reduced unified resonators: %d -> %d", rl.Unified, rd.Unified)
+	}
+	if rd.Ph > rl.Ph+1e-9 {
+		t.Errorf("DP worsened Ph: %.3f -> %.3f", rl.Ph, rd.Ph)
+	}
+	if rd.Crossings > rl.Crossings {
+		t.Errorf("DP worsened crossings: %d -> %d", rl.Crossings, rd.Crossings)
+	}
+}
+
+func TestAverageFidelityUnknownBenchmark(t *testing.T) {
+	cfg := DefaultConfig()
+	gp := Prepare(topology.Grid25(), cfg)
+	if _, err := AverageFidelity(gp, "nope", cfg); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}

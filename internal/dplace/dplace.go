@@ -1,0 +1,351 @@
+// Package dplace is qGDP-DP, the detailed placement engine of §III-E
+// (Algorithm 2): it scans the legalized layout for problem resonators —
+// non-unified (|C_e| > 1), hotspot-involved (H_e > 0), or crossing
+// another resonator's route — builds a focused window around each,
+// extracts the window's resonators, re-places them with maze routing,
+// and keeps the new positions only when the window's cluster count,
+// hotspot weight, and crossing count have not regressed (with at least
+// one strict improvement).
+package dplace
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/maze"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+)
+
+// Params tunes the detailed placer.
+type Params struct {
+	// Metrics are the hotspot thresholds shared with the evaluation.
+	Metrics metrics.Params
+	// WindowMargin expands the problem window (cells).
+	WindowMargin int
+	// MaxAdjacent caps how many neighbor resonators join a window.
+	MaxAdjacent int
+	// MaxPasses bounds the scan-and-fix iterations.
+	MaxPasses int
+}
+
+// DefaultParams mirrors the evaluation setup.
+func DefaultParams() Params {
+	return Params{
+		Metrics:      metrics.DefaultParams(),
+		WindowMargin: 2,
+		MaxAdjacent:  3,
+		MaxPasses:    3,
+	}
+}
+
+// Result reports what the detailed placer did.
+type Result struct {
+	// Considered counts candidate windows examined.
+	Considered int
+	// Accepted counts windows whose re-placement was kept.
+	Accepted int
+	// Passes is the number of full scans performed.
+	Passes int
+}
+
+// Refine runs Algorithm 2 on a legalized netlist, mutating wire-block
+// positions in place. Qubits never move.
+func Refine(n *netlist.Netlist, p Params) (Result, error) {
+	var res Result
+	for pass := 0; pass < p.MaxPasses; pass++ {
+		res.Passes = pass + 1
+		improved := false
+		for _, e := range candidates(n, p) {
+			res.Considered++
+			if refineWindow(n, p, e) {
+				res.Accepted++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return res, nil
+}
+
+// candidates returns the resonators violating a quality objective:
+// E_c (non-unified), E_h (hotspots), and crossing participants, ordered
+// worst-first (cluster count, then hotspot weight, then ID).
+func candidates(n *netlist.Netlist, p Params) []int {
+	hot := metrics.ResonatorHotspotAll(n, p.Metrics)
+	crossing := make([]int, len(n.Resonators))
+	for _, cp := range metrics.CrossingPairs(n) {
+		crossing[cp.EdgeI]++
+		crossing[cp.EdgeJ]++
+	}
+	type cand struct {
+		e        int
+		clusters int
+		hot      float64
+		crosses  int
+	}
+	var cs []cand
+	for e := range n.Resonators {
+		cl := n.ClusterCount(e)
+		if cl > 1 || hot[e] > 0 || crossing[e] > 0 {
+			cs = append(cs, cand{e, cl, hot[e], crossing[e]})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].clusters != cs[j].clusters {
+			return cs[i].clusters > cs[j].clusters
+		}
+		if cs[i].crosses != cs[j].crosses {
+			return cs[i].crosses > cs[j].crosses
+		}
+		if cs[i].hot != cs[j].hot {
+			return cs[i].hot > cs[j].hot
+		}
+		return cs[i].e < cs[j].e
+	})
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.e
+	}
+	return out
+}
+
+// windowObjective is the Algorithm-2 acceptance triple, restricted to
+// the window's resonators.
+type windowObjective struct {
+	clusters  int
+	hotspots  float64
+	crossings int
+}
+
+func (a windowObjective) betterThan(b windowObjective) bool {
+	const eps = 1e-9
+	if a.clusters > b.clusters || a.hotspots > b.hotspots+eps || a.crossings > b.crossings {
+		return false
+	}
+	return a.clusters < b.clusters || a.hotspots < b.hotspots-eps || a.crossings < b.crossings
+}
+
+// refineWindow attempts one window rip-up/re-place; reports acceptance.
+func refineWindow(n *netlist.Netlist, p Params, e int) bool {
+	group := windowGroup(n, p, e)
+	win := windowRect(n, p, group)
+
+	before := measure(n, p, group)
+
+	// Snapshot for revert.
+	saved := map[int]geom.Pt{}
+	for _, we := range group {
+		for _, id := range n.Resonators[we].Blocks {
+			saved[id] = n.Blocks[id].Pos
+		}
+	}
+
+	if !reroute(n, p, group, win) {
+		revert(n, saved)
+		return false
+	}
+	after := measure(n, p, group)
+	if !after.betterThan(before) {
+		revert(n, saved)
+		return false
+	}
+	return true
+}
+
+func revert(n *netlist.Netlist, saved map[int]geom.Pt) {
+	for id, pos := range saved {
+		n.Blocks[id].Pos = pos
+	}
+}
+
+// windowGroup returns e plus up to MaxAdjacent resonators whose blocks
+// lie nearest to e's blocks (the "adjacent resonators" of Fig. 7).
+func windowGroup(n *netlist.Netlist, p Params, e int) []int {
+	type near struct {
+		e int
+		d float64
+	}
+	var nears []near
+	for o := range n.Resonators {
+		if o == e {
+			continue
+		}
+		d := resonatorDistance(n, e, o)
+		if d <= float64(p.WindowMargin)+1 {
+			nears = append(nears, near{o, d})
+		}
+	}
+	sort.Slice(nears, func(i, j int) bool {
+		if nears[i].d != nears[j].d {
+			return nears[i].d < nears[j].d
+		}
+		return nears[i].e < nears[j].e
+	})
+	group := []int{e}
+	for _, nr := range nears {
+		if len(group) > p.MaxAdjacent {
+			break
+		}
+		group = append(group, nr.e)
+	}
+	return group
+}
+
+// resonatorDistance is the minimum block-to-block center distance.
+func resonatorDistance(n *netlist.Netlist, a, b int) float64 {
+	best := math.Inf(1)
+	for _, ia := range n.Resonators[a].Blocks {
+		pa := n.Blocks[ia].Pos
+		for _, ib := range n.Resonators[b].Blocks {
+			if d := pa.Dist(n.Blocks[ib].Pos); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// windowRect is the bounding box of the group's blocks and endpoint
+// qubits, expanded by the margin and clipped to the substrate.
+func windowRect(n *netlist.Netlist, p Params, group []int) geom.Rect {
+	first := true
+	var box geom.Rect
+	add := func(r geom.Rect) {
+		if first {
+			box = r
+			first = false
+		} else {
+			box = box.Union(r)
+		}
+	}
+	for _, e := range group {
+		r := &n.Resonators[e]
+		add(n.Qubits[r.Q1].Rect())
+		add(n.Qubits[r.Q2].Rect())
+		for _, id := range r.Blocks {
+			add(n.BlockRect(id))
+		}
+	}
+	box = box.Expand(float64(p.WindowMargin))
+	// Clip to substrate.
+	minX := math.Max(0, box.MinX())
+	maxX := math.Min(n.W, box.MaxX())
+	minY := math.Max(0, box.MinY())
+	maxY := math.Min(n.H, box.MaxY())
+	return geom.NewRect((minX+maxX)/2, (minY+maxY)/2, maxX-minX, maxY-minY)
+}
+
+// measure computes the acceptance objective for the group.
+func measure(n *netlist.Netlist, p Params, group []int) windowObjective {
+	var o windowObjective
+	inGroup := map[int]bool{}
+	for _, e := range group {
+		inGroup[e] = true
+		o.clusters += n.ClusterCount(e)
+	}
+	for _, h := range metrics.Hotspots(n, p.Metrics) {
+		if (h.EdgeI >= 0 && inGroup[h.EdgeI]) || (h.EdgeJ >= 0 && inGroup[h.EdgeJ]) {
+			o.hotspots += h.Weight
+		}
+	}
+	for _, cp := range metrics.CrossingPairs(n) {
+		if inGroup[cp.EdgeI] || inGroup[cp.EdgeJ] {
+			o.crossings++
+		}
+	}
+	return o
+}
+
+// reroute rips up the group's blocks and re-places each resonator with
+// maze routing inside the window. Returns false when any resonator
+// cannot be routed (caller reverts).
+func reroute(n *netlist.Netlist, p Params, group []int, win geom.Rect) bool {
+	g := maze.NewGrid(int(math.Round(n.W)), int(math.Round(n.H)))
+
+	// Everything outside the window is unusable.
+	x0 := int(math.Floor(win.MinX() + geom.Eps))
+	y0 := int(math.Floor(win.MinY() + geom.Eps))
+	x1 := int(math.Ceil(win.MaxX() - geom.Eps))
+	y1 := int(math.Ceil(win.MaxY() - geom.Eps))
+	for y := 0; y < g.H(); y++ {
+		for x := 0; x < g.W(); x++ {
+			if x < x0 || x >= x1 || y < y0 || y >= y1 {
+				g.Block(maze.Cell{X: x, Y: y})
+			}
+		}
+	}
+	// Qubit macros are obstacles.
+	for _, q := range n.Qubits {
+		blockRect(g, q.Rect())
+	}
+	// Blocks of resonators outside the group are obstacles.
+	inGroup := map[int]bool{}
+	for _, e := range group {
+		inGroup[e] = true
+	}
+	for i := range n.Blocks {
+		if !inGroup[n.Blocks[i].Edge] {
+			g.Block(cellOf(n.Blocks[i].Pos))
+		}
+	}
+
+	// Re-place each group resonator: the problem resonator first, then
+	// neighbors in group order.
+	for _, e := range group {
+		if !routeResonator(n, g, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// routeResonator maze-routes resonator e between its endpoint qubits and
+// assigns its wire blocks along the (thickened) path.
+func routeResonator(n *netlist.Netlist, g *maze.Grid, e int) bool {
+	r := &n.Resonators[e]
+	srcs := qubitAdjacent(n, g, r.Q1)
+	dsts := qubitAdjacent(n, g, r.Q2)
+	path := g.Route(srcs, dsts)
+	if path == nil {
+		return false
+	}
+	cells := g.Thicken(path, len(r.Blocks))
+	if cells == nil {
+		return false
+	}
+	for i, id := range r.Blocks {
+		c := cells[i]
+		n.Blocks[id].Pos = geom.Pt{X: float64(c.X) + 0.5, Y: float64(c.Y) + 0.5}
+		g.Block(c)
+	}
+	return true
+}
+
+func qubitAdjacent(n *netlist.Netlist, g *maze.Grid, q int) []maze.Cell {
+	r := n.Qubits[q].Rect()
+	x0 := int(math.Floor(r.MinX() + geom.Eps))
+	y0 := int(math.Floor(r.MinY() + geom.Eps))
+	x1 := int(math.Ceil(r.MaxX() - geom.Eps))
+	y1 := int(math.Ceil(r.MaxY() - geom.Eps))
+	return g.Adjacent(x0, y0, x1, y1)
+}
+
+func blockRect(g *maze.Grid, r geom.Rect) {
+	x0 := int(math.Floor(r.MinX() + geom.Eps))
+	y0 := int(math.Floor(r.MinY() + geom.Eps))
+	x1 := int(math.Ceil(r.MaxX() - geom.Eps))
+	y1 := int(math.Ceil(r.MaxY() - geom.Eps))
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			g.Block(maze.Cell{X: x, Y: y})
+		}
+	}
+}
+
+func cellOf(p geom.Pt) maze.Cell {
+	return maze.Cell{X: int(math.Floor(p.X)), Y: int(math.Floor(p.Y))}
+}

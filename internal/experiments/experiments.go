@@ -1,0 +1,360 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index):
+//
+//   - Fig. 8  — program fidelity per topology × benchmark × strategy
+//   - Fig. 9  — mean fidelity, P_h, and crossings per topology × strategy
+//   - Table II — legalization runtimes t_q / t_e
+//   - Table III — qGDP-LG vs qGDP-DP layout quality
+//
+// Each experiment returns structured results plus a Render method
+// producing the same rows/series the paper reports. The cmd/qgdp-bench
+// tool and the root bench_test.go both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/qbench"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+// Benchmarks are the Fig. 8 benchmark columns.
+func Benchmarks() []string {
+	names := make([]string, 0, 7)
+	for _, b := range qbench.Suite() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// prepare runs GP once per device and legalizes under all strategies
+// (plus qGDP-DP when withDP is set).
+func prepare(devs []*topology.Device, cfg core.Config, withDP bool) (map[string]map[core.Strategy]*core.Layout, error) {
+	out := map[string]map[core.Strategy]*core.Layout{}
+	for _, dev := range devs {
+		gp := core.Prepare(dev, cfg)
+		m := map[core.Strategy]*core.Layout{}
+		strategies := core.Strategies()
+		if withDP {
+			strategies = append(strategies, core.QGDPDP)
+		}
+		for _, s := range strategies {
+			lay, err := core.Legalize(gp, s, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", dev.Name, s, err)
+			}
+			m[s] = lay
+		}
+		out[dev.Name] = m
+	}
+	return out, nil
+}
+
+// Fig8Result holds the fidelity grid of Fig. 8.
+type Fig8Result struct {
+	Topologies []string
+	Strategies []core.Strategy
+	Benchmarks []string
+	// Fidelity[topology][strategy][benchmark].
+	Fidelity map[string]map[core.Strategy]map[string]float64
+}
+
+// Fig8 regenerates the Fig. 8 fidelity grid.
+func Fig8(devs []*topology.Device, cfg core.Config) (*Fig8Result, error) {
+	lays, err := prepare(devs, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{
+		Strategies: core.Strategies(),
+		Benchmarks: Benchmarks(),
+		Fidelity:   map[string]map[core.Strategy]map[string]float64{},
+	}
+	for _, dev := range devs {
+		res.Topologies = append(res.Topologies, dev.Name)
+		res.Fidelity[dev.Name] = map[core.Strategy]map[string]float64{}
+		for _, s := range res.Strategies {
+			res.Fidelity[dev.Name][s] = map[string]float64{}
+			for _, b := range res.Benchmarks {
+				f, err := core.AverageFidelity(lays[dev.Name][s].Netlist, b, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", dev.Name, s, b, err)
+				}
+				res.Fidelity[dev.Name][s][b] = f
+			}
+		}
+	}
+	return res, nil
+}
+
+// MeanFidelity returns the benchmark-mean fidelity for one topology and
+// strategy (the "Mean" bar of Fig. 8).
+func (r *Fig8Result) MeanFidelity(topo string, s core.Strategy) float64 {
+	var sum float64
+	for _, b := range r.Benchmarks {
+		sum += r.Fidelity[topo][s][b]
+	}
+	return sum / float64(len(r.Benchmarks))
+}
+
+// Render prints one block per topology, rows = strategies, columns =
+// benchmarks plus the mean — the Fig. 8 structure.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	for _, topo := range r.Topologies {
+		fmt.Fprintf(&b, "Fig. 8 — %s\n", topo)
+		headers := append([]string{"strategy"}, r.Benchmarks...)
+		headers = append(headers, "Mean")
+		var rows [][]string
+		for _, s := range r.Strategies {
+			row := []string{string(s)}
+			for _, bench := range r.Benchmarks {
+				row = append(row, report.Fidelity(r.Fidelity[topo][s][bench]))
+			}
+			row = append(row, report.Fidelity(r.MeanFidelity(topo, s)))
+			rows = append(rows, row)
+		}
+		b.WriteString(report.Table(headers, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig9Result holds the per-topology layout metrics of Fig. 9.
+type Fig9Result struct {
+	Topologies []string
+	Strategies []core.Strategy
+	// MeanFidelity[topology][strategy], Ph (percent), Crossings.
+	MeanFidelity map[string]map[core.Strategy]float64
+	Ph           map[string]map[core.Strategy]float64
+	Crossings    map[string]map[core.Strategy]int
+}
+
+// Fig9 regenerates Fig. 9: mean program fidelity, hotspot proportion
+// P_h, and resonator crossings X per topology and strategy. One GP +
+// legalization pass per topology serves all three panels.
+func Fig9(devs []*topology.Device, cfg core.Config) (*Fig9Result, error) {
+	lays, err := prepare(devs, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	benches := Benchmarks()
+	res := &Fig9Result{
+		Strategies:   core.Strategies(),
+		MeanFidelity: map[string]map[core.Strategy]float64{},
+		Ph:           map[string]map[core.Strategy]float64{},
+		Crossings:    map[string]map[core.Strategy]int{},
+	}
+	for _, dev := range devs {
+		res.Topologies = append(res.Topologies, dev.Name)
+		res.MeanFidelity[dev.Name] = map[core.Strategy]float64{}
+		res.Ph[dev.Name] = map[core.Strategy]float64{}
+		res.Crossings[dev.Name] = map[core.Strategy]int{}
+		for _, s := range res.Strategies {
+			lay := lays[dev.Name][s]
+			rep := core.Analyze(lay.Netlist, cfg)
+			var sum float64
+			for _, b := range benches {
+				f, err := core.AverageFidelity(lay.Netlist, b, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", dev.Name, s, b, err)
+				}
+				sum += f
+			}
+			res.MeanFidelity[dev.Name][s] = sum / float64(len(benches))
+			res.Ph[dev.Name][s] = rep.Ph
+			res.Crossings[dev.Name][s] = rep.Crossings
+		}
+	}
+	return res, nil
+}
+
+// Mean returns the cross-topology means (the "Mean" group of Fig. 9).
+func (r *Fig9Result) Mean(s core.Strategy) (fid, ph, crossings float64) {
+	n := float64(len(r.Topologies))
+	for _, topo := range r.Topologies {
+		fid += r.MeanFidelity[topo][s]
+		ph += r.Ph[topo][s]
+		crossings += float64(r.Crossings[topo][s])
+	}
+	return fid / n, ph / n, crossings / n
+}
+
+// Render prints the three Fig. 9 panels.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	headers := append([]string{"strategy"}, r.Topologies...)
+	headers = append(headers, "Mean")
+
+	panel := func(title string, cell func(topo string, s core.Strategy) string, mean func(s core.Strategy) string) {
+		fmt.Fprintf(&b, "Fig. 9 — %s\n", title)
+		var rows [][]string
+		for _, s := range r.Strategies {
+			row := []string{string(s)}
+			for _, topo := range r.Topologies {
+				row = append(row, cell(topo, s))
+			}
+			row = append(row, mean(s))
+			rows = append(rows, row)
+		}
+		b.WriteString(report.Table(headers, rows))
+		b.WriteByte('\n')
+	}
+
+	panel("mean program fidelity",
+		func(topo string, s core.Strategy) string { return report.Fidelity(r.MeanFidelity[topo][s]) },
+		func(s core.Strategy) string { f, _, _ := r.Mean(s); return report.Fidelity(f) })
+	panel("frequency hotspot proportion Ph (%)",
+		func(topo string, s core.Strategy) string { return fmt.Sprintf("%.2f", r.Ph[topo][s]) },
+		func(s core.Strategy) string { _, p, _ := r.Mean(s); return fmt.Sprintf("%.2f", p) })
+	panel("resonator crossings X",
+		func(topo string, s core.Strategy) string { return fmt.Sprintf("%d", r.Crossings[topo][s]) },
+		func(s core.Strategy) string { _, _, x := r.Mean(s); return fmt.Sprintf("%.1f", x) })
+	return b.String()
+}
+
+// Table2Result holds the legalization runtimes of Table II.
+type Table2Result struct {
+	Topologies []string
+	Strategies []core.Strategy
+	// Tq and Te in seconds, [topology][strategy].
+	Tq, Te map[string]map[core.Strategy]float64
+}
+
+// Table2 regenerates Table II: qubit (t_q) and resonator (t_e)
+// legalization times.
+func Table2(devs []*topology.Device, cfg core.Config) (*Table2Result, error) {
+	lays, err := prepare(devs, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{
+		Strategies: core.Strategies(),
+		Tq:         map[string]map[core.Strategy]float64{},
+		Te:         map[string]map[core.Strategy]float64{},
+	}
+	for _, dev := range devs {
+		res.Topologies = append(res.Topologies, dev.Name)
+		res.Tq[dev.Name] = map[core.Strategy]float64{}
+		res.Te[dev.Name] = map[core.Strategy]float64{}
+		for _, s := range res.Strategies {
+			res.Tq[dev.Name][s] = lays[dev.Name][s].QubitTime.Seconds()
+			res.Te[dev.Name][s] = lays[dev.Name][s].ResonatorTime.Seconds()
+		}
+	}
+	return res, nil
+}
+
+// Mean returns cross-topology mean runtimes in seconds.
+func (r *Table2Result) Mean(s core.Strategy) (tq, te float64) {
+	n := float64(len(r.Topologies))
+	for _, topo := range r.Topologies {
+		tq += r.Tq[topo][s]
+		te += r.Te[topo][s]
+	}
+	return tq / n, te / n
+}
+
+// Render prints Table II (milliseconds).
+func (r *Table2Result) Render() string {
+	headers := []string{"Topology"}
+	for _, s := range r.Strategies {
+		headers = append(headers, string(s)+" tq", string(s)+" te")
+	}
+	var rows [][]string
+	for _, topo := range r.Topologies {
+		row := []string{topo}
+		for _, s := range r.Strategies {
+			row = append(row, report.Ms(r.Tq[topo][s]), report.Ms(r.Te[topo][s]))
+		}
+		rows = append(rows, row)
+	}
+	mean := []string{"Mean"}
+	for _, s := range r.Strategies {
+		tq, te := r.Mean(s)
+		mean = append(mean, report.Ms(tq), report.Ms(te))
+	}
+	rows = append(rows, mean)
+	return "Table II — legalization time (ms)\n" + report.Table(headers, rows)
+}
+
+// Table3Row is one topology's qGDP-LG vs qGDP-DP comparison.
+type Table3Row struct {
+	Topology string
+	Cells    int
+	LG, DP   StageQuality
+}
+
+// StageQuality is the Table III metric tuple for one stage.
+type StageQuality struct {
+	Unified   int
+	Total     int
+	Crossings int
+	Ph        float64
+	HQ        int
+}
+
+// Table3Result holds Table III.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 regenerates Table III: detailed placement evaluation.
+func Table3(devs []*topology.Device, cfg core.Config) (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, dev := range devs {
+		gp := core.Prepare(dev, cfg)
+		lg, err := core.Legalize(gp, core.QGDPLG, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/LG: %w", dev.Name, err)
+		}
+		dp, err := core.Legalize(gp, core.QGDPDP, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/DP: %w", dev.Name, err)
+		}
+		row := Table3Row{Topology: dev.Name, Cells: lg.Netlist.NumCells()}
+		row.LG = stageQuality(core.Analyze(lg.Netlist, cfg))
+		row.DP = stageQuality(core.Analyze(dp.Netlist, cfg))
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func stageQuality(rep metrics.Report) StageQuality {
+	return StageQuality{
+		Unified:   rep.Unified,
+		Total:     rep.TotalResonators,
+		Crossings: rep.Crossings,
+		Ph:        rep.Ph,
+		HQ:        rep.HQ,
+	}
+}
+
+// Render prints Table III.
+func (r *Table3Result) Render() string {
+	headers := []string{
+		"Topology", "#Cells",
+		"LG Iedge", "LG X", "LG Ph(%)", "LG HQ",
+		"DP Iedge", "DP X", "DP Ph(%)", "DP HQ",
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Topology,
+			fmt.Sprintf("%d", row.Cells),
+			fmt.Sprintf("%d/%d", row.LG.Unified, row.LG.Total),
+			fmt.Sprintf("%d", row.LG.Crossings),
+			fmt.Sprintf("%.2f", row.LG.Ph),
+			fmt.Sprintf("%d", row.LG.HQ),
+			fmt.Sprintf("%d/%d", row.DP.Unified, row.DP.Total),
+			fmt.Sprintf("%d", row.DP.Crossings),
+			fmt.Sprintf("%.2f", row.DP.Ph),
+			fmt.Sprintf("%d", row.DP.HQ),
+		})
+	}
+	return "Table III — detailed placement evaluation\n" + report.Table(headers, rows)
+}

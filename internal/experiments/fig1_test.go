@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestFig1Shape(t *testing.T) {
+	cfg := fastCfg()
+	res, err := Fig1(topology.Falcon27(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 4 {
+		t.Fatalf("stages = %d, want 4", len(res.Stages))
+	}
+	gp, classic, lg, dp := res.Stages[0], res.Stages[1], res.Stages[2], res.Stages[3]
+
+	if gp.Legal {
+		t.Error("GP stage must be flagged illegal")
+	}
+	if !classic.Legal || !lg.Legal || !dp.Legal {
+		t.Error("legalized stages must be legal")
+	}
+	// The Fig. 1 message: quantum LG beats classic LG on fidelity, and
+	// DP further improves (or preserves) quantum LG.
+	if lg.Fidelity <= classic.Fidelity {
+		t.Errorf("quantum LG fidelity %v not above classic %v", lg.Fidelity, classic.Fidelity)
+	}
+	if dp.Fidelity < lg.Fidelity-0.02 {
+		t.Errorf("DP fidelity %v regressed from LG %v", dp.Fidelity, lg.Fidelity)
+	}
+	if dp.Ph > lg.Ph+1e-9 {
+		t.Errorf("DP Ph %v above LG %v", dp.Ph, lg.Ph)
+	}
+
+	out := res.Render()
+	for _, want := range []string{"Fig. 1", "GP (illegal)", "qGDP-DP", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPaddingSweepShape(t *testing.T) {
+	cfg := fastCfg()
+	res, err := PaddingSweep(topology.Grid25(), cfg, []float64{0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// Quantum legalization never leaves violations at any padding.
+		if p.QuantumViolations != 0 {
+			t.Errorf("padding %.2f: quantum flow left %d violations", p.Padding, p.QuantumViolations)
+		}
+		if p.QuantumDisplacement < 0 || p.ClassicDispla < 0 {
+			t.Error("negative displacement")
+		}
+	}
+	// The §III-C trade-off, in its two robust forms: more GP padding
+	// pre-reserves spacing, so (1) the classic flow's hotspot proportion
+	// drops and (2) the quantum legalizer has less expansion work to do.
+	if res.Points[1].ClassicPh >= res.Points[0].ClassicPh {
+		t.Errorf("padding 1.0 classic Ph (%.2f) not below padding 0 (%.2f)",
+			res.Points[1].ClassicPh, res.Points[0].ClassicPh)
+	}
+	if res.Points[1].QuantumDisplacement >= res.Points[0].QuantumDisplacement {
+		t.Errorf("padding 1.0 quantum displacement (%.1f) not below padding 0 (%.1f)",
+			res.Points[1].QuantumDisplacement, res.Points[0].QuantumDisplacement)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Padding sweep") || !strings.Contains(out, "Tetris viol") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig1UsesConfiguredMappings(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Mappings = 1
+	if _, err := Fig1(topology.Grid25(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	_ = core.DefaultConfig()
+}

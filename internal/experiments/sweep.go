@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+// PaddingSweepResult quantifies the padding/utilization trade-off of
+// §III-C: larger GP padding pre-reserves qubit spacing (fewer violations
+// to fix, less legalization displacement) but wastes area; qGDP instead
+// shifts part of the spacing task into the qubit-legalization phase.
+// The sweep shows how final layout quality depends on GP padding when
+// the quantum legalizer is (or is not) there to pick up the slack.
+type PaddingSweepResult struct {
+	Topology string
+	Points   []PaddingPoint
+}
+
+// PaddingPoint is one sweep sample.
+type PaddingPoint struct {
+	Padding float64
+	// Quantum flow (qGDP-LG) and classic flow (Tetris) qualities.
+	QuantumPh, ClassicPh               float64
+	QuantumViolations, ClassicViol     int
+	QuantumDisplacement, ClassicDispla float64
+}
+
+// PaddingSweep runs the sweep on one topology.
+func PaddingSweep(dev *topology.Device, cfg core.Config, paddings []float64) (*PaddingSweepResult, error) {
+	res := &PaddingSweepResult{Topology: dev.Name}
+	for _, pad := range paddings {
+		c := cfg
+		c.GP.Padding = pad
+		gp := core.Prepare(dev, c)
+
+		q, err := core.Legalize(gp, core.QGDPLG, c)
+		if err != nil {
+			return nil, fmt.Errorf("padding %.2f quantum: %w", pad, err)
+		}
+		cl, err := core.Legalize(gp, core.TetrisS, c)
+		if err != nil {
+			return nil, fmt.Errorf("padding %.2f classic: %w", pad, err)
+		}
+		res.Points = append(res.Points, PaddingPoint{
+			Padding:             pad,
+			QuantumPh:           metrics.Ph(q.Netlist, c.Metrics),
+			ClassicPh:           metrics.Ph(cl.Netlist, c.Metrics),
+			QuantumViolations:   len(metrics.QubitViolationPairs(q.Netlist, c.Metrics)),
+			ClassicViol:         len(metrics.QubitViolationPairs(cl.Netlist, c.Metrics)),
+			QuantumDisplacement: q.QubitResult.Displacement,
+			ClassicDispla:       cl.QubitResult.Displacement,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep table.
+func (r *PaddingSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Padding sweep (§III-C trade-off) — %s\n", r.Topology)
+	headers := []string{"padding", "qGDP Ph(%)", "qGDP viol", "qGDP disp",
+		"Tetris Ph(%)", "Tetris viol", "Tetris disp"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Padding),
+			fmt.Sprintf("%.2f", p.QuantumPh),
+			fmt.Sprintf("%d", p.QuantumViolations),
+			fmt.Sprintf("%.1f", p.QuantumDisplacement),
+			fmt.Sprintf("%.2f", p.ClassicPh),
+			fmt.Sprintf("%d", p.ClassicViol),
+			fmt.Sprintf("%.1f", p.ClassicDispla),
+		})
+	}
+	b.WriteString(report.Table(headers, rows))
+	return b.String()
+}

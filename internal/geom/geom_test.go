@@ -1,0 +1,329 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtOps(t *testing.T) {
+	p := Pt{1, 2}
+	q := Pt{3, -1}
+	if got := p.Add(q); got != (Pt{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Pt{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Pt{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Manhattan(q); got != 5 {
+		t.Errorf("Manhattan = %v", got)
+	}
+	if got := p.Dist(q); math.Abs(got-math.Hypot(2, 3)) > Eps {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestRectEdges(t *testing.T) {
+	r := NewRect(5, 3, 4, 2)
+	if r.MinX() != 3 || r.MaxX() != 7 || r.MinY() != 2 || r.MaxY() != 4 {
+		t.Errorf("edges wrong: %v %v %v %v", r.MinX(), r.MaxX(), r.MinY(), r.MaxY())
+	}
+	if r.Area() != 8 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if r.Center() != (Pt{5, 3}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestOverlapsAndTouches(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	tests := []struct {
+		name     string
+		b        Rect
+		overlaps bool
+		touches  bool
+	}{
+		{"identical", a, true, true},
+		{"half overlap", NewRect(1, 0, 2, 2), true, true},
+		{"abutting right", NewRect(2, 0, 2, 2), false, true},
+		{"abutting top", NewRect(0, 2, 2, 2), false, true},
+		{"corner touch", NewRect(2, 2, 2, 2), false, true},
+		{"disjoint", NewRect(5, 5, 2, 2), false, false},
+		{"tiny gap", NewRect(2.001, 0, 2, 2), false, false},
+	}
+	for _, tc := range tests {
+		if got := a.Overlaps(tc.b); got != tc.overlaps {
+			t.Errorf("%s: Overlaps = %v, want %v", tc.name, got, tc.overlaps)
+		}
+		if got := a.Touches(tc.b); got != tc.touches {
+			t.Errorf("%s: Touches = %v, want %v", tc.name, got, tc.touches)
+		}
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	if got := a.OverlapArea(NewRect(1, 1, 2, 2)); math.Abs(got-1) > Eps {
+		t.Errorf("OverlapArea = %v, want 1", got)
+	}
+	if got := a.OverlapArea(NewRect(4, 4, 2, 2)); got != 0 {
+		t.Errorf("OverlapArea disjoint = %v, want 0", got)
+	}
+	if got := a.OverlapArea(a); math.Abs(got-4) > Eps {
+		t.Errorf("OverlapArea self = %v, want 4", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRect(0, 0, 4, 4)
+	if !r.Contains(Pt{0, 0}) || !r.Contains(Pt{2, 2}) || !r.Contains(Pt{-2, 1}) {
+		t.Error("Contains should include interior and boundary")
+	}
+	if r.Contains(Pt{3, 0}) {
+		t.Error("Contains should exclude exterior")
+	}
+	if !r.ContainsRect(NewRect(0, 0, 2, 2)) {
+		t.Error("ContainsRect inner")
+	}
+	if r.ContainsRect(NewRect(3, 0, 2, 2)) {
+		t.Error("ContainsRect outer")
+	}
+}
+
+func TestExpandUnion(t *testing.T) {
+	r := NewRect(0, 0, 2, 2).Expand(1)
+	if r.W != 4 || r.H != 4 {
+		t.Errorf("Expand = %v", r)
+	}
+	u := NewRect(0, 0, 2, 2).Union(NewRect(4, 0, 2, 2))
+	if u.MinX() != -1 || u.MaxX() != 5 || u.MinY() != -1 || u.MaxY() != 1 {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestGap(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	if got := a.Gap(NewRect(1, 0, 2, 2)); got != 0 {
+		t.Errorf("Gap overlap = %v", got)
+	}
+	if got := a.Gap(NewRect(4, 0, 2, 2)); math.Abs(got-2) > Eps {
+		t.Errorf("Gap horizontal = %v, want 2", got)
+	}
+	if got := a.Gap(NewRect(0, 5, 2, 2)); math.Abs(got-3) > Eps {
+		t.Errorf("Gap vertical = %v, want 3", got)
+	}
+	// Diagonal gap: corners at (1,1) and (3,3) -> distance 2*sqrt(2)
+	if got := a.Gap(NewRect(4, 4, 2, 2)); math.Abs(got-2*math.Sqrt2) > Eps {
+		t.Errorf("Gap diagonal = %v, want %v", got, 2*math.Sqrt2)
+	}
+}
+
+func TestSharedLength(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	// Side by side, same y-range: share full height 2.
+	if got := a.SharedLength(NewRect(4, 0, 2, 2)); math.Abs(got-2) > Eps {
+		t.Errorf("side-by-side SharedLength = %v, want 2", got)
+	}
+	// Side by side, offset y: share 1.
+	if got := a.SharedLength(NewRect(4, 1, 2, 2)); math.Abs(got-1) > Eps {
+		t.Errorf("offset SharedLength = %v, want 1", got)
+	}
+	// Stacked: share x overlap.
+	if got := a.SharedLength(NewRect(0.5, 4, 2, 2)); math.Abs(got-1.5) > Eps {
+		t.Errorf("stacked SharedLength = %v, want 1.5", got)
+	}
+	// Diagonal: no facing edge.
+	if got := a.SharedLength(NewRect(4, 4, 2, 2)); got != 0 {
+		t.Errorf("diagonal SharedLength = %v, want 0", got)
+	}
+	// Overlapping: max of projection overlaps.
+	if got := a.SharedLength(NewRect(0.5, 0, 2, 2)); math.Abs(got-2) > Eps {
+		t.Errorf("overlap SharedLength = %v, want 2", got)
+	}
+}
+
+func TestSegIntersects(t *testing.T) {
+	x := Seg{Pt{0, 0}, Pt{2, 2}}
+	tests := []struct {
+		name   string
+		s      Seg
+		inter  bool
+		proper bool
+	}{
+		{"crossing", Seg{Pt{0, 2}, Pt{2, 0}}, true, true},
+		{"shared endpoint", Seg{Pt{2, 2}, Pt{3, 0}}, true, false},
+		{"T junction", Seg{Pt{1, 1}, Pt{3, 1}}, true, false},
+		{"disjoint", Seg{Pt{3, 3}, Pt{4, 4}}, false, false},
+		{"parallel", Seg{Pt{0, 1}, Pt{2, 3}}, false, false},
+		{"collinear overlap", Seg{Pt{1, 1}, Pt{3, 3}}, true, false},
+		{"collinear disjoint", Seg{Pt{3, 3}, Pt{4, 4}}, false, false},
+	}
+	for _, tc := range tests {
+		if got := x.Intersects(tc.s); got != tc.inter {
+			t.Errorf("%s: Intersects = %v, want %v", tc.name, got, tc.inter)
+		}
+		if got := x.ProperCross(tc.s); got != tc.proper {
+			t.Errorf("%s: ProperCross = %v, want %v", tc.name, got, tc.proper)
+		}
+	}
+}
+
+func TestPolyline(t *testing.T) {
+	pl := Polyline{{0, 0}, {1, 0}, {1, 0}, {1, 1}}
+	segs := pl.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("Segments = %d, want 2 (zero-length skipped)", len(segs))
+	}
+	if math.Abs(pl.Len()-2) > Eps {
+		t.Errorf("Len = %v, want 2", pl.Len())
+	}
+}
+
+func TestCrossCount(t *testing.T) {
+	// A Z-shaped line crossed twice by a straight line.
+	a := Polyline{{0, 0}, {4, 0}, {0, 2}, {4, 2}}
+	b := Polyline{{2, -1}, {2, 3}}
+	if got := CrossCount(a, b); got != 3 {
+		t.Errorf("CrossCount = %d, want 3", got)
+	}
+	// Two polylines meeting only at endpoints: no proper crossings.
+	c := Polyline{{0, 0}, {1, 1}}
+	d := Polyline{{1, 1}, {2, 0}}
+	if got := CrossCount(c, d); got != 0 {
+		t.Errorf("endpoint CrossCount = %d, want 0", got)
+	}
+}
+
+func TestProximityKernel(t *testing.T) {
+	if got := ProximityKernel(0, 2); got != 1 {
+		t.Errorf("at contact = %v", got)
+	}
+	if got := ProximityKernel(1, 2); math.Abs(got-0.5) > Eps {
+		t.Errorf("half = %v", got)
+	}
+	if got := ProximityKernel(3, 2); got != 0 {
+		t.Errorf("beyond = %v", got)
+	}
+	if got := ProximityKernel(1, 0); got != 0 {
+		t.Errorf("zero dmax = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+}
+
+// Property: Overlaps is symmetric and implies Touches.
+func TestQuickOverlapSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := NewRect(float64(ax), float64(ay), float64(aw%16)+1, float64(ah%16)+1)
+		b := NewRect(float64(bx), float64(by), float64(bw%16)+1, float64(bh%16)+1)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		if a.Touches(b) != b.Touches(a) {
+			return false
+		}
+		if a.Overlaps(b) && !a.Touches(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OverlapArea is symmetric, non-negative, and bounded by the
+// smaller rectangle's area; positive iff Overlaps.
+func TestQuickOverlapArea(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := NewRect(float64(ax), float64(ay), float64(aw%16)+1, float64(ah%16)+1)
+		b := NewRect(float64(bx), float64(by), float64(bw%16)+1, float64(bh%16)+1)
+		oa := a.OverlapArea(b)
+		if math.Abs(oa-b.OverlapArea(a)) > Eps {
+			return false
+		}
+		if oa < 0 || oa > math.Min(a.Area(), b.Area())+Eps {
+			return false
+		}
+		return (oa > Eps) == a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: segment intersection is symmetric, and ProperCross implies
+// Intersects.
+func TestQuickSegSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		s := Seg{Pt{rng.Float64() * 10, rng.Float64() * 10}, Pt{rng.Float64() * 10, rng.Float64() * 10}}
+		u := Seg{Pt{rng.Float64() * 10, rng.Float64() * 10}, Pt{rng.Float64() * 10, rng.Float64() * 10}}
+		if s.Intersects(u) != u.Intersects(s) {
+			t.Fatalf("Intersects asymmetric: %v %v", s, u)
+		}
+		if s.ProperCross(u) != u.ProperCross(s) {
+			t.Fatalf("ProperCross asymmetric: %v %v", s, u)
+		}
+		if s.ProperCross(u) && !s.Intersects(u) {
+			t.Fatalf("ProperCross without Intersects: %v %v", s, u)
+		}
+	}
+}
+
+// Property: Gap is zero iff rectangles touch; otherwise positive.
+func TestQuickGapTouchConsistency(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := NewRect(float64(ax), float64(ay), float64(aw%16)+1, float64(ah%16)+1)
+		b := NewRect(float64(bx), float64(by), float64(bw%16)+1, float64(bh%16)+1)
+		gap := a.Gap(b)
+		if gap < 0 {
+			return false
+		}
+		if a.Touches(b) {
+			return gap <= Eps
+		}
+		return gap > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union contains both inputs.
+func TestQuickUnionContains(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := NewRect(float64(ax), float64(ay), float64(aw%16)+1, float64(ah%16)+1)
+		b := NewRect(float64(bx), float64(by), float64(bw%16)+1, float64(bh%16)+1)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkProperCross(b *testing.B) {
+	s := Seg{Pt{0, 0}, Pt{10, 10}}
+	u := Seg{Pt{0, 10}, Pt{10, 0}}
+	for i := 0; i < b.N; i++ {
+		if !s.ProperCross(u) {
+			b.Fatal("expected cross")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package gplace is the global placement substrate: a seeded,
+// force-directed, frequency-aware placer standing in for the
+// DREAMPlace-based qPlacer engine the paper builds on (see DESIGN.md §4).
+//
+// The paper's legalizer and detailed placer only consume GP *positions*:
+// rough locations where connected components cluster together, density
+// has been partially spread, and components still overlap. This placer
+// reproduces exactly those properties:
+//
+//   - net attraction over the resonator pseudo-connection netlist
+//     (§III-D, Fig. 5-d) pulls each resonator's wire blocks into a
+//     compact clump anchored at its two qubits;
+//   - frequency-aware repulsion (the "charged particle" model of
+//     qPlacer) pushes frequency-close components apart;
+//   - grid density forces spread overfull regions;
+//   - qubits move with lower mobility than wire blocks, as macros do in
+//     analytic placement.
+package gplace
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/freq"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Params tunes the global placer.
+type Params struct {
+	// Iterations of force integration.
+	Iterations int
+	// Step is the base integration step in layout units.
+	Step float64
+	// Padding inflates qubit macros during GP, pre-reserving spacing
+	// (§III-C discusses the padding/utilization trade-off).
+	Padding float64
+	// UsePseudo enables the pseudo-connection netlist; disabling it
+	// reverts to the snake-chain connectivity of [12] (the ablation the
+	// paper motivates in Fig. 5).
+	UsePseudo bool
+	// FreqAware scales repulsion by frequency proximity; disabling it
+	// gives a classical, frequency-blind GP.
+	FreqAware bool
+	// Seed drives the symmetry-breaking jitter.
+	Seed int64
+}
+
+// DefaultParams are the settings used by the evaluation pipeline.
+func DefaultParams() Params {
+	return Params{
+		Iterations: 220,
+		Step:       0.12,
+		Padding:    0.5,
+		UsePseudo:  true,
+		FreqAware:  true,
+		Seed:       1,
+	}
+}
+
+// movable is the internal per-component view: qubits first, then blocks.
+type movable struct {
+	pos      geom.Pt
+	size     float64 // square side incl. padding for qubits
+	freq     float64
+	mobility float64
+	isQubit  bool
+	index    int // qubit or block index
+}
+
+// Place runs global placement, mutating the netlist's qubit and block
+// positions in place. The result intentionally contains overlaps — that
+// is the legalizer's job to resolve.
+func Place(n *netlist.Netlist, p Params) {
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	items := make([]movable, 0, len(n.Qubits)+len(n.Blocks))
+	for i, q := range n.Qubits {
+		items = append(items, movable{
+			pos: q.Pos, size: q.Size + 2*p.Padding, freq: q.Freq,
+			mobility: 0.25, isQubit: true, index: i,
+		})
+	}
+	for i, b := range n.Blocks {
+		items = append(items, movable{
+			pos: b.Pos, size: n.BlockSize, freq: n.Resonators[b.Edge].Freq,
+			mobility: 1.0, isQubit: false, index: i,
+		})
+	}
+
+	// Tiny jitter breaks the exact collinearity of the seeded block
+	// chains so the density force can fold them.
+	for i := range items {
+		items[i].pos.X += (rng.Float64() - 0.5) * 0.3
+		items[i].pos.Y += (rng.Float64() - 0.5) * 0.3
+	}
+
+	nets := buildNets(n, p.UsePseudo)
+
+	forces := make([]geom.Pt, len(items))
+	for iter := 0; iter < p.Iterations; iter++ {
+		for i := range forces {
+			forces[i] = geom.Pt{}
+		}
+
+		// Net attraction (quadratic springs).
+		for _, net := range nets {
+			a := net.a
+			b := net.b
+			d := items[b].pos.Sub(items[a].pos)
+			f := d.Scale(net.w * 0.5)
+			forces[a] = forces[a].Add(f)
+			forces[b] = forces[b].Sub(f)
+		}
+
+		// Pairwise repulsion via a spatial hash: only nearby pairs.
+		repulse(items, forces, p.FreqAware)
+
+		// Cooling schedule.
+		step := p.Step * (1 - 0.7*float64(iter)/float64(p.Iterations))
+
+		for i := range items {
+			it := &items[i]
+			f := forces[i]
+			// Limit per-iteration motion to one cell to keep integration
+			// stable.
+			norm := f.Norm()
+			maxMove := 1.2
+			if norm*step*it.mobility > maxMove {
+				f = f.Scale(maxMove / (norm * step * it.mobility))
+			}
+			it.pos = it.pos.Add(f.Scale(step * it.mobility))
+			// Border clamp (Eq. 2).
+			half := it.size / 2
+			it.pos.X = geom.Clamp(it.pos.X, half, n.W-half)
+			it.pos.Y = geom.Clamp(it.pos.Y, half, n.H-half)
+		}
+	}
+
+	for i := range items {
+		it := &items[i]
+		if it.isQubit {
+			n.Qubits[it.index].Pos = it.pos
+		} else {
+			n.Blocks[it.index].Pos = it.pos
+		}
+	}
+}
+
+type net struct {
+	a, b int // indices into items
+	w    float64
+}
+
+// buildNets flattens the per-resonator pseudo nets into item-index
+// space. With usePseudo false, only qubit anchors and the snake chain
+// remain (the elongated-line connectivity of [12]).
+func buildNets(n *netlist.Netlist, usePseudo bool) []net {
+	blockItem := func(blockID int) int { return len(n.Qubits) + blockID }
+	var nets []net
+	for e := range n.Resonators {
+		for _, pn := range pseudoOrSnake(n, e, usePseudo) {
+			a := pn.A
+			if !pn.AQubit {
+				a = blockItem(pn.A)
+			}
+			b := pn.B
+			if !pn.BQubit {
+				b = blockItem(pn.B)
+			}
+			nets = append(nets, net{a: a, b: b, w: pn.Weight})
+		}
+	}
+	return nets
+}
+
+func pseudoOrSnake(n *netlist.Netlist, e int, usePseudo bool) []netlist.PseudoNet {
+	if usePseudo {
+		// Direct endpoint attraction keeps coupled qubits pulled
+		// together through the soft block chain, giving the compact
+		// (overlapping) qubit arrangement GP hands to legalization
+		// (Fig. 4-a).
+		r := &n.Resonators[e]
+		return append(n.PseudoNets(e),
+			netlist.PseudoNet{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1.8})
+	}
+	r := &n.Resonators[e]
+	if len(r.Blocks) == 0 {
+		return []netlist.PseudoNet{{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1}}
+	}
+	nets := []netlist.PseudoNet{
+		{AQubit: true, A: r.Q1, B: r.Blocks[0], Weight: 1},
+		{AQubit: true, A: r.Q2, B: r.Blocks[len(r.Blocks)-1], Weight: 1},
+		{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1.8},
+	}
+	for i := 0; i+1 < len(r.Blocks); i++ {
+		nets = append(nets, netlist.PseudoNet{A: r.Blocks[i], B: r.Blocks[i+1], Weight: 1})
+	}
+	return nets
+}
+
+// repulse adds short-range repulsion between nearby items using a
+// uniform grid hash; the radius of interaction is the sum of the two
+// half-sizes plus one cell. When freqAware is set, frequency-close pairs
+// (τ > 0) repel up to 2.5× harder — qPlacer's charged-particle model.
+func repulse(items []movable, forces []geom.Pt, freqAware bool) {
+	const cell = 3.0
+	grid := map[[2]int][]int{}
+	for i := range items {
+		k := [2]int{int(items[i].pos.X / cell), int(items[i].pos.Y / cell)}
+		grid[k] = append(grid[k], i)
+	}
+	for i := range items {
+		ki := [2]int{int(items[i].pos.X / cell), int(items[i].pos.Y / cell)}
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{ki[0] + dx, ki[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					applyRepulsion(items, forces, i, j, freqAware)
+				}
+			}
+		}
+	}
+}
+
+func applyRepulsion(items []movable, forces []geom.Pt, i, j int, freqAware bool) {
+	d := items[j].pos.Sub(items[i].pos)
+	dist := d.Norm()
+	reach := (items[i].size+items[j].size)/2 + 1.0
+	if dist >= reach {
+		return
+	}
+	if dist < 1e-6 {
+		// Coincident: deterministic pseudo-random split direction.
+		ang := float64((i*31+j*17)%360) * math.Pi / 180
+		d = geom.Pt{X: math.Cos(ang), Y: math.Sin(ang)}
+		dist = 1e-6
+	}
+	strength := (reach - dist) / reach // 0..1
+	if freqAware {
+		delta := freq.DeltaQubit
+		if !items[i].isQubit || !items[j].isQubit {
+			delta = freq.DeltaResonator
+		}
+		strength *= 1 + 1.5*freq.Tau(items[i].freq, items[j].freq, delta)
+	}
+	f := d.Scale(strength * 2.0 / dist)
+	forces[i] = forces[i].Sub(f)
+	forces[j] = forces[j].Add(f)
+}
+
+// HPWL returns the half-perimeter wirelength of the placement over the
+// GP netlist (with pseudo connections). Used by tests and the ablation
+// bench to confirm the placer actually optimizes something.
+func HPWL(n *netlist.Netlist) float64 {
+	var total float64
+	for e := range n.Resonators {
+		for _, pn := range n.PseudoNets(e) {
+			var pa, pb geom.Pt
+			if pn.AQubit {
+				pa = n.Qubits[pn.A].Pos
+			} else {
+				pa = n.Blocks[pn.A].Pos
+			}
+			if pn.BQubit {
+				pb = n.Qubits[pn.B].Pos
+			} else {
+				pb = n.Blocks[pn.B].Pos
+			}
+			total += pn.Weight * (math.Abs(pa.X-pb.X) + math.Abs(pa.Y-pb.Y))
+		}
+	}
+	return total
+}
+
+// ResonatorGyration returns the radius of gyration of resonator e's
+// wire blocks: the RMS distance from their centroid. A straight chain of
+// n unit blocks has gyration ≈ n/√12, a compact rectangle ≈ √(n/π)/√2 —
+// so lower gyration means the compact clump the pseudo-connection
+// strategy targets (Fig. 5).
+func ResonatorGyration(n *netlist.Netlist, e int) float64 {
+	blocks := n.Resonators[e].Blocks
+	if len(blocks) == 0 {
+		return 0
+	}
+	var cx, cy float64
+	for _, id := range blocks {
+		cx += n.Blocks[id].Pos.X
+		cy += n.Blocks[id].Pos.Y
+	}
+	cx /= float64(len(blocks))
+	cy /= float64(len(blocks))
+	var sum float64
+	for _, id := range blocks {
+		dx := n.Blocks[id].Pos.X - cx
+		dy := n.Blocks[id].Pos.Y - cy
+		sum += dx*dx + dy*dy
+	}
+	return math.Sqrt(sum / float64(len(blocks)))
+}
+
+// ResonatorBBoxAspect returns, for resonator e, the aspect ratio
+// (long/short side) of the bounding box of its wire blocks. Pseudo
+// connections should yield aspect ratios near 1 (compact rectangles)
+// where snake chains yield elongated lines — the Fig. 5 contrast.
+func ResonatorBBoxAspect(n *netlist.Netlist, e int) float64 {
+	blocks := n.Resonators[e].Blocks
+	if len(blocks) == 0 {
+		return 1
+	}
+	r := n.BlockRect(blocks[0])
+	for _, id := range blocks[1:] {
+		r = r.Union(n.BlockRect(id))
+	}
+	long := math.Max(r.W, r.H)
+	short := math.Min(r.W, r.H)
+	if short <= 0 {
+		return math.Inf(1)
+	}
+	return long / short
+}

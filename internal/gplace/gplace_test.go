@@ -1,0 +1,162 @@
+package gplace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestPlaceDeterministic(t *testing.T) {
+	d := topology.Grid25()
+	a := topology.Build(d, topology.DefaultBuildParams())
+	b := topology.Build(d, topology.DefaultBuildParams())
+	Place(a, DefaultParams())
+	Place(b, DefaultParams())
+	for i := range a.Qubits {
+		if a.Qubits[i].Pos != b.Qubits[i].Pos {
+			t.Fatalf("qubit %d position differs across identical runs", i)
+		}
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Pos != b.Blocks[i].Pos {
+			t.Fatalf("block %d position differs across identical runs", i)
+		}
+	}
+}
+
+func TestPlaceWithinBorder(t *testing.T) {
+	for _, d := range topology.All() {
+		n := topology.Build(d, topology.DefaultBuildParams())
+		Place(n, DefaultParams())
+		border := n.Border()
+		for _, q := range n.Qubits {
+			if !border.ContainsRect(q.Rect()) {
+				t.Errorf("%s: qubit %d escapes border", d.Name, q.ID)
+			}
+		}
+		for i := range n.Blocks {
+			if !border.ContainsRect(n.BlockRect(i)) {
+				t.Errorf("%s: block %d escapes border", d.Name, i)
+			}
+		}
+	}
+}
+
+func TestPlaceReducesHPWLFromRandomish(t *testing.T) {
+	d := topology.Falcon27()
+	n := topology.Build(d, topology.DefaultBuildParams())
+	// Scatter blocks away from their seeded chord to give GP work to do.
+	for i := range n.Blocks {
+		n.Blocks[i].Pos.X = float64((i*37)%int(n.W-2)) + 1
+		n.Blocks[i].Pos.Y = float64((i*53)%int(n.H-2)) + 1
+	}
+	before := HPWL(n)
+	Place(n, DefaultParams())
+	after := HPWL(n)
+	if after >= before {
+		t.Errorf("HPWL did not improve: before %.1f after %.1f", before, after)
+	}
+}
+
+// Pseudo connections must yield more compact (lower aspect) resonator
+// clumps than snake chains — the Fig. 5 motivation.
+func TestPseudoCompactsResonators(t *testing.T) {
+	d := topology.Grid25()
+
+	pseudo := topology.Build(d, topology.DefaultBuildParams())
+	pp := DefaultParams()
+	Place(pseudo, pp)
+
+	snake := topology.Build(d, topology.DefaultBuildParams())
+	sp := DefaultParams()
+	sp.UsePseudo = false
+	Place(snake, sp)
+
+	var pa, sa float64
+	for e := range pseudo.Resonators {
+		pa += ResonatorGyration(pseudo, e)
+		sa += ResonatorGyration(snake, e)
+	}
+	pa /= float64(len(pseudo.Resonators))
+	sa /= float64(len(snake.Resonators))
+	if pa >= sa {
+		t.Errorf("pseudo gyration %.2f not more compact than snake %.2f", pa, sa)
+	}
+}
+
+// Qubits connected by a resonator should end up closer, on average, than
+// arbitrary qubit pairs: GP must preserve the logical topology.
+func TestPlacePreservesTopology(t *testing.T) {
+	d := topology.Falcon27()
+	n := topology.Build(d, topology.DefaultBuildParams())
+	Place(n, DefaultParams())
+
+	var connSum float64
+	for _, r := range n.Resonators {
+		connSum += n.Qubits[r.Q1].Pos.Dist(n.Qubits[r.Q2].Pos)
+	}
+	connMean := connSum / float64(len(n.Resonators))
+
+	var allSum float64
+	var count int
+	for i := range n.Qubits {
+		for j := i + 1; j < len(n.Qubits); j++ {
+			allSum += n.Qubits[i].Pos.Dist(n.Qubits[j].Pos)
+			count++
+		}
+	}
+	allMean := allSum / float64(count)
+
+	if connMean >= allMean {
+		t.Errorf("connected-pair mean distance %.2f not below global mean %.2f", connMean, allMean)
+	}
+}
+
+// Frequency-aware repulsion should push same-tone qubit pairs apart at
+// least as far as the frequency-blind placer does, on average.
+func TestFreqAwareSpreadsHotPairs(t *testing.T) {
+	d := topology.Grid25()
+
+	aware := topology.Build(d, topology.DefaultBuildParams())
+	ap := DefaultParams()
+	Place(aware, ap)
+
+	blind := topology.Build(d, topology.DefaultBuildParams())
+	bp := DefaultParams()
+	bp.FreqAware = false
+	Place(blind, bp)
+
+	var da, db float64
+	var ca int
+	for i := range aware.Qubits {
+		for j := i + 1; j < len(aware.Qubits); j++ {
+			if math.Abs(aware.Qubits[i].Freq-aware.Qubits[j].Freq) < 0.05 {
+				da += aware.Qubits[i].Pos.Dist(aware.Qubits[j].Pos)
+				db += blind.Qubits[i].Pos.Dist(blind.Qubits[j].Pos)
+				ca++
+			}
+		}
+	}
+	if ca == 0 {
+		t.Skip("no same-tone pairs")
+	}
+	if da < db*0.9 {
+		t.Errorf("freq-aware same-tone mean distance %.2f much below blind %.2f", da/float64(ca), db/float64(ca))
+	}
+}
+
+func TestHPWLPositive(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	if HPWL(n) <= 0 {
+		t.Error("HPWL of a seeded netlist must be positive")
+	}
+}
+
+func TestResonatorBBoxAspectDegenerate(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	// A real resonator has finite aspect.
+	if a := ResonatorBBoxAspect(n, 0); math.IsInf(a, 1) || a < 1 {
+		t.Errorf("aspect = %v", a)
+	}
+}

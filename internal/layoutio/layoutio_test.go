@@ -1,0 +1,141 @@
+package layoutio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gplace"
+	"repro/internal/qlegal"
+	"repro/internal/reslegal"
+	"repro/internal/topology"
+)
+
+func sampleLayout(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	if _, err := qlegal.Legalize(n, qlegal.QuantumParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reslegal.Legalize(n); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := topology.Build(topology.Falcon27(), topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	if _, err := qlegal.Legalize(n, qlegal.QuantumParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reslegal.Legalize(n); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != n.Name || back.W != n.W || back.H != n.H || back.BlockSize != n.BlockSize {
+		t.Error("header fields lost")
+	}
+	if len(back.Qubits) != len(n.Qubits) || len(back.Blocks) != len(n.Blocks) ||
+		len(back.Resonators) != len(n.Resonators) {
+		t.Fatal("component counts lost")
+	}
+	for i := range n.Qubits {
+		if back.Qubits[i].Pos != n.Qubits[i].Pos || back.Qubits[i].Freq != n.Qubits[i].Freq {
+			t.Fatalf("qubit %d not bit-identical", i)
+		}
+	}
+	for i := range n.Blocks {
+		if back.Blocks[i].Pos != n.Blocks[i].Pos || back.Blocks[i].Edge != n.Blocks[i].Edge {
+			t.Fatalf("block %d not bit-identical", i)
+		}
+	}
+	// Derived metrics identical.
+	if back.TotalClusters() != n.TotalClusters() {
+		t.Error("cluster structure changed through serialization")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid JSON, invalid netlist (self-loop resonator).
+	bad := `{"name":"x","w":10,"h":10,"block_size":1,
+	  "qubits":[{"x":2,"y":2,"size":3,"freq":5}],
+	  "resonators":[{"q1":0,"q2":0,"freq":7,"length":1,"blocks":[]}],
+	  "blocks":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid netlist accepted")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	if _, err := qlegal.Legalize(n, qlegal.QuantumParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reslegal.Legalize(n); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, n, SVGOptions{Routes: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	// One rect per block + qubit + background.
+	wantRects := len(n.Blocks) + len(n.Qubits) + 1
+	if got := strings.Count(out, "<rect"); got != wantRects {
+		t.Errorf("rects = %d, want %d", got, wantRects)
+	}
+	if got := strings.Count(out, "<polyline"); got != len(n.Resonators) {
+		t.Errorf("polylines = %d, want %d", got, len(n.Resonators))
+	}
+	if got := strings.Count(out, "<text"); got != len(n.Qubits) {
+		t.Errorf("labels = %d, want %d", got, len(n.Qubits))
+	}
+}
+
+func TestWriteSVGDefaults(t *testing.T) {
+	buf := sampleLayout(t)
+	n, err := ReadJSON(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svg bytes.Buffer
+	if err := WriteSVG(&svg, n, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg.String(), "<polyline") {
+		t.Error("routes drawn without Routes option")
+	}
+}
+
+func TestToneColorStable(t *testing.T) {
+	if toneColor(6.8) == toneColor(7.4) {
+		t.Error("band edges must differ")
+	}
+	if toneColor(6.8) != toneColor(6.8) {
+		t.Error("not deterministic")
+	}
+	// Out-of-band frequencies clamp, not panic.
+	_ = toneColor(0)
+	_ = toneColor(99)
+}

@@ -1,0 +1,168 @@
+// Package lp1d solves the one-dimensional minimum-displacement placement
+// LP at the heart of macro (qubit) legalization:
+//
+//	minimize   Σ_i |x_i − t_i|
+//	subject to x_j − x_i ≥ s_a   for every constraint-graph arc a = (i, j)
+//	           lo_i ≤ x_i ≤ hi_i for every node (border constraints, Eq. 2)
+//
+// following the dual min-cost-flow formulation of Tang et al. (ASP-DAC'05)
+// that §III-C of the paper adopts: the LP dual is a min-cost circulation
+// on the constraint graph plus a ground node, and the optimal primal
+// coordinates are the negated node potentials of the optimal circulation.
+//
+// All data is integral (the legalizer works in grid cells), which makes
+// the solver exact.
+package lp1d
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mcf"
+)
+
+// Arc is the difference constraint x[To] − x[From] ≥ Sep.
+type Arc struct {
+	From, To int
+	Sep      int64
+}
+
+// Problem is a 1-D minimum-displacement instance.
+type Problem struct {
+	N      int     // number of movable nodes
+	Target []int64 // t_i, the GP coordinate each node wants
+	Lo, Hi []int64 // per-node bounds
+	Arcs   []Arc
+}
+
+// ErrInfeasible is returned when the difference constraints admit no
+// solution within the bounds (e.g. the constraint-graph longest path
+// exceeds the substrate span). The caller reacts by relaxing spacing
+// (§III-C's greedy adjustment).
+var ErrInfeasible = errors.New("lp1d: constraints infeasible")
+
+const inf = int64(1) << 40
+
+// Feasible reports whether the constraint system admits any solution,
+// via Bellman-Ford on the difference-constraint graph.
+func (p *Problem) Feasible() bool {
+	// Nodes 0..N-1 plus ground N (x_ground = 0).
+	// x_j - x_i >= s  ==>  x_i <= x_j - s : edge j->i with weight -s.
+	// x_i >= lo       ==>  ground->? ... x_ground <= x_i - lo : edge i->ground? No:
+	// x_i - x_g >= lo  ==> x_g <= x_i - lo : edge i->g weight -lo.
+	// x_g - x_i >= -hi ==> x_i <= x_g + hi : edge g->i weight +hi.
+	type edge struct {
+		from, to int
+		w        int64
+	}
+	g := p.N
+	edges := make([]edge, 0, len(p.Arcs)+2*p.N)
+	for _, a := range p.Arcs {
+		edges = append(edges, edge{a.To, a.From, -a.Sep})
+	}
+	for i := 0; i < p.N; i++ {
+		edges = append(edges, edge{i, g, -p.Lo[i]})
+		edges = append(edges, edge{g, i, p.Hi[i]})
+	}
+	dist := make([]int64, p.N+1)
+	for iter := 0; iter <= p.N; iter++ {
+		changed := false
+		for _, e := range edges {
+			if nd := dist[e.from] + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// Solve returns optimal coordinates, or ErrInfeasible.
+func (p *Problem) Solve() ([]int64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if !p.Feasible() {
+		return nil, ErrInfeasible
+	}
+
+	ground := p.N
+	g := mcf.NewGraph(p.N + 1)
+
+	// Displacement cost arcs: |x_i − t_i| dualizes to unit-capacity
+	// absorb/emit arcs at node i priced at ±t_i.
+	for i := 0; i < p.N; i++ {
+		g.AddArc(i, ground, 1, p.Target[i])
+		g.AddArc(ground, i, 1, -p.Target[i])
+	}
+	// Difference constraints: arc i→j with cost −s and infinite capacity.
+	for _, a := range p.Arcs {
+		g.AddArc(a.From, a.To, inf, -a.Sep)
+	}
+	// Border bounds through the ground node (x_ground ≡ 0).
+	for i := 0; i < p.N; i++ {
+		g.AddArc(ground, i, inf, -p.Lo[i]) // x_i − x_g ≥ lo
+		g.AddArc(i, ground, inf, p.Hi[i])  // x_g − x_i ≥ −hi
+	}
+
+	if _, err := g.CancelNegativeCycles(); err != nil {
+		return nil, err
+	}
+
+	dist := g.Potentials(ground)
+	x := make([]int64, p.N)
+	for i := 0; i < p.N; i++ {
+		x[i] = -dist[i]
+	}
+	return x, nil
+}
+
+func (p *Problem) validate() error {
+	if len(p.Target) != p.N || len(p.Lo) != p.N || len(p.Hi) != p.N {
+		return fmt.Errorf("lp1d: slice lengths (%d,%d,%d) do not match N=%d",
+			len(p.Target), len(p.Lo), len(p.Hi), p.N)
+	}
+	for i := 0; i < p.N; i++ {
+		if p.Lo[i] > p.Hi[i] {
+			return fmt.Errorf("lp1d: node %d has lo %d > hi %d", i, p.Lo[i], p.Hi[i])
+		}
+	}
+	for _, a := range p.Arcs {
+		if a.From < 0 || a.From >= p.N || a.To < 0 || a.To >= p.N || a.From == a.To {
+			return fmt.Errorf("lp1d: bad arc %+v", a)
+		}
+	}
+	return nil
+}
+
+// Cost returns the objective Σ|x_i − t_i| of a candidate solution.
+func (p *Problem) Cost(x []int64) int64 {
+	var c int64
+	for i := 0; i < p.N; i++ {
+		d := x[i] - p.Target[i]
+		if d < 0 {
+			d = -d
+		}
+		c += d
+	}
+	return c
+}
+
+// Check verifies that x satisfies every constraint and bound.
+func (p *Problem) Check(x []int64) error {
+	for i := 0; i < p.N; i++ {
+		if x[i] < p.Lo[i] || x[i] > p.Hi[i] {
+			return fmt.Errorf("lp1d: node %d at %d violates bounds [%d, %d]", i, x[i], p.Lo[i], p.Hi[i])
+		}
+	}
+	for _, a := range p.Arcs {
+		if x[a.To]-x[a.From] < a.Sep {
+			return fmt.Errorf("lp1d: arc %d→%d separation %d < %d",
+				a.From, a.To, x[a.To]-x[a.From], a.Sep)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package lp1d
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnconstrainedStaysAtTarget(t *testing.T) {
+	p := &Problem{
+		N:      3,
+		Target: []int64{2, 5, 9},
+		Lo:     []int64{0, 0, 0},
+		Hi:     []int64{20, 20, 20},
+	}
+	x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != p.Target[i] {
+			t.Errorf("x[%d] = %d, want %d", i, x[i], p.Target[i])
+		}
+	}
+}
+
+func TestTwoNodePush(t *testing.T) {
+	// Both want coordinate 5 but must be 4 apart: optimal splits the
+	// displacement (any split with |d0|+|d1| = 4 is optimal; cost 4).
+	p := &Problem{
+		N:      2,
+		Target: []int64{5, 5},
+		Lo:     []int64{0, 0},
+		Hi:     []int64{20, 20},
+		Arcs:   []Arc{{From: 0, To: 1, Sep: 4}},
+	}
+	x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(x); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cost(x); got != 4 {
+		t.Errorf("cost = %d, want 4 (x = %v)", got, x)
+	}
+}
+
+func TestChainCompression(t *testing.T) {
+	// Three nodes targeting the same spot, chained 3 apart: total span 6.
+	p := &Problem{
+		N:      3,
+		Target: []int64{10, 10, 10},
+		Lo:     []int64{0, 0, 0},
+		Hi:     []int64{30, 30, 30},
+		Arcs:   []Arc{{0, 1, 3}, {1, 2, 3}},
+	}
+	x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(x); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: keep middle at 10, ends at 7 and 13: cost 6.
+	if got := p.Cost(x); got != 6 {
+		t.Errorf("cost = %d, want 6 (x = %v)", got, x)
+	}
+}
+
+func TestBorderPins(t *testing.T) {
+	p := &Problem{
+		N:      2,
+		Target: []int64{-5, 100},
+		Lo:     []int64{2, 0},
+		Hi:     []int64{50, 8},
+	}
+	x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 8 {
+		t.Errorf("x = %v, want [2 8]", x)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// Two nodes must be 30 apart inside a span of 10.
+	p := &Problem{
+		N:      2,
+		Target: []int64{1, 2},
+		Lo:     []int64{0, 0},
+		Hi:     []int64{10, 10},
+		Arcs:   []Arc{{0, 1, 30}},
+	}
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if p.Feasible() {
+		t.Error("Feasible() = true for an infeasible instance")
+	}
+}
+
+func TestInfeasibleCycle(t *testing.T) {
+	// x1 - x0 >= 1 and x0 - x1 >= 1 cannot both hold.
+	p := &Problem{
+		N:      2,
+		Target: []int64{0, 0},
+		Lo:     []int64{-10, -10},
+		Hi:     []int64{10, 10},
+		Arcs:   []Arc{{0, 1, 1}, {1, 0, 1}},
+	}
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestZeroSeparationOrderOnly(t *testing.T) {
+	// Sep 0 enforces order without spacing: targets already ordered.
+	p := &Problem{
+		N:      2,
+		Target: []int64{3, 3},
+		Lo:     []int64{0, 0},
+		Hi:     []int64{10, 10},
+		Arcs:   []Arc{{0, 1, 0}},
+	}
+	x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost(x) != 0 {
+		t.Errorf("cost = %d, want 0", p.Cost(x))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := &Problem{N: 2, Target: []int64{0}, Lo: []int64{0, 0}, Hi: []int64{1, 1}}
+	if _, err := p.Solve(); err == nil {
+		t.Error("length mismatch not caught")
+	}
+	p = &Problem{N: 1, Target: []int64{0}, Lo: []int64{5}, Hi: []int64{1}}
+	if _, err := p.Solve(); err == nil {
+		t.Error("lo > hi not caught")
+	}
+	p = &Problem{N: 2, Target: []int64{0, 0}, Lo: []int64{0, 0}, Hi: []int64{9, 9},
+		Arcs: []Arc{{0, 0, 1}}}
+	if _, err := p.Solve(); err == nil {
+		t.Error("self-arc not caught")
+	}
+}
+
+// bruteForce finds the optimal cost by exhaustive search over a small
+// integer box.
+func bruteForce(p *Problem) (int64, bool) {
+	best := int64(1) << 60
+	found := false
+	x := make([]int64, p.N)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.N {
+			if p.Check(x) == nil {
+				if c := p.Cost(x); c < best {
+					best = c
+					found = true
+				}
+			}
+			return
+		}
+		for v := p.Lo[i]; v <= p.Hi[i]; v++ {
+			x[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+// Property: the LP solution is feasible and matches brute force on random
+// small instances. This is the key exactness guarantee of the dual-MCF
+// formulation.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(3) // 2..4 nodes
+		span := int64(7)
+		p := &Problem{N: n}
+		for i := 0; i < n; i++ {
+			p.Target = append(p.Target, int64(rng.Intn(int(span)+1)))
+			p.Lo = append(p.Lo, 0)
+			p.Hi = append(p.Hi, span)
+		}
+		// Random DAG arcs i<j with small separations.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					p.Arcs = append(p.Arcs, Arc{i, j, int64(rng.Intn(4))})
+				}
+			}
+		}
+		want, feasible := bruteForce(p)
+		x, err := p.Solve()
+		if !feasible {
+			if err != ErrInfeasible {
+				t.Fatalf("trial %d: brute force infeasible but Solve returned %v, %v", trial, x, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v (instance %+v)", trial, err, p)
+		}
+		if cerr := p.Check(x); cerr != nil {
+			t.Fatalf("trial %d: infeasible solution: %v", trial, cerr)
+		}
+		if got := p.Cost(x); got != want {
+			t.Fatalf("trial %d: cost %d, want %d (x=%v, instance %+v)", trial, got, want, x, p)
+		}
+	}
+}
+
+// Larger randomized instances: verify feasibility and local optimality
+// (no single-coordinate move improves the objective).
+func TestRandomLocalOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(20)
+		span := int64(100)
+		p := &Problem{N: n}
+		for i := 0; i < n; i++ {
+			p.Target = append(p.Target, int64(rng.Intn(int(span))))
+			p.Lo = append(p.Lo, 0)
+			p.Hi = append(p.Hi, span)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(5) == 0 {
+					p.Arcs = append(p.Arcs, Arc{i, j, int64(rng.Intn(6))})
+				}
+			}
+		}
+		x, err := p.Solve()
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cerr := p.Check(x); cerr != nil {
+			t.Fatalf("trial %d: %v", trial, cerr)
+		}
+		base := p.Cost(x)
+		for i := 0; i < n; i++ {
+			for _, d := range []int64{-1, 1} {
+				x[i] += d
+				if p.Check(x) == nil && p.Cost(x) < base {
+					t.Fatalf("trial %d: moving node %d by %d improves cost %d -> %d",
+						trial, i, d, base, p.Cost(x))
+				}
+				x[i] -= d
+			}
+		}
+	}
+}
+
+func BenchmarkSolve127Macros(b *testing.B) {
+	// Eagle-scale chain problem: 127 nodes with sequential constraints.
+	rng := rand.New(rand.NewSource(5))
+	p := &Problem{N: 127}
+	for i := 0; i < 127; i++ {
+		p.Target = append(p.Target, int64(rng.Intn(500)))
+		p.Lo = append(p.Lo, 0)
+		p.Hi = append(p.Hi, 520)
+	}
+	for i := 0; i+1 < 127; i++ {
+		p.Arcs = append(p.Arcs, Arc{i, i + 1, 4})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package maze is the grid maze router used by the detailed placer
+// (Algorithm 2): breadth-first search over unit cells with obstacles,
+// multi-source/multi-target, plus a path-thickening pass that grows a
+// shortest path into a connected region of exactly n cells — the shape a
+// re-placed resonator's wire blocks occupy.
+package maze
+
+// Cell is a unit grid cell.
+type Cell struct {
+	X, Y int
+}
+
+// Grid is a routing grid with blocked cells.
+type Grid struct {
+	w, h    int
+	blocked []bool
+}
+
+// NewGrid returns a w×h grid with all cells routable.
+func NewGrid(w, h int) *Grid {
+	return &Grid{w: w, h: h, blocked: make([]bool, w*h)}
+}
+
+// W returns the grid width.
+func (g *Grid) W() int { return g.w }
+
+// H returns the grid height.
+func (g *Grid) H() int { return g.h }
+
+// InBounds reports whether c is a valid cell.
+func (g *Grid) InBounds(c Cell) bool {
+	return c.X >= 0 && c.X < g.w && c.Y >= 0 && c.Y < g.h
+}
+
+func (g *Grid) idx(c Cell) int { return c.Y*g.w + c.X }
+
+// Block marks a cell unroutable. Out-of-bounds cells are ignored (they
+// are implicitly blocked).
+func (g *Grid) Block(c Cell) {
+	if g.InBounds(c) {
+		g.blocked[g.idx(c)] = true
+	}
+}
+
+// Unblock marks a cell routable again.
+func (g *Grid) Unblock(c Cell) {
+	if g.InBounds(c) {
+		g.blocked[g.idx(c)] = false
+	}
+}
+
+// Blocked reports whether c is unroutable (out-of-bounds counts as
+// blocked).
+func (g *Grid) Blocked(c Cell) bool {
+	return !g.InBounds(c) || g.blocked[g.idx(c)]
+}
+
+// neighbor order is fixed (E, W, N, S) for determinism.
+var dirs = [4]Cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// Route returns a shortest 4-connected path from any source to any
+// target over unblocked cells, or nil when no path exists. Sources and
+// targets must themselves be unblocked to be usable; blocked entries are
+// skipped.
+func (g *Grid) Route(sources, targets []Cell) []Cell {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil
+	}
+	const unseen = -1
+	parent := make([]int, g.w*g.h)
+	for i := range parent {
+		parent[i] = unseen
+	}
+	isTarget := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		if !g.Blocked(t) {
+			isTarget[g.idx(t)] = true
+		}
+	}
+	if len(isTarget) == 0 {
+		return nil
+	}
+	var queue []Cell
+	for _, s := range sources {
+		if g.Blocked(s) || parent[g.idx(s)] != unseen {
+			continue
+		}
+		parent[g.idx(s)] = g.idx(s) // root marks itself
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		ci := g.idx(c)
+		if isTarget[ci] {
+			return g.tracePath(parent, c)
+		}
+		for _, d := range dirs {
+			nc := Cell{c.X + d.X, c.Y + d.Y}
+			if g.Blocked(nc) {
+				continue
+			}
+			ni := g.idx(nc)
+			if parent[ni] != unseen {
+				continue
+			}
+			parent[ni] = ci
+			queue = append(queue, nc)
+		}
+	}
+	return nil
+}
+
+func (g *Grid) tracePath(parent []int, end Cell) []Cell {
+	var rev []Cell
+	ci := g.idx(end)
+	for {
+		c := Cell{ci % g.w, ci / g.w}
+		rev = append(rev, c)
+		if parent[ci] == ci {
+			break
+		}
+		ci = parent[ci]
+	}
+	// Reverse to source→target order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Thicken grows path into a connected set of exactly n unblocked cells:
+// the path first, then BFS layers around it (deterministic order). It
+// returns nil when fewer than n connected free cells are reachable. The
+// returned order starts at the path's source end, so assigning wire
+// blocks in order yields a chain-friendly route. Cells in the result are
+// not blocked by this call; the caller commits them.
+func (g *Grid) Thicken(path []Cell, n int) []Cell {
+	if len(path) == 0 || n <= 0 {
+		return nil
+	}
+	if len(path) >= n {
+		return path[:n]
+	}
+	selected := make(map[int]bool, n)
+	out := make([]Cell, 0, n)
+	push := func(c Cell) bool {
+		ci := g.idx(c)
+		if selected[ci] || g.Blocked(c) {
+			return false
+		}
+		selected[ci] = true
+		out = append(out, c)
+		return true
+	}
+	for _, c := range path {
+		if !push(c) {
+			return nil // path must be free
+		}
+	}
+	for head := 0; head < len(out) && len(out) < n; head++ {
+		for _, d := range dirs {
+			nc := Cell{out[head].X + d.X, out[head].Y + d.Y}
+			push(nc)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	if len(out) < n {
+		return nil
+	}
+	return out
+}
+
+// Adjacent returns the unblocked cells 4-adjacent to the rectangle of
+// cells [x0,x1) × [y0,y1): the candidate route entry/exit cells around a
+// qubit macro footprint.
+func (g *Grid) Adjacent(x0, y0, x1, y1 int) []Cell {
+	var out []Cell
+	for x := x0; x < x1; x++ {
+		for _, c := range []Cell{{x, y0 - 1}, {x, y1}} {
+			if !g.Blocked(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	for y := y0; y < y1; y++ {
+		for _, c := range []Cell{{x0 - 1, y}, {x1, y}} {
+			if !g.Blocked(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

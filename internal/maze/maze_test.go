@@ -1,0 +1,240 @@
+package maze
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRouteStraightLine(t *testing.T) {
+	g := NewGrid(10, 10)
+	path := g.Route([]Cell{{0, 5}}, []Cell{{9, 5}})
+	if len(path) != 10 {
+		t.Fatalf("path len = %d, want 10", len(path))
+	}
+	if path[0] != (Cell{0, 5}) || path[9] != (Cell{9, 5}) {
+		t.Errorf("endpoints wrong: %v ... %v", path[0], path[9])
+	}
+}
+
+func TestRouteAroundWall(t *testing.T) {
+	g := NewGrid(10, 10)
+	// Vertical wall at x=5 with a gap at y=9.
+	for y := 0; y < 9; y++ {
+		g.Block(Cell{5, y})
+	}
+	path := g.Route([]Cell{{0, 0}}, []Cell{{9, 0}})
+	if path == nil {
+		t.Fatal("no path found")
+	}
+	// Must detour through (5,9): length >= manhattan + detour.
+	if len(path) < 10+2*9 {
+		t.Errorf("path len = %d, expected a long detour", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		dx := path[i].X - path[i-1].X
+		dy := path[i].Y - path[i-1].Y
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("path not 4-connected at %d: %v -> %v", i, path[i-1], path[i])
+		}
+		if g.Blocked(path[i]) {
+			t.Fatalf("path crosses blocked cell %v", path[i])
+		}
+	}
+}
+
+func TestRouteNoPath(t *testing.T) {
+	g := NewGrid(6, 6)
+	for y := 0; y < 6; y++ {
+		g.Block(Cell{3, y})
+	}
+	if path := g.Route([]Cell{{0, 0}}, []Cell{{5, 5}}); path != nil {
+		t.Errorf("expected nil, got %v", path)
+	}
+}
+
+func TestRouteMultiSourceTarget(t *testing.T) {
+	g := NewGrid(10, 1)
+	path := g.Route([]Cell{{0, 0}, {8, 0}}, []Cell{{9, 0}})
+	if len(path) != 2 {
+		t.Errorf("multi-source should pick the near source: len=%d", len(path))
+	}
+	// Blocked sources/targets are skipped.
+	g.Block(Cell{8, 0})
+	path = g.Route([]Cell{{0, 0}, {8, 0}}, []Cell{{9, 0}})
+	if path != nil {
+		t.Error("blocked column should separate remaining source from target")
+	}
+}
+
+func TestRouteSourceIsTarget(t *testing.T) {
+	g := NewGrid(5, 5)
+	path := g.Route([]Cell{{2, 2}}, []Cell{{2, 2}})
+	if len(path) != 1 {
+		t.Errorf("trivial path len = %d, want 1", len(path))
+	}
+}
+
+func TestBlockedOutOfBounds(t *testing.T) {
+	g := NewGrid(3, 3)
+	if !g.Blocked(Cell{-1, 0}) || !g.Blocked(Cell{0, 3}) {
+		t.Error("out-of-bounds must be blocked")
+	}
+	g.Block(Cell{-5, -5}) // no-op, no panic
+	g.Unblock(Cell{9, 9}) // no-op, no panic
+	g.Block(Cell{1, 1})
+	if !g.Blocked(Cell{1, 1}) {
+		t.Error("Block did not stick")
+	}
+	g.Unblock(Cell{1, 1})
+	if g.Blocked(Cell{1, 1}) {
+		t.Error("Unblock did not stick")
+	}
+}
+
+func TestThickenExactPath(t *testing.T) {
+	g := NewGrid(10, 10)
+	path := []Cell{{0, 0}, {1, 0}, {2, 0}}
+	got := g.Thicken(path, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	got = g.Thicken(path, 2)
+	if len(got) != 2 || got[0] != (Cell{0, 0}) {
+		t.Errorf("truncated thicken = %v", got)
+	}
+}
+
+func TestThickenGrows(t *testing.T) {
+	g := NewGrid(10, 10)
+	path := []Cell{{3, 3}, {4, 3}}
+	got := g.Thicken(path, 7)
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want 7", len(got))
+	}
+	// All distinct, unblocked, and connected.
+	seen := map[Cell]bool{}
+	for _, c := range got {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+	for i := 1; i < len(got); i++ {
+		adjacentToEarlier := false
+		for j := 0; j < i; j++ {
+			dx, dy := got[i].X-got[j].X, got[i].Y-got[j].Y
+			if dx*dx+dy*dy == 1 {
+				adjacentToEarlier = true
+				break
+			}
+		}
+		if !adjacentToEarlier {
+			t.Fatalf("cell %v not connected to earlier cells", got[i])
+		}
+	}
+}
+
+func TestThickenInsufficientSpace(t *testing.T) {
+	g := NewGrid(3, 1)
+	path := []Cell{{0, 0}}
+	if got := g.Thicken(path, 4); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+	if got := g.Thicken(path, 3); len(got) != 3 {
+		t.Errorf("want full row, got %v", got)
+	}
+}
+
+func TestThickenBlockedPath(t *testing.T) {
+	g := NewGrid(5, 5)
+	g.Block(Cell{1, 0})
+	if got := g.Thicken([]Cell{{0, 0}, {1, 0}}, 3); got != nil {
+		t.Errorf("blocked path must fail, got %v", got)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	g := NewGrid(10, 10)
+	adj := g.Adjacent(3, 3, 6, 6) // 3x3 footprint
+	if len(adj) != 12 {
+		t.Fatalf("adjacent cells = %d, want 12", len(adj))
+	}
+	// Corner footprint: only inward-facing cells.
+	adj = g.Adjacent(0, 0, 3, 3)
+	if len(adj) != 6 {
+		t.Errorf("corner adjacent = %d, want 6", len(adj))
+	}
+	// Blocked neighbors excluded.
+	g.Block(Cell{3, 2})
+	adj = g.Adjacent(3, 3, 6, 6)
+	if len(adj) != 11 {
+		t.Errorf("after blocking = %d, want 11", len(adj))
+	}
+}
+
+// Property: any returned route is a valid shortest path (length equals
+// BFS distance) and stays on unblocked cells.
+func TestQuickRouteValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 5+rng.Intn(8), 5+rng.Intn(8)
+		g := NewGrid(w, h)
+		for k := 0; k < w*h/3; k++ {
+			g.Block(Cell{rng.Intn(w), rng.Intn(h)})
+		}
+		src := Cell{rng.Intn(w), rng.Intn(h)}
+		dst := Cell{rng.Intn(w), rng.Intn(h)}
+		g.Unblock(src)
+		g.Unblock(dst)
+		path := g.Route([]Cell{src}, []Cell{dst})
+		want := bfsDist(g, src, dst)
+		if path == nil {
+			return want == -1
+		}
+		if len(path) != want {
+			return false
+		}
+		for i, c := range path {
+			if g.Blocked(c) {
+				return false
+			}
+			if i > 0 {
+				dx, dy := c.X-path[i-1].X, c.Y-path[i-1].Y
+				if dx*dx+dy*dy != 1 {
+					return false
+				}
+			}
+		}
+		return path[0] == src && path[len(path)-1] == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bfsDist is an independent BFS giving the number of cells on a shortest
+// path (or -1).
+func bfsDist(g *Grid, src, dst Cell) int {
+	type qe struct {
+		c Cell
+		d int
+	}
+	seen := map[Cell]bool{src: true}
+	queue := []qe{{src, 1}}
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		if e.c == dst {
+			return e.d
+		}
+		for _, d := range dirs {
+			nc := Cell{e.c.X + d.X, e.c.Y + d.Y}
+			if g.Blocked(nc) || seen[nc] {
+				continue
+			}
+			seen[nc] = true
+			queue = append(queue, qe{nc, e.d + 1})
+		}
+	}
+	return -1
+}

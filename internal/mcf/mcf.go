@@ -1,0 +1,184 @@
+// Package mcf implements a min-cost circulation solver by negative-cycle
+// canceling on a residual multigraph. It is the dual engine behind the
+// qubit (macro) legalizer: minimizing total displacement subject to the
+// difference constraints of a constraint graph is a linear program whose
+// dual is a min-cost flow (§III-C of the paper, following Tang et al.,
+// ASP-DAC'05), and the optimal primal coordinates are recovered from the
+// node potentials of the optimal circulation.
+//
+// Costs and capacities are int64: the legalizer works on an integer cell
+// grid, which keeps the solver exact (no floating-point scaling).
+package mcf
+
+import (
+	"errors"
+	"math"
+)
+
+// Graph is a directed multigraph with arc capacities and costs. Arcs are
+// stored in forward/backward residual pairs.
+type Graph struct {
+	n    int
+	head [][]int // adjacency: node -> arc indices
+	to   []int
+	cap  []int64 // residual capacity
+	cost []int64
+}
+
+// NewGraph returns an empty graph with n nodes (0..n-1).
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddArc adds an arc from -> to with the given capacity and per-unit
+// cost, returning its ID. The matching residual (reverse) arc is created
+// automatically with zero capacity and negated cost.
+func (g *Graph) AddArc(from, to int, capacity, cost int64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic("mcf: arc endpoint out of range")
+	}
+	if capacity < 0 {
+		panic("mcf: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, to)
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+	g.head[from] = append(g.head[from], id)
+
+	g.to = append(g.to, from)
+	g.cap = append(g.cap, 0)
+	g.cost = append(g.cost, -cost)
+	g.head[to] = append(g.head[to], id+1)
+	return id
+}
+
+// Flow returns the flow currently pushed through arc id (the capacity
+// consumed from the forward arc).
+func (g *Graph) Flow(id int) int64 { return g.cap[id^1] }
+
+// MaxCancelRounds bounds the number of canceled cycles; it exists purely
+// as a runaway guard for adversarial inputs and is far above anything
+// the legalizer produces.
+const MaxCancelRounds = 1_000_000
+
+// CancelNegativeCycles pushes flow around residual negative-cost cycles
+// until none remain, returning the total cost improvement (≤ 0). On
+// termination the circulation is min-cost (Klein's theorem).
+func (g *Graph) CancelNegativeCycles() (int64, error) {
+	var total int64
+	for round := 0; ; round++ {
+		if round > MaxCancelRounds {
+			return total, errors.New("mcf: cycle canceling did not converge")
+		}
+		cycle := g.findNegativeCycle()
+		if cycle == nil {
+			return total, nil
+		}
+		// Bottleneck residual capacity around the cycle.
+		push := int64(math.MaxInt64)
+		for _, id := range cycle {
+			if g.cap[id] < push {
+				push = g.cap[id]
+			}
+		}
+		for _, id := range cycle {
+			g.cap[id] -= push
+			g.cap[id^1] += push
+			total += push * g.cost[id]
+		}
+	}
+}
+
+// findNegativeCycle runs Bellman-Ford over the residual graph from a
+// virtual super-source and returns the arc IDs of one negative cycle,
+// or nil.
+func (g *Graph) findNegativeCycle() []int {
+	dist := make([]int64, g.n)
+	parentArc := make([]int, g.n)
+	for i := range parentArc {
+		parentArc[i] = -1
+	}
+	if g.n == 0 {
+		return nil
+	}
+	last := -1
+	for iter := 0; iter < g.n; iter++ {
+		last = -1
+		for from := 0; from < g.n; from++ {
+			for _, id := range g.head[from] {
+				if g.cap[id] <= 0 {
+					continue
+				}
+				to := g.to[id]
+				if nd := dist[from] + g.cost[id]; nd < dist[to] {
+					dist[to] = nd
+					parentArc[to] = id
+					last = to
+				}
+			}
+		}
+		if last == -1 {
+			return nil
+		}
+	}
+	// A relaxation happened on the n-th pass: walk parents n steps to
+	// land inside the cycle, then collect it.
+	v := last
+	for i := 0; i < g.n; i++ {
+		v = g.from(parentArc[v])
+	}
+	var cycle []int
+	u := v
+	for {
+		id := parentArc[u]
+		cycle = append(cycle, id)
+		u = g.from(id)
+		if u == v {
+			break
+		}
+	}
+	return cycle
+}
+
+// from returns the tail node of arc id.
+func (g *Graph) from(id int) int { return g.to[id^1] }
+
+// Potentials returns shortest-path distances from root over the residual
+// graph (Bellman-Ford; costs may be negative but, after
+// CancelNegativeCycles, no negative cycles exist). Unreachable nodes get
+// the maximum int64 value. For the legalization dual, the primal
+// coordinate of node i is -dist[i] (see package qlegal).
+func (g *Graph) Potentials(root int) []int64 {
+	const unreachable = math.MaxInt64
+	dist := make([]int64, g.n)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[root] = 0
+	for iter := 0; iter < g.n-1; iter++ {
+		changed := false
+		for from := 0; from < g.n; from++ {
+			if dist[from] == unreachable {
+				continue
+			}
+			for _, id := range g.head[from] {
+				if g.cap[id] <= 0 {
+					continue
+				}
+				to := g.to[id]
+				if nd := dist[from] + g.cost[id]; nd < dist[to] {
+					dist[to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

@@ -1,0 +1,318 @@
+// Package metrics evaluates quantum layout quality: cluster counts and
+// resonator integrity (Eq. 3), the frequency-hotspot proportion P_h
+// (Eq. 4), the hotspot-qubit count H_Q, resonator crossing points X
+// (airbridges), and qubit spacing violations. These are the observables
+// of Fig. 9 and Table III and the inputs to the fidelity model (Eq. 7).
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/freq"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Params are the spatial and spectral thresholds of the hotspot metric.
+type Params struct {
+	// DMax is the range of the spatial proximity kernel in layout
+	// units: pairs with a larger gap contribute nothing.
+	DMax float64
+	// DeltaQubit / DeltaResonator are the frequency-proximity thresholds
+	// Δc of Eq. 4 for qubit-qubit and resonator-resonator pairs.
+	DeltaQubit     float64
+	DeltaResonator float64
+	// MinQubitSpacing is the quantum spacing constraint (in layout
+	// units) whose violation defines crosstalk-coupled qubit pairs.
+	MinQubitSpacing float64
+}
+
+// DefaultParams mirrors DESIGN.md §6.
+func DefaultParams() Params {
+	return Params{
+		DMax:            1.6,
+		DeltaQubit:      freq.DeltaQubit,
+		DeltaResonator:  freq.DeltaResonator,
+		MinQubitSpacing: 1.0,
+	}
+}
+
+// PairHotspot is one contributing pair of the P_h sum: two components
+// that are both spatially proximate and frequency-close.
+type PairHotspot struct {
+	// Qubit IDs (>= 0) or -1; EdgeI/EdgeJ are resonator IDs or -1.
+	QubitI, QubitJ int
+	EdgeI, EdgeJ   int
+	// Weight is the pair's Eq. 4 numerator term:
+	// sharedLength · proximity · τ.
+	Weight float64
+	// SharedLen and Gap describe the geometry (for the fidelity model's
+	// adjacency capacitance).
+	SharedLen, Gap float64
+	// Tau is the frequency proximity factor.
+	Tau float64
+}
+
+// Report is the full layout-quality summary.
+type Report struct {
+	TotalClusters   int
+	Unified         int
+	TotalResonators int
+	Crossings       int
+	Ph              float64 // percent
+	HQ              int
+	QubitViolations int
+	Hotspots        []PairHotspot
+}
+
+// Analyze computes the full report.
+func Analyze(n *netlist.Netlist, p Params) Report {
+	r := Report{
+		TotalClusters:   n.TotalClusters(),
+		Unified:         n.UnifiedCount(),
+		TotalResonators: len(n.Resonators),
+		Crossings:       CrossingCount(n),
+	}
+	r.Hotspots = Hotspots(n, p)
+	r.Ph = PhFromHotspots(n, r.Hotspots)
+	r.HQ = HotspotQubits(n, r.Hotspots)
+	r.QubitViolations = len(QubitViolationPairs(n, p))
+	return r
+}
+
+// Hotspots enumerates all frequency-hotspot pairs of the layout:
+// qubit-qubit pairs and wire-block pairs of different resonators that
+// are spatially proximate (gap < DMax) and frequency-close (τ > 0).
+// Blocks of the same resonator are one physical device and never pair.
+func Hotspots(n *netlist.Netlist, p Params) []PairHotspot {
+	var out []PairHotspot
+
+	// Qubit-qubit pairs (few; quadratic scan is fine).
+	for i := range n.Qubits {
+		ri := n.Qubits[i].Rect()
+		for j := i + 1; j < len(n.Qubits); j++ {
+			rj := n.Qubits[j].Rect()
+			gap := ri.Gap(rj)
+			if gap >= p.DMax {
+				continue
+			}
+			tau := freq.Tau(n.Qubits[i].Freq, n.Qubits[j].Freq, p.DeltaQubit)
+			if tau <= 0 {
+				continue
+			}
+			shared := ri.SharedLength(rj)
+			if shared <= 0 {
+				continue
+			}
+			w := shared * geom.ProximityKernel(gap, p.DMax) * tau
+			if w <= 0 {
+				continue
+			}
+			out = append(out, PairHotspot{
+				QubitI: i, QubitJ: j, EdgeI: -1, EdgeJ: -1,
+				Weight: w, SharedLen: shared, Gap: gap, Tau: tau,
+			})
+		}
+	}
+
+	// Block-block pairs via a spatial hash (blocks are numerous).
+	cell := math.Max(2, p.DMax+1)
+	grid := map[[2]int][]int{}
+	key := func(pt geom.Pt) [2]int {
+		return [2]int{int(pt.X / cell), int(pt.Y / cell)}
+	}
+	for i := range n.Blocks {
+		k := key(n.Blocks[i].Pos)
+		grid[k] = append(grid[k], i)
+	}
+	for i := range n.Blocks {
+		bi := &n.Blocks[i]
+		ki := key(bi.Pos)
+		ri := n.BlockRect(i)
+		fi := n.Resonators[bi.Edge].Freq
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{ki[0] + dx, ki[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					bj := &n.Blocks[j]
+					if bj.Edge == bi.Edge {
+						continue
+					}
+					rj := n.BlockRect(j)
+					gap := ri.Gap(rj)
+					if gap >= p.DMax {
+						continue
+					}
+					fj := n.Resonators[bj.Edge].Freq
+					tau := freq.Tau(fi, fj, p.DeltaResonator)
+					if tau <= 0 {
+						continue
+					}
+					shared := ri.SharedLength(rj)
+					if shared <= 0 {
+						continue
+					}
+					w := shared * geom.ProximityKernel(gap, p.DMax) * tau
+					if w <= 0 {
+						continue
+					}
+					out = append(out, PairHotspot{
+						QubitI: -1, QubitJ: -1, EdgeI: bi.Edge, EdgeJ: bj.Edge,
+						Weight: w, SharedLen: shared, Gap: gap, Tau: tau,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PhFromHotspots computes the Eq. 4 ratio (as a percentage) from an
+// already-enumerated hotspot list: the weighted pair sum normalized by
+// total component area.
+func PhFromHotspots(n *netlist.Netlist, hotspots []PairHotspot) float64 {
+	var num float64
+	for _, h := range hotspots {
+		num += h.Weight
+	}
+	var area float64
+	for _, q := range n.Qubits {
+		area += q.Size * q.Size
+	}
+	area += float64(len(n.Blocks)) * n.BlockSize * n.BlockSize
+	if area <= 0 {
+		return 0
+	}
+	return 100 * num / area
+}
+
+// Ph is the one-call version of the Eq. 4 metric.
+func Ph(n *netlist.Netlist, p Params) float64 {
+	return PhFromHotspots(n, Hotspots(n, p))
+}
+
+// HotspotQubits counts the distinct qubits under crosstalk risk H_Q:
+// members of qubit-qubit hotspot pairs plus the endpoint qubits of
+// resonators involved in resonator-resonator hotspots.
+func HotspotQubits(n *netlist.Netlist, hotspots []PairHotspot) int {
+	hot := map[int]bool{}
+	for _, h := range hotspots {
+		if h.QubitI >= 0 {
+			hot[h.QubitI] = true
+			hot[h.QubitJ] = true
+			continue
+		}
+		for _, e := range []int{h.EdgeI, h.EdgeJ} {
+			hot[n.Resonators[e].Q1] = true
+			hot[n.Resonators[e].Q2] = true
+		}
+	}
+	return len(hot)
+}
+
+// ResonatorHotspot returns H_e: the summed hotspot weight involving
+// resonator e's wire blocks (or its endpoint qubits' pairs do not count;
+// Algorithm 2 targets resonators). Used to build E_h in detailed
+// placement.
+func ResonatorHotspot(n *netlist.Netlist, p Params, e int) float64 {
+	var sum float64
+	for _, h := range Hotspots(n, p) {
+		if h.EdgeI == e || h.EdgeJ == e {
+			sum += h.Weight
+		}
+	}
+	return sum
+}
+
+// ResonatorHotspotAll returns H_e for every resonator in one pass.
+func ResonatorHotspotAll(n *netlist.Netlist, p Params) []float64 {
+	out := make([]float64, len(n.Resonators))
+	for _, h := range Hotspots(n, p) {
+		if h.EdgeI >= 0 {
+			out[h.EdgeI] += h.Weight
+		}
+		if h.EdgeJ >= 0 {
+			out[h.EdgeJ] += h.Weight
+		}
+	}
+	return out
+}
+
+// QubitViolationPairs returns the qubit pairs violating the quantum
+// minimum-spacing constraint; these pairs behave like directly
+// capacitively-coupled qubits in the fidelity model (ε_g of Eq. 8).
+type Violation struct {
+	I, J      int
+	Gap       float64
+	SharedLen float64
+}
+
+// QubitViolationPairs lists qubit pairs closer than MinQubitSpacing.
+func QubitViolationPairs(n *netlist.Netlist, p Params) []Violation {
+	var out []Violation
+	for i := range n.Qubits {
+		ri := n.Qubits[i].Rect()
+		for j := i + 1; j < len(n.Qubits); j++ {
+			rj := n.Qubits[j].Rect()
+			gap := ri.Gap(rj)
+			if gap < p.MinQubitSpacing-geom.Eps {
+				out = append(out, Violation{
+					I: i, J: j, Gap: gap, SharedLen: ri.SharedLength(rj),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CrossingCount returns X: the number of proper crossings between the
+// routes of different resonators. Every crossing requires an airbridge
+// whose ~3.5 fF parasitic capacitance couples the two resonators.
+func CrossingCount(n *netlist.Netlist) int {
+	return len(CrossingPairs(n))
+}
+
+// CrossPoint records one resonator-route crossing.
+type CrossPoint struct {
+	EdgeI, EdgeJ int
+}
+
+// CrossingPairs lists every route crossing (one entry per crossing
+// point, so two routes crossing twice contribute two entries).
+func CrossingPairs(n *netlist.Netlist) []CrossPoint {
+	routes := make([]geom.Polyline, len(n.Resonators))
+	boxes := make([]geom.Rect, len(n.Resonators))
+	for e := range n.Resonators {
+		routes[e] = n.Route(e)
+		boxes[e] = polyBBox(routes[e])
+	}
+	var out []CrossPoint
+	for i := range routes {
+		for j := i + 1; j < len(routes); j++ {
+			if !boxes[i].Touches(boxes[j]) {
+				continue
+			}
+			for k := 0; k < geom.CrossCount(routes[i], routes[j]); k++ {
+				out = append(out, CrossPoint{EdgeI: i, EdgeJ: j})
+			}
+		}
+	}
+	return out
+}
+
+func polyBBox(pl geom.Polyline) geom.Rect {
+	if len(pl) == 0 {
+		return geom.Rect{}
+	}
+	minX, maxX := pl[0].X, pl[0].X
+	minY, maxY := pl[0].Y, pl[0].Y
+	for _, p := range pl[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return geom.NewRect((minX+maxX)/2, (minY+maxY)/2, maxX-minX, maxY-minY)
+}

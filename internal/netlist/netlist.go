@@ -1,0 +1,326 @@
+// Package netlist models the quantum netlist of §III-B: an undirected
+// graph G(Q, E) whose vertices are transmon qubits and whose edges are
+// resonators (linear couplers). After the resonator-partitioning step of
+// the global placer, every resonator is represented by a set of unit
+// wire blocks that reserve layout space for it; blocks that physically
+// touch form clusters, and a resonator is "unified" when all its blocks
+// form a single cluster (|C_e| = 1, Eq. 3).
+package netlist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Qubit is a transmon qubit macro. Qubits are squares of side Size
+// centered at Pos; their size significantly exceeds the wire-block
+// standard cell, which is what makes qubit legalization a macro
+// legalization problem (§III-C).
+type Qubit struct {
+	ID   int
+	Name string
+	Pos  geom.Pt
+	Size float64 // side length of the square macro
+	Freq float64 // qubit transition frequency, GHz
+}
+
+// Rect returns the qubit's bounding rectangle.
+func (q *Qubit) Rect() geom.Rect {
+	return geom.NewRect(q.Pos.X, q.Pos.Y, q.Size, q.Size)
+}
+
+// WireBlock is one standard-cell-sized piece of a partitioned resonator.
+// Blocks only reserve space; detailed routing inside the reserved space
+// is out of scope (paper §III-D note).
+type WireBlock struct {
+	ID    int // global block index in Netlist.Blocks
+	Edge  int // owning resonator index in Netlist.Resonators
+	Index int // position within the owning resonator's block list
+	Pos   geom.Pt
+}
+
+// Resonator couples two qubits. Length is the physical wirelength L of
+// the λ/2 resonator (set by its fundamental frequency); Blocks lists the
+// global IDs of the wire blocks created by partitioning (Eq. 6).
+type Resonator struct {
+	ID     int
+	Q1, Q2 int // endpoint qubit IDs
+	Freq   float64
+	Length float64
+	Blocks []int
+}
+
+// Netlist is the complete placement instance: substrate, qubits,
+// resonators, and wire blocks. Positions mutate as the instance moves
+// through GP → LG → DP; everything else is fixed at construction.
+type Netlist struct {
+	Name      string
+	W, H      float64 // substrate dimensions
+	BlockSize float64 // standard cell side length l_b
+
+	Qubits     []Qubit
+	Resonators []Resonator
+	Blocks     []WireBlock
+}
+
+// BlockRect returns the bounding rectangle of block id.
+func (n *Netlist) BlockRect(id int) geom.Rect {
+	b := &n.Blocks[id]
+	return geom.NewRect(b.Pos.X, b.Pos.Y, n.BlockSize, n.BlockSize)
+}
+
+// Border returns the substrate rectangle.
+func (n *Netlist) Border() geom.Rect {
+	return geom.NewRect(n.W/2, n.H/2, n.W, n.H)
+}
+
+// NumCells returns the total number of placeable components
+// (qubits + wire blocks); this is the "#Cells" column of Table III.
+func (n *Netlist) NumCells() int { return len(n.Qubits) + len(n.Blocks) }
+
+// Clone returns a deep copy. Legalizers run on clones so that one GP
+// solution can feed all five legalization strategies of the evaluation.
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{Name: n.Name, W: n.W, H: n.H, BlockSize: n.BlockSize}
+	c.Qubits = append([]Qubit(nil), n.Qubits...)
+	c.Blocks = append([]WireBlock(nil), n.Blocks...)
+	c.Resonators = make([]Resonator, len(n.Resonators))
+	for i, r := range n.Resonators {
+		r.Blocks = append([]int(nil), r.Blocks...)
+		c.Resonators[i] = r
+	}
+	return c
+}
+
+// unionFind is a standard disjoint-set with path halving, used for
+// cluster extraction.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// Clusters partitions resonator e's wire blocks into physically-touching
+// groups and returns them as slices of global block IDs. A resonator
+// with a single cluster is unified; the objective of Eq. 3 is to drive
+// every resonator to exactly one cluster.
+func (n *Netlist) Clusters(e int) [][]int {
+	blocks := n.Resonators[e].Blocks
+	if len(blocks) == 0 {
+		return nil
+	}
+	uf := newUnionFind(len(blocks))
+	for i := 0; i < len(blocks); i++ {
+		ri := n.BlockRect(blocks[i])
+		for j := i + 1; j < len(blocks); j++ {
+			if ri.Touches(n.BlockRect(blocks[j])) {
+				uf.union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i, id := range blocks {
+		r := uf.find(i)
+		groups[r] = append(groups[r], id)
+	}
+	out := make([][]int, 0, len(groups))
+	// Deterministic order: by smallest member index.
+	for i := range blocks {
+		if uf.find(i) == i {
+			out = append(out, groups[i])
+		}
+	}
+	return out
+}
+
+// ClusterCount returns |C_e| for resonator e.
+func (n *Netlist) ClusterCount(e int) int { return len(n.Clusters(e)) }
+
+// TotalClusters returns Σ_e |C_e|, the Eq. 3 objective value.
+func (n *Netlist) TotalClusters() int {
+	total := 0
+	for e := range n.Resonators {
+		total += n.ClusterCount(e)
+	}
+	return total
+}
+
+// UnifiedCount returns the number of resonators whose blocks form a
+// single cluster; I_edge of Table III is UnifiedCount / len(Resonators).
+func (n *Netlist) UnifiedCount() int {
+	u := 0
+	for e := range n.Resonators {
+		if n.ClusterCount(e) == 1 {
+			u++
+		}
+	}
+	return u
+}
+
+// Route returns resonator e's routing polyline: from the Q1 pad through
+// the wire blocks to the Q2 pad. Within a cluster the blocks are already
+// contiguous, so the route chains cluster centroids (entered/exited at
+// the blocks nearest the previous point) using a nearest-neighbor order.
+// Crossings between routes of different resonators approximate the
+// airbridge count X.
+func (n *Netlist) Route(e int) geom.Polyline {
+	r := &n.Resonators[e]
+	start := n.Qubits[r.Q1].Pos
+	end := n.Qubits[r.Q2].Pos
+	pl := geom.Polyline{start}
+	remaining := append([]int(nil), r.Blocks...)
+	cur := start
+	for len(remaining) > 0 {
+		best, bestD := -1, math.Inf(1)
+		for i, id := range remaining {
+			d := cur.Dist(n.Blocks[id].Pos)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		id := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		cur = n.Blocks[id].Pos
+		pl = append(pl, cur)
+	}
+	return append(pl, end)
+}
+
+// PseudoNet is a two-pin attraction used by the global placer. Pseudo
+// connections (§III-D, Fig. 5-d) connect every wire block to all of its
+// neighboring segments — not just the previous one in a snake chain — so
+// the density force shapes the resonator into a compact rectangle
+// instead of an elongated line.
+type PseudoNet struct {
+	// Kind of endpoint: true when the endpoint is a qubit, false for a
+	// wire block. A/B are the respective indices.
+	AQubit, BQubit bool
+	A, B           int
+	Weight         float64
+}
+
+// PseudoNets generates the GP netlist for resonator e: qubit anchors at
+// both ends plus the block-to-block pseudo connections. The block mesh
+// connects index-adjacent blocks strongly and second-neighbors weakly,
+// which in force-directed placement produces the compact rectangular
+// clump the paper's pseudo-connection strategy aims for.
+func (n *Netlist) PseudoNets(e int) []PseudoNet {
+	r := &n.Resonators[e]
+	nets := make([]PseudoNet, 0, 3*len(r.Blocks)+2)
+	if len(r.Blocks) == 0 {
+		// Degenerate resonator: direct qubit-qubit net.
+		return []PseudoNet{{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1}}
+	}
+	// Qubit anchors to first and last block.
+	nets = append(nets,
+		PseudoNet{AQubit: true, A: r.Q1, B: r.Blocks[0], Weight: 1},
+		PseudoNet{AQubit: true, A: r.Q2, B: r.Blocks[len(r.Blocks)-1], Weight: 1},
+	)
+	for i := 0; i < len(r.Blocks); i++ {
+		if i+1 < len(r.Blocks) {
+			nets = append(nets, PseudoNet{A: r.Blocks[i], B: r.Blocks[i+1], Weight: 1})
+		}
+		// Pseudo connection: second neighbor, encouraging folding into a
+		// rectangle rather than a line.
+		if i+2 < len(r.Blocks) {
+			nets = append(nets, PseudoNet{A: r.Blocks[i], B: r.Blocks[i+2], Weight: 0.5})
+		}
+	}
+	return nets
+}
+
+// Validate checks structural invariants: indices in range, endpoints
+// distinct, block back-references consistent. It does not check spatial
+// legality (see package metrics for that).
+func (n *Netlist) Validate() error {
+	if n.W <= 0 || n.H <= 0 {
+		return fmt.Errorf("netlist %q: non-positive substrate %gx%g", n.Name, n.W, n.H)
+	}
+	if n.BlockSize <= 0 {
+		return fmt.Errorf("netlist %q: non-positive block size %g", n.Name, n.BlockSize)
+	}
+	for i, q := range n.Qubits {
+		if q.ID != i {
+			return fmt.Errorf("qubit %d: ID %d mismatch", i, q.ID)
+		}
+		if q.Size <= 0 {
+			return fmt.Errorf("qubit %d: non-positive size %g", i, q.Size)
+		}
+	}
+	seen := make(map[int]bool, len(n.Blocks))
+	for e, r := range n.Resonators {
+		if r.ID != e {
+			return fmt.Errorf("resonator %d: ID %d mismatch", e, r.ID)
+		}
+		if r.Q1 < 0 || r.Q1 >= len(n.Qubits) || r.Q2 < 0 || r.Q2 >= len(n.Qubits) {
+			return fmt.Errorf("resonator %d: endpoint out of range (%d, %d)", e, r.Q1, r.Q2)
+		}
+		if r.Q1 == r.Q2 {
+			return fmt.Errorf("resonator %d: self-loop on qubit %d", e, r.Q1)
+		}
+		for idx, id := range r.Blocks {
+			if id < 0 || id >= len(n.Blocks) {
+				return fmt.Errorf("resonator %d: block id %d out of range", e, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("block %d owned by multiple resonators", id)
+			}
+			seen[id] = true
+			b := &n.Blocks[id]
+			if b.Edge != e || b.Index != idx || b.ID != id {
+				return fmt.Errorf("block %d: back-reference mismatch (edge %d idx %d)", id, b.Edge, b.Index)
+			}
+		}
+	}
+	if len(seen) != len(n.Blocks) {
+		return fmt.Errorf("%d orphan wire blocks", len(n.Blocks)-len(seen))
+	}
+	return nil
+}
+
+// Degree returns the number of resonators attached to qubit q.
+func (n *Netlist) Degree(q int) int {
+	d := 0
+	for _, r := range n.Resonators {
+		if r.Q1 == q || r.Q2 == q {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors returns the qubit IDs adjacent to qubit q in the coupling
+// graph, in resonator order.
+func (n *Netlist) Neighbors(q int) []int {
+	var out []int
+	for _, r := range n.Resonators {
+		switch q {
+		case r.Q1:
+			out = append(out, r.Q2)
+		case r.Q2:
+			out = append(out, r.Q1)
+		}
+	}
+	return out
+}

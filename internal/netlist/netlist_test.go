@@ -1,0 +1,259 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// tiny builds a 2-qubit, 1-resonator netlist with n blocks at the given
+// positions.
+func tiny(blockPos []geom.Pt) *Netlist {
+	n := &Netlist{Name: "tiny", W: 20, H: 20, BlockSize: 1}
+	n.Qubits = []Qubit{
+		{ID: 0, Pos: geom.Pt{X: 2, Y: 2}, Size: 3, Freq: 5.0},
+		{ID: 1, Pos: geom.Pt{X: 18, Y: 18}, Size: 3, Freq: 5.07},
+	}
+	r := Resonator{ID: 0, Q1: 0, Q2: 1, Freq: 7.0, Length: 11}
+	for i, p := range blockPos {
+		n.Blocks = append(n.Blocks, WireBlock{ID: i, Edge: 0, Index: i, Pos: p})
+		r.Blocks = append(r.Blocks, i)
+	}
+	n.Resonators = []Resonator{r}
+	return n
+}
+
+func TestClustersSingle(t *testing.T) {
+	// Three blocks in a contiguous row: one cluster.
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 7, Y: 5}})
+	cl := n.Clusters(0)
+	if len(cl) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(cl))
+	}
+	if len(cl[0]) != 3 {
+		t.Errorf("cluster size = %d, want 3", len(cl[0]))
+	}
+	if n.UnifiedCount() != 1 {
+		t.Errorf("UnifiedCount = %d, want 1", n.UnifiedCount())
+	}
+}
+
+func TestClustersSplit(t *testing.T) {
+	// Two pairs separated by a gap: two clusters.
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 10, Y: 5}, {X: 11, Y: 5}})
+	cl := n.Clusters(0)
+	if len(cl) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(cl))
+	}
+	if n.TotalClusters() != 2 {
+		t.Errorf("TotalClusters = %d", n.TotalClusters())
+	}
+	if n.UnifiedCount() != 0 {
+		t.Errorf("UnifiedCount = %d, want 0", n.UnifiedCount())
+	}
+}
+
+func TestClustersDiagonalTouch(t *testing.T) {
+	// Corner-touching blocks count as touching (closed rectangles).
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 6}})
+	if got := n.ClusterCount(0); got != 1 {
+		t.Errorf("diagonal touch clusters = %d, want 1", got)
+	}
+	// A 2x2 clump is one cluster.
+	n = tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 5, Y: 6}, {X: 6, Y: 6}})
+	if got := n.ClusterCount(0); got != 1 {
+		t.Errorf("2x2 clump clusters = %d, want 1", got)
+	}
+}
+
+func TestRouteVisitsAllBlocks(t *testing.T) {
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 9, Y: 9}, {X: 7, Y: 7}})
+	pl := n.Route(0)
+	if len(pl) != 5 { // q1 + 3 blocks + q2
+		t.Fatalf("route has %d points, want 5", len(pl))
+	}
+	if pl[0] != n.Qubits[0].Pos || pl[len(pl)-1] != n.Qubits[1].Pos {
+		t.Error("route must start at Q1 and end at Q2")
+	}
+	// Nearest-neighbor from (2,2): 5,5 then 7,7 then 9,9.
+	if pl[1] != (geom.Pt{X: 5, Y: 5}) || pl[2] != (geom.Pt{X: 7, Y: 7}) || pl[3] != (geom.Pt{X: 9, Y: 9}) {
+		t.Errorf("route order wrong: %v", pl)
+	}
+}
+
+func TestPseudoNets(t *testing.T) {
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 7, Y: 5}, {X: 8, Y: 5}})
+	nets := n.PseudoNets(0)
+	// 2 anchors + 3 chain + 2 skip.
+	if len(nets) != 7 {
+		t.Fatalf("pseudo nets = %d, want 7", len(nets))
+	}
+	anchors, chain, skip := 0, 0, 0
+	for _, pn := range nets {
+		switch {
+		case pn.AQubit || pn.BQubit:
+			anchors++
+		case pn.Weight == 1:
+			chain++
+		default:
+			skip++
+		}
+	}
+	if anchors != 2 || chain != 3 || skip != 2 {
+		t.Errorf("anchors/chain/skip = %d/%d/%d, want 2/3/2", anchors, chain, skip)
+	}
+}
+
+func TestPseudoNetsNoBlocks(t *testing.T) {
+	n := tiny(nil)
+	nets := n.PseudoNets(0)
+	if len(nets) != 1 || !nets[0].AQubit || !nets[0].BQubit {
+		t.Errorf("degenerate resonator nets = %+v", nets)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 5}})
+	c := n.Clone()
+	c.Qubits[0].Pos = geom.Pt{X: 9, Y: 9}
+	c.Blocks[0].Pos = geom.Pt{X: 1, Y: 1}
+	c.Resonators[0].Blocks[0] = 1
+	if n.Qubits[0].Pos == c.Qubits[0].Pos {
+		t.Error("clone shares qubit storage")
+	}
+	if n.Blocks[0].Pos == c.Blocks[0].Pos {
+		t.Error("clone shares block storage")
+	}
+	if n.Resonators[0].Blocks[0] == 1 {
+		t.Error("clone shares resonator block lists")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := tiny([]geom.Pt{{X: 5, Y: 5}})
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid netlist rejected: %v", err)
+	}
+	bad := n.Clone()
+	bad.Resonators[0].Q2 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("self-loop resonator not caught")
+	}
+	bad = n.Clone()
+	bad.Blocks[0].Edge = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("block back-reference mismatch not caught")
+	}
+	bad = n.Clone()
+	bad.W = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero substrate not caught")
+	}
+	bad = n.Clone()
+	bad.Blocks = append(bad.Blocks, WireBlock{ID: 1, Edge: 0, Index: 9, Pos: geom.Pt{}})
+	if err := bad.Validate(); err == nil {
+		t.Error("orphan block not caught")
+	}
+}
+
+func TestDegreeNeighbors(t *testing.T) {
+	n := &Netlist{Name: "tri", W: 10, H: 10, BlockSize: 1}
+	n.Qubits = []Qubit{
+		{ID: 0, Pos: geom.Pt{X: 1, Y: 1}, Size: 2},
+		{ID: 1, Pos: geom.Pt{X: 5, Y: 1}, Size: 2},
+		{ID: 2, Pos: geom.Pt{X: 3, Y: 5}, Size: 2},
+	}
+	n.Resonators = []Resonator{
+		{ID: 0, Q1: 0, Q2: 1}, {ID: 1, Q1: 1, Q2: 2},
+	}
+	if n.Degree(1) != 2 || n.Degree(0) != 1 || n.Degree(2) != 1 {
+		t.Error("Degree wrong")
+	}
+	nb := n.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Errorf("Neighbors(1) = %v", nb)
+	}
+}
+
+func TestNumCells(t *testing.T) {
+	n := tiny([]geom.Pt{{X: 5, Y: 5}, {X: 6, Y: 5}})
+	if n.NumCells() != 4 {
+		t.Errorf("NumCells = %d, want 4", n.NumCells())
+	}
+}
+
+// Property: cluster decomposition is a partition of the resonator's
+// blocks — every block in exactly one cluster.
+func TestQuickClustersPartition(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := int(count%12) + 1
+		pos := make([]geom.Pt, nb)
+		for i := range pos {
+			pos[i] = geom.Pt{X: float64(rng.Intn(10)) + 0.5, Y: float64(rng.Intn(10)) + 0.5}
+		}
+		n := tiny(pos)
+		seen := map[int]int{}
+		for _, cl := range n.Clusters(0) {
+			for _, id := range cl {
+				seen[id]++
+			}
+		}
+		if len(seen) != nb {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blocks in the same cluster are pairwise connected through
+// touching relations (verified transitively by re-running a BFS).
+func TestQuickClusterConnectivity(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := int(count%10) + 2
+		pos := make([]geom.Pt, nb)
+		for i := range pos {
+			pos[i] = geom.Pt{X: float64(rng.Intn(8)) + 0.5, Y: float64(rng.Intn(8)) + 0.5}
+		}
+		n := tiny(pos)
+		for _, cl := range n.Clusters(0) {
+			if !clusterConnected(n, cl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clusterConnected(n *Netlist, cl []int) bool {
+	if len(cl) <= 1 {
+		return true
+	}
+	seen := map[int]bool{cl[0]: true}
+	frontier := []int{cl[0]}
+	for len(frontier) > 0 {
+		v := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, w := range cl {
+			if !seen[w] && n.BlockRect(v).Touches(n.BlockRect(w)) {
+				seen[w] = true
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	return len(seen) == len(cl)
+}

@@ -1,0 +1,140 @@
+// Package qbench generates the NISQ benchmark circuits of Table I:
+// Bernstein-Vazirani (bv-4/9/16), QAOA (qaoa-4), linear Ising chain
+// simulation (ising-4), and quantum GAN ansatz circuits (qgan-4/9).
+// Generators are deterministic; the qubit count in the benchmark name is
+// the total circuit width.
+package qbench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// BV returns a Bernstein-Vazirani circuit on n qubits (n-1 data qubits
+// plus one ancilla) with the alternating secret string 1010…: H layer,
+// oracle CXs into the ancilla, and the closing H layer.
+func BV(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("qbench: BV needs at least 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("bv-%d", n), n)
+	anc := n - 1
+	c.AddX(anc)
+	for q := 0; q < n; q++ {
+		c.AddH(q)
+	}
+	for q := 0; q < anc; q++ {
+		if q%2 == 0 { // secret bit 1 on even positions
+			c.AddCX(q, anc)
+		}
+	}
+	for q := 0; q < anc; q++ {
+		c.AddH(q)
+	}
+	return c
+}
+
+// QAOA returns a depth-1 QAOA circuit on a ring of n qubits: the
+// standard MaxCut ansatz with a ZZ cost layer (CX–RZ–CX per ring edge)
+// followed by the RX mixer layer.
+func QAOA(n int) *circuit.Circuit {
+	if n < 3 {
+		panic("qbench: QAOA ring needs at least 3 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("qaoa-%d", n), n)
+	gamma := 0.7
+	beta := 0.4
+	for q := 0; q < n; q++ {
+		c.AddH(q)
+	}
+	for q := 0; q < n; q++ {
+		a, b := q, (q+1)%n
+		c.AddCX(a, b)
+		c.AddRZ(b, 2*gamma)
+		c.AddCX(a, b)
+	}
+	for q := 0; q < n; q++ {
+		c.AddRX(q, 2*beta)
+	}
+	return c
+}
+
+// Ising returns a digitized adiabatic simulation of a linear Ising spin
+// chain on n qubits (after Barends et al.): `steps` Trotter steps, each
+// a ZZ coupling layer on nearest neighbors plus a transverse-field RX
+// layer.
+func Ising(n, steps int) *circuit.Circuit {
+	if n < 2 {
+		panic("qbench: Ising chain needs at least 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("ising-%d", n), n)
+	for q := 0; q < n; q++ {
+		c.AddH(q)
+	}
+	for s := 0; s < steps; s++ {
+		theta := 0.5 + 0.3*float64(s)
+		for q := 0; q+1 < n; q++ {
+			c.AddCX(q, q+1)
+			c.AddRZ(q+1, theta)
+			c.AddCX(q, q+1)
+		}
+		for q := 0; q < n; q++ {
+			c.AddRX(q, math.Pi/4)
+		}
+	}
+	return c
+}
+
+// QGAN returns the hardware-efficient generator ansatz used in quantum
+// GAN experiments: `layers` repetitions of an RY rotation layer followed
+// by a CX entangling ladder.
+func QGAN(n, layers int) *circuit.Circuit {
+	if n < 2 {
+		panic("qbench: QGAN needs at least 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("qgan-%d", n), n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.AddRY(q, 0.3+0.1*float64(l*n+q))
+		}
+		for q := 0; q+1 < n; q++ {
+			c.AddCX(q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.AddRY(q, 0.15*float64(q+1))
+	}
+	return c
+}
+
+// Benchmark pairs a name with its generated circuit.
+type Benchmark struct {
+	Name    string
+	Circuit *circuit.Circuit
+}
+
+// Suite returns the seven evaluation benchmarks in the order Fig. 8
+// uses: bv-4, bv-9, bv-16, qaoa-4, ising-4, qgan-4, qgan-9.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{"bv-4", BV(4)},
+		{"bv-9", BV(9)},
+		{"bv-16", BV(16)},
+		{"qaoa-4", QAOA(4)},
+		{"ising-4", Ising(4, 3)},
+		{"qgan-4", QGAN(4, 3)},
+		{"qgan-9", QGAN(9, 3)},
+	}
+}
+
+// ByName returns the named benchmark circuit.
+func ByName(name string) (*circuit.Circuit, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b.Circuit, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (valid: bv-4, bv-9, bv-16, qaoa-4, ising-4, qgan-4, qgan-9)", name)
+}

@@ -1,0 +1,137 @@
+package qbench
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestSuiteNamesAndWidths(t *testing.T) {
+	want := map[string]int{
+		"bv-4": 4, "bv-9": 9, "bv-16": 16,
+		"qaoa-4": 4, "ising-4": 4, "qgan-4": 4, "qgan-9": 9,
+	}
+	suite := Suite()
+	if len(suite) != 7 {
+		t.Fatalf("suite size = %d, want 7", len(suite))
+	}
+	for _, b := range suite {
+		if b.Circuit.NumQubits != want[b.Name] {
+			t.Errorf("%s: width %d, want %d", b.Name, b.Circuit.NumQubits, want[b.Name])
+		}
+		if b.Circuit.Name != b.Name {
+			t.Errorf("circuit name %s != benchmark name %s", b.Circuit.Name, b.Name)
+		}
+		if err := b.Circuit.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Circuit.Depth() == 0 {
+			t.Errorf("%s: empty circuit", b.Name)
+		}
+	}
+}
+
+func TestBVStructure(t *testing.T) {
+	c := BV(4)
+	// Secret 101 -> CX on data qubits 0 and 2.
+	if got := c.TwoQubitCount(); got != 2 {
+		t.Errorf("bv-4 CX count = %d, want 2", got)
+	}
+	// X + H layer(4) + closing H layer(3) = 8 one-qubit gates.
+	if got := c.OneQubitCount(); got != 8 {
+		t.Errorf("bv-4 1q count = %d, want 8", got)
+	}
+	// All CX target the ancilla.
+	for _, g := range c.Gates {
+		if g.Kind == circuit.CX && g.Q2 != 3 {
+			t.Errorf("CX targets %d, want ancilla 3", g.Q2)
+		}
+	}
+}
+
+func TestBVScalesWithWidth(t *testing.T) {
+	if BV(9).TwoQubitCount() <= BV(4).TwoQubitCount() {
+		t.Error("bv-9 should have more CX than bv-4")
+	}
+	if BV(16).TwoQubitCount() <= BV(9).TwoQubitCount() {
+		t.Error("bv-16 should have more CX than bv-9")
+	}
+}
+
+func TestQAOAStructure(t *testing.T) {
+	c := QAOA(4)
+	// Ring of 4 edges, 2 CX each.
+	if got := c.TwoQubitCount(); got != 8 {
+		t.Errorf("qaoa-4 CX = %d, want 8", got)
+	}
+	inter := c.Interactions()
+	// Ring pairs: (0,1),(1,2),(2,3),(0,3).
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if inter[pair] != 2 {
+			t.Errorf("pair %v count = %d, want 2", pair, inter[pair])
+		}
+	}
+}
+
+func TestIsingStructure(t *testing.T) {
+	c := Ising(4, 3)
+	// 3 steps x 3 chain edges x 2 CX.
+	if got := c.TwoQubitCount(); got != 18 {
+		t.Errorf("ising-4 CX = %d, want 18", got)
+	}
+	// No wraparound edge in a chain.
+	if c.Interactions()[[2]int{0, 3}] != 0 {
+		t.Error("ising chain must not couple endpoints")
+	}
+}
+
+func TestQGANStructure(t *testing.T) {
+	c := QGAN(4, 3)
+	// 3 layers x 3 ladder CX.
+	if got := c.TwoQubitCount(); got != 9 {
+		t.Errorf("qgan-4 CX = %d, want 9", got)
+	}
+	if QGAN(9, 3).TwoQubitCount() != 24 {
+		t.Errorf("qgan-9 CX = %d, want 24", QGAN(9, 3).TwoQubitCount())
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("qaoa-4")
+	if err != nil || c.NumQubits != 4 {
+		t.Errorf("ByName(qaoa-4) = %v, %v", c, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestGeneratorsPanicOnTinyWidths(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { BV(1) })
+	mustPanic(func() { QAOA(2) })
+	mustPanic(func() { Ising(1, 1) })
+	mustPanic(func() { QGAN(1, 1) })
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Suite()
+	b := Suite()
+	for i := range a {
+		if len(a[i].Circuit.Gates) != len(b[i].Circuit.Gates) {
+			t.Fatalf("%s: nondeterministic generation", a[i].Name)
+		}
+		for g := range a[i].Circuit.Gates {
+			if a[i].Circuit.Gates[g] != b[i].Circuit.Gates[g] {
+				t.Fatalf("%s: gate %d differs", a[i].Name, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package qlegal implements qubit (macro) legalization — the first phase
+// of qGDP-LG (§III-C) — and the classic macro legalizer used by the
+// Tetris and Abacus baselines.
+//
+// Qubits are treated as macros: horizontal and vertical constraint
+// graphs are built from the GP positions (package cgraph) and each axis
+// is solved as an exact minimum-displacement LP via the dual min-cost
+// flow (package lp1d). The quantum variant additionally enforces a
+// minimum spacing of at least one standard cell between adjacent qubits
+// — resonators routed through that gap isolate inter-qubit crosstalk —
+// starting from a stringent spacing and greedily relaxing only when the
+// constraint system becomes infeasible.
+package qlegal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cgraph"
+	"repro/internal/freq"
+	"repro/internal/geom"
+	"repro/internal/lp1d"
+	"repro/internal/netlist"
+)
+
+// Params selects the legalization flavor.
+type Params struct {
+	// MinSpacing is the floor on inter-qubit spacing in cells. The
+	// quantum legalizer uses 1 (one standard cell, §III-C); the classic
+	// macro legalizer uses 0 (overlap removal only).
+	MinSpacing int64
+	// StartSpacing is the stringent initial spacing the greedy
+	// relaxation starts from. Must be ≥ MinSpacing.
+	StartSpacing int64
+	// FreqExtra is the additional spacing (cells) requested between
+	// frequency-close qubit pairs — the quantum spatial constraint that
+	// keeps hotspot-prone pairs apart. Scaled by the pair's τ and
+	// relaxed before the base spacing when infeasible. Must not exceed
+	// the qubit size (cgraph pruning soundness).
+	FreqExtra int64
+}
+
+// QuantumParams returns the qGDP qubit-legalization settings: start at
+// two cells of spacing, never relax below one, and hold frequency-close
+// pairs up to two extra cells apart.
+func QuantumParams() Params { return Params{MinSpacing: 1, StartSpacing: 2, FreqExtra: 2} }
+
+// ClassicParams returns the classical macro legalizer settings used by
+// the Tetris/Abacus baselines: plain overlap removal, frequency-blind.
+func ClassicParams() Params { return Params{MinSpacing: 0, StartSpacing: 0, FreqExtra: 0} }
+
+// Result reports what legalization did.
+type Result struct {
+	// Displacement is the total L1 movement of all qubits from their GP
+	// positions, in layout units (Eq. 5 objective).
+	Displacement float64
+	// FinalSpacing is the spacing the relaxation settled on.
+	FinalSpacing int64
+	// Relaxations counts how many times spacing had to be reduced.
+	Relaxations int
+}
+
+// Legalize positions all qubits legally, mutating the netlist in place.
+// Wire blocks are not touched (resonator legalization is a separate
+// phase). Returns an error only if the instance cannot be legalized even
+// at zero spacing, which indicates an overfull substrate.
+func Legalize(n *netlist.Netlist, p Params) (Result, error) {
+	if p.StartSpacing < p.MinSpacing {
+		p.StartSpacing = p.MinSpacing
+	}
+	nq := len(n.Qubits)
+	if nq == 0 {
+		return Result{}, nil
+	}
+
+	pos := make([]geom.Pt, nq)
+	sizes := make([]int64, nq)
+	for i, q := range n.Qubits {
+		pos[i] = q.Pos
+		sizes[i] = int64(math.Round(q.Size))
+	}
+
+	// Stringency schedule: hold the frequency-aware extra spacing as
+	// long as possible, then relax the base spacing, finally falling
+	// back to plain overlap removal (§III-C's greedy adjustment).
+	type level struct{ spacing, extra int64 }
+	var levels []level
+	for s := p.StartSpacing; s >= p.MinSpacing; s-- {
+		levels = append(levels, level{s, p.FreqExtra})
+	}
+	for e := p.FreqExtra - 1; e >= 0; e-- {
+		levels = append(levels, level{p.MinSpacing, e})
+	}
+	if p.MinSpacing > 0 {
+		levels = append(levels, level{0, 0})
+	}
+
+	var res Result
+	var lastErr error
+	for li, lv := range levels {
+		extra := extraFn(n, lv.extra)
+		x, y, err := solveAt(n, pos, sizes, lv.spacing, extra)
+		if err == nil {
+			for i := range n.Qubits {
+				n.Qubits[i].Pos = geom.Pt{X: cellToCoord(x[i]), Y: cellToCoord(y[i])}
+				res.Displacement += n.Qubits[i].Pos.Manhattan(pos[i])
+			}
+			res.FinalSpacing = lv.spacing
+			res.Relaxations = li
+			return res, nil
+		}
+		if err != lp1d.ErrInfeasible {
+			return res, err
+		}
+		lastErr = err
+	}
+	return res, fmt.Errorf("qlegal: %s infeasible even without spacing: %w", n.Name, lastErr)
+}
+
+// extraFn builds the pair-extra spacing function: frequency-close qubit
+// pairs (τ > 0) get up to maxExtra additional cells, scaled by τ. The
+// value is clamped to the qubit size for cgraph pruning soundness.
+func extraFn(n *netlist.Netlist, maxExtra int64) func(i, j int) int64 {
+	if maxExtra <= 0 {
+		return nil
+	}
+	return func(i, j int) int64 {
+		tau := freq.Tau(n.Qubits[i].Freq, n.Qubits[j].Freq, freq.DeltaQubit)
+		if tau <= 0 {
+			return 0
+		}
+		e := int64(math.Ceil(tau * float64(maxExtra)))
+		if s := int64(math.Round(math.Min(n.Qubits[i].Size, n.Qubits[j].Size))); e > s {
+			e = s
+		}
+		return e
+	}
+}
+
+// solveAt builds the constraint graphs at the given spacing and solves
+// both axes.
+func solveAt(n *netlist.Netlist, pos []geom.Pt, sizes []int64, spacing int64, extra func(i, j int) int64) (x, y []int64, err error) {
+	graphs := cgraph.Build(pos, sizes, spacing, extra)
+
+	hx := &lp1d.Problem{N: len(pos), Arcs: graphs.H}
+	vy := &lp1d.Problem{N: len(pos), Arcs: graphs.V}
+	for i := range pos {
+		half := float64(sizes[i]) / 2
+		hx.Target = append(hx.Target, coordToCell(pos[i].X))
+		hx.Lo = append(hx.Lo, coordToCell(half))
+		hx.Hi = append(hx.Hi, coordToCell(n.W-half))
+		vy.Target = append(vy.Target, coordToCell(pos[i].Y))
+		vy.Lo = append(vy.Lo, coordToCell(half))
+		vy.Hi = append(vy.Hi, coordToCell(n.H-half))
+	}
+	if x, err = hx.Solve(); err != nil {
+		return nil, nil, err
+	}
+	if y, err = vy.Solve(); err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+// coordToCell maps a continuous center coordinate to the integer cell
+// index whose center is nearest: cells have unit pitch with centers at
+// k + 0.5.
+func coordToCell(v float64) int64 { return int64(math.Round(v - 0.5)) }
+
+// cellToCoord is the inverse of coordToCell.
+func cellToCoord(c int64) float64 { return float64(c) + 0.5 }
+
+// Verify checks post-legalization invariants: qubits inside the border,
+// pairwise separation of at least (sizes + spacing) on one axis. It
+// returns the number of violating pairs at the given spacing.
+func Verify(n *netlist.Netlist, spacing float64) int {
+	violations := 0
+	border := n.Border()
+	for i := range n.Qubits {
+		if !border.ContainsRect(n.Qubits[i].Rect()) {
+			violations++
+		}
+		for j := i + 1; j < len(n.Qubits); j++ {
+			qi, qj := &n.Qubits[i], &n.Qubits[j]
+			need := (qi.Size+qj.Size)/2 + spacing
+			dx := math.Abs(qi.Pos.X - qj.Pos.X)
+			dy := math.Abs(qi.Pos.Y - qj.Pos.Y)
+			if dx < need-geom.Eps && dy < need-geom.Eps {
+				violations++
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,71 @@
+// Package report renders fixed-width text tables for the experiment
+// harness, matching the row/column structure of the paper's figures and
+// tables.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a fixed-width table with a header row and a separator.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Fidelity formats a fidelity value the way the paper's Fig. 8 labels
+// bars: four decimals, with values below 1e-4 printed as "<1e-4".
+func Fidelity(f float64) string {
+	if f < 1e-4 {
+		return "<1e-4"
+	}
+	return fmt.Sprintf("%.4f", f)
+}
+
+// Ratio formats an improvement factor ("34.4x").
+func Ratio(num, den float64) string {
+	if den <= 0 {
+		if num <= 0 {
+			return "1.0x"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", num/den)
+}
+
+// Ms formats a duration in milliseconds with two decimals, Table II
+// style.
+func Ms(seconds float64) string {
+	return fmt.Sprintf("%.2f", seconds*1000)
+}

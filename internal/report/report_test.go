@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// All rows same width.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) > len(lines[0])+2 {
+			t.Errorf("row %d much wider than header: %q", i, lines[i])
+		}
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("missing separator")
+	}
+	if !strings.Contains(out, "longer-cell") {
+		t.Error("cell content lost")
+	}
+}
+
+func TestFidelityFormat(t *testing.T) {
+	if got := Fidelity(0.5063); got != "0.5063" {
+		t.Errorf("Fidelity = %s", got)
+	}
+	if got := Fidelity(5e-5); got != "<1e-4" {
+		t.Errorf("tiny Fidelity = %s", got)
+	}
+	if got := Fidelity(0); got != "<1e-4" {
+		t.Errorf("zero Fidelity = %s", got)
+	}
+	if got := Fidelity(1.0); got != "1.0000" {
+		t.Errorf("unit Fidelity = %s", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(34.4, 1); got != "34.4x" {
+		t.Errorf("Ratio = %s", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio by zero = %s", got)
+	}
+	if got := Ratio(0, 0); got != "1.0x" {
+		t.Errorf("Ratio 0/0 = %s", got)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(0.00162); got != "1.62" {
+		t.Errorf("Ms = %s", got)
+	}
+}

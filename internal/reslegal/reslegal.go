@@ -1,0 +1,200 @@
+// Package reslegal implements the integration-aware resonator
+// legalization of qGDP (Algorithm 1, §III-D): with qubits already fixed,
+// each resonator's wire blocks are legalized one after another, strongly
+// preferring bins adjacent to the blocks already placed for the same
+// resonator. The result keeps each resonator's reserved space in a
+// single physically-connected cluster, minimizing the Eq. 3 cluster
+// objective and hence the airbridge count.
+//
+// Bin selection is frequency-aware: among candidate bins, those abutting
+// already-placed blocks of frequency-close foreign resonators pay a
+// crosstalk penalty on top of displacement, steering clusters away from
+// hotspot formation (the quantum spatial constraints of §III-B).
+package reslegal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/binidx"
+	"repro/internal/freq"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// HotspotPenalty is the cost (squared cells) added per unit of frequency
+// proximity τ for each occupied neighbor bin belonging to a foreign
+// resonator. Zero disables frequency awareness. A variable so the
+// ablation benchmarks can toggle it; production callers leave it alone.
+var HotspotPenalty = 4.0
+
+// Result reports legalization statistics.
+type Result struct {
+	// Displacement is the total L1 movement of wire blocks from GP.
+	Displacement float64
+	// Fallbacks counts how many blocks could not be placed adjacent to
+	// their resonator's growing cluster and fell back to the global
+	// nearest free bin (each fallback starts a new cluster).
+	Fallbacks int
+}
+
+// BuildIndex constructs the free-space bin index for a netlist with
+// qubits fixed: every bin under a qubit macro footprint is occupied
+// (line 2 of Algorithm 1).
+func BuildIndex(n *netlist.Netlist) *binidx.Index {
+	ix := binidx.New(int(math.Round(n.W)), int(math.Round(n.H)))
+	for _, q := range n.Qubits {
+		r := q.Rect()
+		x0 := int(math.Floor(r.MinX() + geom.Eps))
+		y0 := int(math.Floor(r.MinY() + geom.Eps))
+		x1 := int(math.Ceil(r.MaxX() - geom.Eps))
+		y1 := int(math.Ceil(r.MaxY() - geom.Eps))
+		ix.OccupyRect(x0, y0, x1-x0, y1-y0)
+	}
+	return ix
+}
+
+// legalizer carries the mutable state of one Legalize run.
+type legalizer struct {
+	n     *netlist.Netlist
+	ix    *binidx.Index
+	owner map[binidx.Bin]int // placed bin -> owning resonator
+	res   Result
+}
+
+// Legalize runs Algorithm 1, mutating block positions in place. Qubit
+// positions are read-only inputs.
+func Legalize(n *netlist.Netlist) (Result, error) {
+	lg := &legalizer{n: n, ix: BuildIndex(n), owner: map[binidx.Bin]int{}}
+	for _, e := range resonatorOrder(n) {
+		if err := lg.legalizeResonator(e); err != nil {
+			return lg.res, err
+		}
+	}
+	return lg.res, nil
+}
+
+// legalizeResonator places all wire blocks of resonator e (lines 5–15 of
+// Algorithm 1).
+func (lg *legalizer) legalizeResonator(e int) error {
+	adjacent := map[binidx.Bin]bool{} // B_aa
+	first := true
+	for _, id := range lg.n.Resonators[e].Blocks {
+		b := &lg.n.Blocks[id]
+		var chosen binidx.Bin
+		if first || len(adjacent) == 0 {
+			// Line 8: fall back to the globally nearest available bin.
+			bin, ok := lg.ix.NearestFree(b.Pos.X, b.Pos.Y)
+			if !ok {
+				return fmt.Errorf("reslegal: %s: no free bins left for resonator %d", lg.n.Name, e)
+			}
+			if !first {
+				lg.res.Fallbacks++
+			}
+			chosen = bin
+		} else {
+			// Line 10: cheapest adjacent-available bin (displacement
+			// plus hotspot penalty).
+			chosen = lg.bestBin(adjacent, e, b.Pos)
+		}
+		lg.place(id, e, chosen)
+		first = false
+
+		// Line 14: update B_aa — drop the consumed bin, add free bins
+		// adjacent to the newly placed block.
+		delete(adjacent, chosen)
+		for bin := range adjacent {
+			if !lg.ix.IsFree(bin.X, bin.Y) {
+				delete(adjacent, bin)
+			}
+		}
+		for _, bin := range lg.ix.FreeNeighbors(chosen.X, chosen.Y) {
+			adjacent[bin] = true
+		}
+	}
+	return nil
+}
+
+// bestBin returns the candidate minimizing squared displacement plus the
+// frequency-proximity penalty, with deterministic tie-breaking.
+func (lg *legalizer) bestBin(set map[binidx.Bin]bool, e int, target geom.Pt) binidx.Bin {
+	bins := make([]binidx.Bin, 0, len(set))
+	for b := range set {
+		bins = append(bins, b)
+	}
+	sort.Slice(bins, func(i, j int) bool {
+		if bins[i].Y != bins[j].Y {
+			return bins[i].Y < bins[j].Y
+		}
+		return bins[i].X < bins[j].X
+	})
+	best := bins[0]
+	bestD := math.Inf(1)
+	for _, b := range bins {
+		dx := float64(b.X) + 0.5 - target.X
+		dy := float64(b.Y) + 0.5 - target.Y
+		d := dx*dx + dy*dy + lg.hotspotPenalty(b, e)
+		if d < bestD-1e-12 {
+			bestD = d
+			best = b
+		}
+	}
+	return best
+}
+
+// hotspotPenalty sums the frequency proximity of foreign blocks in the
+// 8-neighborhood of bin b.
+func (lg *legalizer) hotspotPenalty(b binidx.Bin, e int) float64 {
+	fe := lg.n.Resonators[e].Freq
+	var pen float64
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			o, ok := lg.owner[binidx.Bin{X: b.X + dx, Y: b.Y + dy}]
+			if !ok || o == e {
+				continue
+			}
+			pen += HotspotPenalty * freq.Tau(fe, lg.n.Resonators[o].Freq, freq.DeltaResonator)
+		}
+	}
+	return pen
+}
+
+func (lg *legalizer) place(blockID, e int, bin binidx.Bin) {
+	b := &lg.n.Blocks[blockID]
+	newPos := geom.Pt{X: float64(bin.X) + 0.5, Y: float64(bin.Y) + 0.5}
+	lg.res.Displacement += b.Pos.Manhattan(newPos)
+	b.Pos = newPos
+	lg.ix.Occupy(bin.X, bin.Y)
+	lg.owner[bin] = e
+}
+
+// resonatorOrder sorts resonators by endpoint chord length (shortest
+// first), tie-broken by ID for determinism: short-chord resonators have
+// the least routing freedom, so they claim their channels before longer
+// resonators spill into them.
+func resonatorOrder(n *netlist.Netlist) []int {
+	type entry struct {
+		e    int
+		disp float64
+	}
+	entries := make([]entry, len(n.Resonators))
+	for e := range n.Resonators {
+		r := &n.Resonators[e]
+		entries[e] = entry{e, n.Qubits[r.Q1].Pos.Dist(n.Qubits[r.Q2].Pos)}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].disp != entries[j].disp {
+			return entries[i].disp < entries[j].disp
+		}
+		return entries[i].e < entries[j].e
+	})
+	order := make([]int, len(entries))
+	for i, en := range entries {
+		order[i] = en.e
+	}
+	return order
+}

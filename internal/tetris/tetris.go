@@ -1,0 +1,59 @@
+// Package tetris is the classic Tetris-style standard-cell legalizer
+// (after NTUplace3 [27]) used as a baseline: cells are processed in
+// order of their global-placement x coordinate and each is dropped onto
+// the nearest free site, with no awareness of which resonator a wire
+// block belongs to. The result is legal but fragments resonators into
+// many clusters — exactly the failure mode qGDP's integration-aware
+// legalizer is designed to avoid.
+package tetris
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/reslegal"
+)
+
+// Result reports legalization statistics.
+type Result struct {
+	// Displacement is the total L1 movement of wire blocks from GP.
+	Displacement float64
+}
+
+// Legalize places every wire block on the nearest free site in
+// GP-x order, mutating block positions in place. Qubits must already be
+// legalized and are treated as obstacles.
+func Legalize(n *netlist.Netlist) (Result, error) {
+	ix := reslegal.BuildIndex(n)
+	var res Result
+
+	order := make([]int, len(n.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := n.Blocks[order[a]].Pos, n.Blocks[order[b]].Pos
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return order[a] < order[b]
+	})
+
+	for _, id := range order {
+		b := &n.Blocks[id]
+		bin, ok := ix.NearestFree(b.Pos.X, b.Pos.Y)
+		if !ok {
+			return res, fmt.Errorf("tetris: %s: out of free sites at block %d", n.Name, id)
+		}
+		newPos := geom.Pt{X: float64(bin.X) + 0.5, Y: float64(bin.Y) + 0.5}
+		res.Displacement += b.Pos.Manhattan(newPos)
+		b.Pos = newPos
+		ix.Occupy(bin.X, bin.Y)
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package tetris_test
+
+import (
+	"testing"
+
+	"repro/internal/abacus"
+	"repro/internal/gplace"
+	"repro/internal/netlist"
+	"repro/internal/qlegal"
+	"repro/internal/reslegal"
+	"repro/internal/tetris"
+	"repro/internal/topology"
+)
+
+// prepared returns a netlist with GP run and qubits legalized.
+func prepared(t *testing.T, dev *topology.Device) *netlist.Netlist {
+	t.Helper()
+	n := topology.Build(dev, topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	if _, err := qlegal.Legalize(n, qlegal.QuantumParams()); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func assertLegal(t *testing.T, name string, n *netlist.Netlist) {
+	t.Helper()
+	border := n.Border()
+	occupied := map[[2]int]int{}
+	for i := range n.Blocks {
+		r := n.BlockRect(i)
+		if !border.ContainsRect(r) {
+			t.Errorf("%s: block %d outside border", name, i)
+		}
+		key := [2]int{int(n.Blocks[i].Pos.X), int(n.Blocks[i].Pos.Y)}
+		if prev, dup := occupied[key]; dup {
+			t.Errorf("%s: blocks %d and %d share bin %v", name, prev, i, key)
+		}
+		occupied[key] = i
+		for _, q := range n.Qubits {
+			if r.Overlaps(q.Rect()) {
+				t.Errorf("%s: block %d overlaps qubit %d", name, i, q.ID)
+			}
+		}
+	}
+}
+
+func TestTetrisLegalAllTopologies(t *testing.T) {
+	for _, dev := range topology.All() {
+		n := prepared(t, dev)
+		if _, err := tetris.Legalize(n); err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		assertLegal(t, "tetris/"+dev.Name, n)
+	}
+}
+
+func TestAbacusLegalAllTopologies(t *testing.T) {
+	for _, dev := range topology.All() {
+		n := prepared(t, dev)
+		if _, err := abacus.Legalize(n); err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		assertLegal(t, "abacus/"+dev.Name, n)
+	}
+}
+
+// The central comparison of the paper: classical cell legalizers
+// fragment resonators; the integration-aware legalizer does not.
+func TestClassicalLegalizersFragmentResonators(t *testing.T) {
+	for _, dev := range []*topology.Device{topology.Grid25(), topology.Falcon27()} {
+		base := prepared(t, dev)
+
+		tn := base.Clone()
+		if _, err := tetris.Legalize(tn); err != nil {
+			t.Fatal(err)
+		}
+		an := base.Clone()
+		if _, err := abacus.Legalize(an); err != nil {
+			t.Fatal(err)
+		}
+		qn := base.Clone()
+		if _, err := reslegal.Legalize(qn); err != nil {
+			t.Fatal(err)
+		}
+
+		qU, tU, aU := qn.UnifiedCount(), tn.UnifiedCount(), an.UnifiedCount()
+		if tU >= qU {
+			t.Errorf("%s: tetris unified %d >= qGDP %d", dev.Name, tU, qU)
+		}
+		if aU >= qU {
+			t.Errorf("%s: abacus unified %d >= qGDP %d", dev.Name, aU, qU)
+		}
+	}
+}
+
+func TestTetrisDeterministic(t *testing.T) {
+	run := func() []float64 {
+		n := prepared(t, topology.Grid25())
+		if _, err := tetris.Legalize(n); err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, b := range n.Blocks {
+			out = append(out, b.Pos.X, b.Pos.Y)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tetris not deterministic")
+		}
+	}
+}
+
+func TestAbacusDeterministic(t *testing.T) {
+	run := func() []float64 {
+		n := prepared(t, topology.Grid25())
+		if _, err := abacus.Legalize(n); err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, b := range n.Blocks {
+			out = append(out, b.Pos.X, b.Pos.Y)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("abacus not deterministic")
+		}
+	}
+}
+
+// Abacus should move blocks less than Tetris on average (its row
+// clumping minimizes quadratic displacement); at minimum both must
+// produce finite, non-negative displacement.
+func TestDisplacementSane(t *testing.T) {
+	n1 := prepared(t, topology.Aspen11())
+	n2 := n1.Clone()
+	rt, err := tetris.Legalize(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := abacus.Legalize(n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Displacement < 0 || ra.Displacement < 0 {
+		t.Error("negative displacement")
+	}
+}

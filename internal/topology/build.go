@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"math"
+
+	"repro/internal/freq"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// BuildParams controls netlist construction from a device topology.
+type BuildParams struct {
+	// QubitSize is the side length of the square qubit macro in layout
+	// units. Qubits must significantly exceed the wire-block standard
+	// cell (§III-C); the default 3× ratio matches transmon pad vs.
+	// resonator trace dimensions.
+	QubitSize float64
+	// QubitPitch is the seeded center-to-center distance per unit edge
+	// of the canonical embedding. Near-abutting pitch (≈ QubitSize + 1)
+	// reproduces the compact, partially-overlapping qubit arrangement a
+	// density-driven GP hands to legalization (Fig. 4-a) — the quantum
+	// legalizer then opens the spacing back up, the classic one does
+	// not.
+	QubitPitch float64
+	// BlockSize is the standard cell side l_b.
+	BlockSize float64
+	// Utilization is the target component-area / substrate-area ratio.
+	// Lower values leave the legalizers more whitespace.
+	Utilization float64
+	// Seed drives the frequency-plan jitter.
+	Seed int64
+}
+
+// DefaultBuildParams mirrors DESIGN.md §6.
+func DefaultBuildParams() BuildParams {
+	return BuildParams{QubitSize: 3, BlockSize: 1, Utilization: 0.52, QubitPitch: 4.2, Seed: 0}
+}
+
+// Build converts a device topology into a placement netlist: one qubit
+// macro per vertex, one partitioned resonator per edge (block count per
+// Eq. 6 via the frequency plan), on a square substrate sized for the
+// target utilization. Initial positions scale the canonical embedding
+// onto the substrate, with each resonator's blocks strung between its
+// endpoints — i.e. roughly what a wirelength-driven GP would start from.
+func Build(d *Device, p BuildParams) *netlist.Netlist {
+	plan := freq.Assign(d.Qubits, d.Edges, p.Seed)
+
+	n := &netlist.Netlist{Name: d.Name, BlockSize: p.BlockSize}
+
+	totalBlocks := 0
+	for e := range d.Edges {
+		totalBlocks += freq.WireBlocks(plan.Resonator[e])
+	}
+	compArea := float64(d.Qubits)*p.QubitSize*p.QubitSize +
+		float64(totalBlocks)*p.BlockSize*p.BlockSize
+	area := compArea / p.Utilization
+
+	// The substrate aspect ratio follows the canonical embedding so the
+	// qubit pitch stays comparable on both axes: a square substrate over
+	// an elongated topology (e.g. Falcon's 10×4 heavy-hex) would crush
+	// one axis and leave no routing channels between qubit macros.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range d.Coords {
+		minX = math.Min(minX, c.X)
+		maxX = math.Max(maxX, c.X)
+		minY = math.Min(minY, c.Y)
+		maxY = math.Max(maxY, c.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	aspect := geom.Clamp(spanX/spanY, 1.0/3, 3)
+	n.W = math.Ceil(math.Sqrt(area * aspect))
+	n.H = math.Ceil(area / n.W)
+
+	// Seed the qubit array at the requested pitch, centered on the
+	// substrate; fall back to margin-bounded spreading when the array
+	// would not fit.
+	margin := p.QubitSize
+	sx := p.QubitPitch
+	sy := p.QubitPitch
+	if sx <= 0 || sx*spanX > n.W-2*margin {
+		sx = (n.W - 2*margin) / spanX
+	}
+	if sy <= 0 || sy*spanY > n.H-2*margin {
+		sy = (n.H - 2*margin) / spanY
+	}
+	offX := (n.W - sx*spanX) / 2
+	offY := (n.H - sy*spanY) / 2
+	place := func(c geom.Pt) geom.Pt {
+		return geom.Pt{
+			X: offX + (c.X-minX)*sx,
+			Y: offY + (c.Y-minY)*sy,
+		}
+	}
+
+	for q := 0; q < d.Qubits; q++ {
+		n.Qubits = append(n.Qubits, netlist.Qubit{
+			ID:   q,
+			Name: d.Name,
+			Pos:  place(d.Coords[q]),
+			Size: p.QubitSize,
+			Freq: plan.Qubit[q],
+		})
+	}
+
+	for e, edge := range d.Edges {
+		f := plan.Resonator[e]
+		nb := freq.WireBlocks(f)
+		res := netlist.Resonator{
+			ID:     e,
+			Q1:     edge[0],
+			Q2:     edge[1],
+			Freq:   f,
+			Length: freq.ResonatorLength(f),
+		}
+		p1 := n.Qubits[edge[0]].Pos
+		p2 := n.Qubits[edge[1]].Pos
+		for i := 0; i < nb; i++ {
+			t := (float64(i) + 0.5) / float64(nb)
+			id := len(n.Blocks)
+			n.Blocks = append(n.Blocks, netlist.WireBlock{
+				ID:    id,
+				Edge:  e,
+				Index: i,
+				Pos: geom.Pt{
+					X: p1.X + t*(p2.X-p1.X),
+					Y: p1.Y + t*(p2.Y-p1.Y),
+				},
+			})
+			res.Blocks = append(res.Blocks, id)
+		}
+		n.Resonators = append(n.Resonators, res)
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestBuildAllTopologies(t *testing.T) {
+	for _, d := range All() {
+		n := Build(d, DefaultBuildParams())
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if len(n.Qubits) != d.Qubits {
+			t.Errorf("%s: %d qubits, want %d", d.Name, len(n.Qubits), d.Qubits)
+		}
+		if len(n.Resonators) != len(d.Edges) {
+			t.Errorf("%s: %d resonators, want %d", d.Name, len(n.Resonators), len(d.Edges))
+		}
+		for _, r := range n.Resonators {
+			if len(r.Blocks) < 11 || len(r.Blocks) > 12 {
+				t.Errorf("%s: resonator %d has %d blocks, want 11..12", d.Name, r.ID, len(r.Blocks))
+			}
+		}
+	}
+}
+
+func TestBuildQubitsInsideSubstrate(t *testing.T) {
+	for _, d := range All() {
+		n := Build(d, DefaultBuildParams())
+		border := n.Border()
+		for _, q := range n.Qubits {
+			if !border.ContainsRect(q.Rect()) {
+				t.Errorf("%s: qubit %d at %v outside substrate %gx%g",
+					d.Name, q.ID, q.Pos, n.W, n.H)
+			}
+		}
+	}
+}
+
+func TestBuildUtilization(t *testing.T) {
+	p := DefaultBuildParams()
+	for _, d := range All() {
+		n := Build(d, p)
+		var area float64
+		for _, q := range n.Qubits {
+			area += q.Rect().Area()
+		}
+		area += float64(len(n.Blocks)) * n.BlockSize * n.BlockSize
+		util := area / (n.W * n.H)
+		if util > p.Utilization+0.05 || util < p.Utilization-0.15 {
+			t.Errorf("%s: utilization %.3f far from target %.2f", d.Name, util, p.Utilization)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(Falcon27(), DefaultBuildParams())
+	b := Build(Falcon27(), DefaultBuildParams())
+	for i := range a.Qubits {
+		if a.Qubits[i].Pos != b.Qubits[i].Pos || a.Qubits[i].Freq != b.Qubits[i].Freq {
+			t.Fatal("Build is not deterministic")
+		}
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Pos != b.Blocks[i].Pos {
+			t.Fatal("Build block seeding is not deterministic")
+		}
+	}
+}
+
+func TestBuildBlocksBetweenEndpoints(t *testing.T) {
+	n := Build(Grid25(), DefaultBuildParams())
+	for _, r := range n.Resonators {
+		p1 := n.Qubits[r.Q1].Pos
+		p2 := n.Qubits[r.Q2].Pos
+		span := p1.Dist(p2) + 2
+		for _, id := range r.Blocks {
+			b := n.Blocks[id]
+			if b.Pos.Dist(p1)+b.Pos.Dist(p2) > span+1 {
+				t.Errorf("block %d of resonator %d far off the endpoint chord", id, r.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package topology generates the superconducting device coupling graphs
+// used in the paper's evaluation (Table I): a QEC-friendly square grid,
+// IBM heavy-hex processors (Falcon 27q, Eagle 127q), Rigetti octagon
+// processors (Aspen-11 40q, Aspen-M 80q), and the Pauli-string-efficient
+// Xtree (53q). Each generator also produces a canonical planar embedding
+// with unit edge pitch that seeds the global placer.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Device is a quantum device connectivity topology: qubit count, the
+// coupling edges (each realized physically by one resonator), and a
+// canonical planar embedding used to seed global placement.
+type Device struct {
+	Name   string
+	Qubits int
+	Edges  [][2]int
+	Coords []geom.Pt
+}
+
+// Degree returns the per-qubit degrees.
+func (d *Device) Degree() []int {
+	deg := make([]int, d.Qubits)
+	for _, e := range d.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	return deg
+}
+
+// AdjacencyList returns the neighbor lists of the coupling graph.
+func (d *Device) AdjacencyList() [][]int {
+	adj := make([][]int, d.Qubits)
+	for _, e := range d.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return adj
+}
+
+// Connected reports whether the coupling graph is connected. All real
+// devices are; generators are tested against this.
+func (d *Device) Connected() bool {
+	if d.Qubits == 0 {
+		return true
+	}
+	adj := d.AdjacencyList()
+	seen := make([]bool, d.Qubits)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == d.Qubits
+}
+
+// Validate checks structural sanity: edge endpoints in range, no
+// self-loops, no duplicate edges, one coordinate per qubit.
+func (d *Device) Validate() error {
+	if len(d.Coords) != d.Qubits {
+		return fmt.Errorf("%s: %d coords for %d qubits", d.Name, len(d.Coords), d.Qubits)
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range d.Edges {
+		if e[0] < 0 || e[0] >= d.Qubits || e[1] < 0 || e[1] >= d.Qubits {
+			return fmt.Errorf("%s: edge %v out of range", d.Name, e)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("%s: self-loop %v", d.Name, e)
+		}
+		k := e
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if seen[k] {
+			return fmt.Errorf("%s: duplicate edge %v", d.Name, e)
+		}
+		seen[k] = true
+	}
+	if !d.Connected() {
+		return fmt.Errorf("%s: coupling graph disconnected", d.Name)
+	}
+	return nil
+}
+
+// Grid returns an r×c square-lattice device (nearest-neighbor coupling),
+// the QEC/surface-code-friendly architecture. The paper evaluates the
+// 5×5 (25-qubit) instance.
+func Grid(rows, cols int) *Device {
+	d := &Device{Name: fmt.Sprintf("Grid-%d", rows*cols), Qubits: rows * cols}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			d.Coords = append(d.Coords, geom.Pt{X: float64(c), Y: float64(r)})
+			if c+1 < cols {
+				d.Edges = append(d.Edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				d.Edges = append(d.Edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return d
+}
+
+// Grid25 is the evaluation's 25-qubit grid (40 resonators).
+func Grid25() *Device { d := Grid(5, 5); d.Name = "Grid"; return d }
+
+// Falcon27 returns the IBM Falcon 27-qubit heavy-hex processor with its
+// published coupling map (28 edges) and the standard planar drawing.
+func Falcon27() *Device {
+	d := &Device{Name: "Falcon", Qubits: 27}
+	d.Edges = [][2]int{
+		{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8}, {6, 7},
+		{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15},
+		{13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+		{19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+	}
+	// Standard heavy-hex drawing: two long horizontal chains joined by
+	// three vertical rungs, with pendant qubits above/below.
+	coords := map[int]geom.Pt{
+		0: {X: 0, Y: 3},
+		1: {X: 0, Y: 2}, 4: {X: 1, Y: 2}, 7: {X: 2, Y: 2}, 10: {X: 3, Y: 2},
+		12: {X: 4, Y: 2}, 15: {X: 5, Y: 2}, 18: {X: 6, Y: 2}, 21: {X: 7, Y: 2},
+		23: {X: 8, Y: 2},
+		6:  {X: 2, Y: 3}, 17: {X: 6, Y: 3},
+		2: {X: 0, Y: 1}, 13: {X: 4, Y: 1}, 24: {X: 8, Y: 1},
+		3: {X: 0, Y: 0}, 5: {X: 1, Y: 0}, 8: {X: 2, Y: 0}, 11: {X: 3, Y: 0},
+		14: {X: 4, Y: 0}, 16: {X: 5, Y: 0}, 19: {X: 6, Y: 0}, 22: {X: 7, Y: 0},
+		25: {X: 8, Y: 0}, 26: {X: 9, Y: 0},
+		9: {X: 2, Y: -1}, 20: {X: 6, Y: -1},
+	}
+	d.Coords = make([]geom.Pt, d.Qubits)
+	for q, p := range coords {
+		d.Coords[q] = p
+	}
+	return d
+}
+
+// Eagle127 returns an Eagle-class 127-qubit heavy-hex lattice: seven long
+// rows (14, 15×5, 14 qubits) joined by six groups of four connector
+// qubits, giving 144 coupling edges — matching the resonator count the
+// paper reports for the Eagle processor (Table III). Qubit indices run
+// row by row (connectors between their adjacent rows), which differs
+// from IBM's numbering but is topology-equivalent.
+func Eagle127() *Device {
+	d := &Device{Name: "Eagle", Qubits: 0}
+	rowLens := []int{14, 15, 15, 15, 15, 15, 14}
+	rowStartX := []int{0, 0, 0, 0, 0, 0, 1}
+	// x offsets of the four connector qubits in each inter-row gap,
+	// alternating as on the real device.
+	connX := [][]int{
+		{0, 4, 8, 12},
+		{2, 6, 10, 14},
+		{0, 4, 8, 12},
+		{2, 6, 10, 14},
+		{0, 4, 8, 12},
+		{2, 6, 10, 14},
+	}
+	type key struct{ row, x int }
+	qubitAt := map[key]int{}
+	next := 0
+	addQ := func(x, y float64) int {
+		d.Coords = append(d.Coords, geom.Pt{X: x, Y: y})
+		id := next
+		next++
+		return id
+	}
+	// Long rows at y = 2*row; connectors at odd y.
+	for r, ln := range rowLens {
+		for i := 0; i < ln; i++ {
+			x := rowStartX[r] + i
+			id := addQ(float64(x), float64(2*r))
+			qubitAt[key{r, x}] = id
+			if i > 0 {
+				d.Edges = append(d.Edges, [2]int{id - 1, id})
+			}
+		}
+		if r+1 < len(rowLens) {
+			for _, x := range connX[r] {
+				id := addQ(float64(x), float64(2*r+1))
+				qubitAt[key{-1 - r, x}] = id // connector key, unique per gap
+			}
+		}
+	}
+	d.Qubits = next
+	// Wire connectors to the rows above and below.
+	for r := 0; r < len(rowLens)-1; r++ {
+		for _, x := range connX[r] {
+			c := qubitAt[key{-1 - r, x}]
+			lo, okLo := qubitAt[key{r, x}]
+			hi, okHi := qubitAt[key{r + 1, x}]
+			if !okLo || !okHi {
+				panic(fmt.Sprintf("eagle generator: connector x=%d missing row endpoint (gap %d)", x, r))
+			}
+			d.Edges = append(d.Edges, [2]int{lo, c}, [2]int{c, hi})
+		}
+	}
+	return d
+}
+
+// Octagon returns a Rigetti Aspen-style device: rows×cols rings of eight
+// qubits. Each ring is an 8-cycle; horizontally adjacent rings share two
+// coupling edges, vertically adjacent rings share two as well.
+func Octagon(rows, cols int) *Device {
+	d := &Device{Name: fmt.Sprintf("Octagon-%d", rows*cols*8), Qubits: rows * cols * 8}
+	const radius = 1.31 // unit nearest-vertex pitch on the ring
+	pitch := 2*radius + 1
+	ring := func(r, c, v int) int { return (r*cols+c)*8 + v }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cx := float64(c) * pitch
+			cy := float64(r) * pitch
+			for v := 0; v < 8; v++ {
+				ang := (22.5 + 45*float64(v)) * math.Pi / 180
+				d.Coords = append(d.Coords, geom.Pt{
+					X: cx + radius*math.Cos(ang),
+					Y: cy + radius*math.Sin(ang),
+				})
+				d.Edges = append(d.Edges, [2]int{ring(r, c, v), ring(r, c, (v+1)%8)})
+			}
+			if c+1 < cols {
+				// Right-side vertices (0: +22.5°, 7: -22.5°) couple to the
+				// next ring's left-side vertices (3: 157.5°, 4: 202.5°).
+				d.Edges = append(d.Edges,
+					[2]int{ring(r, c, 0), ring(r, c+1, 3)},
+					[2]int{ring(r, c, 7), ring(r, c+1, 4)},
+				)
+			}
+			if r+1 < rows {
+				// Top vertices (1: 67.5°, 2: 112.5°) couple to the ring
+				// above's bottom vertices (6: 292.5°, 5: 247.5°).
+				d.Edges = append(d.Edges,
+					[2]int{ring(r, c, 1), ring(r+1, c, 6)},
+					[2]int{ring(r, c, 2), ring(r+1, c, 5)},
+				)
+			}
+		}
+	}
+	return d
+}
+
+// Aspen11 is the Rigetti Aspen-11 processor: 40 qubits in a single row
+// of five octagons (48 resonators).
+func Aspen11() *Device { d := Octagon(1, 5); d.Name = "Aspen-11"; return d }
+
+// AspenM is the Rigetti Aspen-M processor: 80 qubits in a 2×5 array of
+// octagons (106 resonators).
+func AspenM() *Device { d := Octagon(2, 5); d.Name = "Aspen-M"; return d }
+
+// Xtree returns a 53-qubit Pauli-string-efficient tree architecture
+// (Li et al., ISCA'21, "Level 3"). The paper reports only the qubit and
+// resonator counts (53 qubits, 52 couplers, i.e. a tree); we build a
+// balanced branching-factor-3 tree with a radial embedding, matching the
+// degree distribution such an architecture implies (see DESIGN.md §4).
+func Xtree(n int) *Device {
+	d := &Device{Name: fmt.Sprintf("Xtree-%d", n), Qubits: n}
+	parent := make([]int, n)
+	children := make([][]int, n)
+	parent[0] = -1
+	// BFS fill with branching factor 3.
+	nextChild := 1
+	for v := 0; v < n && nextChild < n; v++ {
+		for k := 0; k < 3 && nextChild < n; k++ {
+			parent[nextChild] = v
+			children[v] = append(children[v], nextChild)
+			d.Edges = append(d.Edges, [2]int{v, nextChild})
+			nextChild++
+		}
+	}
+	// Radial layout: node at depth k sits on the ring of radius k, with
+	// each subtree granted an angular sector proportional to its size.
+	// Uniform ring spacing keeps outer generations from crowding the
+	// hubs, mirroring how the Pauli-string architecture spreads branches.
+	d.Coords = make([]geom.Pt, n)
+	subtree := make([]int, n)
+	for v := n - 1; v >= 0; v-- {
+		subtree[v] = 1
+		for _, c := range children[v] {
+			subtree[v] += subtree[c]
+		}
+	}
+	var place func(v int, angLo, angHi float64, depth int)
+	place = func(v int, angLo, angHi float64, depth int) {
+		total := subtree[v] - 1
+		if total == 0 {
+			return
+		}
+		a := angLo
+		for _, c := range children[v] {
+			frac := float64(subtree[c]) / float64(total)
+			b := a + (angHi-angLo)*frac
+			mid := (a + b) / 2
+			// Half-step padding pushes the first ring out, relieving the
+			// congestion around the root and depth-1 hubs where four
+			// resonators' worth of wire blocks compete for space.
+			r := float64(depth+1) + 0.5
+			d.Coords[c] = geom.Pt{X: r * math.Cos(mid), Y: r * math.Sin(mid)}
+			place(c, a, b, depth+1)
+			a = b
+		}
+	}
+	d.Coords[0] = geom.Pt{}
+	place(0, 0, 2*math.Pi, 0)
+	return d
+}
+
+// Xtree53 is the evaluation's 53-qubit Xtree instance.
+func Xtree53() *Device { d := Xtree(53); d.Name = "Xtree"; return d }
+
+// All returns the six evaluation topologies in the order the paper's
+// figures use: Grid, Xtree, Falcon, Eagle, Aspen-11, Aspen-M.
+func All() []*Device {
+	return []*Device{Grid25(), Xtree53(), Falcon27(), Eagle127(), Aspen11(), AspenM()}
+}
+
+// ByName returns the named evaluation topology, or an error listing the
+// valid names.
+func ByName(name string) (*Device, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q (valid: Grid, Xtree, Falcon, Eagle, Aspen-11, Aspen-M)", name)
+}

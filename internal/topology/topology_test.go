@@ -1,0 +1,243 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Expected qubit and resonator counts from Table I / Table III of the
+// paper.
+func TestEvaluationTopologyCounts(t *testing.T) {
+	cases := []struct {
+		name          string
+		dev           *Device
+		qubits, edges int
+	}{
+		{"Grid", Grid25(), 25, 40},
+		{"Falcon", Falcon27(), 27, 28},
+		{"Eagle", Eagle127(), 127, 144},
+		{"Aspen-11", Aspen11(), 40, 48},
+		{"Aspen-M", AspenM(), 80, 106},
+		{"Xtree", Xtree53(), 53, 52},
+	}
+	for _, c := range cases {
+		if c.dev.Qubits != c.qubits {
+			t.Errorf("%s: qubits = %d, want %d", c.name, c.dev.Qubits, c.qubits)
+		}
+		if len(c.dev.Edges) != c.edges {
+			t.Errorf("%s: edges = %d, want %d", c.name, len(c.dev.Edges), c.edges)
+		}
+		if err := c.dev.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestAllOrderAndNames(t *testing.T) {
+	want := []string{"Grid", "Xtree", "Falcon", "Eagle", "Aspen-11", "Aspen-M"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d devices", len(all))
+	}
+	for i, d := range all {
+		if d.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("Falcon")
+	if err != nil || d.Qubits != 27 {
+		t.Errorf("ByName(Falcon) = %v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	d := Grid(3, 4)
+	if d.Qubits != 12 {
+		t.Fatalf("qubits = %d", d.Qubits)
+	}
+	// r*(c-1) + (r-1)*c edges.
+	if want := 3*3 + 2*4; len(d.Edges) != want {
+		t.Errorf("edges = %d, want %d", len(d.Edges), want)
+	}
+	deg := d.Degree()
+	// Corners have degree 2.
+	for _, corner := range []int{0, 3, 8, 11} {
+		if deg[corner] != 2 {
+			t.Errorf("corner %d degree = %d, want 2", corner, deg[corner])
+		}
+	}
+	// Interior has degree 4.
+	if deg[5] != 4 || deg[6] != 4 {
+		t.Errorf("interior degrees = %d, %d, want 4", deg[5], deg[6])
+	}
+}
+
+func TestFalconDegrees(t *testing.T) {
+	d := Falcon27()
+	deg := d.Degree()
+	// Heavy-hex: max degree 3.
+	for q, dg := range deg {
+		if dg < 1 || dg > 3 {
+			t.Errorf("qubit %d degree = %d, want 1..3", q, dg)
+		}
+	}
+	// Known pendants.
+	for _, p := range []int{0, 6, 9, 17, 20, 26} {
+		if deg[p] != 1 {
+			t.Errorf("pendant %d degree = %d, want 1", p, deg[p])
+		}
+	}
+}
+
+func TestEagleDegrees(t *testing.T) {
+	d := Eagle127()
+	deg := d.Degree()
+	maxDeg := 0
+	for _, dg := range deg {
+		if dg > maxDeg {
+			maxDeg = dg
+		}
+	}
+	if maxDeg != 3 {
+		t.Errorf("heavy-hex max degree = %d, want 3", maxDeg)
+	}
+	// All 24 connector qubits have degree exactly 2.
+	deg2 := 0
+	for _, dg := range deg {
+		if dg == 2 {
+			deg2++
+		}
+	}
+	if deg2 < 24 {
+		t.Errorf("only %d degree-2 qubits, want >= 24 connectors", deg2)
+	}
+}
+
+func TestOctagonStructure(t *testing.T) {
+	d := Octagon(1, 2)
+	if d.Qubits != 16 {
+		t.Fatalf("qubits = %d", d.Qubits)
+	}
+	if want := 16 + 2; len(d.Edges) != want {
+		t.Errorf("edges = %d, want %d", len(d.Edges), want)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	deg := d.Degree()
+	for q, dg := range deg {
+		if dg < 2 || dg > 3 {
+			t.Errorf("qubit %d degree = %d, want 2..3", q, dg)
+		}
+	}
+}
+
+func TestOctagonRingGeometry(t *testing.T) {
+	d := Octagon(1, 1)
+	// All ring vertices equidistant from center (0,0).
+	for q, p := range d.Coords {
+		r := math.Hypot(p.X, p.Y)
+		if math.Abs(r-1.31) > 1e-9 {
+			t.Errorf("qubit %d radius = %v", q, r)
+		}
+	}
+}
+
+func TestXtreeIsTree(t *testing.T) {
+	d := Xtree53()
+	if len(d.Edges) != d.Qubits-1 {
+		t.Errorf("edges = %d, want %d (tree)", len(d.Edges), d.Qubits-1)
+	}
+	if !d.Connected() {
+		t.Error("tree must be connected")
+	}
+	deg := d.Degree()
+	for q, dg := range deg {
+		if dg > 4 {
+			t.Errorf("qubit %d degree = %d, want <= 4", q, dg)
+		}
+	}
+}
+
+// Property: Xtree(n) is a connected tree for any small n.
+func TestQuickXtree(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%60) + 2
+		d := Xtree(n)
+		return d.Qubits == n && len(d.Edges) == n-1 && d.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Grid(r,c) validates and has the closed-form edge count.
+func TestQuickGrid(t *testing.T) {
+	f := func(rr, cc uint8) bool {
+		r := int(rr%8) + 1
+		c := int(cc%8) + 1
+		d := Grid(r, c)
+		want := r*(c-1) + (r-1)*c
+		return len(d.Edges) == want && d.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Octagon(r,c) validates with the closed-form edge count.
+func TestQuickOctagon(t *testing.T) {
+	f := func(rr, cc uint8) bool {
+		r := int(rr%3) + 1
+		c := int(cc%4) + 1
+		d := Octagon(r, c)
+		want := 8*r*c + 2*r*(c-1) + 2*c*(r-1)
+		return len(d.Edges) == want && d.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadDevices(t *testing.T) {
+	d := Grid(2, 2)
+	d.Edges = append(d.Edges, [2]int{0, 0})
+	if err := d.Validate(); err == nil {
+		t.Error("self-loop not caught")
+	}
+	d = Grid(2, 2)
+	d.Edges = append(d.Edges, [2]int{1, 0})
+	if err := d.Validate(); err == nil {
+		t.Error("duplicate edge not caught")
+	}
+	d = Grid(2, 2)
+	d.Edges = append(d.Edges, [2]int{0, 9})
+	if err := d.Validate(); err == nil {
+		t.Error("out-of-range edge not caught")
+	}
+	d = Grid(2, 2)
+	d.Edges = d.Edges[:1]
+	if err := d.Validate(); err == nil {
+		t.Error("disconnected graph not caught")
+	}
+}
+
+func TestCoordsDistinct(t *testing.T) {
+	for _, d := range All() {
+		seen := map[[2]int]bool{}
+		for q, p := range d.Coords {
+			k := [2]int{int(math.Round(p.X * 1000)), int(math.Round(p.Y * 1000))}
+			if seen[k] {
+				t.Errorf("%s: qubit %d shares coordinates with another", d.Name, q)
+			}
+			seen[k] = true
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package transpile
+
+import (
+	"testing"
+
+	"repro/internal/qbench"
+	"repro/internal/topology"
+)
+
+func TestMapBVOnGrid(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	c := qbench.BV(4)
+	m, err := Map(c, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layout) != 4 {
+		t.Fatalf("layout size = %d", len(m.Layout))
+	}
+	if m.DurationNs <= 0 {
+		t.Error("zero duration")
+	}
+	if len(m.ActiveQubits) < 4 {
+		t.Errorf("active qubits = %d, want >= 4", len(m.ActiveQubits))
+	}
+	// Total CX on resonators >= logical CX count.
+	totalCX := 0
+	for _, cnt := range m.TwoQ {
+		totalCX += cnt
+	}
+	if totalCX < c.TwoQubitCount() {
+		t.Errorf("physical CX %d < logical %d", totalCX, c.TwoQubitCount())
+	}
+	if totalCX != c.TwoQubitCount()+3*m.SwapCount {
+		t.Errorf("CX accounting: %d != %d + 3*%d", totalCX, c.TwoQubitCount(), m.SwapCount)
+	}
+}
+
+func TestMapAllBenchmarksAllTopologies(t *testing.T) {
+	for _, dev := range topology.All() {
+		n := topology.Build(dev, topology.DefaultBuildParams())
+		for _, b := range qbench.Suite() {
+			if b.Circuit.NumQubits > len(n.Qubits) {
+				continue
+			}
+			m, err := Map(b.Circuit, n, 7)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", b.Name, dev.Name, err)
+			}
+			// Every two-qubit interaction must land on real resonators.
+			for e := range m.TwoQ {
+				if e < 0 || e >= len(n.Resonators) {
+					t.Fatalf("%s on %s: bad edge %d", b.Name, dev.Name, e)
+				}
+			}
+			// Layout entries distinct.
+			seen := map[int]bool{}
+			for _, p := range m.Layout {
+				if seen[p] {
+					t.Fatalf("%s on %s: duplicate physical qubit %d", b.Name, dev.Name, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestMapDeterministicPerSeed(t *testing.T) {
+	n := topology.Build(topology.Falcon27(), topology.DefaultBuildParams())
+	c := qbench.QGAN(9, 3)
+	a, err := Map(c, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(c, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DurationNs != b.DurationNs || a.SwapCount != b.SwapCount {
+		t.Error("same seed produced different mappings")
+	}
+	diff, err := Map(c, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds should usually differ in layout.
+	same := true
+	for i := range a.Layout {
+		if a.Layout[i] != diff.Layout[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("seeds 3 and 4 coincide (unlikely but possible)")
+	}
+}
+
+func TestMapTooWide(t *testing.T) {
+	n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	wide := qbench.BV(26)
+	if _, err := Map(wide, n, 1); err == nil {
+		t.Error("26-qubit circuit on 25-qubit device should fail")
+	}
+}
+
+// Deeper/wider circuits must schedule longer — the fidelity ordering of
+// Fig. 8 (bv-16 worst, bv-4 best) rests on this.
+func TestDurationOrdering(t *testing.T) {
+	n := topology.Build(topology.Eagle127(), topology.DefaultBuildParams())
+	d := func(name string) float64 {
+		c, err := qbench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for seed := int64(0); seed < 10; seed++ {
+			m, err := Map(c, n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += m.DurationNs
+		}
+		return sum / 10
+	}
+	if d("bv-4") >= d("bv-16") {
+		t.Error("bv-4 should schedule shorter than bv-16")
+	}
+	if d("qgan-4") >= d("qgan-9") {
+		t.Error("qgan-4 should schedule shorter than qgan-9")
+	}
+}
+
+// SWAP overhead should be lower on richly-connected devices than on a
+// sparse tree for ring-structured circuits.
+func TestSwapOverheadReflectsConnectivity(t *testing.T) {
+	grid := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	tree := topology.Build(topology.Xtree53(), topology.DefaultBuildParams())
+	c := qbench.QAOA(4)
+	var sg, st int
+	for seed := int64(0); seed < 20; seed++ {
+		mg, err := Map(c, grid, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := Map(c, tree, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg += mg.SwapCount
+		st += mt.SwapCount
+	}
+	if sg > st {
+		t.Errorf("grid swap total %d > tree %d", sg, st)
+	}
+}
