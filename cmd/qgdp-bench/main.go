@@ -2,12 +2,18 @@
 // Fig. 8 (fidelity grid), Fig. 9 (layout metrics), Table II (runtimes),
 // and Table III (detailed placement evaluation).
 //
+// All experiments fan their topology × strategy × benchmark jobs out
+// through one shared service engine, so independent jobs run in
+// parallel and the experiments reuse each other's GP solutions,
+// layouts, and fidelity values.
+//
 // Usage:
 //
 //	qgdp-bench                 # everything, 50 mappings per bar
 //	qgdp-bench -exp fig8       # a single experiment
 //	qgdp-bench -mappings 10    # faster, noisier fidelity bars
 //	qgdp-bench -topology Grid  # restrict to one topology
+//	qgdp-bench -workers 4      # bound the engine's worker pool
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/topology"
 )
 
@@ -25,17 +32,19 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig8, fig9, table2, table3, all")
 	mappings := flag.Int("mappings", 50, "seeded mappings averaged per fidelity bar")
 	topoName := flag.String("topology", "", "restrict to one topology (default: all six)")
+	workers := flag.Int("workers", 0, "max concurrent pipeline computations (default GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*exp, *mappings, *topoName); err != nil {
+	if err := run(*exp, *mappings, *topoName, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, mappings int, topoName string) error {
+func run(exp string, mappings int, topoName string, workers int) error {
 	cfg := core.DefaultConfig()
 	cfg.Mappings = mappings
+	runner := experiments.NewRunner(service.New(service.Options{Workers: workers}))
 
 	devs := topology.All()
 	if topoName != "" {
@@ -51,7 +60,7 @@ func run(exp string, mappings int, topoName string) error {
 
 	if want("fig8") {
 		ran = true
-		res, err := experiments.Fig8(devs, cfg)
+		res, err := runner.Fig8(devs, cfg)
 		if err != nil {
 			return err
 		}
@@ -59,7 +68,7 @@ func run(exp string, mappings int, topoName string) error {
 	}
 	if want("fig9") {
 		ran = true
-		res, err := experiments.Fig9(devs, cfg)
+		res, err := runner.Fig9(devs, cfg)
 		if err != nil {
 			return err
 		}
@@ -67,7 +76,7 @@ func run(exp string, mappings int, topoName string) error {
 	}
 	if want("table2") {
 		ran = true
-		res, err := experiments.Table2(devs, cfg)
+		res, err := runner.Table2(devs, cfg)
 		if err != nil {
 			return err
 		}
@@ -75,7 +84,7 @@ func run(exp string, mappings int, topoName string) error {
 	}
 	if want("table3") {
 		ran = true
-		res, err := experiments.Table3(devs, cfg)
+		res, err := runner.Table3(devs, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,74 @@
+// Command qgdp-serve runs the layout-as-a-service HTTP server: the
+// concurrent placement engine of internal/service behind a JSON API.
+//
+// Usage:
+//
+//	qgdp-serve -addr :8080 -workers 8 -cache 256
+//
+// Endpoints:
+//
+//	curl 'localhost:8080/v1/layout?topology=Falcon&strategy=qGDP-LG&seed=1'
+//	curl 'localhost:8080/v1/fidelity?topology=Falcon&strategy=qGDP-DP&bench=bv-4&mappings=50'
+//	curl 'localhost:8080/v1/strategies'
+//	curl 'localhost:8080/v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4'
+//	curl 'localhost:8080/statsz'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent pipeline computations (default GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 256, "entries per cache (GP, layout, fidelity)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cacheSize); err != nil {
+		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, cacheSize int) error {
+	eng := service.New(service.Options{Workers: workers, CacheSize: cacheSize})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("qgdp-serve listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Print("qgdp-serve shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -47,11 +47,19 @@ func assertLegal(t *testing.T, name string, n *netlist.Netlist) {
 	}
 }
 
+// testDevices trims the topology sweep under -short.
+func testDevices() []*topology.Device {
+	if testing.Short() {
+		return topology.Small()
+	}
+	return topology.All()
+}
+
 // Table III shape: qGDP-DP must never regress any metric relative to
 // qGDP-LG, on every topology.
 func TestRefineNeverRegresses(t *testing.T) {
 	p := DefaultParams()
-	for _, dev := range topology.All() {
+	for _, dev := range testDevices() {
 		n := legalized(t, dev)
 		before := metrics.Analyze(n, p.Metrics)
 		if _, err := Refine(n, p); err != nil {
@@ -72,6 +80,9 @@ func TestRefineNeverRegresses(t *testing.T) {
 // DP must strictly improve at least one topology's hotspot or crossing
 // picture overall (the Table III deltas).
 func TestRefineImprovesSomewhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full topology sweep to assert an improvement exists")
+	}
 	p := DefaultParams()
 	improved := false
 	for _, dev := range topology.All() {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+// serialFig8 reproduces the pre-engine serial driver: GP once, legalize
+// per strategy, fidelity per benchmark, all in one goroutine.
+func serialFig8(devs []*topology.Device, cfg core.Config) (*Fig8Result, error) {
+	res := &Fig8Result{
+		Strategies: core.Strategies(),
+		Benchmarks: Benchmarks(),
+		Fidelity:   map[string]map[core.Strategy]map[string]float64{},
+	}
+	for _, dev := range devs {
+		gp := core.Prepare(dev, cfg)
+		res.Topologies = append(res.Topologies, dev.Name)
+		res.Fidelity[dev.Name] = map[core.Strategy]map[string]float64{}
+		for _, s := range res.Strategies {
+			lay, err := core.Legalize(gp, s, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", dev.Name, s, err)
+			}
+			res.Fidelity[dev.Name][s] = map[string]float64{}
+			for _, b := range res.Benchmarks {
+				f, err := core.AverageFidelity(lay.Netlist, b, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.Fidelity[dev.Name][s][b] = f
+			}
+		}
+	}
+	return res, nil
+}
+
+// TestFig8ConcurrentMatchesSerial asserts the acceptance criterion that
+// the engine-driven concurrent fan-out renders byte-identical Fig. 8
+// tables: against a fresh concurrent run, and against the serial
+// single-goroutine pipeline.
+func TestFig8ConcurrentMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline comparison in -short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mappings = 3
+	devs := []*topology.Device{topology.Grid25()}
+
+	serial, err := serialFig8(devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := NewRunner(service.New(service.Options{})).Fig8(devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewRunner(service.New(service.Options{})).Fig8(devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := serial.Render()
+	if got := concurrent.Render(); got != want {
+		t.Errorf("concurrent Fig. 8 differs from serial:\n--- serial ---\n%s--- concurrent ---\n%s", want, got)
+	}
+	if got := again.Render(); got != want {
+		t.Errorf("second concurrent Fig. 8 run differs:\n%s", got)
+	}
+}
+
+// TestFig9DeterministicAcrossRuns renders Fig. 9 twice on independent
+// engines and asserts byte-identical tables.
+func TestFig9DeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline comparison in -short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mappings = 3
+	devs := []*topology.Device{topology.Grid25()}
+
+	a, err := NewRunner(service.New(service.Options{})).Fig9(devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(service.New(service.Options{})).Fig9(devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Errorf("Fig. 9 runs differ:\n--- a ---\n%s--- b ---\n%s", a.Render(), b.Render())
+	}
+}

@@ -12,13 +12,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/qbench"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/topology"
 )
 
@@ -31,25 +34,147 @@ func Benchmarks() []string {
 	return names
 }
 
-// prepare runs GP once per device and legalizes under all strategies
-// (plus qGDP-DP when withDP is set).
-func prepare(devs []*topology.Device, cfg core.Config, withDP bool) (map[string]map[core.Strategy]*core.Layout, error) {
+// Runner drives the experiments through a shared service engine: every
+// topology × strategy (× benchmark) job fans out concurrently, the
+// engine's caches share GP solutions and layouts across experiments,
+// and singleflight collapses duplicate jobs. Results are byte-identical
+// to the old serial drivers — every stage is deterministic in its
+// inputs, concurrency only reorders completion.
+type Runner struct {
+	eng *service.Engine
+}
+
+// NewRunner wraps an engine. cmd/qgdp-bench builds one engine and runs
+// all requested experiments through it, so Fig. 8, Fig. 9, and
+// Table II reuse each other's layouts.
+func NewRunner(eng *service.Engine) *Runner { return &Runner{eng: eng} }
+
+// defaultRunner backs the package-level experiment functions.
+var defaultRunner = sync.OnceValue(func() *Runner {
+	return NewRunner(service.New(service.Options{}))
+})
+
+// fanOut runs n jobs concurrently and returns the first error. The
+// shared context is cancelled as soon as any job fails, so in-flight
+// pipeline work aborts at the engine's next cancellation checkpoint
+// instead of running every remaining job to completion. Jobs write
+// results into distinct slots, so no result locking is needed.
+func fanOut(n int, job func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := job(ctx, i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// prepare legalizes every device under the given strategies, fanning
+// the topology × strategy jobs out through the engine. GP still runs
+// once per device: the engine's GP cache and singleflight guarantee all
+// strategies legalize clones of one solution, as the paper's
+// methodology prescribes.
+func (r *Runner) prepare(devs []*topology.Device, cfg core.Config, strategies []core.Strategy) (map[string]map[core.Strategy]*core.Layout, error) {
+	type job struct {
+		dev *topology.Device
+		s   core.Strategy
+	}
+	var jobs []job
+	for _, dev := range devs {
+		for _, s := range strategies {
+			jobs = append(jobs, job{dev, s})
+		}
+	}
+	lays := make([]*core.Layout, len(jobs))
+	err := fanOut(len(jobs), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		res, err := r.eng.Layout(ctx, service.LayoutRequest{
+			Topology: j.dev.Name, Device: j.dev, Strategy: j.s, Config: cfg,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", j.dev.Name, j.s, err)
+		}
+		lays[i] = res.Layout
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	out := map[string]map[core.Strategy]*core.Layout{}
 	for _, dev := range devs {
-		gp := core.Prepare(dev, cfg)
-		m := map[core.Strategy]*core.Layout{}
-		strategies := core.Strategies()
-		if withDP {
-			strategies = append(strategies, core.QGDPDP)
-		}
+		out[dev.Name] = map[core.Strategy]*core.Layout{}
+	}
+	for i, j := range jobs {
+		out[j.dev.Name][j.s] = lays[i]
+	}
+	return out, nil
+}
+
+// fidelityGrid evaluates every (topology, strategy, benchmark) tuple
+// concurrently through the engine. Layouts are computed (or joined)
+// on demand by the engine's nested singleflight, so fidelity jobs for
+// fast topologies need not wait for slow topologies' layouts; values
+// are cached for reuse across experiments.
+func (r *Runner) fidelityGrid(devs []*topology.Device, strategies []core.Strategy, benches []string, cfg core.Config) (map[string]map[core.Strategy]map[string]float64, error) {
+	type job struct {
+		dev   *topology.Device
+		s     core.Strategy
+		bench string
+	}
+	var jobs []job
+	for _, dev := range devs {
 		for _, s := range strategies {
-			lay, err := core.Legalize(gp, s, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", dev.Name, s, err)
+			for _, b := range benches {
+				jobs = append(jobs, job{dev, s, b})
 			}
-			m[s] = lay
 		}
-		out[dev.Name] = m
+	}
+	vals := make([]float64, len(jobs))
+	err := fanOut(len(jobs), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		res, err := r.eng.Fidelity(ctx, service.FidelityRequest{
+			LayoutRequest: service.LayoutRequest{
+				Topology: j.dev.Name, Device: j.dev, Strategy: j.s, Config: cfg,
+			},
+			Benchmark: j.bench,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", j.dev.Name, j.s, j.bench, err)
+		}
+		vals[i] = res.Fidelity
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := map[string]map[core.Strategy]map[string]float64{}
+	for _, dev := range devs {
+		out[dev.Name] = map[core.Strategy]map[string]float64{}
+		for _, s := range strategies {
+			out[dev.Name][s] = map[string]float64{}
+		}
+	}
+	for i, j := range jobs {
+		out[j.dev.Name][j.s][j.bench] = vals[i]
 	}
 	return out, nil
 }
@@ -63,31 +188,28 @@ type Fig8Result struct {
 	Fidelity map[string]map[core.Strategy]map[string]float64
 }
 
-// Fig8 regenerates the Fig. 8 fidelity grid.
+// Fig8 regenerates the Fig. 8 fidelity grid through the default engine.
 func Fig8(devs []*topology.Device, cfg core.Config) (*Fig8Result, error) {
-	lays, err := prepare(devs, cfg, false)
-	if err != nil {
-		return nil, err
-	}
+	return defaultRunner().Fig8(devs, cfg)
+}
+
+// Fig8 regenerates the Fig. 8 fidelity grid, fanning every
+// topology × strategy × benchmark job out through the engine. No
+// prepare barrier: each fidelity job computes or joins its layout via
+// the engine, so fast topologies finish without waiting for slow ones.
+func (r *Runner) Fig8(devs []*topology.Device, cfg core.Config) (*Fig8Result, error) {
 	res := &Fig8Result{
 		Strategies: core.Strategies(),
 		Benchmarks: Benchmarks(),
-		Fidelity:   map[string]map[core.Strategy]map[string]float64{},
 	}
 	for _, dev := range devs {
 		res.Topologies = append(res.Topologies, dev.Name)
-		res.Fidelity[dev.Name] = map[core.Strategy]map[string]float64{}
-		for _, s := range res.Strategies {
-			res.Fidelity[dev.Name][s] = map[string]float64{}
-			for _, b := range res.Benchmarks {
-				f, err := core.AverageFidelity(lays[dev.Name][s].Netlist, b, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", dev.Name, s, b, err)
-				}
-				res.Fidelity[dev.Name][s][b] = f
-			}
-		}
 	}
+	grid, err := r.fidelityGrid(devs, res.Strategies, res.Benchmarks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Fidelity = grid
 	return res, nil
 }
 
@@ -134,11 +256,17 @@ type Fig9Result struct {
 	Crossings    map[string]map[core.Strategy]int
 }
 
+// Fig9 regenerates Fig. 9 through the default engine.
+func Fig9(devs []*topology.Device, cfg core.Config) (*Fig9Result, error) {
+	return defaultRunner().Fig9(devs, cfg)
+}
+
 // Fig9 regenerates Fig. 9: mean program fidelity, hotspot proportion
 // P_h, and resonator crossings X per topology and strategy. One GP +
-// legalization pass per topology serves all three panels.
-func Fig9(devs []*topology.Device, cfg core.Config) (*Fig9Result, error) {
-	lays, err := prepare(devs, cfg, false)
+// legalization pass per topology serves all three panels; when Fig. 8
+// already ran on the same engine, every fidelity job is a cache hit.
+func (r *Runner) Fig9(devs []*topology.Device, cfg core.Config) (*Fig9Result, error) {
+	lays, err := r.prepare(devs, cfg, core.Strategies())
 	if err != nil {
 		return nil, err
 	}
@@ -149,21 +277,20 @@ func Fig9(devs []*topology.Device, cfg core.Config) (*Fig9Result, error) {
 		Ph:           map[string]map[core.Strategy]float64{},
 		Crossings:    map[string]map[core.Strategy]int{},
 	}
+	grid, err := r.fidelityGrid(devs, res.Strategies, benches, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for _, dev := range devs {
 		res.Topologies = append(res.Topologies, dev.Name)
 		res.MeanFidelity[dev.Name] = map[core.Strategy]float64{}
 		res.Ph[dev.Name] = map[core.Strategy]float64{}
 		res.Crossings[dev.Name] = map[core.Strategy]int{}
 		for _, s := range res.Strategies {
-			lay := lays[dev.Name][s]
-			rep := core.Analyze(lay.Netlist, cfg)
+			rep := core.Analyze(lays[dev.Name][s].Netlist, cfg)
 			var sum float64
 			for _, b := range benches {
-				f, err := core.AverageFidelity(lay.Netlist, b, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", dev.Name, s, b, err)
-				}
-				sum += f
+				sum += grid[dev.Name][s][b]
 			}
 			res.MeanFidelity[dev.Name][s] = sum / float64(len(benches))
 			res.Ph[dev.Name][s] = rep.Ph
@@ -225,10 +352,20 @@ type Table2Result struct {
 	Tq, Te map[string]map[core.Strategy]float64
 }
 
-// Table2 regenerates Table II: qubit (t_q) and resonator (t_e)
-// legalization times.
+// Table2 regenerates Table II through the default engine.
 func Table2(devs []*topology.Device, cfg core.Config) (*Table2Result, error) {
-	lays, err := prepare(devs, cfg, false)
+	return defaultRunner().Table2(devs, cfg)
+}
+
+// Table2 regenerates Table II: qubit (t_q) and resonator (t_e)
+// legalization times. Timings are captured when a layout is first
+// computed, so cached layouts report the runtimes of their original
+// computation — and since jobs run concurrently, wall-clock timings
+// include scheduler contention. For contention-free timings matching
+// the paper's serial setup, run with a single-worker engine
+// (qgdp-bench -workers 1).
+func (r *Runner) Table2(devs []*topology.Device, cfg core.Config) (*Table2Result, error) {
+	lays, err := r.prepare(devs, cfg, core.Strategies())
 	if err != nil {
 		return nil, err
 	}
@@ -303,19 +440,22 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-// Table3 regenerates Table III: detailed placement evaluation.
+// Table3 regenerates Table III through the default engine.
 func Table3(devs []*topology.Device, cfg core.Config) (*Table3Result, error) {
+	return defaultRunner().Table3(devs, cfg)
+}
+
+// Table3 regenerates Table III: detailed placement evaluation. The LG
+// and DP legalizations of every topology run concurrently; the engine's
+// GP cache guarantees both stages refine the same GP solution.
+func (r *Runner) Table3(devs []*topology.Device, cfg core.Config) (*Table3Result, error) {
+	lays, err := r.prepare(devs, cfg, []core.Strategy{core.QGDPLG, core.QGDPDP})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table3Result{}
 	for _, dev := range devs {
-		gp := core.Prepare(dev, cfg)
-		lg, err := core.Legalize(gp, core.QGDPLG, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s/LG: %w", dev.Name, err)
-		}
-		dp, err := core.Legalize(gp, core.QGDPDP, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s/DP: %w", dev.Name, err)
-		}
+		lg, dp := lays[dev.Name][core.QGDPLG], lays[dev.Name][core.QGDPDP]
 		row := Table3Row{Topology: dev.Name, Cells: lg.Netlist.NumCells()}
 		row.LG = stageQuality(core.Analyze(lg.Netlist, cfg))
 		row.DP = stageQuality(core.Analyze(dp.Netlist, cfg))

@@ -16,7 +16,7 @@ func fastCfg() core.Config {
 }
 
 func smallDevs() []*topology.Device {
-	return []*topology.Device{topology.Grid25(), topology.Falcon27()}
+	return topology.Small()
 }
 
 func TestFig8SmallRun(t *testing.T) {

@@ -22,8 +22,16 @@ func prepared(t *testing.T, dev *topology.Device) *netlist.Netlist {
 	return n
 }
 
+// testDevices trims the topology sweep under -short.
+func testDevices() []*topology.Device {
+	if testing.Short() {
+		return topology.Small()
+	}
+	return topology.All()
+}
+
 func TestLegalizeAllTopologies(t *testing.T) {
-	for _, dev := range topology.All() {
+	for _, dev := range testDevices() {
 		n := prepared(t, dev)
 		res, err := Legalize(n)
 		if err != nil {
@@ -63,7 +71,7 @@ func assertLegal(t *testing.T, name string, n *netlist.Netlist) {
 // The headline property: integration-aware legalization keeps almost all
 // resonators unified (Table III reports >= 92% unified for qGDP-LG).
 func TestIntegrationKeepsResonatorsUnified(t *testing.T) {
-	for _, dev := range topology.All() {
+	for _, dev := range testDevices() {
 		n := prepared(t, dev)
 		if _, err := Legalize(n); err != nil {
 			t.Fatalf("%s: %v", dev.Name, err)

@@ -1,0 +1,511 @@
+// Package service is the layout-as-a-service layer: a concurrent
+// placement engine wrapping internal/core behind caching, request
+// coalescing, and a bounded worker pool, plus the HTTP API served by
+// cmd/qgdp-serve.
+//
+// Every expensive pipeline stage is deterministic in its inputs —
+// global placement in (topology, Build, GP params), legalization in
+// (GP solution, strategy, DP params), fidelity averaging in (layout,
+// benchmark, fidelity params, mapping count) — so each stage is cached
+// in an LRU keyed by a canonical hash of those inputs. Concurrent
+// identical requests collapse into one computation via singleflight,
+// and all computations run inside a bounded worker pool with context
+// cancellation between stages.
+//
+// The experiments package drives its topology × strategy fan-out
+// through the same engine, so the paper's Fig. 8/9 and Table II/III
+// reproduction shares GP solutions and layouts across experiments and
+// runs them in parallel.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/topology"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent pipeline computations (default
+	// GOMAXPROCS).
+	Workers int
+	// CacheSize is the per-cache entry capacity (GP solutions, layouts,
+	// and fidelity values each get their own LRU; default 256).
+	CacheSize int
+}
+
+// Engine is a concurrent layout/fidelity computation service over the
+// core pipeline. All methods are safe for concurrent use.
+type Engine struct {
+	sem chan struct{}
+
+	gpCache, layCache, fidCache    *lru
+	gpFlight, layFlight, fidFlight flightGroup
+
+	stats stats
+
+	// Stage hooks, overridable in tests to observe or block mid-job.
+	prepareFn  func(*topology.Device, core.Config) *netlist.Netlist
+	legalizeFn func(context.Context, *netlist.Netlist, core.Strategy, core.Config) (*core.Layout, error)
+	fidelityFn func(context.Context, *netlist.Netlist, string, core.Config) (float64, error)
+}
+
+// New builds an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 256
+	}
+	return &Engine{
+		sem:      make(chan struct{}, opts.Workers),
+		gpCache:  newLRU(opts.CacheSize),
+		layCache: newLRU(opts.CacheSize),
+		fidCache: newLRU(opts.CacheSize),
+		prepareFn: func(dev *topology.Device, cfg core.Config) *netlist.Netlist {
+			return core.Prepare(dev, cfg)
+		},
+		legalizeFn: func(_ context.Context, gp *netlist.Netlist, s core.Strategy, cfg core.Config) (*core.Layout, error) {
+			return core.Legalize(gp, s, cfg)
+		},
+		fidelityFn: func(_ context.Context, n *netlist.Netlist, bench string, cfg core.Config) (float64, error) {
+			return core.AverageFidelity(n, bench, cfg)
+		},
+	}
+}
+
+// stats holds the engine counters behind /statsz.
+type stats struct {
+	requests                atomic.Int64
+	layoutHits, layoutMiss  atomic.Int64
+	gpHits, gpMiss          atomic.Int64
+	fidHits, fidMiss        atomic.Int64
+	computed                atomic.Int64 // pipeline stage executions (GP, legalize, fidelity)
+	sharedFlights           atomic.Int64 // requests that joined an in-flight computation
+	inFlight                atomic.Int64 // computations currently executing
+	latencyNs, latencyCount atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time view of the engine counters.
+type StatsSnapshot struct {
+	Requests       int64 `json:"requests"`
+	LayoutHits     int64 `json:"layout_hits"`
+	LayoutMisses   int64 `json:"layout_misses"`
+	GPHits         int64 `json:"gp_hits"`
+	GPMisses       int64 `json:"gp_misses"`
+	FidelityHits   int64 `json:"fidelity_hits"`
+	FidelityMisses int64 `json:"fidelity_misses"`
+	Computed       int64 `json:"computed"`
+	SharedFlights  int64 `json:"shared_flights"`
+	InFlight       int64 `json:"in_flight"`
+	// MeanLatencyMs averages the wall time of Layout/Fidelity calls
+	// (hits and misses alike).
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Requests:       e.stats.requests.Load(),
+		LayoutHits:     e.stats.layoutHits.Load(),
+		LayoutMisses:   e.stats.layoutMiss.Load(),
+		GPHits:         e.stats.gpHits.Load(),
+		GPMisses:       e.stats.gpMiss.Load(),
+		FidelityHits:   e.stats.fidHits.Load(),
+		FidelityMisses: e.stats.fidMiss.Load(),
+		Computed:       e.stats.computed.Load(),
+		SharedFlights:  e.stats.sharedFlights.Load(),
+		InFlight:       e.stats.inFlight.Load(),
+	}
+	if n := e.stats.latencyCount.Load(); n > 0 {
+		s.MeanLatencyMs = float64(e.stats.latencyNs.Load()) / float64(n) / 1e6
+	}
+	return s
+}
+
+// LayoutRequest identifies one legalized layout. The cache key is the
+// canonical hash of (Topology, Strategy, Config) — the GP seed rides in
+// Config.GP.Seed. Device optionally supplies a pre-built device (the
+// experiments drivers pass their own instances); when nil the topology
+// is resolved by name. Device.Name is the cache identity, so custom
+// devices must use distinct names.
+type LayoutRequest struct {
+	Topology string        `json:"topology"`
+	Strategy core.Strategy `json:"strategy"`
+	Config   core.Config   `json:"config"`
+	Device   *topology.Device `json:"-"`
+}
+
+// LayoutResult is a computed or cached layout.
+type LayoutResult struct {
+	Layout *core.Layout
+	// CacheHit reports the layout came straight from the LRU; Shared
+	// reports the request joined another request's in-flight
+	// computation. At most one is true.
+	CacheHit bool
+	Shared   bool
+}
+
+// FidelityRequest identifies one averaged-fidelity evaluation: the
+// layout request plus the benchmark circuit name.
+type FidelityRequest struct {
+	LayoutRequest
+	Benchmark string `json:"benchmark"`
+}
+
+// FidelityResult is a computed or cached fidelity value.
+type FidelityResult struct {
+	Fidelity float64
+	CacheHit bool
+	Shared   bool
+}
+
+// keyOf hashes any JSON-marshalable value into a stable hex key. Config
+// structs are plain exported scalars, so encoding/json is canonical
+// (struct order, no maps).
+func keyOf(kind string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Config structs cannot fail to marshal; a custom Device cannot
+		// reach here (it is excluded from the key).
+		panic(fmt.Sprintf("service: unhashable request: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), b...))
+	return kind + ":" + hex.EncodeToString(sum[:])
+}
+
+func layoutKey(req LayoutRequest) string {
+	return keyOf("layout", struct {
+		Topology string
+		Strategy core.Strategy
+		Config   core.Config
+	}{req.Topology, req.Strategy, req.Config})
+}
+
+// gpKey excludes the strategy: all strategies legalize clones of the
+// same GP solution, exactly as the paper's methodology prescribes.
+func gpKey(topo string, cfg core.Config) string {
+	return keyOf("gp", struct {
+		Topology string
+		Build    topology.BuildParams
+		GP       any
+	}{topo, cfg.Build, cfg.GP})
+}
+
+func fidelityKey(req FidelityRequest) string {
+	return keyOf("fidelity", struct {
+		Topology  string
+		Strategy  core.Strategy
+		Benchmark string
+		Config    core.Config
+	}{req.Topology, req.Strategy, req.Benchmark, req.Config})
+}
+
+// retryShared reports whether a flight error is another request's
+// context cancellation leaking to a follower whose own context is
+// still live. The computation runs under the leader's context, so a
+// cancelled leader fails every coalesced request; live followers must
+// retry (and lead the next flight themselves) instead of surfacing a
+// cancellation they never asked for.
+func retryShared(ctx context.Context, err error, shared bool) bool {
+	return shared && ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// acquire takes a worker slot, honoring cancellation while queued.
+func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Layout returns the legalized layout for the request, computing it at
+// most once across concurrent identical requests. The returned layout
+// is shared and must be treated as immutable; clone its Netlist before
+// modifying.
+func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, error) {
+	start := time.Now()
+	e.stats.requests.Add(1)
+	defer func() {
+		e.stats.latencyNs.Add(time.Since(start).Nanoseconds())
+		e.stats.latencyCount.Add(1)
+	}()
+
+	key := layoutKey(req)
+	if v, ok := e.layCache.Get(key); ok {
+		e.stats.layoutHits.Add(1)
+		return LayoutResult{Layout: v.(*core.Layout), CacheHit: true}, nil
+	}
+
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	defer release()
+
+	// The cache may have filled while this request queued for a slot;
+	// hit/miss is decided only now so each request counts exactly once.
+	if v, ok := e.layCache.Get(key); ok {
+		e.stats.layoutHits.Add(1)
+		return LayoutResult{Layout: v.(*core.Layout), CacheHit: true}, nil
+	}
+	e.stats.layoutMiss.Add(1)
+
+	lay, err, shared := e.layoutFlightDo(ctx, key, req)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	if shared {
+		e.stats.sharedFlights.Add(1)
+	}
+	return LayoutResult{Layout: lay, Shared: shared}, nil
+}
+
+// layoutFlightDo coalesces concurrent identical layout computations.
+// The caller must hold a worker slot.
+func (e *Engine) layoutFlightDo(ctx context.Context, key string, req LayoutRequest) (*core.Layout, error, bool) {
+	for {
+		v, err, shared := e.layFlight.Do(ctx, key, func() (any, error) {
+			lay, err := e.computeLayout(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			e.layCache.Add(key, lay)
+			return lay, nil
+		})
+		if retryShared(ctx, err, shared) {
+			continue
+		}
+		if err != nil {
+			return nil, err, shared
+		}
+		return v.(*core.Layout), nil, shared
+	}
+}
+
+// computeLayout runs GP (cached) then legalization, checking
+// cancellation between stages. Caller holds a worker slot.
+func (e *Engine) computeLayout(ctx context.Context, req LayoutRequest) (*core.Layout, error) {
+	gp, err := e.gpFor(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.stats.inFlight.Add(1)
+	defer e.stats.inFlight.Add(-1)
+	e.stats.computed.Add(1)
+	return e.legalizeFn(ctx, gp, req.Strategy, req.Config)
+}
+
+// gpFor returns the (immutable) global-placement solution for the
+// request's topology and config, cached and singleflighted so all
+// strategies of one topology share one GP run. Legalization clones it.
+func (e *Engine) gpFor(ctx context.Context, req LayoutRequest) (*netlist.Netlist, error) {
+	key := gpKey(req.Topology, req.Config)
+	if v, ok := e.gpCache.Get(key); ok {
+		e.stats.gpHits.Add(1)
+		return v.(*netlist.Netlist), nil
+	}
+	e.stats.gpMiss.Add(1)
+	for {
+		v, err, shared := e.gpFlight.Do(ctx, key, func() (any, error) {
+			dev := req.Device
+			if dev == nil {
+				var err error
+				if dev, err = topology.ByName(req.Topology); err != nil {
+					return nil, err
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			e.stats.inFlight.Add(1)
+			defer e.stats.inFlight.Add(-1)
+			e.stats.computed.Add(1)
+			gp := e.prepareFn(dev, req.Config)
+			e.gpCache.Add(key, gp)
+			return gp, nil
+		})
+		if retryShared(ctx, err, shared) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return v.(*netlist.Netlist), nil
+	}
+}
+
+// Fidelity returns the benchmark's averaged program fidelity on the
+// requested layout, computing the layout first if it is not cached.
+func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityResult, error) {
+	start := time.Now()
+	e.stats.requests.Add(1)
+	defer func() {
+		e.stats.latencyNs.Add(time.Since(start).Nanoseconds())
+		e.stats.latencyCount.Add(1)
+	}()
+
+	key := fidelityKey(req)
+	if v, ok := e.fidCache.Get(key); ok {
+		e.stats.fidHits.Add(1)
+		return FidelityResult{Fidelity: v.(float64), CacheHit: true}, nil
+	}
+
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return FidelityResult{}, err
+	}
+	defer release()
+
+	if v, ok := e.fidCache.Get(key); ok {
+		e.stats.fidHits.Add(1)
+		return FidelityResult{Fidelity: v.(float64), CacheHit: true}, nil
+	}
+	e.stats.fidMiss.Add(1)
+
+	for {
+		v, err, shared := e.fidFlight.Do(ctx, key, func() (any, error) {
+			lay, err := e.layoutForNested(ctx, req.LayoutRequest)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			e.stats.inFlight.Add(1)
+			defer e.stats.inFlight.Add(-1)
+			e.stats.computed.Add(1)
+			f, err := e.fidelityFn(ctx, lay.Netlist, req.Benchmark, req.Config)
+			if err != nil {
+				return nil, err
+			}
+			e.fidCache.Add(key, f)
+			return f, nil
+		})
+		if retryShared(ctx, err, shared) {
+			continue
+		}
+		if err != nil {
+			return FidelityResult{}, err
+		}
+		if shared {
+			e.stats.sharedFlights.Add(1)
+		}
+		return FidelityResult{Fidelity: v.(float64), Shared: shared}, nil
+	}
+}
+
+// layoutForNested resolves a layout from within another computation.
+// The caller already holds a worker slot, so it must not acquire a
+// second one (that would deadlock a single-worker pool). It also skips
+// the layout hit/miss counters — those count client layout requests,
+// and this resolution belongs to a fidelity request counted elsewhere.
+func (e *Engine) layoutForNested(ctx context.Context, req LayoutRequest) (*core.Layout, error) {
+	key := layoutKey(req)
+	if v, ok := e.layCache.Get(key); ok {
+		return v.(*core.Layout), nil
+	}
+	lay, err, _ := e.layoutFlightDo(ctx, key, req)
+	return lay, err
+}
+
+// Analyze returns the layout-quality report for a cached-or-computed
+// layout. The metrics pass is cheap relative to placement, so it is not
+// cached separately.
+func (e *Engine) Analyze(ctx context.Context, req LayoutRequest) (metrics.Report, *core.Layout, error) {
+	res, err := e.Layout(ctx, req)
+	if err != nil {
+		return metrics.Report{}, nil, err
+	}
+	return core.Analyze(res.Layout.Netlist, req.Config), res.Layout, nil
+}
+
+// SweepItem is one topology × strategy result of a Sweep stream.
+type SweepItem struct {
+	Topology string         `json:"topology"`
+	Strategy core.Strategy  `json:"strategy"`
+	Report   metrics.Report `json:"report"`
+	// Fidelity maps benchmark name to averaged program fidelity;
+	// MeanFidelity averages across the requested benchmarks.
+	Fidelity     map[string]float64 `json:"fidelity,omitempty"`
+	MeanFidelity float64            `json:"mean_fidelity"`
+	QubitMs      float64            `json:"tq_ms"`
+	ResonatorMs  float64            `json:"te_ms"`
+	CacheHit     bool               `json:"cache_hit"`
+	Err          string             `json:"error,omitempty"`
+}
+
+// Sweep evaluates every topology × strategy combination concurrently
+// and streams results in completion order. The channel closes when all
+// combinations finish or ctx is cancelled.
+func (e *Engine) Sweep(ctx context.Context, topos []string, strats []core.Strategy, benches []string, cfg core.Config) <-chan SweepItem {
+	out := make(chan SweepItem)
+	var wg sync.WaitGroup
+	for _, topo := range topos {
+		for _, s := range strats {
+			wg.Add(1)
+			go func(topo string, s core.Strategy) {
+				defer wg.Done()
+				item := e.sweepOne(ctx, topo, s, benches, cfg)
+				select {
+				case out <- item:
+				case <-ctx.Done():
+				}
+			}(topo, s)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+func (e *Engine) sweepOne(ctx context.Context, topo string, s core.Strategy, benches []string, cfg core.Config) SweepItem {
+	item := SweepItem{Topology: topo, Strategy: s}
+	req := LayoutRequest{Topology: topo, Strategy: s, Config: cfg}
+	res, err := e.Layout(ctx, req)
+	if err != nil {
+		item.Err = err.Error()
+		return item
+	}
+	item.CacheHit = res.CacheHit
+	item.Report = core.Analyze(res.Layout.Netlist, cfg)
+	item.QubitMs = float64(res.Layout.QubitTime.Nanoseconds()) / 1e6
+	item.ResonatorMs = float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6
+	if len(benches) == 0 {
+		return item
+	}
+	item.Fidelity = make(map[string]float64, len(benches))
+	var sum float64
+	for _, b := range benches {
+		fr, err := e.Fidelity(ctx, FidelityRequest{LayoutRequest: req, Benchmark: b})
+		if err != nil {
+			item.Err = err.Error()
+			return item
+		}
+		item.Fidelity[b] = fr.Fidelity
+		sum += fr.Fidelity
+	}
+	item.MeanFidelity = sum / float64(len(benches))
+	return item
+}

@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/layoutio"
+	"repro/internal/metrics"
+	"repro/internal/qbench"
+	"repro/internal/topology"
+)
+
+// NewHandler wires the engine behind the service's HTTP API:
+//
+//	GET /v1/layout?topology=Falcon&strategy=qGDP-LG&seed=1   layout + report (format=svg for a rendering)
+//	GET /v1/fidelity?topology=Falcon&strategy=qGDP-LG&bench=bv-4&mappings=50
+//	GET /v1/strategies                                       strategies, topologies, benchmarks
+//	GET /v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4     NDJSON stream, one line per topology × strategy
+//	GET /healthz                                             liveness
+//	GET /statsz                                              engine counters
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/layout", func(w http.ResponseWriter, r *http.Request) { handleLayout(e, w, r) })
+	mux.HandleFunc("GET /v1/fidelity", func(w http.ResponseWriter, r *http.Request) { handleFidelity(e, w, r) })
+	mux.HandleFunc("GET /v1/strategies", handleStrategies)
+	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// configFromQuery builds a request config: evaluation defaults with the
+// cache-relevant knobs (seed, mappings, padding) overridable per call.
+func configFromQuery(r *http.Request) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q", v)
+		}
+		cfg.GP.Seed = seed
+	}
+	if v := q.Get("mappings"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m <= 0 {
+			return cfg, fmt.Errorf("bad mappings %q", v)
+		}
+		cfg.Mappings = m
+	}
+	if v := q.Get("padding"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 {
+			return cfg, fmt.Errorf("bad padding %q", v)
+		}
+		cfg.GP.Padding = p
+	}
+	return cfg, nil
+}
+
+func layoutRequestFromQuery(r *http.Request) (LayoutRequest, error) {
+	topo := r.URL.Query().Get("topology")
+	if topo == "" {
+		return LayoutRequest{}, fmt.Errorf("missing topology parameter")
+	}
+	if _, err := topology.ByName(topo); err != nil {
+		return LayoutRequest{}, err
+	}
+	strategy := core.Strategy(r.URL.Query().Get("strategy"))
+	if strategy == "" {
+		strategy = core.QGDPLG
+	}
+	if !validStrategy(strategy) {
+		return LayoutRequest{}, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	cfg, err := configFromQuery(r)
+	if err != nil {
+		return LayoutRequest{}, err
+	}
+	return LayoutRequest{Topology: topo, Strategy: strategy, Config: cfg}, nil
+}
+
+func validStrategy(s core.Strategy) bool {
+	for _, v := range append(core.Strategies(), core.QGDPDP) {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// layoutResponse is the /v1/layout body.
+type layoutResponse struct {
+	Topology    string          `json:"topology"`
+	Strategy    core.Strategy   `json:"strategy"`
+	Seed        int64           `json:"seed"`
+	CacheHit    bool            `json:"cache_hit"`
+	Shared      bool            `json:"shared"`
+	Report      metrics.Report  `json:"report"`
+	QubitMs     float64         `json:"tq_ms"`
+	ResonatorMs float64         `json:"te_ms"`
+	DPMs        float64         `json:"dp_ms"`
+	Layout      json.RawMessage `json:"layout"`
+}
+
+func handleLayout(e *Engine, w http.ResponseWriter, r *http.Request) {
+	req, err := layoutRequestFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := e.Layout(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	if r.URL.Query().Get("format") == "svg" {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		layoutio.WriteSVG(w, res.Layout.Netlist, layoutio.SVGOptions{Routes: true})
+		return
+	}
+	var buf bytes.Buffer
+	if err := layoutio.WriteJSON(&buf, res.Layout.Netlist); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, layoutResponse{
+		Topology:    req.Topology,
+		Strategy:    req.Strategy,
+		Seed:        req.Config.GP.Seed,
+		CacheHit:    res.CacheHit,
+		Shared:      res.Shared,
+		Report:      core.Analyze(res.Layout.Netlist, req.Config),
+		QubitMs:     float64(res.Layout.QubitTime.Nanoseconds()) / 1e6,
+		ResonatorMs: float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6,
+		DPMs:        float64(res.Layout.DPTime.Nanoseconds()) / 1e6,
+		Layout:      json.RawMessage(buf.Bytes()),
+	})
+}
+
+func handleFidelity(e *Engine, w http.ResponseWriter, r *http.Request) {
+	lreq, err := layoutRequestFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	bench := r.URL.Query().Get("bench")
+	if bench == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing bench parameter"))
+		return
+	}
+	if _, err := qbench.ByName(bench); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := e.Fidelity(r.Context(), FidelityRequest{LayoutRequest: lreq, Benchmark: bench})
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"topology":  lreq.Topology,
+		"strategy":  lreq.Strategy,
+		"bench":     bench,
+		"mappings":  lreq.Config.Mappings,
+		"seed":      lreq.Config.GP.Seed,
+		"fidelity":  res.Fidelity,
+		"cache_hit": res.CacheHit,
+		"shared":    res.Shared,
+	})
+}
+
+func handleStrategies(w http.ResponseWriter, _ *http.Request) {
+	var topos []string
+	for _, d := range topology.All() {
+		topos = append(topos, d.Name)
+	}
+	var benches []string
+	for _, b := range qbench.Suite() {
+		benches = append(benches, b.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"strategies": append(core.Strategies(), core.QGDPDP),
+		"topologies": topos,
+		"benchmarks": benches,
+	})
+}
+
+// handleSweep streams one NDJSON line per topology × strategy as each
+// finishes (completion order, not request order).
+func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
+	cfg, err := configFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+
+	topos := splitList(q.Get("topologies"))
+	if len(topos) == 0 {
+		for _, d := range topology.All() {
+			topos = append(topos, d.Name)
+		}
+	}
+	for _, t := range topos {
+		if _, err := topology.ByName(t); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	strats := core.Strategies()
+	if raw := splitList(q.Get("strategies")); len(raw) != 0 {
+		strats = strats[:0]
+		for _, s := range raw {
+			if !validStrategy(core.Strategy(s)) {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", s))
+				return
+			}
+			strats = append(strats, core.Strategy(s))
+		}
+	}
+
+	benches := splitList(q.Get("benchmarks"))
+	for _, b := range benches {
+		if _, err := qbench.ByName(b); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for item := range e.Sweep(r.Context(), topos, strats, benches, cfg) {
+		if err := enc.Encode(item); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// statusFor maps an engine error to an HTTP status: client-cancelled
+// requests report 499-style 408, everything else is a server error.
+func statusFor(ctx context.Context, err error) int {
+	if ctx.Err() != nil {
+		return http.StatusRequestTimeout
+	}
+	_ = err
+	return http.StatusInternalServerError
+}

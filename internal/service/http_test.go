@@ -1,0 +1,283 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/layoutio"
+)
+
+// testServer serves a real engine with the full pipeline; handlers are
+// exercised end-to-end over HTTP. Tests use Grid (the smallest
+// topology) and 1-2 mappings to stay fast.
+func testServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := New(Options{Workers: 4})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	var body map[string]string
+	resp := getJSON(t, srv.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz: status %d body %v", resp.StatusCode, body)
+	}
+}
+
+func TestStrategiesEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var body struct {
+		Strategies []string `json:"strategies"`
+		Topologies []string `json:"topologies"`
+		Benchmarks []string `json:"benchmarks"`
+	}
+	resp := getJSON(t, srv.URL+"/v1/strategies", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body.Strategies) != 6 { // five Fig. 8 strategies + qGDP-DP
+		t.Errorf("strategies = %v", body.Strategies)
+	}
+	if len(body.Topologies) != 6 || body.Topologies[0] != "Grid" {
+		t.Errorf("topologies = %v", body.Topologies)
+	}
+	if len(body.Benchmarks) != 7 {
+		t.Errorf("benchmarks = %v", body.Benchmarks)
+	}
+}
+
+func TestLayoutEndpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline in -short mode")
+	}
+	srv, eng := testServer(t)
+	url := srv.URL + "/v1/layout?topology=Grid&strategy=qGDP-LG&mappings=1"
+
+	var first struct {
+		Topology string          `json:"topology"`
+		Strategy string          `json:"strategy"`
+		CacheHit bool            `json:"cache_hit"`
+		Report   json.RawMessage `json:"report"`
+		Layout   json.RawMessage `json:"layout"`
+		TqMs     float64         `json:"tq_ms"`
+	}
+	resp := getJSON(t, url, &first)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if first.Topology != "Grid" || first.Strategy != "qGDP-LG" || first.CacheHit {
+		t.Errorf("first response: %+v", first)
+	}
+	if first.TqMs <= 0 {
+		t.Error("tq_ms not reported")
+	}
+	// The embedded layout must round-trip through layoutio.
+	n, err := layoutio.ReadJSON(bytes.NewReader(first.Layout))
+	if err != nil {
+		t.Fatalf("embedded layout invalid: %v", err)
+	}
+	if len(n.Qubits) != 25 {
+		t.Errorf("Grid layout has %d qubits, want 25", len(n.Qubits))
+	}
+
+	// Acceptance: a second identical request computes the pipeline once.
+	var second struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	getJSON(t, url, &second)
+	if !second.CacheHit {
+		t.Error("second identical request was not a cache hit")
+	}
+	s := eng.Stats()
+	if s.LayoutHits < 1 {
+		t.Errorf("stats: layout_hits = %d, want >= 1", s.LayoutHits)
+	}
+
+	// SVG rendering of the same (cached) layout.
+	svgResp, err := http.Get(url + "&format=svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svgResp.Body.Close()
+	if ct := svgResp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("svg content-type = %q", ct)
+	}
+}
+
+func TestFidelityEndpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline in -short mode")
+	}
+	srv, _ := testServer(t)
+	url := srv.URL + "/v1/fidelity?topology=Grid&strategy=qGDP-LG&bench=bv-4&mappings=2"
+
+	var body struct {
+		Fidelity float64 `json:"fidelity"`
+		Bench    string  `json:"bench"`
+		CacheHit bool    `json:"cache_hit"`
+	}
+	resp := getJSON(t, url, &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body.Bench != "bv-4" || body.Fidelity <= 0 || body.Fidelity > 1 {
+		t.Errorf("fidelity response: %+v", body)
+	}
+
+	var second struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	getJSON(t, url, &second)
+	if !second.CacheHit {
+		t.Error("second identical fidelity request was not a cache hit")
+	}
+}
+
+func TestSweepEndpointStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline in -short mode")
+	}
+	srv, _ := testServer(t)
+	url := srv.URL + "/v1/sweep?topologies=Grid&strategies=qGDP-LG,Tetris&benchmarks=bv-4&mappings=1"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+
+	seen := map[string]SweepItem{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var item SweepItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if item.Err != "" {
+			t.Fatalf("sweep item error: %s", item.Err)
+		}
+		seen[item.Topology+"/"+string(item.Strategy)] = item
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("got %d sweep items, want 2: %v", len(seen), seen)
+	}
+	for key, item := range seen {
+		if item.MeanFidelity <= 0 || item.MeanFidelity > 1 {
+			t.Errorf("%s: mean fidelity %v out of (0,1]", key, item.MeanFidelity)
+		}
+		if item.Fidelity["bv-4"] == 0 {
+			t.Errorf("%s: missing bv-4 fidelity", key)
+		}
+	}
+}
+
+func TestStatszEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	getJSON(t, srv.URL+"/v1/strategies", nil)
+	var s StatsSnapshot
+	resp := getJSON(t, srv.URL+"/statsz", &s)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if s.InFlight != 0 {
+		t.Errorf("in_flight = %d on idle server", s.InFlight)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/layout", http.StatusBadRequest},                                  // missing topology
+		{"/v1/layout?topology=Nope", http.StatusBadRequest},                    // unknown topology
+		{"/v1/layout?topology=Grid&strategy=Nope", http.StatusBadRequest},      // unknown strategy
+		{"/v1/layout?topology=Grid&seed=x", http.StatusBadRequest},             // bad seed
+		{"/v1/layout?topology=Grid&mappings=0", http.StatusBadRequest},         // bad mappings
+		{"/v1/fidelity?topology=Grid", http.StatusBadRequest},                  // missing bench
+		{"/v1/fidelity?topology=Grid&bench=nope", http.StatusBadRequest},       // unknown bench
+		{"/v1/sweep?topologies=Nope", http.StatusBadRequest},                   // unknown topology
+		{"/v1/sweep?strategies=Nope", http.StatusBadRequest},                   // unknown strategy
+		{"/v1/sweep?benchmarks=nope", http.StatusBadRequest},                   // unknown bench
+		{"/v1/layout?topology=Grid&padding=-1", http.StatusBadRequest},         // bad padding
+		{"/nope", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var body map[string]string
+		resp := getJSON(t, srv.URL+tc.path, nil)
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d, want %d (%v)", tc.path, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+// TestConcurrentMixedTraffic hammers the server with overlapping
+// identical and distinct requests; run under -race this validates the
+// whole service layer's synchronization.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline in -short mode")
+	}
+	srv, eng := testServer(t)
+	paths := []string{
+		"/v1/layout?topology=Grid&strategy=qGDP-LG&mappings=1",
+		"/v1/layout?topology=Grid&strategy=Tetris&mappings=1",
+		"/v1/fidelity?topology=Grid&strategy=qGDP-LG&bench=bv-4&mappings=1",
+		"/v1/strategies",
+		"/statsz",
+	}
+	done := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func(i int) {
+			resp, err := http.Get(srv.URL + paths[i%len(paths)])
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("%s: status %d", paths[i%len(paths)], resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+	s := eng.Stats()
+	// 8 identical layout requests for (Grid, qGDP-LG) plus 4 via the
+	// fidelity path: the legalization ran far fewer times than requested.
+	if s.Computed >= s.Requests {
+		t.Errorf("computed %d >= requests %d — no dedup happened", s.Computed, s.Requests)
+	}
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a thread-safe fixed-capacity least-recently-used cache. Values
+// are immutable once inserted (the engine never mutates a cached layout
+// or GP netlist; consumers clone before legalizing), so Get can hand the
+// stored value to concurrent readers directly.
+type lru struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *lru) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lru) Add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

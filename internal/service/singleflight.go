@@ -1,0 +1,56 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent calls by key: the first caller
+// (the leader) runs fn, later callers with the same key block until the
+// leader finishes and share its result. The computation runs under the
+// leader's context; a follower whose own context is cancelled stops
+// waiting and returns its context error while the leader keeps going.
+// Conversely a cancelled leader fails the whole flight — the engine's
+// callers detect that (retryShared) and have live followers retry,
+// leading a fresh flight themselves, so one client's disconnect never
+// fails another's request.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do returns fn's value and error for key, running fn at most once
+// concurrently. shared reports whether this caller joined an in-flight
+// leader rather than computing itself.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

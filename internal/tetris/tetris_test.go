@@ -45,8 +45,16 @@ func assertLegal(t *testing.T, name string, n *netlist.Netlist) {
 	}
 }
 
+// testDevices trims the topology sweep under -short.
+func testDevices() []*topology.Device {
+	if testing.Short() {
+		return topology.Small()
+	}
+	return topology.All()
+}
+
 func TestTetrisLegalAllTopologies(t *testing.T) {
-	for _, dev := range topology.All() {
+	for _, dev := range testDevices() {
 		n := prepared(t, dev)
 		if _, err := tetris.Legalize(n); err != nil {
 			t.Fatalf("%s: %v", dev.Name, err)
@@ -56,7 +64,7 @@ func TestTetrisLegalAllTopologies(t *testing.T) {
 }
 
 func TestAbacusLegalAllTopologies(t *testing.T) {
-	for _, dev := range topology.All() {
+	for _, dev := range testDevices() {
 		n := prepared(t, dev)
 		if _, err := abacus.Legalize(n); err != nil {
 			t.Fatalf("%s: %v", dev.Name, err)

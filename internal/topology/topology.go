@@ -332,6 +332,13 @@ func All() []*Device {
 	return []*Device{Grid25(), Xtree53(), Falcon27(), Eagle127(), Aspen11(), AspenM()}
 }
 
+// Small returns the two smallest evaluation topologies. Test suites
+// sweep these under -short, where the large instances (Eagle, Aspen-M)
+// would dominate runtime.
+func Small() []*Device {
+	return []*Device{Grid25(), Falcon27()}
+}
+
 // ByName returns the named evaluation topology, or an error listing the
 // valid names.
 func ByName(name string) (*Device, error) {
