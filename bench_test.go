@@ -21,7 +21,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/dplace"
 	"repro/internal/fidelity"
+	"repro/internal/geom"
 	"repro/internal/gplace"
+	"repro/internal/maze"
+	"repro/internal/mcf"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/qbench"
@@ -85,6 +88,7 @@ func BenchmarkTable2QubitLegalization(b *testing.B) {
 		} {
 			b.Run(topo+"/"+flavor.name, func(b *testing.B) {
 				gp := gpFor(b, topo)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					n := gp.Clone()
@@ -110,6 +114,7 @@ func BenchmarkTable2ResonatorLegalization(b *testing.B) {
 		}
 		b.Run(topo+"/qGDP", func(b *testing.B) {
 			base := pre(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := base.Clone()
@@ -120,6 +125,7 @@ func BenchmarkTable2ResonatorLegalization(b *testing.B) {
 		})
 		b.Run(topo+"/tetris", func(b *testing.B) {
 			base := pre(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := base.Clone()
@@ -130,6 +136,7 @@ func BenchmarkTable2ResonatorLegalization(b *testing.B) {
 		})
 		b.Run(topo+"/abacus", func(b *testing.B) {
 			base := pre(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := base.Clone()
@@ -219,6 +226,7 @@ func BenchmarkTable3DetailedPlacement(b *testing.B) {
 		b.Run(topo, func(b *testing.B) {
 			base := legalized(b, topo)
 			var rep metrics.Report
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := base.Clone()
@@ -326,7 +334,8 @@ func BenchmarkAblationHotspotPenalty(b *testing.B) {
 	}
 }
 
-// BenchmarkGlobalPlacement times the GP substrate itself.
+// BenchmarkGlobalPlacement times the GP substrate itself (netlist build
+// included, as the serving layer pays it per cold request).
 func BenchmarkGlobalPlacement(b *testing.B) {
 	for _, topo := range []string{"Grid", "Falcon", "Eagle"} {
 		b.Run(topo, func(b *testing.B) {
@@ -334,10 +343,123 @@ func BenchmarkGlobalPlacement(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				n := topology.Build(dev, topology.DefaultBuildParams())
 				gplace.Place(n, gplace.DefaultParams())
 			}
 		})
+	}
+}
+
+// --- Kernel benchmarks ------------------------------------------------
+//
+// The three hot kernels, isolated from instance construction so
+// allocs/op reflects the kernel itself. These are the BENCH_*.json
+// trajectory benchmarks: the zero-allocation acceptance criterion is
+// ≥10× fewer allocs/op than the seed kernels.
+
+// BenchmarkKernelGPlacePlace re-places the same seeded instance every
+// iteration: positions are restored outside the kernel, so the op is
+// exactly one gplace.Place call.
+func BenchmarkKernelGPlacePlace(b *testing.B) {
+	for _, topo := range []string{"Grid", "Eagle"} {
+		b.Run(topo, func(b *testing.B) {
+			dev, err := topology.ByName(topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := topology.Build(dev, topology.DefaultBuildParams())
+			qpos := make([]geom.Pt, len(n.Qubits))
+			bpos := make([]geom.Pt, len(n.Blocks))
+			for i, q := range n.Qubits {
+				qpos[i] = q.Pos
+			}
+			for i, blk := range n.Blocks {
+				bpos[i] = blk.Pos
+			}
+			restore := func() {
+				for i := range n.Qubits {
+					n.Qubits[i].Pos = qpos[i]
+				}
+				for i := range n.Blocks {
+					n.Blocks[i].Pos = bpos[i]
+				}
+			}
+			restore()
+			gplace.Place(n, gplace.DefaultParams()) // warm the scratch pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				restore()
+				b.StartTimer()
+				gplace.Place(n, gplace.DefaultParams())
+			}
+		})
+	}
+}
+
+// BenchmarkKernelMazeRouteWarm routes across a warm obstacle grid — the
+// detailed placer's steady-state Route call. Walls with staggered gaps
+// force real detours.
+func BenchmarkKernelMazeRouteWarm(b *testing.B) {
+	const size = 64
+	g := maze.NewGrid(size, size)
+	for wall := 0; wall < 6; wall++ {
+		x := 8 + wall*9
+		gap := (wall * 17) % (size - 8)
+		for y := 0; y < size; y++ {
+			if y < gap || y > gap+3 {
+				g.Block(maze.Cell{X: x, Y: y})
+			}
+		}
+	}
+	srcs := []maze.Cell{{X: 0, Y: 0}, {X: 0, Y: size - 1}}
+	dsts := []maze.Cell{{X: size - 1, Y: size - 1}, {X: size - 1, Y: 0}}
+	if g.Route(srcs, dsts) == nil { // warm the grid scratch
+		b.Fatal("benchmark grid is unroutable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Route(srcs, dsts) == nil {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// BenchmarkKernelMazeThickenWarm grows a routed path to a 24-cell
+// region, the other half of the DP re-placement inner loop.
+func BenchmarkKernelMazeThickenWarm(b *testing.B) {
+	g := maze.NewGrid(48, 48)
+	path := g.Route([]maze.Cell{{X: 4, Y: 24}}, []maze.Cell{{X: 20, Y: 24}})
+	if path == nil {
+		b.Fatal("route failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Thicken(path, 24) == nil {
+			b.Fatal("thicken failed")
+		}
+	}
+}
+
+// BenchmarkKernelMCFCancel measures one full negative-cycle-canceling
+// solve, graph construction included — the per-solve cost the qubit
+// legalizer pays on every relaxation level.
+func BenchmarkKernelMCFCancel(b *testing.B) {
+	arcs, n := mcf.LegalizerInstanceArcs(127, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := mcf.NewGraph(n)
+		for _, a := range arcs {
+			g.AddArc(int(a[0]), int(a[1]), a[2], a[3])
+		}
+		if _, err := g.CancelNegativeCycles(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

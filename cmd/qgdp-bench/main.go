@@ -14,6 +14,10 @@
 //	qgdp-bench -mappings 10    # faster, noisier fidelity bars
 //	qgdp-bench -topology Grid  # restrict to one topology
 //	qgdp-bench -workers 4      # bound the engine's worker pool
+//	qgdp-bench -exp table2 -json BENCH_PR2.json -pr 2
+//	                           # also emit a machine-readable trajectory
+//	                           # point (Table II/III runtimes + kernel
+//	                           # counters) for the BENCH_*.json series
 package main
 
 import (
@@ -33,15 +37,17 @@ func main() {
 	mappings := flag.Int("mappings", 50, "seeded mappings averaged per fidelity bar")
 	topoName := flag.String("topology", "", "restrict to one topology (default: all six)")
 	workers := flag.Int("workers", 0, "max concurrent pipeline computations (default GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a trajectory point (Table II/III + kernel counters) to this file")
+	pr := flag.Int("pr", 0, "PR number stamped into the -json trajectory point")
 	flag.Parse()
 
-	if err := run(*exp, *mappings, *topoName, *workers); err != nil {
+	if err := run(*exp, *mappings, *topoName, *workers, *jsonPath, *pr); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, mappings int, topoName string, workers int) error {
+func run(exp string, mappings int, topoName string, workers int, jsonPath string, pr int) error {
 	cfg := core.DefaultConfig()
 	cfg.Mappings = mappings
 	runner := experiments.NewRunner(service.New(service.Options{Workers: workers}))
@@ -114,6 +120,24 @@ func run(exp string, mappings int, topoName string, workers int) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (valid: fig8, fig9, table2, table3, fig1, sweep, all)", exp)
+	}
+	if jsonPath != "" {
+		// The point recomputes Table II/III through the same engine, so
+		// layouts computed above are cache hits and the kernel counters
+		// reflect the whole run.
+		point, err := runner.BenchPoint(devs, cfg, pr)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := point.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trajectory point written to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -6,13 +6,26 @@
 // and keeps the new positions only when the window's cluster count,
 // hotspot weight, and crossing count have not regressed (with at least
 // one strict improvement).
+//
+// The engine maintains one routing grid for the whole refinement run and
+// mutates it incrementally — rip-ups and placements apply block/unblock
+// deltas through a per-cell occupancy count, and the per-candidate
+// restriction to the problem window is a maze.Grid window instead of a
+// mass-block of every outside cell. Resonator routes and their bounding
+// boxes are cached and invalidated only for the resonators a window
+// touches, and the window objective uses the group-restricted metric
+// kernels, so a candidate costs work proportional to its window rather
+// than to the whole layout. The accepted layouts are identical to the
+// rebuild-per-candidate reference placer.
 package dplace
 
 import (
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/geom"
+	"repro/internal/kernstats"
 	"repro/internal/maze"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
@@ -53,13 +66,17 @@ type Result struct {
 // Refine runs Algorithm 2 on a legalized netlist, mutating wire-block
 // positions in place. Qubits never move.
 func Refine(n *netlist.Netlist, p Params) (Result, error) {
+	start := time.Now()
+	defer func() { kernstats.DPRefine.Observe(time.Since(start)) }()
+
+	r := newRefiner(n, p)
 	var res Result
 	for pass := 0; pass < p.MaxPasses; pass++ {
 		res.Passes = pass + 1
 		improved := false
-		for _, e := range candidates(n, p) {
+		for _, e := range r.candidates() {
 			res.Considered++
-			if refineWindow(n, p, e) {
+			if r.refineWindow(e) {
 				res.Accepted++
 				improved = true
 			}
@@ -71,15 +88,137 @@ func Refine(n *netlist.Netlist, p Params) (Result, error) {
 	return res, nil
 }
 
+// refiner carries the persistent state of one Refine run: the
+// incrementally-mutated routing grid, the per-cell block occupancy, and
+// the route cache.
+type refiner struct {
+	n *netlist.Netlist
+	p Params
+
+	g      *maze.Grid
+	w, h   int
+	static []bool  // qubit-footprint cells, never unblocked
+	occ    []int32 // wire blocks per cell; >0 means blocked
+
+	routes []geom.Polyline // cached n.Route(e); nil = recompute
+	boxes  []geom.Rect     // bounding boxes of the cached routes
+
+	inGroup []bool
+
+	// Per-window scratch.
+	savedID  []int
+	savedPos []geom.Pt
+	placed   []maze.Cell
+	srcs     []maze.Cell
+	dsts     []maze.Cell
+	crossing []int
+}
+
+func newRefiner(n *netlist.Netlist, p Params) *refiner {
+	w := int(math.Round(n.W))
+	h := int(math.Round(n.H))
+	r := &refiner{
+		n: n, p: p,
+		g:        maze.NewGrid(w, h),
+		w:        w,
+		h:        h,
+		static:   make([]bool, w*h),
+		occ:      make([]int32, w*h),
+		routes:   make([]geom.Polyline, len(n.Resonators)),
+		boxes:    make([]geom.Rect, len(n.Resonators)),
+		inGroup:  make([]bool, len(n.Resonators)),
+		crossing: make([]int, len(n.Resonators)),
+	}
+	// Qubit macros are permanent obstacles.
+	for qi := range n.Qubits {
+		rect := n.Qubits[qi].Rect()
+		x0 := int(math.Floor(rect.MinX() + geom.Eps))
+		y0 := int(math.Floor(rect.MinY() + geom.Eps))
+		x1 := int(math.Ceil(rect.MaxX() - geom.Eps))
+		y1 := int(math.Ceil(rect.MaxY() - geom.Eps))
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				c := maze.Cell{X: x, Y: y}
+				if r.g.InBounds(c) {
+					r.static[y*w+x] = true
+					r.g.Block(c)
+				}
+			}
+		}
+	}
+	// Every wire block occupies its cell.
+	for i := range n.Blocks {
+		r.occupy(cellOf(n.Blocks[i].Pos))
+	}
+	return r
+}
+
+// occupy adds one block to a cell, blocking it on the 0 -> 1 edge.
+// Out-of-bounds cells are ignored (they are implicitly blocked).
+func (r *refiner) occupy(c maze.Cell) {
+	if !r.g.InBounds(c) {
+		return
+	}
+	i := c.Y*r.w + c.X
+	r.occ[i]++
+	if r.occ[i] == 1 {
+		r.g.Block(c)
+	}
+}
+
+// vacate removes one block from a cell, unblocking it on the 1 -> 0 edge
+// unless a qubit footprint pins it.
+func (r *refiner) vacate(c maze.Cell) {
+	if !r.g.InBounds(c) {
+		return
+	}
+	i := c.Y*r.w + c.X
+	r.occ[i]--
+	if r.occ[i] == 0 && !r.static[i] {
+		r.g.Unblock(c)
+	}
+}
+
+// route returns resonator e's cached routing polyline, recomputing it
+// after an invalidation.
+func (r *refiner) route(e int) geom.Polyline {
+	if r.routes[e] == nil {
+		r.routes[e] = r.n.Route(e)
+		r.boxes[e] = r.routes[e].BBox()
+	}
+	return r.routes[e]
+}
+
+func (r *refiner) invalidateRoutes(group []int) {
+	for _, e := range group {
+		r.routes[e] = nil
+	}
+}
+
 // candidates returns the resonators violating a quality objective:
 // E_c (non-unified), E_h (hotspots), and crossing participants, ordered
-// worst-first (cluster count, then hotspot weight, then ID).
-func candidates(n *netlist.Netlist, p Params) []int {
-	hot := metrics.ResonatorHotspotAll(n, p.Metrics)
-	crossing := make([]int, len(n.Resonators))
-	for _, cp := range metrics.CrossingPairs(n) {
-		crossing[cp.EdgeI]++
-		crossing[cp.EdgeJ]++
+// worst-first (cluster count, then crossings, then hotspot weight, then
+// ID).
+func (r *refiner) candidates() []int {
+	n := r.n
+	hot := metrics.ResonatorHotspotAll(n, r.p.Metrics)
+	crossing := r.crossing
+	for e := range crossing {
+		crossing[e] = 0
+	}
+	for i := range n.Resonators {
+		r.route(i)
+	}
+	for i := range n.Resonators {
+		for j := i + 1; j < len(n.Resonators); j++ {
+			if !r.boxes[i].Touches(r.boxes[j]) {
+				continue
+			}
+			if c := geom.CrossCount(r.routes[i], r.routes[j]); c > 0 {
+				crossing[i] += c
+				crossing[j] += c
+			}
+		}
 	}
 	type cand struct {
 		e        int
@@ -130,41 +269,80 @@ func (a windowObjective) betterThan(b windowObjective) bool {
 }
 
 // refineWindow attempts one window rip-up/re-place; reports acceptance.
-func refineWindow(n *netlist.Netlist, p Params, e int) bool {
-	group := windowGroup(n, p, e)
-	win := windowRect(n, p, group)
+func (r *refiner) refineWindow(e int) bool {
+	n := r.n
+	group := r.windowGroup(e)
+	for _, ge := range group {
+		r.inGroup[ge] = true
+	}
+	defer func() {
+		for _, ge := range group {
+			r.inGroup[ge] = false
+		}
+	}()
+	win := r.windowRect(group)
 
-	before := measure(n, p, group)
+	before := r.measure(group)
 
-	// Snapshot for revert.
-	saved := map[int]geom.Pt{}
-	for _, we := range group {
-		for _, id := range n.Resonators[we].Blocks {
-			saved[id] = n.Blocks[id].Pos
+	// Snapshot for revert, and rip up the group's cells.
+	r.savedID = r.savedID[:0]
+	r.savedPos = r.savedPos[:0]
+	for _, ge := range group {
+		for _, id := range n.Resonators[ge].Blocks {
+			r.savedID = append(r.savedID, id)
+			r.savedPos = append(r.savedPos, n.Blocks[id].Pos)
+			r.vacate(cellOf(n.Blocks[id].Pos))
 		}
 	}
 
-	if !reroute(n, p, group, win) {
-		revert(n, saved)
+	// Restrict routing to the window.
+	x0 := int(math.Floor(win.MinX() + geom.Eps))
+	y0 := int(math.Floor(win.MinY() + geom.Eps))
+	x1 := int(math.Ceil(win.MaxX() - geom.Eps))
+	y1 := int(math.Ceil(win.MaxY() - geom.Eps))
+	r.g.SetWindow(x0, y0, x1, y1)
+
+	// Re-place each group resonator: the problem resonator first, then
+	// neighbors in group order.
+	r.placed = r.placed[:0]
+	ok := true
+	for _, ge := range group {
+		if !r.routeResonator(ge) {
+			ok = false
+			break
+		}
+	}
+	r.g.ClearWindow()
+	r.invalidateRoutes(group)
+
+	if !ok {
+		r.revert()
 		return false
 	}
-	after := measure(n, p, group)
+	after := r.measure(group)
 	if !after.betterThan(before) {
-		revert(n, saved)
+		r.revert()
+		r.invalidateRoutes(group)
 		return false
 	}
 	return true
 }
 
-func revert(n *netlist.Netlist, saved map[int]geom.Pt) {
-	for id, pos := range saved {
-		n.Blocks[id].Pos = pos
+// revert restores the snapshot positions and the matching occupancy.
+func (r *refiner) revert() {
+	for _, c := range r.placed {
+		r.vacate(c)
+	}
+	for i, id := range r.savedID {
+		r.n.Blocks[id].Pos = r.savedPos[i]
+		r.occupy(cellOf(r.savedPos[i]))
 	}
 }
 
 // windowGroup returns e plus up to MaxAdjacent resonators whose blocks
 // lie nearest to e's blocks (the "adjacent resonators" of Fig. 7).
-func windowGroup(n *netlist.Netlist, p Params, e int) []int {
+func (r *refiner) windowGroup(e int) []int {
+	n := r.n
 	type near struct {
 		e int
 		d float64
@@ -175,7 +353,7 @@ func windowGroup(n *netlist.Netlist, p Params, e int) []int {
 			continue
 		}
 		d := resonatorDistance(n, e, o)
-		if d <= float64(p.WindowMargin)+1 {
+		if d <= float64(r.p.WindowMargin)+1 {
 			nears = append(nears, near{o, d})
 		}
 	}
@@ -187,7 +365,7 @@ func windowGroup(n *netlist.Netlist, p Params, e int) []int {
 	})
 	group := []int{e}
 	for _, nr := range nears {
-		if len(group) > p.MaxAdjacent {
+		if len(group) > r.p.MaxAdjacent {
 			break
 		}
 		group = append(group, nr.e)
@@ -211,26 +389,27 @@ func resonatorDistance(n *netlist.Netlist, a, b int) float64 {
 
 // windowRect is the bounding box of the group's blocks and endpoint
 // qubits, expanded by the margin and clipped to the substrate.
-func windowRect(n *netlist.Netlist, p Params, group []int) geom.Rect {
+func (r *refiner) windowRect(group []int) geom.Rect {
+	n := r.n
 	first := true
 	var box geom.Rect
-	add := func(r geom.Rect) {
+	add := func(rc geom.Rect) {
 		if first {
-			box = r
+			box = rc
 			first = false
 		} else {
-			box = box.Union(r)
+			box = box.Union(rc)
 		}
 	}
 	for _, e := range group {
-		r := &n.Resonators[e]
-		add(n.Qubits[r.Q1].Rect())
-		add(n.Qubits[r.Q2].Rect())
-		for _, id := range r.Blocks {
+		res := &n.Resonators[e]
+		add(n.Qubits[res.Q1].Rect())
+		add(n.Qubits[res.Q2].Rect())
+		for _, id := range res.Blocks {
 			add(n.BlockRect(id))
 		}
 	}
-	box = box.Expand(float64(p.WindowMargin))
+	box = box.Expand(float64(r.p.WindowMargin))
 	// Clip to substrate.
 	minX := math.Max(0, box.MinX())
 	maxX := math.Min(n.W, box.MaxX())
@@ -239,111 +418,66 @@ func windowRect(n *netlist.Netlist, p Params, group []int) geom.Rect {
 	return geom.NewRect((minX+maxX)/2, (minY+maxY)/2, maxX-minX, maxY-minY)
 }
 
-// measure computes the acceptance objective for the group.
-func measure(n *netlist.Netlist, p Params, group []int) windowObjective {
+// measure computes the acceptance objective for the group: cluster
+// counts over the group, plus the group-restricted hotspot weight and
+// route-crossing count. The values match the full-layout metrics
+// filtered to the group, term for term.
+func (r *refiner) measure(group []int) windowObjective {
+	n := r.n
 	var o windowObjective
-	inGroup := map[int]bool{}
 	for _, e := range group {
-		inGroup[e] = true
 		o.clusters += n.ClusterCount(e)
 	}
-	for _, h := range metrics.Hotspots(n, p.Metrics) {
-		if (h.EdgeI >= 0 && inGroup[h.EdgeI]) || (h.EdgeJ >= 0 && inGroup[h.EdgeJ]) {
-			o.hotspots += h.Weight
-		}
+	o.hotspots = metrics.GroupHotspotWeight(n, r.p.Metrics, r.inGroup)
+	for i := range n.Resonators {
+		r.route(i)
 	}
-	for _, cp := range metrics.CrossingPairs(n) {
-		if inGroup[cp.EdgeI] || inGroup[cp.EdgeJ] {
-			o.crossings++
+	for i := range n.Resonators {
+		for j := i + 1; j < len(n.Resonators); j++ {
+			if !r.inGroup[i] && !r.inGroup[j] {
+				continue
+			}
+			if !r.boxes[i].Touches(r.boxes[j]) {
+				continue
+			}
+			o.crossings += geom.CrossCount(r.routes[i], r.routes[j])
 		}
 	}
 	return o
 }
 
-// reroute rips up the group's blocks and re-places each resonator with
-// maze routing inside the window. Returns false when any resonator
-// cannot be routed (caller reverts).
-func reroute(n *netlist.Netlist, p Params, group []int, win geom.Rect) bool {
-	g := maze.NewGrid(int(math.Round(n.W)), int(math.Round(n.H)))
-
-	// Everything outside the window is unusable.
-	x0 := int(math.Floor(win.MinX() + geom.Eps))
-	y0 := int(math.Floor(win.MinY() + geom.Eps))
-	x1 := int(math.Ceil(win.MaxX() - geom.Eps))
-	y1 := int(math.Ceil(win.MaxY() - geom.Eps))
-	for y := 0; y < g.H(); y++ {
-		for x := 0; x < g.W(); x++ {
-			if x < x0 || x >= x1 || y < y0 || y >= y1 {
-				g.Block(maze.Cell{X: x, Y: y})
-			}
-		}
-	}
-	// Qubit macros are obstacles.
-	for _, q := range n.Qubits {
-		blockRect(g, q.Rect())
-	}
-	// Blocks of resonators outside the group are obstacles.
-	inGroup := map[int]bool{}
-	for _, e := range group {
-		inGroup[e] = true
-	}
-	for i := range n.Blocks {
-		if !inGroup[n.Blocks[i].Edge] {
-			g.Block(cellOf(n.Blocks[i].Pos))
-		}
-	}
-
-	// Re-place each group resonator: the problem resonator first, then
-	// neighbors in group order.
-	for _, e := range group {
-		if !routeResonator(n, g, e) {
-			return false
-		}
-	}
-	return true
-}
-
 // routeResonator maze-routes resonator e between its endpoint qubits and
-// assigns its wire blocks along the (thickened) path.
-func routeResonator(n *netlist.Netlist, g *maze.Grid, e int) bool {
-	r := &n.Resonators[e]
-	srcs := qubitAdjacent(n, g, r.Q1)
-	dsts := qubitAdjacent(n, g, r.Q2)
-	path := g.Route(srcs, dsts)
+// assigns its wire blocks along the (thickened) path, committing each
+// cell to the occupancy grid.
+func (r *refiner) routeResonator(e int) bool {
+	n := r.n
+	res := &n.Resonators[e]
+	r.srcs = r.appendQubitAdjacent(r.srcs[:0], res.Q1)
+	r.dsts = r.appendQubitAdjacent(r.dsts[:0], res.Q2)
+	path := r.g.Route(r.srcs, r.dsts)
 	if path == nil {
 		return false
 	}
-	cells := g.Thicken(path, len(r.Blocks))
+	cells := r.g.Thicken(path, len(res.Blocks))
 	if cells == nil {
 		return false
 	}
-	for i, id := range r.Blocks {
+	for i, id := range res.Blocks {
 		c := cells[i]
 		n.Blocks[id].Pos = geom.Pt{X: float64(c.X) + 0.5, Y: float64(c.Y) + 0.5}
-		g.Block(c)
+		r.occupy(c)
+		r.placed = append(r.placed, c)
 	}
 	return true
 }
 
-func qubitAdjacent(n *netlist.Netlist, g *maze.Grid, q int) []maze.Cell {
-	r := n.Qubits[q].Rect()
-	x0 := int(math.Floor(r.MinX() + geom.Eps))
-	y0 := int(math.Floor(r.MinY() + geom.Eps))
-	x1 := int(math.Ceil(r.MaxX() - geom.Eps))
-	y1 := int(math.Ceil(r.MaxY() - geom.Eps))
-	return g.Adjacent(x0, y0, x1, y1)
-}
-
-func blockRect(g *maze.Grid, r geom.Rect) {
-	x0 := int(math.Floor(r.MinX() + geom.Eps))
-	y0 := int(math.Floor(r.MinY() + geom.Eps))
-	x1 := int(math.Ceil(r.MaxX() - geom.Eps))
-	y1 := int(math.Ceil(r.MaxY() - geom.Eps))
-	for y := y0; y < y1; y++ {
-		for x := x0; x < x1; x++ {
-			g.Block(maze.Cell{X: x, Y: y})
-		}
-	}
+func (r *refiner) appendQubitAdjacent(dst []maze.Cell, q int) []maze.Cell {
+	rect := r.n.Qubits[q].Rect()
+	x0 := int(math.Floor(rect.MinX() + geom.Eps))
+	y0 := int(math.Floor(rect.MinY() + geom.Eps))
+	x1 := int(math.Ceil(rect.MaxX() - geom.Eps))
+	y1 := int(math.Ceil(rect.MaxY() - geom.Eps))
+	return r.g.AppendAdjacent(dst, x0, y0, x1, y1)
 }
 
 func cellOf(p geom.Pt) maze.Cell {

@@ -1,0 +1,74 @@
+// Trajectory points: the machine-readable output of qgdp-bench -json.
+// Each point captures the paper's runtime tables (Table II/III) plus the
+// hot-kernel counters for one run of the evaluation pipeline, so the
+// repo can accumulate a BENCH_<PR>.json series and catch performance
+// regressions between PRs.
+
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernstats"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+// BenchPoint is one performance-trajectory sample.
+type BenchPoint struct {
+	Schema    string    `json:"schema"` // "qgdp-bench-point-v1"
+	PR        int       `json:"pr,omitempty"`
+	Timestamp time.Time `json:"timestamp"`
+	GoVersion string    `json:"go_version"`
+	NumCPU    int       `json:"num_cpu"`
+
+	// Table2 and Table3 carry the measured legalization / detailed
+	// placement runtimes and quality for the run.
+	Table2 *Table2Result `json:"table2,omitempty"`
+	Table3 *Table3Result `json:"table3,omitempty"`
+
+	// Kernels are the process-wide hot-kernel counters accumulated over
+	// the run (calls, cumulative ms, scratch reuse).
+	Kernels map[string]kernstats.Snapshot `json:"kernels"`
+	// Engine is the serving-layer cache/singleflight picture.
+	Engine service.StatsSnapshot `json:"engine"`
+}
+
+// BenchPoint measures a trajectory point through the runner's engine:
+// Table II and Table III are (re)computed — hitting the engine caches
+// when the experiments already ran — and the kernel counters are
+// snapshotted afterwards.
+func (r *Runner) BenchPoint(devs []*topology.Device, cfg core.Config, pr int) (*BenchPoint, error) {
+	t2, err := r.Table2(devs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t3, err := r.Table3(devs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	engine := r.eng.Stats()
+	engine.Kernels = nil // reported once, at the top level
+	return &BenchPoint{
+		Schema:    "qgdp-bench-point-v1",
+		PR:        pr,
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Table2:    t2,
+		Table3:    t3,
+		Kernels:   kernstats.All(),
+		Engine:    engine,
+	}, nil
+}
+
+// WriteJSON emits the point as indented JSON.
+func (p *BenchPoint) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -250,6 +250,23 @@ func (pl Polyline) Segments() []Seg {
 	return segs
 }
 
+// BBox returns the polyline's bounding rectangle (the zero Rect for an
+// empty polyline).
+func (pl Polyline) BBox() Rect {
+	if len(pl) == 0 {
+		return Rect{}
+	}
+	minX, maxX := pl[0].X, pl[0].X
+	minY, maxY := pl[0].Y, pl[0].Y
+	for _, p := range pl[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return NewRect((minX+maxX)/2, (minY+maxY)/2, maxX-minX, maxY-minY)
+}
+
 // Len returns the total length of the polyline.
 func (pl Polyline) Len() float64 {
 	var total float64

@@ -1,0 +1,264 @@
+package gplace
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/freq"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/topology"
+)
+
+// referencePlace is the pre-optimization serial placer: per-iteration
+// map spatial hash, freshly allocated nets and force buffers, no
+// sharding. The optimized Place must reproduce its output bit for bit on
+// every topology — the acceptance criterion of the zero-allocation
+// rewrite.
+func referencePlace(n *netlist.Netlist, p Params) {
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	items := make([]movable, 0, len(n.Qubits)+len(n.Blocks))
+	for i, q := range n.Qubits {
+		items = append(items, movable{
+			pos: q.Pos, size: q.Size + 2*p.Padding, freq: q.Freq,
+			mobility: 0.25, isQubit: true, index: i,
+		})
+	}
+	for i, b := range n.Blocks {
+		items = append(items, movable{
+			pos: b.Pos, size: n.BlockSize, freq: n.Resonators[b.Edge].Freq,
+			mobility: 1.0, isQubit: false, index: i,
+		})
+	}
+
+	for i := range items {
+		items[i].pos.X += (rng.Float64() - 0.5) * 0.3
+		items[i].pos.Y += (rng.Float64() - 0.5) * 0.3
+	}
+
+	nets := referenceBuildNets(n, p.UsePseudo)
+
+	forces := make([]geom.Pt, len(items))
+	for iter := 0; iter < p.Iterations; iter++ {
+		for i := range forces {
+			forces[i] = geom.Pt{}
+		}
+		for _, net := range nets {
+			a := net.a
+			b := net.b
+			d := items[b].pos.Sub(items[a].pos)
+			f := d.Scale(net.w * 0.5)
+			forces[a] = forces[a].Add(f)
+			forces[b] = forces[b].Sub(f)
+		}
+		referenceRepulse(items, forces, p.FreqAware)
+		step := p.Step * (1 - 0.7*float64(iter)/float64(p.Iterations))
+		for i := range items {
+			it := &items[i]
+			f := forces[i]
+			norm := f.Norm()
+			maxMove := 1.2
+			if norm*step*it.mobility > maxMove {
+				f = f.Scale(maxMove / (norm * step * it.mobility))
+			}
+			it.pos = it.pos.Add(f.Scale(step * it.mobility))
+			half := it.size / 2
+			it.pos.X = geom.Clamp(it.pos.X, half, n.W-half)
+			it.pos.Y = geom.Clamp(it.pos.Y, half, n.H-half)
+		}
+	}
+
+	for i := range items {
+		it := &items[i]
+		if it.isQubit {
+			n.Qubits[it.index].Pos = it.pos
+		} else {
+			n.Blocks[it.index].Pos = it.pos
+		}
+	}
+}
+
+func referenceBuildNets(n *netlist.Netlist, usePseudo bool) []net {
+	blockItem := func(blockID int) int { return len(n.Qubits) + blockID }
+	var nets []net
+	for e := range n.Resonators {
+		for _, pn := range referencePseudoOrSnake(n, e, usePseudo) {
+			a := pn.A
+			if !pn.AQubit {
+				a = blockItem(pn.A)
+			}
+			b := pn.B
+			if !pn.BQubit {
+				b = blockItem(pn.B)
+			}
+			nets = append(nets, net{a: a, b: b, w: pn.Weight})
+		}
+	}
+	return nets
+}
+
+func referencePseudoOrSnake(n *netlist.Netlist, e int, usePseudo bool) []netlist.PseudoNet {
+	if usePseudo {
+		r := &n.Resonators[e]
+		return append(n.PseudoNets(e),
+			netlist.PseudoNet{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1.8})
+	}
+	r := &n.Resonators[e]
+	if len(r.Blocks) == 0 {
+		return []netlist.PseudoNet{{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1}}
+	}
+	nets := []netlist.PseudoNet{
+		{AQubit: true, A: r.Q1, B: r.Blocks[0], Weight: 1},
+		{AQubit: true, A: r.Q2, B: r.Blocks[len(r.Blocks)-1], Weight: 1},
+		{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1.8},
+	}
+	for i := 0; i+1 < len(r.Blocks); i++ {
+		nets = append(nets, netlist.PseudoNet{A: r.Blocks[i], B: r.Blocks[i+1], Weight: 1})
+	}
+	return nets
+}
+
+func referenceRepulse(items []movable, forces []geom.Pt, freqAware bool) {
+	const cell = 3.0
+	grid := map[[2]int][]int{}
+	for i := range items {
+		k := [2]int{int(items[i].pos.X / cell), int(items[i].pos.Y / cell)}
+		grid[k] = append(grid[k], i)
+	}
+	for i := range items {
+		ki := [2]int{int(items[i].pos.X / cell), int(items[i].pos.Y / cell)}
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{ki[0] + dx, ki[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					referenceApplyRepulsion(items, forces, i, j, freqAware)
+				}
+			}
+		}
+	}
+}
+
+func referenceApplyRepulsion(items []movable, forces []geom.Pt, i, j int, freqAware bool) {
+	d := items[j].pos.Sub(items[i].pos)
+	dist := d.Norm()
+	reach := (items[i].size+items[j].size)/2 + 1.0
+	if dist >= reach {
+		return
+	}
+	if dist < 1e-6 {
+		ang := float64((i*31+j*17)%360) * math.Pi / 180
+		d = geom.Pt{X: math.Cos(ang), Y: math.Sin(ang)}
+		dist = 1e-6
+	}
+	strength := (reach - dist) / reach
+	if freqAware {
+		delta := freq.DeltaQubit
+		if !items[i].isQubit || !items[j].isQubit {
+			delta = freq.DeltaResonator
+		}
+		strength *= 1 + 1.5*freq.Tau(items[i].freq, items[j].freq, delta)
+	}
+	f := d.Scale(strength * 2.0 / dist)
+	forces[i] = forces[i].Sub(f)
+	forces[j] = forces[j].Add(f)
+}
+
+func samePositions(t *testing.T, name string, a, b *netlist.Netlist) {
+	t.Helper()
+	for i := range a.Qubits {
+		if a.Qubits[i].Pos != b.Qubits[i].Pos {
+			t.Fatalf("%s: qubit %d position differs: %v vs %v",
+				name, i, a.Qubits[i].Pos, b.Qubits[i].Pos)
+		}
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Pos != b.Blocks[i].Pos {
+			t.Fatalf("%s: block %d position differs: %v vs %v",
+				name, i, a.Blocks[i].Pos, b.Blocks[i].Pos)
+		}
+	}
+}
+
+// TestPlaceMatchesSerialReference asserts the optimized, scratch-pooled
+// placer reproduces the serial map-hash reference bit-for-bit on every
+// evaluation topology, for both the pseudo and snake netlists and both
+// frequency modes.
+func TestPlaceMatchesSerialReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-topology kernel comparison in -short mode")
+	}
+	for _, dev := range topology.All() {
+		p := DefaultParams()
+		got := topology.Build(dev, topology.DefaultBuildParams())
+		want := topology.Build(dev, topology.DefaultBuildParams())
+		Place(got, p)
+		referencePlace(want, p)
+		samePositions(t, dev.Name, got, want)
+	}
+	for _, mode := range []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"snake", func(p *Params) { p.UsePseudo = false }},
+		{"freq-blind", func(p *Params) { p.FreqAware = false }},
+	} {
+		p := DefaultParams()
+		mode.mutate(&p)
+		got := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+		want := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+		Place(got, p)
+		referencePlace(want, p)
+		samePositions(t, mode.name, got, want)
+	}
+}
+
+// TestPlaceParallelMatchesSerial forces the sharded force loop (even on
+// single-CPU machines) and asserts bit-identical output to the
+// single-worker path. Run under -race this also exercises the worker
+// goroutines for data races.
+func TestPlaceParallelMatchesSerial(t *testing.T) {
+	saved := workerCount
+	defer func() { workerCount = saved }()
+
+	workerCount = func() int { return 1 }
+	serial := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	Place(serial, DefaultParams())
+
+	for _, workers := range []int{2, 4, 7} {
+		workers := workers
+		workerCount = func() int { return workers }
+		par := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+		Place(par, DefaultParams())
+		samePositions(t, "parallel", serial, par)
+	}
+}
+
+// TestPlaceConcurrentCallers runs many placements at once: the scratch
+// pool must hand each caller an independent buffer set and results must
+// match the serial outcome exactly.
+func TestPlaceConcurrentCallers(t *testing.T) {
+	want := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+	Place(want, DefaultParams())
+
+	const callers = 8
+	got := make([]*netlist.Netlist, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
+			Place(n, DefaultParams())
+			got[c] = n
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		samePositions(t, "concurrent", want, got[c])
+	}
+}

@@ -15,15 +15,31 @@
 //   - grid density forces spread overfull regions;
 //   - qubits move with lower mobility than wire blocks, as macros do in
 //     analytic placement.
+//
+// The force loop is the single hottest kernel of the pipeline (220
+// iterations over every component), so Place runs on pooled scratch
+// buffers and a flat counting-sort bucket grid (package spatial) instead
+// of a per-iteration map hash, and the pairwise repulsion — the
+// embarrassingly parallel part — is computed by GOMAXPROCS workers over
+// contiguous shards of the primary index. Workers only *compute* pair
+// forces; accumulation replays every shard in ascending primary order,
+// so the floating-point addition sequence (and therefore the resulting
+// layout) is bit-identical to the serial reference regardless of worker
+// count or machine.
 package gplace
 
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/freq"
 	"repro/internal/geom"
+	"repro/internal/kernstats"
 	"repro/internal/netlist"
+	"repro/internal/spatial"
 )
 
 // Params tunes the global placer.
@@ -68,13 +84,54 @@ type movable struct {
 	index    int // qubit or block index
 }
 
+// pairForce is one computed repulsion interaction, recorded by a worker
+// and applied during the deterministic replay.
+type pairForce struct {
+	i, j int32
+	f    geom.Pt
+}
+
+// scratch carries every buffer the force loop needs, pooled across
+// Place calls so the kernel allocates nothing once warm.
+type scratch struct {
+	items  []movable
+	nets   []net
+	pnets  []netlist.PseudoNet
+	forces []geom.Pt
+	grid   spatial.Grid
+	shards [][]pairForce
+}
+
+var scratchPool sync.Pool
+
+func getScratch() *scratch {
+	if s, ok := scratchPool.Get().(*scratch); ok {
+		kernstats.GPlace.ScratchReuse()
+		return s
+	}
+	kernstats.GPlace.ScratchAlloc()
+	return &scratch{}
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// workerCount returns the force-shard parallelism. It is a variable so
+// tests can force the parallel path on single-CPU machines.
+var workerCount = func() int { return runtime.GOMAXPROCS(0) }
+
 // Place runs global placement, mutating the netlist's qubit and block
 // positions in place. The result intentionally contains overlaps — that
 // is the legalizer's job to resolve.
 func Place(n *netlist.Netlist, p Params) {
+	start := time.Now()
+	defer func() { kernstats.GPlace.Observe(time.Since(start)) }()
+
 	rng := rand.New(rand.NewSource(p.Seed))
 
-	items := make([]movable, 0, len(n.Qubits)+len(n.Blocks))
+	s := getScratch()
+	defer putScratch(s)
+
+	items := s.items[:0]
 	for i, q := range n.Qubits {
 		items = append(items, movable{
 			pos: q.Pos, size: q.Size + 2*p.Padding, freq: q.Freq,
@@ -87,6 +144,7 @@ func Place(n *netlist.Netlist, p Params) {
 			mobility: 1.0, isQubit: false, index: i,
 		})
 	}
+	s.items = items
 
 	// Tiny jitter breaks the exact collinearity of the seeded block
 	// chains so the density force can fold them.
@@ -95,9 +153,23 @@ func Place(n *netlist.Netlist, p Params) {
 		items[i].pos.Y += (rng.Float64() - 0.5) * 0.3
 	}
 
-	nets := buildNets(n, p.UsePseudo)
+	s.buildNets(n, p.UsePseudo)
+	nets := s.nets
 
-	forces := make([]geom.Pt, len(items))
+	if cap(s.forces) < len(items) {
+		s.forces = make([]geom.Pt, len(items))
+	}
+	forces := s.forces[:len(items)]
+	s.forces = forces
+
+	workers := workerCount()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
 	for iter := 0; iter < p.Iterations; iter++ {
 		for i := range forces {
 			forces[i] = geom.Pt{}
@@ -113,8 +185,8 @@ func Place(n *netlist.Netlist, p Params) {
 			forces[b] = forces[b].Sub(f)
 		}
 
-		// Pairwise repulsion via a spatial hash: only nearby pairs.
-		repulse(items, forces, p.FreqAware)
+		// Pairwise repulsion via the bucket grid: only nearby pairs.
+		s.repulse(p.FreqAware, workers)
 
 		// Cooling schedule.
 		step := p.Step * (1 - 0.7*float64(iter)/float64(p.Iterations))
@@ -153,84 +225,148 @@ type net struct {
 }
 
 // buildNets flattens the per-resonator pseudo nets into item-index
-// space. With usePseudo false, only qubit anchors and the snake chain
-// remain (the elongated-line connectivity of [12]).
-func buildNets(n *netlist.Netlist, usePseudo bool) []net {
-	blockItem := func(blockID int) int { return len(n.Qubits) + blockID }
-	var nets []net
+// space inside the reusable scratch. With usePseudo true, each
+// resonator contributes netlist.AppendPseudoNets (the single source of
+// truth for the pseudo-connection mesh) plus a direct endpoint
+// attraction that keeps coupled qubits pulled together through the soft
+// block chain (Fig. 4-a). With usePseudo false, only qubit anchors and
+// the snake chain remain (the elongated-line connectivity of [12]). Net
+// order is load-bearing: force accumulation order, and therefore the
+// layout, depends on it.
+func (s *scratch) buildNets(n *netlist.Netlist, usePseudo bool) {
+	qn := len(n.Qubits)
+	toItem := func(pn netlist.PseudoNet) net {
+		a, b := pn.A, pn.B
+		if !pn.AQubit {
+			a += qn
+		}
+		if !pn.BQubit {
+			b += qn
+		}
+		return net{a: a, b: b, w: pn.Weight}
+	}
+	dst := s.nets[:0]
 	for e := range n.Resonators {
-		for _, pn := range pseudoOrSnake(n, e, usePseudo) {
-			a := pn.A
-			if !pn.AQubit {
-				a = blockItem(pn.A)
+		r := &n.Resonators[e]
+		nb := len(r.Blocks)
+		if usePseudo {
+			s.pnets = n.AppendPseudoNets(s.pnets[:0], e)
+			for _, pn := range s.pnets {
+				dst = append(dst, toItem(pn))
 			}
-			b := pn.B
-			if !pn.BQubit {
-				b = blockItem(pn.B)
-			}
-			nets = append(nets, net{a: a, b: b, w: pn.Weight})
+			dst = append(dst, net{a: r.Q1, b: r.Q2, w: 1.8})
+			continue
+		}
+		if nb == 0 {
+			dst = append(dst, net{a: r.Q1, b: r.Q2, w: 1})
+			continue
+		}
+		dst = append(dst,
+			net{a: r.Q1, b: qn + r.Blocks[0], w: 1},
+			net{a: r.Q2, b: qn + r.Blocks[nb-1], w: 1},
+			net{a: r.Q1, b: r.Q2, w: 1.8})
+		for i := 0; i+1 < nb; i++ {
+			dst = append(dst, net{a: qn + r.Blocks[i], b: qn + r.Blocks[i+1], w: 1})
 		}
 	}
-	return nets
+	s.nets = dst
 }
 
-func pseudoOrSnake(n *netlist.Netlist, e int, usePseudo bool) []netlist.PseudoNet {
-	if usePseudo {
-		// Direct endpoint attraction keeps coupled qubits pulled
-		// together through the soft block chain, giving the compact
-		// (overlapping) qubit arrangement GP hands to legalization
-		// (Fig. 4-a).
-		r := &n.Resonators[e]
-		return append(n.PseudoNets(e),
-			netlist.PseudoNet{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1.8})
+// repulseCell is the bucket pitch of the repulsion grid; the radius of
+// interaction is the sum of the two half-sizes plus one cell.
+const repulseCell = 3.0
+
+// repulse adds short-range repulsion between nearby items. When
+// freqAware is set, frequency-close pairs (τ > 0) repel up to 2.5×
+// harder — qPlacer's charged-particle model.
+//
+// With workers > 1 the pair interactions are computed concurrently over
+// contiguous shards of the primary index; each worker records its pairs
+// in primary order and the shards are replayed serially in shard order,
+// so the accumulation sequence is identical to the workers == 1 path.
+func (s *scratch) repulse(freqAware bool, workers int) {
+	items := s.items
+	s.grid.Build(repulseCell, len(items), func(i int) (float64, float64) {
+		return items[i].pos.X, items[i].pos.Y
+	})
+
+	if workers <= 1 {
+		for i := range items {
+			s.pairsForPrimary(i, freqAware, func(j int32, f geom.Pt) {
+				s.forces[i] = s.forces[i].Sub(f)
+				s.forces[j] = s.forces[j].Add(f)
+			})
+		}
+		return
 	}
-	r := &n.Resonators[e]
-	if len(r.Blocks) == 0 {
-		return []netlist.PseudoNet{{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1}}
+
+	for len(s.shards) < workers {
+		s.shards = append(s.shards, nil)
 	}
-	nets := []netlist.PseudoNet{
-		{AQubit: true, A: r.Q1, B: r.Blocks[0], Weight: 1},
-		{AQubit: true, A: r.Q2, B: r.Blocks[len(r.Blocks)-1], Weight: 1},
-		{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1.8},
+	chunk := (len(items) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			s.shards[w] = s.shards[w][:0]
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := s.shards[w][:0]
+			for i := lo; i < hi; i++ {
+				s.pairsForPrimary(i, freqAware, func(j int32, f geom.Pt) {
+					buf = append(buf, pairForce{i: int32(i), j: j, f: f})
+				})
+			}
+			s.shards[w] = buf
+		}(w, lo, hi)
 	}
-	for i := 0; i+1 < len(r.Blocks); i++ {
-		nets = append(nets, netlist.PseudoNet{A: r.Blocks[i], B: r.Blocks[i+1], Weight: 1})
+	wg.Wait()
+
+	// Deterministic reduction: shards cover ascending primary ranges and
+	// are applied in shard order, reproducing the serial pair sequence.
+	for w := 0; w < workers; w++ {
+		for _, pf := range s.shards[w] {
+			s.forces[pf.i] = s.forces[pf.i].Sub(pf.f)
+			s.forces[pf.j] = s.forces[pf.j].Add(pf.f)
+		}
 	}
-	return nets
 }
 
-// repulse adds short-range repulsion between nearby items using a
-// uniform grid hash; the radius of interaction is the sum of the two
-// half-sizes plus one cell. When freqAware is set, frequency-close pairs
-// (τ > 0) repel up to 2.5× harder — qPlacer's charged-particle model.
-func repulse(items []movable, forces []geom.Pt, freqAware bool) {
-	const cell = 3.0
-	grid := map[[2]int][]int{}
-	for i := range items {
-		k := [2]int{int(items[i].pos.X / cell), int(items[i].pos.Y / cell)}
-		grid[k] = append(grid[k], i)
-	}
-	for i := range items {
-		ki := [2]int{int(items[i].pos.X / cell), int(items[i].pos.Y / cell)}
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for _, j := range grid[[2]int{ki[0] + dx, ki[1] + dy}] {
-					if j <= i {
-						continue
-					}
-					applyRepulsion(items, forces, i, j, freqAware)
+// pairsForPrimary visits the interacting pairs (i, j) with j > i in the
+// fixed neighbor-bucket order and emits each non-zero pair force.
+func (s *scratch) pairsForPrimary(i int, freqAware bool, emit func(j int32, f geom.Pt)) {
+	items := s.items
+	kx, ky := s.grid.Key(items[i].pos.X, items[i].pos.Y)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, j := range s.grid.Bucket(kx+dx, ky+dy) {
+				if int(j) <= i {
+					continue
+				}
+				if f, ok := pairRepulsion(items, i, int(j), freqAware); ok {
+					emit(j, f)
 				}
 			}
 		}
 	}
 }
 
-func applyRepulsion(items []movable, forces []geom.Pt, i, j int, freqAware bool) {
+// pairRepulsion computes the repulsion force between items i and j
+// (applied negatively to i, positively to j), or ok == false when the
+// pair is out of reach.
+func pairRepulsion(items []movable, i, j int, freqAware bool) (geom.Pt, bool) {
 	d := items[j].pos.Sub(items[i].pos)
 	dist := d.Norm()
 	reach := (items[i].size+items[j].size)/2 + 1.0
 	if dist >= reach {
-		return
+		return geom.Pt{}, false
 	}
 	if dist < 1e-6 {
 		// Coincident: deterministic pseudo-random split direction.
@@ -246,9 +382,7 @@ func applyRepulsion(items []movable, forces []geom.Pt, i, j int, freqAware bool)
 		}
 		strength *= 1 + 1.5*freq.Tau(items[i].freq, items[j].freq, delta)
 	}
-	f := d.Scale(strength * 2.0 / dist)
-	forces[i] = forces[i].Sub(f)
-	forces[j] = forces[j].Add(f)
+	return d.Scale(strength * 2.0 / dist), true
 }
 
 // HPWL returns the half-perimeter wirelength of the placement over the

@@ -1,0 +1,81 @@
+// Package kernstats holds cheap atomic counters for the placement hot
+// kernels: call counts, cumulative wall time, and scratch-buffer reuse
+// versus fresh allocation. The service layer surfaces a snapshot on
+// /statsz so a production deployment can watch kernel cost and verify
+// the zero-allocation scratch pools are actually being reused (a pool
+// that never reuses under steady load indicates a leak or misuse).
+//
+// Counters are recorded at whole-kernel granularity (one Observe per
+// Place/Route/CancelNegativeCycles call), so the atomics are far off the
+// inner loops and cost nothing measurable.
+package kernstats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kernel aggregates one hot kernel's counters.
+type Kernel struct {
+	name   string
+	calls  atomic.Int64
+	ns     atomic.Int64
+	reuses atomic.Int64
+	allocs atomic.Int64
+}
+
+// The tracked kernels, in pipeline order.
+var (
+	GPlace    = register("gplace.place")
+	MazeRoute = register("maze.route")
+	MCFCancel = register("mcf.cancel")
+	DPRefine  = register("dplace.refine")
+)
+
+var kernels []*Kernel
+
+func register(name string) *Kernel {
+	k := &Kernel{name: name}
+	kernels = append(kernels, k)
+	return k
+}
+
+// Observe records one kernel invocation and its duration.
+func (k *Kernel) Observe(d time.Duration) {
+	k.calls.Add(1)
+	k.ns.Add(d.Nanoseconds())
+}
+
+// ScratchReuse records that a call ran on recycled scratch buffers.
+func (k *Kernel) ScratchReuse() { k.reuses.Add(1) }
+
+// ScratchAlloc records that a call had to allocate fresh scratch.
+func (k *Kernel) ScratchAlloc() { k.allocs.Add(1) }
+
+// Snapshot is a point-in-time view of one kernel's counters.
+type Snapshot struct {
+	Calls         int64   `json:"calls"`
+	TotalMs       float64 `json:"total_ms"`
+	MeanUs        float64 `json:"mean_us"`
+	ScratchReuses int64   `json:"scratch_reuses"`
+	ScratchAllocs int64   `json:"scratch_allocs"`
+}
+
+// All returns a snapshot of every registered kernel, keyed by name.
+func All() map[string]Snapshot {
+	out := make(map[string]Snapshot, len(kernels))
+	for _, k := range kernels {
+		s := Snapshot{
+			Calls:         k.calls.Load(),
+			ScratchReuses: k.reuses.Load(),
+			ScratchAllocs: k.allocs.Load(),
+		}
+		ns := k.ns.Load()
+		s.TotalMs = float64(ns) / 1e6
+		if s.Calls > 0 {
+			s.MeanUs = float64(ns) / float64(s.Calls) / 1e3
+		}
+		out[k.name] = s
+	}
+	return out
+}

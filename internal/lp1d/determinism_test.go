@@ -1,0 +1,237 @@
+package lp1d_test
+
+// Golden determinism for the min-cost-flow path on real instances: for
+// every evaluation topology, the 1-D legalization LPs that qlegal
+// derives from the actual GP solutions must solve to the same
+// coordinates — and their dual circulations to the same (unique)
+// optimal cost — under the optimized CSR/SPFA solver as under the
+// seed's restart-from-scratch Bellman-Ford reference reimplemented
+// here.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/geom"
+	"repro/internal/gplace"
+	"repro/internal/lp1d"
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+const inf = int64(1) << 40
+
+// refArc mirrors one AddArc call: from, to, capacity, cost.
+type refArc struct {
+	from, to  int
+	cap, cost int64
+}
+
+// solveArcs reproduces lp1d.Solve's dual-graph construction.
+func solveArcs(p *lp1d.Problem) []refArc {
+	ground := p.N
+	var arcs []refArc
+	for i := 0; i < p.N; i++ {
+		arcs = append(arcs,
+			refArc{i, ground, 1, p.Target[i]},
+			refArc{ground, i, 1, -p.Target[i]})
+	}
+	for _, a := range p.Arcs {
+		arcs = append(arcs, refArc{a.From, a.To, inf, -a.Sep})
+	}
+	for i := 0; i < p.N; i++ {
+		arcs = append(arcs,
+			refArc{ground, i, inf, -p.Lo[i]},
+			refArc{i, ground, inf, p.Hi[i]})
+	}
+	return arcs
+}
+
+// referenceSolve is the seed solver: adjacency-list graph, Bellman-Ford
+// negative-cycle canceling with per-round allocations, Bellman-Ford
+// potentials. Returns the primal coordinates and the circulation cost.
+func referenceSolve(p *lp1d.Problem) (x []int64, total int64) {
+	n := p.N + 1
+	ground := p.N
+	head := make([][]int, n)
+	var to []int
+	var capv, cost []int64
+	for _, a := range solveArcs(p) {
+		id := len(to)
+		to = append(to, a.to)
+		capv = append(capv, a.cap)
+		cost = append(cost, a.cost)
+		head[a.from] = append(head[a.from], id)
+		to = append(to, a.from)
+		capv = append(capv, 0)
+		cost = append(cost, -a.cost)
+		head[a.to] = append(head[a.to], id+1)
+	}
+	from := func(id int) int { return to[id^1] }
+
+	findCycle := func() []int {
+		dist := make([]int64, n)
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		last := -1
+		for iter := 0; iter < n; iter++ {
+			last = -1
+			for f := 0; f < n; f++ {
+				for _, id := range head[f] {
+					if capv[id] <= 0 {
+						continue
+					}
+					if nd := dist[f] + cost[id]; nd < dist[to[id]] {
+						dist[to[id]] = nd
+						parent[to[id]] = id
+						last = to[id]
+					}
+				}
+			}
+			if last == -1 {
+				return nil
+			}
+		}
+		v := last
+		for i := 0; i < n; i++ {
+			v = from(parent[v])
+		}
+		var cycle []int
+		u := v
+		for {
+			id := parent[u]
+			cycle = append(cycle, id)
+			u = from(id)
+			if u == v {
+				break
+			}
+		}
+		return cycle
+	}
+	for {
+		cycle := findCycle()
+		if cycle == nil {
+			break
+		}
+		push := int64(math.MaxInt64)
+		for _, id := range cycle {
+			if capv[id] < push {
+				push = capv[id]
+			}
+		}
+		for _, id := range cycle {
+			capv[id] -= push
+			capv[id^1] += push
+			total += push * cost[id]
+		}
+	}
+
+	// Potentials: Bellman-Ford from ground over the residual graph.
+	const unreachable = math.MaxInt64
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[ground] = 0
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for f := 0; f < n; f++ {
+			if dist[f] == unreachable {
+				continue
+			}
+			for _, id := range head[f] {
+				if capv[id] <= 0 {
+					continue
+				}
+				if nd := dist[f] + cost[id]; nd < dist[to[id]] {
+					dist[to[id]] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	x = make([]int64, p.N)
+	for i := 0; i < p.N; i++ {
+		x[i] = -dist[i]
+	}
+	return x, total
+}
+
+func coordToCell(v float64) int64 { return int64(math.Round(v - 0.5)) }
+
+// realProblems derives the H and V legalization LPs qlegal would solve,
+// from the true GP solution of a device, at the given spacing.
+func realProblems(dev *topology.Device, spacing int64) []*lp1d.Problem {
+	n := topology.Build(dev, topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	pos := make([]geom.Pt, len(n.Qubits))
+	sizes := make([]int64, len(n.Qubits))
+	for i, q := range n.Qubits {
+		pos[i] = q.Pos
+		sizes[i] = int64(math.Round(q.Size))
+	}
+	graphs := cgraph.Build(pos, sizes, spacing, nil)
+	hx := &lp1d.Problem{N: len(pos), Arcs: graphs.H}
+	vy := &lp1d.Problem{N: len(pos), Arcs: graphs.V}
+	for i := range pos {
+		half := float64(sizes[i]) / 2
+		hx.Target = append(hx.Target, coordToCell(pos[i].X))
+		hx.Lo = append(hx.Lo, coordToCell(half))
+		hx.Hi = append(hx.Hi, coordToCell(n.W-half))
+		vy.Target = append(vy.Target, coordToCell(pos[i].Y))
+		vy.Lo = append(vy.Lo, coordToCell(half))
+		vy.Hi = append(vy.Hi, coordToCell(n.H-half))
+	}
+	return []*lp1d.Problem{hx, vy}
+}
+
+// TestSolveMatchesReferenceOnRealInstances asserts, on both axes of
+// every evaluation topology and two spacing levels, that the optimized
+// solver's coordinates equal the reference's exactly and that the mcf
+// circulation lands on the reference's optimal cost.
+func TestSolveMatchesReferenceOnRealInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-topology MCF comparison in -short mode")
+	}
+	for _, dev := range topology.All() {
+		for _, spacing := range []int64{0, 1} {
+			for axis, p := range realProblems(dev, spacing) {
+				got, err := p.Solve()
+				if err != nil {
+					t.Fatalf("%s axis %d spacing %d: %v", dev.Name, axis, spacing, err)
+				}
+				want, refTotal := referenceSolve(p)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s axis %d spacing %d: x[%d] = %d, reference %d",
+							dev.Name, axis, spacing, i, got[i], want[i])
+					}
+				}
+				if err := p.Check(got); err != nil {
+					t.Fatalf("%s axis %d spacing %d: %v", dev.Name, axis, spacing, err)
+				}
+
+				// The circulation cost is the unique LP optimum: solve
+				// the same arcs through the optimized mcf directly.
+				g := mcf.NewGraphWithArcHint(p.N+1, 4*p.N+len(p.Arcs))
+				for _, a := range solveArcs(p) {
+					g.AddArc(a.from, a.to, a.cap, a.cost)
+				}
+				total, err := g.CancelNegativeCycles()
+				if err != nil {
+					t.Fatalf("%s axis %d spacing %d: %v", dev.Name, axis, spacing, err)
+				}
+				if total != refTotal {
+					t.Fatalf("%s axis %d spacing %d: mcf cost %d, reference %d",
+						dev.Name, axis, spacing, total, refTotal)
+				}
+			}
+		}
+	}
+}

@@ -90,7 +90,10 @@ func (p *Problem) Solve() ([]int64, error) {
 	}
 
 	ground := p.N
-	g := mcf.NewGraph(p.N + 1)
+	// Arc count is known exactly: 2N displacement arcs, the constraint
+	// arcs, and 2N border arcs — pre-size the graph so construction
+	// never re-grows.
+	g := mcf.NewGraphWithArcHint(p.N+1, 4*p.N+len(p.Arcs))
 
 	// Displacement cost arcs: |x_i − t_i| dualizes to unit-capacity
 	// absorb/emit arcs at node i priced at ±t_i.

@@ -213,6 +213,112 @@ func TestQuickRouteValidity(t *testing.T) {
 	}
 }
 
+// Regression test for the old map-based target set: duplicate targets
+// must count once, blocked targets must be skipped, and a target list
+// that is entirely blocked or duplicated must behave like the distinct
+// equivalent.
+func TestRouteDuplicateAndBlockedTargets(t *testing.T) {
+	g := NewGrid(8, 8)
+	// Duplicates: same route as the distinct list.
+	dup := g.Route([]Cell{{0, 0}}, []Cell{{5, 0}, {5, 0}, {5, 0}})
+	distinct := g.Route([]Cell{{0, 0}}, []Cell{{5, 0}})
+	if len(dup) != len(distinct) || len(dup) != 6 {
+		t.Fatalf("duplicate targets: len %d, distinct %d, want 6", len(dup), len(distinct))
+	}
+	// A blocked target among live ones is skipped, not routed to.
+	g.Block(Cell{5, 0})
+	path := g.Route([]Cell{{0, 0}}, []Cell{{5, 0}, {3, 0}})
+	if len(path) != 4 || path[len(path)-1] != (Cell{3, 0}) {
+		t.Fatalf("blocked target not skipped: %v", path)
+	}
+	// All targets blocked -> nil.
+	if p := g.Route([]Cell{{0, 0}}, []Cell{{5, 0}, {5, 0}}); p != nil {
+		t.Fatalf("all-blocked targets must fail, got %v", p)
+	}
+	// Duplicate sources are de-duplicated too.
+	if p := g.Route([]Cell{{0, 0}, {0, 0}}, []Cell{{2, 0}}); len(p) != 3 {
+		t.Fatalf("duplicate sources: %v", p)
+	}
+}
+
+// The epoch-stamped scratch must give each call a clean slate: repeated
+// routes on one grid cannot leak visited/target state across calls.
+func TestRouteRepeatedCallsIndependent(t *testing.T) {
+	g := NewGrid(12, 12)
+	first := append([]Cell(nil), g.Route([]Cell{{0, 0}}, []Cell{{11, 11}})...)
+	for i := 0; i < 50; i++ {
+		got := g.Route([]Cell{{0, 0}}, []Cell{{11, 11}})
+		if len(got) != len(first) {
+			t.Fatalf("iteration %d: path length changed %d -> %d", i, len(first), len(got))
+		}
+		for k := range got {
+			if got[k] != first[k] {
+				t.Fatalf("iteration %d: path diverged at %d", i, k)
+			}
+		}
+	}
+	// Interleave a failing route; the next success must be unaffected.
+	if p := g.Route([]Cell{{0, 0}}, nil); p != nil {
+		t.Fatal("empty targets must fail")
+	}
+	if got := g.Route([]Cell{{0, 0}}, []Cell{{11, 11}}); len(got) != len(first) {
+		t.Fatalf("route after failure: len %d want %d", len(got), len(first))
+	}
+}
+
+// SetWindow must behave exactly like blocking every cell outside the
+// window: routes stay inside, and ClearWindow restores the grid.
+func TestRouteWindow(t *testing.T) {
+	g := NewGrid(10, 10)
+	g.SetWindow(0, 0, 10, 1) // single row
+	path := g.Route([]Cell{{0, 0}}, []Cell{{9, 0}})
+	if len(path) != 10 {
+		t.Fatalf("windowed route len = %d, want 10", len(path))
+	}
+	for _, c := range path {
+		if c.Y != 0 {
+			t.Fatalf("route escaped window at %v", c)
+		}
+	}
+	// Source outside the window is unusable.
+	if p := g.Route([]Cell{{0, 5}}, []Cell{{9, 0}}); p != nil {
+		t.Fatalf("out-of-window source must fail, got %v", p)
+	}
+	// Thicken cannot grow outside the window: a 4-cell window cannot
+	// host 5 cells.
+	g.SetWindow(0, 0, 4, 1)
+	short := append([]Cell(nil), path[:3]...)
+	if cells := g.Thicken(short, 5); cells != nil {
+		t.Fatalf("thicken escaped window: %v", cells)
+	}
+	g.ClearWindow()
+	if cells := g.Thicken(short, 5); len(cells) != 5 {
+		t.Fatalf("thicken after ClearWindow: %v", cells)
+	}
+	// Window is clipped to the grid.
+	g.SetWindow(-5, -5, 99, 99)
+	if p := g.Route([]Cell{{0, 0}}, []Cell{{9, 9}}); p == nil {
+		t.Fatal("clipped window must cover the grid")
+	}
+}
+
+// AppendAdjacent must match Adjacent while reusing the caller's buffer.
+func TestAppendAdjacent(t *testing.T) {
+	g := NewGrid(10, 10)
+	g.Block(Cell{3, 2})
+	want := g.Adjacent(3, 3, 6, 6)
+	buf := make([]Cell, 0, 16)
+	got := g.AppendAdjacent(buf[:0], 3, 3, 6, 6)
+	if len(got) != len(want) {
+		t.Fatalf("AppendAdjacent len %d, Adjacent %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
 // bfsDist is an independent BFS giving the number of cells on a shortest
 // path (or -1).
 func bfsDist(g *Grid, src, dst Cell) int {

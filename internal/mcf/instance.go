@@ -1,0 +1,44 @@
+package mcf
+
+// LegalizerInstanceArcs builds a deterministic, feasible circulation
+// instance with the exact arc pattern lp1d.Solve emits for a 1-D
+// minimum-displacement legalization: unit absorb/emit arcs priced at
+// pseudo-random targets, chained difference constraints, and border
+// arcs through a ground node. Arcs are (from, to, capacity, cost)
+// tuples; the second result is the node count (nodes + ground).
+//
+// It exists so the benchmark harness (root bench_test.go) and the
+// solver's reference tests exercise one shape of instance instead of
+// drifting copies. The `hi` border exceeds the worst-case
+// constraint-chain span, as it does for every feasible instance lp1d
+// admits (Feasible() filters the rest before the dual is ever built).
+func LegalizerInstanceArcs(nodes int, seed int64) ([][4]int64, int) {
+	const inf = int64(1) << 40
+	ground := nodes
+	var arcs [][4]int64
+	rng := seed
+	next := func(mod int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := (rng >> 33) % mod
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	hi := 5*int64(nodes) + 20
+	for i := 0; i < nodes; i++ {
+		target := next(hi)
+		arcs = append(arcs,
+			[4]int64{int64(i), int64(ground), 1, target},
+			[4]int64{int64(ground), int64(i), 1, -target})
+	}
+	for i := 0; i+1 < nodes; i++ {
+		arcs = append(arcs, [4]int64{int64(i), int64(i + 1), inf, -(2 + next(3))})
+	}
+	for i := 0; i < nodes; i++ {
+		arcs = append(arcs,
+			[4]int64{int64(ground), int64(i), inf, 0},
+			[4]int64{int64(i), int64(ground), inf, hi})
+	}
+	return arcs, nodes + 1
+}

@@ -1,6 +1,8 @@
 package mcf
 
 import (
+	"errors"
+	"math"
 	"testing"
 )
 
@@ -100,18 +102,17 @@ func TestPotentialsValid(t *testing.T) {
 	}
 	dist := g.Potentials(0)
 	// Reduced costs of all residual arcs must be non-negative.
-	for from := 0; from < 4; from++ {
-		for _, id := range g.head[from] {
-			if g.cap[id] <= 0 {
-				continue
-			}
-			to := g.to[id]
-			if dist[from] == int64(1)<<62 || dist[to] == int64(1)<<62 {
-				continue
-			}
-			if rc := g.cost[id] + dist[from] - dist[to]; rc < 0 {
-				t.Errorf("residual arc %d→%d has negative reduced cost %d", from, to, rc)
-			}
+	for id := range g.to {
+		if g.cap[id] <= 0 {
+			continue
+		}
+		from := g.from(id)
+		to := int(g.to[id])
+		if dist[from] == math.MaxInt64 || dist[to] == math.MaxInt64 {
+			continue
+		}
+		if rc := g.cost[id] + dist[from] - dist[to]; rc < 0 {
+			t.Errorf("residual arc %d→%d has negative reduced cost %d", from, to, rc)
 		}
 	}
 }
@@ -150,5 +151,196 @@ func TestEmptyGraph(t *testing.T) {
 	g := NewGraph(0)
 	if delta, err := g.CancelNegativeCycles(); err != nil || delta != 0 {
 		t.Errorf("empty graph: %d, %v", delta, err)
+	}
+}
+
+func TestResetFlows(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddArc(0, 1, 3, -2)
+	b := g.AddArc(1, 0, 3, 1)
+	first, err := g.CancelNegativeCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Flow(a) != 3 {
+		t.Fatalf("flow = %d, want 3", g.Flow(a))
+	}
+	g.ResetFlows()
+	if g.Flow(a) != 0 || g.Flow(b) != 0 {
+		t.Errorf("flows after reset: %d, %d", g.Flow(a), g.Flow(b))
+	}
+	again, err := g.CancelNegativeCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Errorf("re-solve after reset: %d, want %d", again, first)
+	}
+}
+
+// The graph can keep accepting arcs after a solve; the lazy CSR must be
+// rebuilt and pick up the new arcs.
+func TestAddArcAfterSolve(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, 2, 1)
+	if delta, err := g.CancelNegativeCycles(); err != nil || delta != 0 {
+		t.Fatalf("first solve: %d, %v", delta, err)
+	}
+	g.AddArc(1, 2, 2, -4)
+	g.AddArc(2, 0, 2, 1)
+	delta, err := g.CancelNegativeCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != -4 {
+		t.Errorf("delta = %d, want -4 (cycle cost -2, capacity 2)", delta)
+	}
+}
+
+// referenceCancelCost solves the same instance with the pre-SPFA
+// restart-from-scratch Bellman-Ford canceler: allocate-per-round dist
+// and parent arrays, n relaxation passes over an adjacency-list graph.
+// The optimal circulation cost is unique, so SPFA must match it exactly.
+func referenceCancelCost(t *testing.T, arcs [][4]int64, n int) int64 {
+	t.Helper()
+	head := make([][]int, n)
+	var to []int
+	var capv, cost []int64
+	addArc := func(from, t2 int, c, w int64) {
+		id := len(to)
+		to = append(to, t2)
+		capv = append(capv, c)
+		cost = append(cost, w)
+		head[from] = append(head[from], id)
+		to = append(to, from)
+		capv = append(capv, 0)
+		cost = append(cost, -w)
+		head[t2] = append(head[t2], id+1)
+	}
+	for _, a := range arcs {
+		addArc(int(a[0]), int(a[1]), a[2], a[3])
+	}
+	from := func(id int) int { return to[id^1] }
+	findCycle := func() []int {
+		dist := make([]int64, n)
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		last := -1
+		for iter := 0; iter < n; iter++ {
+			last = -1
+			for f := 0; f < n; f++ {
+				for _, id := range head[f] {
+					if capv[id] <= 0 {
+						continue
+					}
+					if nd := dist[f] + cost[id]; nd < dist[to[id]] {
+						dist[to[id]] = nd
+						parent[to[id]] = id
+						last = to[id]
+					}
+				}
+			}
+			if last == -1 {
+				return nil
+			}
+		}
+		v := last
+		for i := 0; i < n; i++ {
+			v = from(parent[v])
+		}
+		var cycle []int
+		u := v
+		for {
+			id := parent[u]
+			cycle = append(cycle, id)
+			u = from(id)
+			if u == v {
+				break
+			}
+		}
+		return cycle
+	}
+	var total int64
+	for {
+		cycle := findCycle()
+		if cycle == nil {
+			return total
+		}
+		push := int64(math.MaxInt64)
+		for _, id := range cycle {
+			if capv[id] < push {
+				push = capv[id]
+			}
+		}
+		for _, id := range cycle {
+			capv[id] -= push
+			capv[id^1] += push
+			total += push * cost[id]
+		}
+	}
+}
+
+// TestCancelMatchesReferenceCost asserts the SPFA canceler lands on the
+// same (unique) optimal circulation cost as the serial Bellman-Ford
+// reference on a spread of legalizer-shaped instances.
+func TestCancelMatchesReferenceCost(t *testing.T) {
+	for _, tc := range []struct {
+		nodes int
+		seed  int64
+	}{{4, 1}, {9, 2}, {16, 3}, {16, 99}, {25, 7}, {40, 11}} {
+		arcs, n := LegalizerInstanceArcs(tc.nodes, tc.seed)
+		g := NewGraphWithArcHint(n, len(arcs))
+		for _, a := range arcs {
+			g.AddArc(int(a[0]), int(a[1]), a[2], a[3])
+		}
+		got, err := g.CancelNegativeCycles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceCancelCost(t, arcs, n)
+		if got != want {
+			t.Errorf("nodes=%d seed=%d: SPFA cost %d, reference %d", tc.nodes, tc.seed, got, want)
+		}
+	}
+}
+
+// TestCancelRoundGuard locks the off-by-one fix: with the guard set to
+// k, exactly k cancel rounds may run — the old `round > max` comparison
+// allowed k+1 — and tripping it must return the partial improvement
+// alongside an error wrapping ErrNoConvergence.
+func TestCancelRoundGuard(t *testing.T) {
+	saved := maxCancelRounds
+	defer func() { maxCancelRounds = saved }()
+
+	build := func() *Graph {
+		// Two independent negative 2-cycles: needs two cancel rounds.
+		g := NewGraph(4)
+		g.AddArc(0, 1, 3, -2)
+		g.AddArc(1, 0, 3, 1)
+		g.AddArc(2, 3, 4, -3)
+		g.AddArc(3, 2, 4, 1)
+		return g
+	}
+
+	maxCancelRounds = 1
+	partial, err := build().CancelNegativeCycles()
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("guard at 1 round: err = %v, want ErrNoConvergence", err)
+	}
+	if partial >= 0 {
+		t.Errorf("partial total %d not returned with the error", partial)
+	}
+
+	// The guard bounds canceled cycles, not search rounds: a solve that
+	// converges in exactly the budgeted number of cancels succeeds.
+	maxCancelRounds = 2
+	total, err := build().CancelNegativeCycles()
+	if err != nil {
+		t.Fatalf("guard at 2 rounds: %v", err)
+	}
+	if want := int64(3*(-1) + 4*(-2)); total != want {
+		t.Errorf("total = %d, want %d", total, want)
 	}
 }

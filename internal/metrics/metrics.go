@@ -7,10 +7,12 @@ package metrics
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/freq"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/spatial"
 )
 
 // Params are the spatial and spectral thresholds of the hotspot metric.
@@ -115,29 +117,49 @@ func Hotspots(n *netlist.Netlist, p Params) []PairHotspot {
 		}
 	}
 
-	// Block-block pairs via a spatial hash (blocks are numerous).
+	// Block-block pairs via the shared bucket grid (blocks are numerous).
+	forEachBlockHotspot(n, p, nil, func(h PairHotspot) {
+		out = append(out, h)
+	})
+	return out
+}
+
+// gridPool recycles the bucket-grid scratch across metric evaluations;
+// the hotspot enumeration runs on every detailed-placement window, so
+// rebuilding a map hash per call would dominate the DP profile.
+var gridPool = sync.Pool{New: func() any { return new(spatial.Grid) }}
+
+// forEachBlockHotspot enumerates proximate block-block hotspot pairs in
+// the canonical order (ascending primary block, fixed neighbor-bucket
+// sweep, ascending secondary within a bucket) and calls emit for each.
+// When include is non-nil, pairs whose resonator pair it rejects are
+// skipped before any geometry is computed — the enumeration order of
+// surviving pairs, and therefore any order-sensitive accumulation over
+// them, is unchanged.
+func forEachBlockHotspot(n *netlist.Netlist, p Params, include func(ei, ej int) bool, emit func(PairHotspot)) {
 	cell := math.Max(2, p.DMax+1)
-	grid := map[[2]int][]int{}
-	key := func(pt geom.Pt) [2]int {
-		return [2]int{int(pt.X / cell), int(pt.Y / cell)}
-	}
-	for i := range n.Blocks {
-		k := key(n.Blocks[i].Pos)
-		grid[k] = append(grid[k], i)
-	}
+	grid := gridPool.Get().(*spatial.Grid)
+	defer gridPool.Put(grid)
+	grid.Build(cell, len(n.Blocks), func(i int) (float64, float64) {
+		return n.Blocks[i].Pos.X, n.Blocks[i].Pos.Y
+	})
 	for i := range n.Blocks {
 		bi := &n.Blocks[i]
-		ki := key(bi.Pos)
+		kx, ky := grid.Key(bi.Pos.X, bi.Pos.Y)
 		ri := n.BlockRect(i)
 		fi := n.Resonators[bi.Edge].Freq
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
-				for _, j := range grid[[2]int{ki[0] + dx, ki[1] + dy}] {
+				for _, j32 := range grid.Bucket(kx+dx, ky+dy) {
+					j := int(j32)
 					if j <= i {
 						continue
 					}
 					bj := &n.Blocks[j]
 					if bj.Edge == bi.Edge {
+						continue
+					}
+					if include != nil && !include(bi.Edge, bj.Edge) {
 						continue
 					}
 					rj := n.BlockRect(j)
@@ -158,7 +180,7 @@ func Hotspots(n *netlist.Netlist, p Params) []PairHotspot {
 					if w <= 0 {
 						continue
 					}
-					out = append(out, PairHotspot{
+					emit(PairHotspot{
 						QubitI: -1, QubitJ: -1, EdgeI: bi.Edge, EdgeJ: bj.Edge,
 						Weight: w, SharedLen: shared, Gap: gap, Tau: tau,
 					})
@@ -166,7 +188,20 @@ func Hotspots(n *netlist.Netlist, p Params) []PairHotspot {
 			}
 		}
 	}
-	return out
+}
+
+// GroupHotspotWeight sums the weights of the block-block hotspot pairs
+// that involve at least one resonator with inGroup[e] true. It equals,
+// bit for bit, filtering Hotspots over the same predicate and summing in
+// list order (qubit-qubit pairs carry EdgeI = EdgeJ = -1 and never
+// match) — but skips all geometry work for pairs outside the group,
+// which is what makes the detailed placer's per-window objective cheap.
+func GroupHotspotWeight(n *netlist.Netlist, p Params, inGroup []bool) float64 {
+	var sum float64
+	forEachBlockHotspot(n, p,
+		func(ei, ej int) bool { return inGroup[ei] || inGroup[ej] },
+		func(h PairHotspot) { sum += h.Weight })
+	return sum
 }
 
 // PhFromHotspots computes the Eq. 4 ratio (as a percentage) from an
@@ -286,7 +321,7 @@ func CrossingPairs(n *netlist.Netlist) []CrossPoint {
 	boxes := make([]geom.Rect, len(n.Resonators))
 	for e := range n.Resonators {
 		routes[e] = n.Route(e)
-		boxes[e] = polyBBox(routes[e])
+		boxes[e] = routes[e].BBox()
 	}
 	var out []CrossPoint
 	for i := range routes {
@@ -300,19 +335,4 @@ func CrossingPairs(n *netlist.Netlist) []CrossPoint {
 		}
 	}
 	return out
-}
-
-func polyBBox(pl geom.Polyline) geom.Rect {
-	if len(pl) == 0 {
-		return geom.Rect{}
-	}
-	minX, maxX := pl[0].X, pl[0].X
-	minY, maxY := pl[0].Y, pl[0].Y
-	for _, p := range pl[1:] {
-		minX = math.Min(minX, p.X)
-		maxX = math.Max(maxX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxY = math.Max(maxY, p.Y)
-	}
-	return geom.NewRect((minX+maxX)/2, (minY+maxY)/2, maxX-minX, maxY-minY)
 }

@@ -226,28 +226,35 @@ type PseudoNet struct {
 // which in force-directed placement produces the compact rectangular
 // clump the paper's pseudo-connection strategy aims for.
 func (n *Netlist) PseudoNets(e int) []PseudoNet {
+	return n.AppendPseudoNets(make([]PseudoNet, 0, 3*len(n.Resonators[e].Blocks)+2), e)
+}
+
+// AppendPseudoNets appends resonator e's pseudo nets to dst and returns
+// it — the allocation-free form the global placer's hot loop uses. The
+// net order is part of the placement contract: force accumulation (and
+// therefore the layout) depends on it.
+func (n *Netlist) AppendPseudoNets(dst []PseudoNet, e int) []PseudoNet {
 	r := &n.Resonators[e]
-	nets := make([]PseudoNet, 0, 3*len(r.Blocks)+2)
 	if len(r.Blocks) == 0 {
 		// Degenerate resonator: direct qubit-qubit net.
-		return []PseudoNet{{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1}}
+		return append(dst, PseudoNet{AQubit: true, BQubit: true, A: r.Q1, B: r.Q2, Weight: 1})
 	}
 	// Qubit anchors to first and last block.
-	nets = append(nets,
+	dst = append(dst,
 		PseudoNet{AQubit: true, A: r.Q1, B: r.Blocks[0], Weight: 1},
 		PseudoNet{AQubit: true, A: r.Q2, B: r.Blocks[len(r.Blocks)-1], Weight: 1},
 	)
 	for i := 0; i < len(r.Blocks); i++ {
 		if i+1 < len(r.Blocks) {
-			nets = append(nets, PseudoNet{A: r.Blocks[i], B: r.Blocks[i+1], Weight: 1})
+			dst = append(dst, PseudoNet{A: r.Blocks[i], B: r.Blocks[i+1], Weight: 1})
 		}
 		// Pseudo connection: second neighbor, encouraging folding into a
 		// rectangle rather than a line.
 		if i+2 < len(r.Blocks) {
-			nets = append(nets, PseudoNet{A: r.Blocks[i], B: r.Blocks[i+2], Weight: 0.5})
+			dst = append(dst, PseudoNet{A: r.Blocks[i], B: r.Blocks[i+2], Weight: 0.5})
 		}
 	}
-	return nets
+	return dst
 }
 
 // Validate checks structural invariants: indices in range, endpoints

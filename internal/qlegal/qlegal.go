@@ -144,6 +144,12 @@ func solveAt(n *netlist.Netlist, pos []geom.Pt, sizes []int64, spacing int64, ex
 
 	hx := &lp1d.Problem{N: len(pos), Arcs: graphs.H}
 	vy := &lp1d.Problem{N: len(pos), Arcs: graphs.V}
+	hx.Target = make([]int64, 0, len(pos))
+	hx.Lo = make([]int64, 0, len(pos))
+	hx.Hi = make([]int64, 0, len(pos))
+	vy.Target = make([]int64, 0, len(pos))
+	vy.Lo = make([]int64, 0, len(pos))
+	vy.Hi = make([]int64, 0, len(pos))
 	for i := range pos {
 		half := float64(sizes[i]) / 2
 		hx.Target = append(hx.Target, coordToCell(pos[i].X))

@@ -59,20 +59,34 @@ func BuildIndex(n *netlist.Netlist) *binidx.Index {
 type legalizer struct {
 	n     *netlist.Netlist
 	ix    *binidx.Index
-	owner map[binidx.Bin]int // placed bin -> owning resonator
+	owner []int32 // per-bin owning resonator, -1 = unowned
 	res   Result
 }
 
 // Legalize runs Algorithm 1, mutating block positions in place. Qubit
 // positions are read-only inputs.
 func Legalize(n *netlist.Netlist) (Result, error) {
-	lg := &legalizer{n: n, ix: BuildIndex(n), owner: map[binidx.Bin]int{}}
+	ix := BuildIndex(n)
+	lg := &legalizer{n: n, ix: ix, owner: make([]int32, ix.W()*ix.H())}
+	for i := range lg.owner {
+		lg.owner[i] = -1
+	}
 	for _, e := range resonatorOrder(n) {
 		if err := lg.legalizeResonator(e); err != nil {
 			return lg.res, err
 		}
 	}
 	return lg.res, nil
+}
+
+// ownerAt returns the resonator owning bin (x, y), or -1. Out-of-range
+// bins are unowned; the hotspot scan probes the 8-neighborhood of
+// border bins.
+func (lg *legalizer) ownerAt(x, y int) int {
+	if x < 0 || x >= lg.ix.W() || y < 0 || y >= lg.ix.H() {
+		return -1
+	}
+	return int(lg.owner[y*lg.ix.W()+x])
 }
 
 // legalizeResonator places all wire blocks of resonator e (lines 5–15 of
@@ -153,8 +167,8 @@ func (lg *legalizer) hotspotPenalty(b binidx.Bin, e int) float64 {
 			if dx == 0 && dy == 0 {
 				continue
 			}
-			o, ok := lg.owner[binidx.Bin{X: b.X + dx, Y: b.Y + dy}]
-			if !ok || o == e {
+			o := lg.ownerAt(b.X+dx, b.Y+dy)
+			if o < 0 || o == e {
 				continue
 			}
 			pen += HotspotPenalty * freq.Tau(fe, lg.n.Resonators[o].Freq, freq.DeltaResonator)
@@ -169,7 +183,7 @@ func (lg *legalizer) place(blockID, e int, bin binidx.Bin) {
 	lg.res.Displacement += b.Pos.Manhattan(newPos)
 	b.Pos = newPos
 	lg.ix.Occupy(bin.X, bin.Y)
-	lg.owner[bin] = e
+	lg.owner[bin.Y*lg.ix.W()+bin.X] = int32(e)
 }
 
 // resonatorOrder sorts resonators by endpoint chord length (shortest

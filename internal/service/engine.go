@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernstats"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/topology"
@@ -114,6 +115,10 @@ type StatsSnapshot struct {
 	// MeanLatencyMs averages the wall time of Layout/Fidelity calls
 	// (hits and misses alike).
 	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	// Kernels reports per-hot-kernel call counts, cumulative time, and
+	// scratch reuse (process-wide; see package kernstats). A healthy
+	// steady-state engine shows scratch_reuses far above scratch_allocs.
+	Kernels map[string]kernstats.Snapshot `json:"kernels,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -129,6 +134,7 @@ func (e *Engine) Stats() StatsSnapshot {
 		Computed:       e.stats.computed.Load(),
 		SharedFlights:  e.stats.sharedFlights.Load(),
 		InFlight:       e.stats.inFlight.Load(),
+		Kernels:        kernstats.All(),
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.MeanLatencyMs = float64(e.stats.latencyNs.Load()) / float64(n) / 1e6
@@ -143,9 +149,9 @@ func (e *Engine) Stats() StatsSnapshot {
 // is resolved by name. Device.Name is the cache identity, so custom
 // devices must use distinct names.
 type LayoutRequest struct {
-	Topology string        `json:"topology"`
-	Strategy core.Strategy `json:"strategy"`
-	Config   core.Config   `json:"config"`
+	Topology string           `json:"topology"`
+	Strategy core.Strategy    `json:"strategy"`
+	Config   core.Config      `json:"config"`
 	Device   *topology.Device `json:"-"`
 }
 

@@ -211,6 +211,28 @@ func TestStatszEndpoint(t *testing.T) {
 	if s.InFlight != 0 {
 		t.Errorf("in_flight = %d on idle server", s.InFlight)
 	}
+	for _, kernel := range []string{"gplace.place", "maze.route", "mcf.cancel", "dplace.refine"} {
+		if _, ok := s.Kernels[kernel]; !ok {
+			t.Errorf("statsz missing kernel counters for %q", kernel)
+		}
+	}
+}
+
+// Kernel counters must advance when the engine actually computes a
+// layout (the qGDP pipeline runs the GP and MCF kernels).
+func TestStatszKernelCountersAdvance(t *testing.T) {
+	srv, _ := testServer(t)
+	var before StatsSnapshot
+	getJSON(t, srv.URL+"/statsz", &before)
+	getJSON(t, srv.URL+"/v1/layout?topology=Grid", nil)
+	var after StatsSnapshot
+	getJSON(t, srv.URL+"/statsz", &after)
+	for _, kernel := range []string{"gplace.place", "mcf.cancel"} {
+		if after.Kernels[kernel].Calls <= before.Kernels[kernel].Calls {
+			t.Errorf("%s calls did not advance: %d -> %d",
+				kernel, before.Kernels[kernel].Calls, after.Kernels[kernel].Calls)
+		}
+	}
 }
 
 func TestBadRequests(t *testing.T) {
@@ -219,17 +241,17 @@ func TestBadRequests(t *testing.T) {
 		path string
 		want int
 	}{
-		{"/v1/layout", http.StatusBadRequest},                                  // missing topology
-		{"/v1/layout?topology=Nope", http.StatusBadRequest},                    // unknown topology
-		{"/v1/layout?topology=Grid&strategy=Nope", http.StatusBadRequest},      // unknown strategy
-		{"/v1/layout?topology=Grid&seed=x", http.StatusBadRequest},             // bad seed
-		{"/v1/layout?topology=Grid&mappings=0", http.StatusBadRequest},         // bad mappings
-		{"/v1/fidelity?topology=Grid", http.StatusBadRequest},                  // missing bench
-		{"/v1/fidelity?topology=Grid&bench=nope", http.StatusBadRequest},       // unknown bench
-		{"/v1/sweep?topologies=Nope", http.StatusBadRequest},                   // unknown topology
-		{"/v1/sweep?strategies=Nope", http.StatusBadRequest},                   // unknown strategy
-		{"/v1/sweep?benchmarks=nope", http.StatusBadRequest},                   // unknown bench
-		{"/v1/layout?topology=Grid&padding=-1", http.StatusBadRequest},         // bad padding
+		{"/v1/layout", http.StatusBadRequest},                             // missing topology
+		{"/v1/layout?topology=Nope", http.StatusBadRequest},               // unknown topology
+		{"/v1/layout?topology=Grid&strategy=Nope", http.StatusBadRequest}, // unknown strategy
+		{"/v1/layout?topology=Grid&seed=x", http.StatusBadRequest},        // bad seed
+		{"/v1/layout?topology=Grid&mappings=0", http.StatusBadRequest},    // bad mappings
+		{"/v1/fidelity?topology=Grid", http.StatusBadRequest},             // missing bench
+		{"/v1/fidelity?topology=Grid&bench=nope", http.StatusBadRequest},  // unknown bench
+		{"/v1/sweep?topologies=Nope", http.StatusBadRequest},              // unknown topology
+		{"/v1/sweep?strategies=Nope", http.StatusBadRequest},              // unknown strategy
+		{"/v1/sweep?benchmarks=nope", http.StatusBadRequest},              // unknown bench
+		{"/v1/layout?topology=Grid&padding=-1", http.StatusBadRequest},    // bad padding
 		{"/nope", http.StatusNotFound},
 	}
 	for _, tc := range cases {
