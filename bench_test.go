@@ -14,6 +14,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/mcf"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/qbench"
 	"repro/internal/qlegal"
 	"repro/internal/reslegal"
@@ -442,6 +444,55 @@ func BenchmarkKernelMazeThickenWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if g.Thicken(path, 24) == nil {
 			b.Fatal("thicken failed")
+		}
+	}
+}
+
+// BenchmarkKernelDPRefineWaves measures one full qGDP-DP refinement at
+// a forced lane count (clone excluded from the timer): lanes=1 is the
+// serial scan, lanes=4 the wave pipeline. Both produce bit-identical
+// layouts (see the dplace determinism suite); the delta is the Table
+// III speedup the parallelism budget buys on a multicore box.
+func BenchmarkKernelDPRefineWaves(b *testing.B) {
+	for _, topo := range []string{"Grid", "Eagle"} {
+		for _, lanes := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/lanes-%d", topo, lanes), func(b *testing.B) {
+				base := legalized(b, topo)
+				p := dplace.DefaultParams()
+				p.Lanes = lanes
+				p.Par = parallel.NewBudget(lanes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					n := base.Clone()
+					b.StartTimer()
+					if _, err := dplace.Refine(n, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelCrossingPairs measures the crossing-pair scan (routes
+// recomputed per call, as Analyze pays it) serial versus sharded.
+func BenchmarkKernelCrossingPairs(b *testing.B) {
+	for _, topo := range []string{"Grid", "Eagle"} {
+		for _, lanes := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/lanes-%d", topo, lanes), func(b *testing.B) {
+				lay := legalized(b, topo)
+				bud := parallel.NewBudget(lanes)
+				var crossings int
+				metrics.CrossingPairsPar(lay, bud, lanes) // warm the scratch pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					crossings = len(metrics.CrossingPairsPar(lay, bud, lanes))
+				}
+				b.ReportMetric(float64(crossings), "crossings")
+			})
 		}
 	}
 }

@@ -12,6 +12,7 @@
 //	curl 'localhost:8080/v1/strategies'
 //	curl 'localhost:8080/v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4'
 //	curl 'localhost:8080/statsz'
+//	curl 'localhost:8080/benchz'    # live qgdp-bench trajectory point
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/service"
 )
 
@@ -33,19 +35,24 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent pipeline computations (default GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 256, "entries per cache (GP, layout, fidelity)")
+	lanes := flag.Int("lanes", 0, "engine-wide parallelism budget for intra-job kernels (default GOMAXPROCS)")
+	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheSize); err != nil {
+	if err := run(*addr, *workers, *cacheSize, *lanes, *pr); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cacheSize int) error {
-	eng := service.New(service.Options{Workers: workers, CacheSize: cacheSize})
+func run(addr string, workers, cacheSize, lanes, pr int) error {
+	eng := service.New(service.Options{Workers: workers, CacheSize: cacheSize, ParallelBudget: lanes})
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(eng))
+	mux.Handle("GET /benchz", experiments.BenchzHandler(eng, pr))
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           service.NewHandler(eng),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -17,10 +17,21 @@
 // kernels, so a candidate costs work proportional to its window rather
 // than to the whole layout. The accepted layouts are identical to the
 // rebuild-per-candidate reference placer.
+//
+// When the parallelism budget grants more than one lane, candidate
+// windows are refined in waves: the longest prefix of the candidate
+// order whose footprints are pairwise disjoint is evaluated
+// concurrently — each lane owns a full refiner state (grid, occupancy,
+// route cache, netlist view) — and the accepted moves are merged in
+// canonical candidate order. A window's footprint over-approximates
+// everything its evaluation reads or writes, so wave members cannot
+// observe each other and the refined layout is bit-identical to the
+// serial scan for every lane count (see the determinism suite).
 package dplace
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -29,6 +40,8 @@ import (
 	"repro/internal/maze"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // Params tunes the detailed placer.
@@ -41,6 +54,14 @@ type Params struct {
 	MaxAdjacent int
 	// MaxPasses bounds the scan-and-fix iterations.
 	MaxPasses int
+	// Par is the parallelism budget wave refinement draws lanes from;
+	// nil uses the process-wide default. Excluded from request hashing:
+	// lane count never changes the produced layout.
+	Par *parallel.Budget `json:"-"`
+	// Lanes caps the lanes requested from the budget; 0 means
+	// GOMAXPROCS. Tests use it to force multi-lane waves on small
+	// machines.
+	Lanes int `json:"-"`
 }
 
 // DefaultParams mirrors the evaluation setup.
@@ -64,24 +85,44 @@ type Result struct {
 }
 
 // Refine runs Algorithm 2 on a legalized netlist, mutating wire-block
-// positions in place. Qubits never move.
+// positions in place. Qubits never move. The refined layout is
+// independent of how many lanes the parallelism budget grants.
 func Refine(n *netlist.Netlist, p Params) (Result, error) {
 	start := time.Now()
 	defer func() { kernstats.DPRefine.Observe(time.Since(start)) }()
 
 	r := newRefiner(n, p)
+
+	want := p.Lanes
+	if want <= 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	grant := p.Par.Acquire(want)
+	defer grant.Release()
+	var pr *parRefiner
+	if grant.Lanes() > 1 {
+		pr = newParRefiner(r, grant)
+		defer pr.release()
+	}
+
 	var res Result
 	for pass := 0; pass < p.MaxPasses; pass++ {
 		res.Passes = pass + 1
-		improved := false
-		for _, e := range r.candidates() {
-			res.Considered++
-			if r.refineWindow(e) {
-				res.Accepted++
-				improved = true
+		cands := r.candidates()
+		res.Considered += len(cands)
+		accepted := 0
+		if pr == nil {
+			kernstats.DPSerialWindows.Add(int64(len(cands)))
+			for _, e := range cands {
+				if r.refineWindow(e) {
+					accepted++
+				}
 			}
+		} else {
+			accepted = pr.refinePass(cands)
 		}
-		if !improved {
+		res.Accepted += accepted
+		if accepted == 0 {
 			break
 		}
 	}
@@ -112,23 +153,33 @@ type refiner struct {
 	srcs     []maze.Cell
 	dsts     []maze.Cell
 	crossing []int
+	nears    []near
 }
 
 func newRefiner(n *netlist.Netlist, p Params) *refiner {
+	r := &refiner{}
+	r.reset(n, p)
+	return r
+}
+
+// reset (re)initializes the refiner against a netlist, reusing every
+// buffer — the pooled lane refiners of the wave pipeline rebuild their
+// state with it once per Refine call.
+func (r *refiner) reset(n *netlist.Netlist, p Params) {
 	w := int(math.Round(n.W))
 	h := int(math.Round(n.H))
-	r := &refiner{
-		n: n, p: p,
-		g:        maze.NewGrid(w, h),
-		w:        w,
-		h:        h,
-		static:   make([]bool, w*h),
-		occ:      make([]int32, w*h),
-		routes:   make([]geom.Polyline, len(n.Resonators)),
-		boxes:    make([]geom.Rect, len(n.Resonators)),
-		inGroup:  make([]bool, len(n.Resonators)),
-		crossing: make([]int, len(n.Resonators)),
+	r.n, r.p, r.w, r.h = n, p, w, h
+	if r.g == nil {
+		r.g = maze.NewGrid(w, h)
+	} else {
+		r.g.Reset(w, h)
 	}
+	r.static = scratch.Grow(r.static, w*h)
+	r.occ = scratch.Grow(r.occ, w*h)
+	r.routes = scratch.Grow(r.routes, len(n.Resonators))
+	r.boxes = scratch.Grow(r.boxes, len(n.Resonators))
+	r.inGroup = scratch.Grow(r.inGroup, len(n.Resonators))
+	r.crossing = scratch.Grow(r.crossing, len(n.Resonators))
 	// Qubit macros are permanent obstacles.
 	for qi := range n.Qubits {
 		rect := n.Qubits[qi].Rect()
@@ -150,7 +201,6 @@ func newRefiner(n *netlist.Netlist, p Params) *refiner {
 	for i := range n.Blocks {
 		r.occupy(cellOf(n.Blocks[i].Pos))
 	}
-	return r
 }
 
 // occupy adds one block to a cell, blocking it on the 0 -> 1 edge.
@@ -270,8 +320,20 @@ func (a windowObjective) betterThan(b windowObjective) bool {
 
 // refineWindow attempts one window rip-up/re-place; reports acceptance.
 func (r *refiner) refineWindow(e int) bool {
-	n := r.n
 	group := r.windowGroup(e)
+	return r.refineWindowIn(group, r.windowRect(group), nil)
+}
+
+// refineWindowIn runs the rip-up/re-place of the window whose group and
+// rect were computed against the refiner's current state. With
+// placedOut == nil an accepted move stays applied (the serial path).
+// With placedOut non-nil the evaluation is speculative: the accepted
+// cells (group order, each resonator's blocks in order) are copied out
+// and the refiner is restored to its pre-call state bit for bit, so a
+// wave lane can evaluate concurrently and the move can be committed
+// later in canonical candidate order via applyMove.
+func (r *refiner) refineWindowIn(group []int, win geom.Rect, placedOut *[]maze.Cell) bool {
+	n := r.n
 	for _, ge := range group {
 		r.inGroup[ge] = true
 	}
@@ -280,7 +342,6 @@ func (r *refiner) refineWindow(e int) bool {
 			r.inGroup[ge] = false
 		}
 	}()
-	win := r.windowRect(group)
 
 	before := r.measure(group)
 
@@ -325,7 +386,31 @@ func (r *refiner) refineWindow(e int) bool {
 		r.invalidateRoutes(group)
 		return false
 	}
+	if placedOut != nil {
+		*placedOut = append((*placedOut)[:0], r.placed...)
+		r.revert()
+		r.invalidateRoutes(group)
+	}
 	return true
+}
+
+// applyMove commits one accepted window's cells to the refiner:
+// occupancy deltas, block positions, and route invalidation. The wave
+// pipeline applies every accepted move to the master and to each lane
+// state, in canonical candidate order, which is exactly the state the
+// serial scan would have produced.
+func (r *refiner) applyMove(group []int, cells []maze.Cell) {
+	k := 0
+	for _, ge := range group {
+		for _, id := range r.n.Resonators[ge].Blocks {
+			c := cells[k]
+			k++
+			r.vacate(cellOf(r.n.Blocks[id].Pos))
+			r.n.Blocks[id].Pos = geom.Pt{X: float64(c.X) + 0.5, Y: float64(c.Y) + 0.5}
+			r.occupy(c)
+		}
+	}
+	r.invalidateRoutes(group)
 }
 
 // revert restores the snapshot positions and the matching occupancy.
@@ -339,15 +424,23 @@ func (r *refiner) revert() {
 	}
 }
 
+// near is one candidate adjacent resonator during group selection.
+type near struct {
+	e int
+	d float64
+}
+
 // windowGroup returns e plus up to MaxAdjacent resonators whose blocks
 // lie nearest to e's blocks (the "adjacent resonators" of Fig. 7).
 func (r *refiner) windowGroup(e int) []int {
+	return r.appendWindowGroup(nil, e)
+}
+
+// appendWindowGroup appends the window group of e to dst and returns
+// it — the arena-building form the wave scheduler uses.
+func (r *refiner) appendWindowGroup(dst []int, e int) []int {
 	n := r.n
-	type near struct {
-		e int
-		d float64
-	}
-	var nears []near
+	nears := r.nears[:0]
 	for o := range n.Resonators {
 		if o == e {
 			continue
@@ -357,20 +450,22 @@ func (r *refiner) windowGroup(e int) []int {
 			nears = append(nears, near{o, d})
 		}
 	}
+	r.nears = nears
 	sort.Slice(nears, func(i, j int) bool {
 		if nears[i].d != nears[j].d {
 			return nears[i].d < nears[j].d
 		}
 		return nears[i].e < nears[j].e
 	})
-	group := []int{e}
+	base := len(dst)
+	dst = append(dst, e)
 	for _, nr := range nears {
-		if len(group) > r.p.MaxAdjacent {
+		if len(dst)-base > r.p.MaxAdjacent {
 			break
 		}
-		group = append(group, nr.e)
+		dst = append(dst, nr.e)
 	}
-	return group
+	return dst
 }
 
 // resonatorDistance is the minimum block-to-block center distance.

@@ -1,0 +1,263 @@
+// Wave refinement: the deterministic parallel pipeline behind Refine.
+//
+// The serial scan refines candidate windows strictly in canonical order
+// (worst-first, then ID), and every refinement reads and mutates global
+// state. The wave pipeline recovers parallelism without changing a
+// single accepted move:
+//
+//  1. Footprints. A window's evaluation reads and writes only layout
+//     state inside a bounded neighborhood of its window rect (see
+//     footprintMargin for the derivation). Two windows whose expanded
+//     footprints are disjoint cannot observe each other in any order.
+//
+//  2. Prefix waves. Each wave admits the longest *prefix* of the
+//     remaining candidate order whose footprints are pairwise disjoint,
+//     stopping at the first conflict. Stopping (rather than skipping
+//     the conflicting window and admitting later ones) is what makes
+//     the schedule order-safe: a window is only ever evaluated after
+//     every earlier candidate has either committed or been admitted to
+//     the same wave with a provably disjoint footprint. No later
+//     candidate ever runs ahead of an earlier one it could interact
+//     with — not even through a window whose group (and therefore
+//     footprint) changes when an earlier conflicting move commits.
+//
+//  3. Speculative lanes. Every lane owns a complete refiner state —
+//     netlist view with its own block positions, routing grid,
+//     occupancy, route cache — kept in sync by replaying committed
+//     moves. A lane evaluates a window exactly like the serial scan,
+//     then restores its state bit for bit and reports the decision plus
+//     the accepted cells.
+//
+//  4. Canonical merge. After the wave, accepted moves are committed in
+//     candidate order to the master and to every lane. Disjointness
+//     makes the commit order immaterial for the final state, but the
+//     canonical order keeps the reasoning aligned with the serial scan.
+//
+// The result: bit-identical layouts to the serial reference for every
+// lane count, enforced by TestRefineWavesMatchSerial across the
+// topology × strategy determinism suite.
+package dplace
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/kernstats"
+	"repro/internal/maze"
+	"repro/internal/netlist"
+	"repro/internal/parallel"
+	"repro/internal/spatial"
+)
+
+// footCell is the bucket pitch of the footprint overlap index. Any
+// value is correct; windows are a few cells across plus margins, so a
+// moderately coarse pitch keeps bucket fan-out low.
+const footCell = 8.0
+
+// footprintMargin is the one-sided expansion of a window rect such that
+// two windows with non-intersecting footprints have disjoint read and
+// write sets:
+//
+//   - writes (re-placed block rects, rerouted polylines, occupancy
+//     deltas) stay within the window rect expanded by 1 cell;
+//   - reads reach at most 2 + DMax + BlockSize beyond the rect: group
+//     selection scans blocks within WindowMargin+1 of the problem
+//     resonator (already inside rect ⊕ 1, the rect includes the margin),
+//     the hotspot objective pairs group block rects (rect ⊕ 1) with
+//     partner rects within gap DMax, and the crossing objective pairs
+//     group route bounding boxes (rect ⊕ 1) with touching route boxes.
+//
+// Disjointness therefore needs a combined separation of
+// 1 + (2 + DMax + BlockSize); splitting it across the two footprints
+// and rounding up with one cell of slack gives the margin below.
+func footprintMargin(p Params, blockSize float64) float64 {
+	return math.Ceil((3+p.Metrics.DMax+blockSize)/2) + 1
+}
+
+// pendWin is one scheduled candidate window: its group lives in the
+// scheduler's arena.
+type pendWin struct {
+	e          int
+	gOff, gLen int32
+	rect       geom.Rect
+}
+
+// waveResult is one lane's verdict on one window.
+type waveResult struct {
+	accepted bool
+	cells    []maze.Cell // reused buffer; valid when accepted
+}
+
+// laneState is a full refiner over a private netlist view: shared
+// qubits/resonators, private block positions.
+type laneState struct {
+	refiner
+	view   netlist.Netlist
+	blocks []netlist.WireBlock
+}
+
+// lanePool recycles lane states (grids, caches, block copies) across
+// Refine calls, so steady-state wave refinement allocates nothing for
+// lane setup beyond first use.
+var lanePool sync.Pool
+
+// parRefiner drives wave scheduling, lane evaluation, and merging.
+type parRefiner struct {
+	master *refiner
+	grant  *parallel.Grant
+	lanes  []*laneState
+
+	cands   []int
+	head    int
+	wave    []pendWin
+	arena   []int
+	results []waveResult
+	idx     spatial.RectIndex
+	margin  float64
+
+	next  atomic.Int64
+	runFn func(lane int)
+}
+
+func newParRefiner(r *refiner, grant *parallel.Grant) *parRefiner {
+	pr := &parRefiner{
+		master: r,
+		grant:  grant,
+		margin: footprintMargin(r.p, r.n.BlockSize),
+	}
+	pr.runFn = pr.laneRun
+	return pr
+}
+
+// release returns the lane states to the pool, dropping references to
+// the caller's netlist.
+func (pr *parRefiner) release() {
+	for _, l := range pr.lanes {
+		l.refiner.n = nil
+		l.view = netlist.Netlist{}
+		clear(l.refiner.routes)
+		lanePool.Put(l)
+	}
+	pr.lanes = pr.lanes[:0]
+}
+
+// refinePass refines one pass's candidate list in waves and returns the
+// number of accepted windows. The accepted set, the resulting block
+// positions, and every acceptance decision match the serial scan.
+func (pr *parRefiner) refinePass(cands []int) int {
+	pr.cands = cands
+	pr.head = 0
+	accepted := 0
+	for pr.head < len(pr.cands) {
+		pr.buildWave()
+		lanes := pr.grant.Lanes()
+		if lanes > len(pr.wave) {
+			lanes = len(pr.wave)
+		}
+		pr.ensureLanes(lanes)
+		kernstats.DPWaves.Add(1)
+		kernstats.DPWaveWindows.Add(int64(len(pr.wave)))
+		kernstats.DPWaveLanes.Add(int64(lanes))
+
+		pr.next.Store(0)
+		pr.grant.Run(lanes, pr.runFn)
+
+		// Merge accepted moves in canonical candidate order, into the
+		// master and into every lane state.
+		for i := range pr.wave {
+			res := &pr.results[i]
+			if !res.accepted {
+				continue
+			}
+			accepted++
+			w := &pr.wave[i]
+			group := pr.arena[w.gOff : w.gOff+w.gLen]
+			pr.master.applyMove(group, res.cells)
+			for _, l := range pr.lanes {
+				l.applyMove(group, res.cells)
+			}
+		}
+	}
+	return accepted
+}
+
+// buildWave admits the longest prefix of the remaining candidates whose
+// footprints are pairwise disjoint. Groups and rects are computed
+// against the master state, which — because every earlier candidate has
+// already committed — is exactly the state the serial scan would see
+// when reaching each admitted candidate.
+func (pr *parRefiner) buildWave() {
+	m := pr.master
+	pr.wave = pr.wave[:0]
+	pr.arena = pr.arena[:0]
+	pr.idx.Reset(footCell, m.n.W, m.n.H)
+	for pr.head < len(pr.cands) {
+		e := pr.cands[pr.head]
+		gOff := len(pr.arena)
+		pr.arena = m.appendWindowGroup(pr.arena, e)
+		group := pr.arena[gOff:]
+		rect := m.windowRect(group)
+		foot := rect.Expand(pr.margin)
+		if len(pr.wave) > 0 && pr.idx.Overlaps(foot.MinX(), foot.MinY(), foot.MaxX(), foot.MaxY()) {
+			// Conflict: this window must observe the wave's commits.
+			// Its group is discarded and recomputed next wave — the
+			// commits may change it.
+			pr.arena = pr.arena[:gOff]
+			kernstats.DPWaveDeferred.Add(1)
+			break
+		}
+		pr.idx.Add(foot.MinX(), foot.MinY(), foot.MaxX(), foot.MaxY())
+		pr.wave = append(pr.wave, pendWin{
+			e:    e,
+			gOff: int32(gOff),
+			gLen: int32(len(pr.arena) - gOff),
+			rect: rect,
+		})
+		pr.head++
+	}
+	for len(pr.results) < len(pr.wave) {
+		pr.results = append(pr.results, waveResult{})
+	}
+}
+
+// ensureLanes brings lane states 1..lanes-1 into existence, cloned from
+// the master's current (wave-start) state.
+func (pr *parRefiner) ensureLanes(lanes int) {
+	for len(pr.lanes) < lanes-1 {
+		l, _ := lanePool.Get().(*laneState)
+		if l == nil {
+			l = &laneState{}
+		}
+		m := pr.master
+		l.view = *m.n
+		l.blocks = append(l.blocks[:0], m.n.Blocks...)
+		l.view.Blocks = l.blocks
+		l.refiner.reset(&l.view, m.p)
+		pr.lanes = append(pr.lanes, l)
+	}
+}
+
+// laneRun is one lane's wave loop: claim the next window, evaluate it
+// speculatively on this lane's private state, record the verdict. Lane
+// 0 runs on the master refiner — speculation restores the state, so the
+// master still holds the wave-start state when the round ends. Window
+// assignment is load-balanced by an atomic counter; it does not affect
+// results, since every lane holds an identical wave-start state.
+func (pr *parRefiner) laneRun(lane int) {
+	r := pr.master
+	if lane > 0 {
+		r = &pr.lanes[lane-1].refiner
+	}
+	for {
+		i := int(pr.next.Add(1)) - 1
+		if i >= len(pr.wave) {
+			return
+		}
+		w := &pr.wave[i]
+		group := pr.arena[w.gOff : w.gOff+w.gLen]
+		res := &pr.results[i]
+		res.accepted = r.refineWindowIn(group, w.rect, &res.cells)
+	}
+}

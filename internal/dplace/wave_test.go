@@ -1,0 +1,108 @@
+package dplace
+
+import (
+	"testing"
+
+	"repro/internal/abacus"
+	"repro/internal/gplace"
+	"repro/internal/netlist"
+	"repro/internal/parallel"
+	"repro/internal/qlegal"
+	"repro/internal/reslegal"
+	"repro/internal/tetris"
+	"repro/internal/topology"
+)
+
+// legalizedWith builds a legalized layout for dev using the given
+// resonator legalizer, so the wave determinism suite covers every
+// upstream strategy the detailed placer can be asked to refine.
+func legalizedWith(t *testing.T, dev *topology.Device, resLegalize func(*netlist.Netlist) error) *netlist.Netlist {
+	t.Helper()
+	n := topology.Build(dev, topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	if _, err := qlegal.Legalize(n, qlegal.QuantumParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := resLegalize(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// strategies are the resonator legalization flavors feeding qGDP-DP in
+// the determinism suite.
+var strategies = []struct {
+	name     string
+	legalize func(*netlist.Netlist) error
+}{
+	{"qGDP-LG", func(n *netlist.Netlist) error { _, err := reslegal.Legalize(n); return err }},
+	{"Q-Tetris", func(n *netlist.Netlist) error { _, err := tetris.Legalize(n); return err }},
+	{"Q-Abacus", func(n *netlist.Netlist) error { _, err := abacus.Legalize(n); return err }},
+}
+
+// refineForced runs Refine with an isolated budget forcing exactly the
+// given lane count (1 disables the wave pipeline entirely).
+func refineForced(t *testing.T, n *netlist.Netlist, lanes int) Result {
+	t.Helper()
+	p := DefaultParams()
+	p.Lanes = lanes
+	p.Par = parallel.NewBudget(lanes)
+	res, err := Refine(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameBlocks(t *testing.T, name string, want, got *netlist.Netlist) {
+	t.Helper()
+	for i := range want.Blocks {
+		if want.Blocks[i].Pos != got.Blocks[i].Pos {
+			t.Fatalf("%s: block %d at %v, serial reference %v",
+				name, i, got.Blocks[i].Pos, want.Blocks[i].Pos)
+		}
+	}
+}
+
+// TestRefineWavesMatchSerial asserts that wave refinement produces
+// bit-identical layouts — and identical considered/accepted counts — to
+// the serial scan, on every topology of the suite, every upstream
+// strategy, and several lane counts. Run under -race this also
+// exercises the lane goroutines for data races.
+func TestRefineWavesMatchSerial(t *testing.T) {
+	for _, dev := range testDevices() {
+		base := legalizedWith(t, dev, strategies[0].legalize)
+		serial := base.Clone()
+		wantRes := refineForced(t, serial, 1)
+		for _, lanes := range []int{2, 3, 5} {
+			par := base.Clone()
+			gotRes := refineForced(t, par, lanes)
+			name := dev.Name
+			if gotRes != wantRes {
+				t.Errorf("%s lanes=%d: result %+v, serial %+v", name, lanes, gotRes, wantRes)
+			}
+			sameBlocks(t, name, serial, par)
+		}
+	}
+}
+
+// TestRefineWavesMatchSerialAcrossStrategies runs the lane sweep over
+// the other upstream legalization strategies on the small topologies.
+func TestRefineWavesMatchSerialAcrossStrategies(t *testing.T) {
+	for _, dev := range topology.Small() {
+		for _, strat := range strategies[1:] {
+			base := legalizedWith(t, dev, strat.legalize)
+			serial := base.Clone()
+			wantRes := refineForced(t, serial, 1)
+			for _, lanes := range []int{2, 4} {
+				par := base.Clone()
+				gotRes := refineForced(t, par, lanes)
+				name := dev.Name + "/" + strat.name
+				if gotRes != wantRes {
+					t.Errorf("%s lanes=%d: result %+v, serial %+v", name, lanes, gotRes, wantRes)
+				}
+				sameBlocks(t, name, serial, par)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"runtime"
 	"time"
 
@@ -34,6 +35,9 @@ type BenchPoint struct {
 	// Kernels are the process-wide hot-kernel counters accumulated over
 	// the run (calls, cumulative ms, scratch reuse).
 	Kernels map[string]kernstats.Snapshot `json:"kernels"`
+	// Counters are the process-wide event counters: DP wave sizes,
+	// scheduling conflicts, serial-path windows.
+	Counters map[string]int64 `json:"counters,omitempty"`
 	// Engine is the serving-layer cache/singleflight picture.
 	Engine service.StatsSnapshot `json:"engine"`
 }
@@ -52,7 +56,8 @@ func (r *Runner) BenchPoint(devs []*topology.Device, cfg core.Config, pr int) (*
 		return nil, err
 	}
 	engine := r.eng.Stats()
-	engine.Kernels = nil // reported once, at the top level
+	engine.Kernels = nil  // reported once, at the top level
+	engine.Counters = nil // likewise
 	return &BenchPoint{
 		Schema:    "qgdp-bench-point-v1",
 		PR:        pr,
@@ -62,6 +67,7 @@ func (r *Runner) BenchPoint(devs []*topology.Device, cfg core.Config, pr int) (*
 		Table2:    t2,
 		Table3:    t3,
 		Kernels:   kernstats.All(),
+		Counters:  kernstats.Counters(),
 		Engine:    engine,
 	}, nil
 }
@@ -71,4 +77,37 @@ func (p *BenchPoint) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(p)
+}
+
+// LivePoint samples a trajectory point from a running engine without
+// recomputing the tables: the hot-kernel counters, wave/conflict
+// counters, and engine stats accumulated since process start. Table
+// II/III are omitted (nothing is measured on demand), so sampling is
+// free and safe to expose on a production instance.
+func LivePoint(eng *service.Engine, pr int) *BenchPoint {
+	engine := eng.Stats()
+	engine.Kernels = nil
+	engine.Counters = nil
+	return &BenchPoint{
+		Schema:    "qgdp-bench-point-v1",
+		PR:        pr,
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Kernels:   kernstats.All(),
+		Counters:  kernstats.Counters(),
+		Engine:    engine,
+	}
+}
+
+// BenchzHandler serves LivePoint as JSON. qgdp-serve mounts it at
+// /benchz, so a running instance publishes the same machine-readable
+// trajectory points as `qgdp-bench -json`, sourced from its own live
+// counters instead of a fresh benchmark run.
+func BenchzHandler(eng *service.Engine, pr int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = LivePoint(eng, pr).WriteJSON(w)
+	})
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/freq"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/topology"
 )
 
@@ -218,9 +219,9 @@ func TestPlaceMatchesSerialReference(t *testing.T) {
 }
 
 // TestPlaceParallelMatchesSerial forces the sharded force loop (even on
-// single-CPU machines) and asserts bit-identical output to the
-// single-worker path. Run under -race this also exercises the worker
-// goroutines for data races.
+// single-CPU machines, via an isolated multi-lane budget) and asserts
+// bit-identical output to the single-worker path. Run under -race this
+// also exercises the pool workers for data races.
 func TestPlaceParallelMatchesSerial(t *testing.T) {
 	saved := workerCount
 	defer func() { workerCount = saved }()
@@ -232,8 +233,13 @@ func TestPlaceParallelMatchesSerial(t *testing.T) {
 	for _, workers := range []int{2, 4, 7} {
 		workers := workers
 		workerCount = func() int { return workers }
+		p := DefaultParams()
+		p.Par = parallel.NewBudget(workers)
 		par := topology.Build(topology.Grid25(), topology.DefaultBuildParams())
-		Place(par, DefaultParams())
+		Place(par, p)
+		if got := p.Par.Stats().TokensGranted; got != int64(workers) {
+			t.Fatalf("budget granted %d lanes, want %d", got, workers)
+		}
 		samePositions(t, "parallel", serial, par)
 	}
 }

@@ -20,11 +20,16 @@
 // iterations over every component), so Place runs on pooled scratch
 // buffers and a flat counting-sort bucket grid (package spatial) instead
 // of a per-iteration map hash, and the pairwise repulsion — the
-// embarrassingly parallel part — is computed by GOMAXPROCS workers over
-// contiguous shards of the primary index. Workers only *compute* pair
+// embarrassingly parallel part — is computed by worker lanes over
+// contiguous shards of the primary index. Lanes come from the shared
+// parallelism budget (package parallel): Place checks out up to
+// GOMAXPROCS lanes for the whole call and every force iteration runs
+// its shards on the budget's persistent worker pool, so concurrent
+// placements degrade toward serial instead of oversubscribing and no
+// goroutines are spawned per iteration. Workers only *compute* pair
 // forces; accumulation replays every shard in ascending primary order,
 // so the floating-point addition sequence (and therefore the resulting
-// layout) is bit-identical to the serial reference regardless of worker
+// layout) is bit-identical to the serial reference regardless of lane
 // count or machine.
 package gplace
 
@@ -39,6 +44,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kernstats"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/spatial"
 )
 
@@ -60,6 +66,11 @@ type Params struct {
 	FreqAware bool
 	// Seed drives the symmetry-breaking jitter.
 	Seed int64
+	// Par is the parallelism budget the repulsion shards draw lanes
+	// from; nil uses the process-wide default. It never affects the
+	// produced layout, only how many workers compute it, so it is
+	// excluded from request hashing.
+	Par *parallel.Budget `json:"-"`
 }
 
 // DefaultParams are the settings used by the evaluation pipeline.
@@ -92,7 +103,9 @@ type pairForce struct {
 }
 
 // scratch carries every buffer the force loop needs, pooled across
-// Place calls so the kernel allocates nothing once warm.
+// Place calls so the kernel allocates nothing once warm. The shard
+// closure and its parameters live here too, so the per-iteration
+// parallel rounds create no closures.
 type scratch struct {
 	items  []movable
 	nets   []net
@@ -100,6 +113,10 @@ type scratch struct {
 	forces []geom.Pt
 	grid   spatial.Grid
 	shards [][]pairForce
+
+	lanes     int
+	freqAware bool
+	shardFn   func(lane int)
 }
 
 var scratchPool sync.Pool
@@ -115,8 +132,9 @@ func getScratch() *scratch {
 
 func putScratch(s *scratch) { scratchPool.Put(s) }
 
-// workerCount returns the force-shard parallelism. It is a variable so
-// tests can force the parallel path on single-CPU machines.
+// workerCount returns the desired force-shard parallelism (the budget
+// may grant less). It is a variable so tests can force the parallel
+// path on single-CPU machines.
 var workerCount = func() int { return runtime.GOMAXPROCS(0) }
 
 // Place runs global placement, mutating the netlist's qubit and block
@@ -162,7 +180,12 @@ func Place(n *netlist.Netlist, p Params) {
 	forces := s.forces[:len(items)]
 	s.forces = forces
 
-	workers := workerCount()
+	// One budget grant covers the whole call: every iteration's shard
+	// round runs on the granted lanes without re-negotiating, and the
+	// lanes return to the engine when placement finishes.
+	grant := p.Par.Acquire(workerCount())
+	defer grant.Release()
+	workers := grant.Lanes()
 	if workers > len(items) {
 		workers = len(items)
 	}
@@ -186,7 +209,7 @@ func Place(n *netlist.Netlist, p Params) {
 		}
 
 		// Pairwise repulsion via the bucket grid: only nearby pairs.
-		s.repulse(p.FreqAware, workers)
+		s.repulse(p.FreqAware, workers, grant)
 
 		// Cooling schedule.
 		step := p.Step * (1 - 0.7*float64(iter)/float64(p.Iterations))
@@ -281,10 +304,11 @@ const repulseCell = 3.0
 // harder — qPlacer's charged-particle model.
 //
 // With workers > 1 the pair interactions are computed concurrently over
-// contiguous shards of the primary index; each worker records its pairs
-// in primary order and the shards are replayed serially in shard order,
-// so the accumulation sequence is identical to the workers == 1 path.
-func (s *scratch) repulse(freqAware bool, workers int) {
+// contiguous shards of the primary index, one lane per shard on the
+// grant's persistent pool; each lane records its pairs in primary order
+// and the shards are replayed serially in shard order, so the
+// accumulation sequence is identical to the workers == 1 path.
+func (s *scratch) repulse(freqAware bool, workers int, grant *parallel.Grant) {
 	items := s.items
 	s.grid.Build(repulseCell, len(items), func(i int) (float64, float64) {
 		return items[i].pos.X, items[i].pos.Y
@@ -303,31 +327,12 @@ func (s *scratch) repulse(freqAware bool, workers int) {
 	for len(s.shards) < workers {
 		s.shards = append(s.shards, nil)
 	}
-	chunk := (len(items) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
-		}
-		if lo >= hi {
-			s.shards[w] = s.shards[w][:0]
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			buf := s.shards[w][:0]
-			for i := lo; i < hi; i++ {
-				s.pairsForPrimary(i, freqAware, func(j int32, f geom.Pt) {
-					buf = append(buf, pairForce{i: int32(i), j: j, f: f})
-				})
-			}
-			s.shards[w] = buf
-		}(w, lo, hi)
+	s.lanes = workers
+	s.freqAware = freqAware
+	if s.shardFn == nil {
+		s.shardFn = s.repulseShard // bound once; rounds allocate nothing
 	}
-	wg.Wait()
+	grant.Run(workers, s.shardFn)
 
 	// Deterministic reduction: shards cover ascending primary ranges and
 	// are applied in shard order, reproducing the serial pair sequence.
@@ -337,6 +342,26 @@ func (s *scratch) repulse(freqAware bool, workers int) {
 			s.forces[pf.j] = s.forces[pf.j].Add(pf.f)
 		}
 	}
+}
+
+// repulseShard computes lane w's contiguous primary range into its pair
+// buffer. Parameters travel through the scratch so the per-iteration
+// rounds reuse one bound method value.
+func (s *scratch) repulseShard(w int) {
+	items := s.items
+	chunk := (len(items) + s.lanes - 1) / s.lanes
+	lo := w * chunk
+	hi := lo + chunk
+	if hi > len(items) {
+		hi = len(items)
+	}
+	buf := s.shards[w][:0]
+	for i := lo; i < hi; i++ {
+		s.pairsForPrimary(i, s.freqAware, func(j int32, f geom.Pt) {
+			buf = append(buf, pairForce{i: int32(i), j: j, f: f})
+		})
+	}
+	s.shards[w] = buf
 }
 
 // pairsForPrimary visits the interacting pairs (i, j) with j > i in the

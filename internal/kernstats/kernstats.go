@@ -61,6 +61,57 @@ type Snapshot struct {
 	ScratchAllocs int64   `json:"scratch_allocs"`
 }
 
+// Counter is a cheap named atomic used for event counts that are not
+// whole-kernel timings: detailed-placement wave sizes, scheduling
+// conflicts, parallel-lane usage. Counters appear on /statsz next to
+// the kernel snapshots.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// The detailed-placement wave counters. A wave is one conflict-free
+// batch of candidate windows refined concurrently; deferred counts
+// windows pushed to a later wave because their footprint overlapped an
+// earlier pending window (the conflict rate is deferred over scheduled
+// + deferred). Lanes accumulates the lane count of every wave, so
+// lanes/waves is the mean worker parallelism the refiner actually got
+// from the budget.
+var (
+	DPWaves         = registerCounter("dplace.waves")
+	DPWaveWindows   = registerCounter("dplace.wave_windows")
+	DPWaveDeferred  = registerCounter("dplace.wave_deferred")
+	DPWaveLanes     = registerCounter("dplace.wave_lanes")
+	DPSerialWindows = registerCounter("dplace.serial_windows")
+)
+
+var counters []*Counter
+
+// registerCounter creates and registers a named counter. Registration
+// happens only at package init (like register for kernels), so the
+// global slice needs no locking against concurrent Counters() readers.
+func registerCounter(name string) *Counter {
+	c := &Counter{name: name}
+	counters = append(counters, c)
+	return c
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the counter's current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Counters returns the current value of every registered counter,
+// keyed by name.
+func Counters() map[string]int64 {
+	out := make(map[string]int64, len(counters))
+	for _, c := range counters {
+		out[c.name] = c.v.Load()
+	}
+	return out
+}
+
 // All returns a snapshot of every registered kernel, keyed by name.
 func All() map[string]Snapshot {
 	out := make(map[string]Snapshot, len(kernels))

@@ -1,0 +1,220 @@
+package lp1d_test
+
+// Determinism for the SPFA feasibility detector: the queue-based
+// negative-cycle check must agree with the seed's restart Bellman-Ford
+// (reimplemented here as the reference) on the real legalization LPs of
+// every topology and on randomized instances spanning the feasible /
+// infeasible boundary.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp1d"
+	"repro/internal/topology"
+)
+
+// referenceFeasible is the seed implementation: bounded-pass
+// Bellman-Ford over the difference-constraint graph from an all-zero
+// distance vector.
+func referenceFeasible(p *lp1d.Problem) bool {
+	type edge struct {
+		from, to int
+		w        int64
+	}
+	g := p.N
+	edges := make([]edge, 0, len(p.Arcs)+2*p.N)
+	for _, a := range p.Arcs {
+		edges = append(edges, edge{a.To, a.From, -a.Sep})
+	}
+	for i := 0; i < p.N; i++ {
+		edges = append(edges, edge{i, g, -p.Lo[i]})
+		edges = append(edges, edge{g, i, p.Hi[i]})
+	}
+	dist := make([]int64, p.N+1)
+	for iter := 0; iter <= p.N; iter++ {
+		changed := false
+		for _, e := range edges {
+			if nd := dist[e.from] + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFeasibleMatchesReferenceOnRealInstances runs both detectors on
+// the H/V legalization LPs of the evaluation topologies, at a feasible
+// spacing and at an absurd spacing that overflows the substrate.
+func TestFeasibleMatchesReferenceOnRealInstances(t *testing.T) {
+	devs := topology.Small()
+	if !testing.Short() {
+		devs = topology.All()
+	}
+	for _, dev := range devs {
+		for _, spacing := range []int64{0, 1, 50} {
+			for axis, p := range realProblems(dev, spacing) {
+				got := p.Feasible()
+				want := referenceFeasible(p)
+				if got != want {
+					t.Fatalf("%s axis %d spacing %d: Feasible=%v, reference %v",
+						dev.Name, axis, spacing, got, want)
+				}
+			}
+		}
+	}
+}
+
+// chainProblem builds the BF-adversarial instance: a long spacing
+// chain whose arcs are listed against the propagation direction, so a
+// pass-structured Bellman-Ford advances one node per pass (O(n·m))
+// while the queue-driven detector settles it in O(m).
+func chainProblem(n int) *lp1d.Problem {
+	p := &lp1d.Problem{N: n}
+	for i := 0; i < n; i++ {
+		p.Target = append(p.Target, int64(i))
+		p.Lo = append(p.Lo, 0)
+		p.Hi = append(p.Hi, int64(2*n))
+	}
+	for i := 0; i < n-1; i++ {
+		p.Arcs = append(p.Arcs, lp1d.Arc{From: i, To: i + 1, Sep: 1})
+	}
+	return p
+}
+
+// BenchmarkFeasibleDetector contrasts the SPFA detector against the
+// seed's bounded-pass Bellman-Ford, on the real Eagle legalization LPs
+// (both axes per op, as qlegal pays it) and on the adversarial chain.
+func BenchmarkFeasibleDetector(b *testing.B) {
+	dev, err := topology.ByName("Eagle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	families := []struct {
+		name  string
+		probs []*lp1d.Problem
+	}{
+		{"eagle", realProblems(dev, 1)},
+		{"chain2k", []*lp1d.Problem{chainProblem(2000)}},
+	}
+	modes := []struct {
+		name string
+		feas func(*lp1d.Problem) bool
+	}{
+		{"spfa", func(p *lp1d.Problem) bool { return p.Feasible() }},
+		{"bellman-ford", referenceFeasible},
+	}
+	for _, fam := range families {
+		for _, mode := range modes {
+			b.Run(fam.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, p := range fam.probs {
+						if !mode.feas(p) {
+							b.Fatal("instance reported infeasible")
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFeasibleHighFanInGround pins the soundness of the infeasibility
+// certificate: ascending lower bounds make every node improve the
+// ground's distance once per round, and a hub that re-lowers every
+// node triggers a second round — so ground is legitimately *relaxed*
+// far more than n times with no negative cycle anywhere. A detector
+// that counts relaxations (instead of enqueues) rejects this feasible
+// system.
+func TestFeasibleHighFanInGround(t *testing.T) {
+	for _, k := range []int{8, 40, 200} {
+		n := k + 2
+		p := &lp1d.Problem{N: n}
+		for i := 0; i < n; i++ {
+			lo := int64(i)
+			if i >= k {
+				lo = 0
+			}
+			p.Target = append(p.Target, lo)
+			p.Lo = append(p.Lo, lo)
+			p.Hi = append(p.Hi, int64(100*n))
+		}
+		hub := k + 1
+		for i := 0; i < k; i++ {
+			p.Arcs = append(p.Arcs, lp1d.Arc{From: i, To: hub, Sep: int64(2*i + 2)})
+		}
+		got := p.Feasible()
+		want := referenceFeasible(p)
+		if got != want {
+			t.Fatalf("k=%d: Feasible=%v, reference %v", k, got, want)
+		}
+		if !got {
+			t.Fatalf("k=%d: feasible fan-in system reported infeasible", k)
+		}
+	}
+}
+
+// TestFeasibleDeepChains exercises the pop-budget fallback path: deep
+// spacing chains (feasible, and made infeasible by a tight upper
+// bound) must agree with the reference.
+func TestFeasibleDeepChains(t *testing.T) {
+	for _, n := range []int{200, 1000} {
+		p := chainProblem(n)
+		if got, want := p.Feasible(), referenceFeasible(p); got != want {
+			t.Fatalf("chain %d: Feasible=%v, reference %v", n, got, want)
+		}
+		// Tighten every upper bound below the chain's span: infeasible.
+		for i := range p.Hi {
+			p.Hi[i] = int64(n / 2)
+		}
+		if got, want := p.Feasible(), referenceFeasible(p); got != want || got {
+			t.Fatalf("tight chain %d: Feasible=%v, reference %v, want false", n, got, want)
+		}
+	}
+}
+
+// TestFeasibleMatchesReferenceRandom fuzzes random constraint systems
+// around the feasibility boundary, including negative separations and
+// tight bounds.
+func TestFeasibleMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(12)
+		p := &lp1d.Problem{N: n}
+		span := int64(4 + rng.Intn(20))
+		for i := 0; i < n; i++ {
+			p.Target = append(p.Target, int64(rng.Intn(int(span))))
+			// Non-uniform lower bounds keep the ground node's distance
+			// improving many times per round (the fan-in shape).
+			p.Lo = append(p.Lo, int64(rng.Intn(int(span))))
+			p.Hi = append(p.Hi, span+int64(rng.Intn(int(span))))
+		}
+		arcs := rng.Intn(3 * n)
+		for a := 0; a < arcs; a++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			p.Arcs = append(p.Arcs, lp1d.Arc{From: i, To: j, Sep: int64(rng.Intn(9) - 3)})
+		}
+		got := p.Feasible()
+		want := referenceFeasible(p)
+		if got != want {
+			t.Fatalf("trial %d: Feasible=%v, reference %v (problem %+v)", trial, got, want, p)
+		}
+		if want {
+			feasible++
+		} else {
+			infeasible++
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("fuzz did not cross the boundary: %d feasible, %d infeasible", feasible, infeasible)
+	}
+}

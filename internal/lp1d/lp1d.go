@@ -17,8 +17,10 @@ package lp1d
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/mcf"
+	"repro/internal/scratch"
 )
 
 // Arc is the difference constraint x[To] − x[From] ≥ Sep.
@@ -43,33 +45,148 @@ var ErrInfeasible = errors.New("lp1d: constraints infeasible")
 
 const inf = int64(1) << 40
 
-// Feasible reports whether the constraint system admits any solution,
-// via Bellman-Ford on the difference-constraint graph.
+// feasScratch holds every buffer Feasible needs, pooled across calls —
+// the qubit legalizer probes feasibility on every relaxation level, so
+// the detector reuses its CSR and queue storage like mcf and gplace do.
+type feasScratch struct {
+	start, eFrom, eTo []int32
+	eW, dist          []int64
+	enq               []int32
+	inQueue           []bool
+	queue             []int32
+}
+
+var feasPool = sync.Pool{New: func() any { return new(feasScratch) }}
+
+// Feasible reports whether the constraint system admits any solution —
+// equivalently, whether the difference-constraint graph has no negative
+// cycle. The detector is queue-based SPFA over a CSR adjacency, the
+// same shape as internal/mcf's cycle detector, instead of the seed's
+// O(n·passes) restart Bellman-Ford: nodes are only re-relaxed when an
+// in-neighbor improved, so on the legalizer's sparse, shallow
+// constraint graphs the scan touches the active frontier instead of the
+// whole edge list per round, and a node enqueued more than n times
+// certifies a negative cycle (infeasibility) without finishing the pass
+// schedule. (The sound certificate counts enqueues, not relaxations — a
+// high-fan-in node like ground is legitimately relaxed by many
+// in-neighbors per round.) Like mcf, a work budget guards SPFA's
+// adversarial worst case (deep chains make any label-correcting scheme
+// quadratic) by falling back to the bounded-pass Bellman-Ford over the
+// same edge arrays.
 func (p *Problem) Feasible() bool {
 	// Nodes 0..N-1 plus ground N (x_ground = 0).
 	// x_j - x_i >= s  ==>  x_i <= x_j - s : edge j->i with weight -s.
-	// x_i >= lo       ==>  ground->? ... x_ground <= x_i - lo : edge i->ground? No:
-	// x_i - x_g >= lo  ==> x_g <= x_i - lo : edge i->g weight -lo.
+	// x_i - x_g >= lo ==>  x_g <= x_i - lo : edge i->g weight -lo.
 	// x_g - x_i >= -hi ==> x_i <= x_g + hi : edge g->i weight +hi.
-	type edge struct {
-		from, to int
-		w        int64
-	}
 	g := p.N
-	edges := make([]edge, 0, len(p.Arcs)+2*p.N)
+	nn := p.N + 1
+	ne := len(p.Arcs) + 2*p.N
+
+	s := feasPool.Get().(*feasScratch)
+	defer feasPool.Put(s)
+
+	// CSR build: count per tail, prefix-sum, scatter in edge order. The
+	// flat from-array rides along for the pass-structured fallback.
+	start := scratch.Grow(s.start, nn+1)
+	eFrom := scratch.Grow(s.eFrom, ne)
+	eTo := scratch.Grow(s.eTo, ne)
+	eW := scratch.Grow(s.eW, ne)
+	s.start, s.eFrom, s.eTo, s.eW = start, eFrom, eTo, eW
 	for _, a := range p.Arcs {
-		edges = append(edges, edge{a.To, a.From, -a.Sep})
+		start[a.To+1]++
 	}
 	for i := 0; i < p.N; i++ {
-		edges = append(edges, edge{i, g, -p.Lo[i]})
-		edges = append(edges, edge{g, i, p.Hi[i]})
+		start[i+1]++ // i -> g
+		start[g+1]++ // g -> i
 	}
-	dist := make([]int64, p.N+1)
-	for iter := 0; iter <= p.N; iter++ {
+	for u := 0; u < nn; u++ {
+		start[u+1] += start[u]
+	}
+	// Scatter through advancing cursors, then rebuild start from them
+	// (the mcf CSR-construction shape, avoiding a separate cursor array).
+	put := func(from, to int, w int64) {
+		c := start[from]
+		eFrom[c] = int32(from)
+		eTo[c] = int32(to)
+		eW[c] = w
+		start[from] = c + 1
+	}
+	for _, a := range p.Arcs {
+		put(a.To, a.From, -a.Sep)
+	}
+	for i := 0; i < p.N; i++ {
+		put(i, g, -p.Lo[i])
+		put(g, i, p.Hi[i])
+	}
+	for u := nn; u > 0; u-- {
+		start[u] = start[u-1]
+	}
+	start[0] = 0
+
+	// SPFA from a virtual super-source: every node starts at distance 0
+	// and enqueued. Ring queue of capacity nn+1; inQueue caps occupancy.
+	dist := scratch.Grow(s.dist, nn)
+	enq := scratch.Grow(s.enq, nn)
+	inQueue := scratch.Grow(s.inQueue, nn)
+	queue := scratch.Grow(s.queue, nn+1)
+	s.dist, s.enq, s.inQueue, s.queue = dist, enq, inQueue, queue
+	for i := 0; i < nn; i++ {
+		queue[i] = int32(i)
+		inQueue[i] = true
+		enq[i] = 1
+	}
+	qhead, qtail, qlen := 0, nn, nn
+	ring := len(queue)
+	// Work budget, charged per scanned edge (pops are not a fair unit:
+	// the ground node's degree is Θ(n)). The legalizer's real instances
+	// settle within a pass or two of work; past a few passes' worth,
+	// the pass-structured scan is the cheaper way to finish.
+	budget := 8 * (nn + ne)
+	for qlen > 0 {
+		u := int(queue[qhead])
+		qhead = (qhead + 1) % ring
+		qlen--
+		inQueue[u] = false
+		if budget -= int(start[u+1] - start[u]); budget < 0 {
+			return p.feasibleBF(eFrom, eTo, eW, dist)
+		}
+		du := dist[u]
+		for k := start[u]; k < start[u+1]; k++ {
+			v := int(eTo[k])
+			nd := du + eW[k]
+			if nd >= dist[v] {
+				continue
+			}
+			dist[v] = nd
+			if inQueue[v] {
+				continue
+			}
+			// Without a negative cycle a node enters the queue at most
+			// n times (once per shortest-path depth level); one more
+			// certifies a negative cycle.
+			if enq[v]++; enq[v] > int32(nn) {
+				return false // v rides a negative cycle
+			}
+			queue[qtail] = int32(v)
+			qtail = (qtail + 1) % ring
+			qlen++
+			inQueue[v] = true
+		}
+	}
+	return true
+}
+
+// feasibleBF is the bounded-pass Bellman-Ford fallback over the flat
+// edge arrays, continuing from the SPFA's partial distance labels
+// (label correcting is monotone: any admissible labeling converges to
+// the same fixed point, and a negative cycle never converges).
+func (p *Problem) feasibleBF(eFrom, eTo []int32, eW, dist []int64) bool {
+	nn := p.N + 1
+	for iter := 0; iter <= nn; iter++ {
 		changed := false
-		for _, e := range edges {
-			if nd := dist[e.from] + e.w; nd < dist[e.to] {
-				dist[e.to] = nd
+		for k := range eFrom {
+			if nd := dist[eFrom[k]] + eW[k]; nd < dist[eTo[k]] {
+				dist[eTo[k]] = nd
 				changed = true
 			}
 		}

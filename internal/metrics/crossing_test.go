@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/gplace"
+	"repro/internal/netlist"
+	"repro/internal/parallel"
+	"repro/internal/qlegal"
+	"repro/internal/reslegal"
+	"repro/internal/topology"
+)
+
+// crossingLayout builds a legalized layout with real route crossings.
+func crossingLayout(t *testing.T, dev *topology.Device) *netlist.Netlist {
+	t.Helper()
+	n := topology.Build(dev, topology.DefaultBuildParams())
+	gplace.Place(n, gplace.DefaultParams())
+	if _, err := qlegal.Legalize(n, qlegal.QuantumParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reslegal.Legalize(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCrossingPairsShardedMatchesSerial asserts the sharded scan
+// reproduces the serial output entry for entry (same crossings, same
+// order) for several forced lane counts, on every small topology.
+func TestCrossingPairsShardedMatchesSerial(t *testing.T) {
+	devs := topology.Small()
+	if !testing.Short() {
+		devs = topology.All()
+	}
+	for _, dev := range devs {
+		n := crossingLayout(t, dev)
+		want := CrossingPairsPar(n, parallel.NewBudget(1), 1)
+		for _, lanes := range []int{2, 3, 5, 16} {
+			got := CrossingPairsPar(n, parallel.NewBudget(lanes), lanes)
+			if len(got) != len(want) {
+				t.Fatalf("%s lanes=%d: %d crossings, serial %d",
+					dev.Name, lanes, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s lanes=%d: entry %d = %+v, serial %+v",
+						dev.Name, lanes, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestCrossingPairsConcurrentCallers checks the pooled scratch under
+// concurrent use: every caller must see its own buffers and the serial
+// result.
+func TestCrossingPairsConcurrentCallers(t *testing.T) {
+	n := crossingLayout(t, topology.Grid25())
+	want := CrossingPairsPar(n, parallel.NewBudget(1), 1)
+	b := parallel.NewBudget(4)
+	done := make(chan []CrossPoint, 8)
+	for c := 0; c < 8; c++ {
+		go func() { done <- CrossingPairsPar(n, b, 4) }()
+	}
+	for c := 0; c < 8; c++ {
+		got := <-done
+		if len(got) != len(want) {
+			t.Fatalf("caller got %d crossings, want %d", len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("entry %d = %+v, want %+v", k, got[k], want[k])
+			}
+		}
+	}
+}

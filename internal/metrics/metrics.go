@@ -7,11 +7,13 @@ package metrics
 
 import (
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/freq"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/spatial"
 )
 
@@ -27,6 +29,10 @@ type Params struct {
 	// MinQubitSpacing is the quantum spacing constraint (in layout
 	// units) whose violation defines crosstalk-coupled qubit pairs.
 	MinQubitSpacing float64
+	// Par is the parallelism budget the sharded crossing scan draws
+	// lanes from; nil uses the process-wide default. Lane count never
+	// changes any metric value, so it is excluded from request hashing.
+	Par *parallel.Budget `json:"-"`
 }
 
 // DefaultParams mirrors DESIGN.md §6.
@@ -73,7 +79,7 @@ func Analyze(n *netlist.Netlist, p Params) Report {
 		TotalClusters:   n.TotalClusters(),
 		Unified:         n.UnifiedCount(),
 		TotalResonators: len(n.Resonators),
-		Crossings:       CrossingCount(n),
+		Crossings:       len(CrossingPairsPar(n, p.Par, 0)),
 	}
 	r.Hotspots = Hotspots(n, p)
 	r.Ph = PhFromHotspots(n, r.Hotspots)
@@ -317,22 +323,112 @@ type CrossPoint struct {
 // CrossingPairs lists every route crossing (one entry per crossing
 // point, so two routes crossing twice contribute two entries).
 func CrossingPairs(n *netlist.Netlist) []CrossPoint {
-	routes := make([]geom.Polyline, len(n.Resonators))
-	boxes := make([]geom.Rect, len(n.Resonators))
-	for e := range n.Resonators {
-		routes[e] = n.Route(e)
-		boxes[e] = routes[e].BBox()
+	return CrossingPairsPar(n, nil, 0)
+}
+
+// crossScratch holds the pooled buffers of the sharded crossing scan.
+type crossScratch struct {
+	routes []geom.Polyline
+	boxes  []geom.Rect
+	bounds []int
+	shards [][]CrossPoint
+}
+
+var crossPool = sync.Pool{New: func() any { return new(crossScratch) }}
+
+// CrossingPairsPar is CrossingPairs with the O(E²) pair sweep sharded
+// over lanes from the given parallelism budget (nil: the process-wide
+// default; laneCap 0: GOMAXPROCS). Shards cover contiguous primary
+// ranges balanced by pair count, each shard collects its crossings in
+// scan order, and the shards are concatenated in shard order — the
+// output is identical, entry for entry, to the serial scan for every
+// lane count.
+func CrossingPairsPar(n *netlist.Netlist, b *parallel.Budget, laneCap int) []CrossPoint {
+	m := len(n.Resonators)
+	s := crossPool.Get().(*crossScratch)
+	defer func() {
+		clear(s.routes) // do not retain route geometry in the pool
+		crossPool.Put(s)
+	}()
+	if cap(s.routes) < m {
+		s.routes = make([]geom.Polyline, m)
+		s.boxes = make([]geom.Rect, m)
 	}
-	var out []CrossPoint
-	for i := range routes {
-		for j := i + 1; j < len(routes); j++ {
-			if !boxes[i].Touches(boxes[j]) {
-				continue
-			}
-			for k := 0; k < geom.CrossCount(routes[i], routes[j]); k++ {
-				out = append(out, CrossPoint{EdgeI: i, EdgeJ: j})
-			}
+	s.routes = s.routes[:m]
+	s.boxes = s.boxes[:m]
+	for e := 0; e < m; e++ {
+		s.routes[e] = n.Route(e)
+		s.boxes[e] = s.routes[e].BBox()
+	}
+
+	if laneCap <= 0 {
+		laneCap = runtime.GOMAXPROCS(0)
+	}
+	grant := b.Acquire(laneCap)
+	defer grant.Release()
+	lanes := grant.Lanes()
+	if lanes > m {
+		lanes = m
+	}
+
+	if lanes <= 1 {
+		var out []CrossPoint
+		for i := 0; i < m; i++ {
+			out = scanPrimary(s, i, out)
+		}
+		return out
+	}
+
+	// Contiguous primary shards, balanced by the triangular pair count
+	// so late (short) rows don't starve the last lanes.
+	s.bounds = s.bounds[:0]
+	s.bounds = append(s.bounds, 0)
+	total := m * (m - 1) / 2
+	acc, nextCut := 0, (total+lanes-1)/lanes
+	for i := 0; i < m && len(s.bounds) < lanes; i++ {
+		acc += m - 1 - i
+		if acc >= nextCut*len(s.bounds) {
+			s.bounds = append(s.bounds, i+1)
 		}
 	}
+	for len(s.bounds) < lanes+1 {
+		s.bounds = append(s.bounds, m)
+	}
+	for len(s.shards) < lanes {
+		s.shards = append(s.shards, nil)
+	}
+	bounds := s.bounds
+	grant.Run(lanes, func(lane int) {
+		buf := s.shards[lane][:0]
+		for i := bounds[lane]; i < bounds[lane+1]; i++ {
+			buf = scanPrimary(s, i, buf)
+		}
+		s.shards[lane] = buf
+	})
+
+	// Deterministic reduction: concatenate in shard order (ascending
+	// primary), reproducing the serial output exactly.
+	total = 0
+	for lane := 0; lane < lanes; lane++ {
+		total += len(s.shards[lane])
+	}
+	out := make([]CrossPoint, 0, total)
+	for lane := 0; lane < lanes; lane++ {
+		out = append(out, s.shards[lane]...)
+	}
 	return out
+}
+
+// scanPrimary appends the crossings of primary route i with every
+// later route to dst, in the canonical j order.
+func scanPrimary(s *crossScratch, i int, dst []CrossPoint) []CrossPoint {
+	for j := i + 1; j < len(s.routes); j++ {
+		if !s.boxes[i].Touches(s.boxes[j]) {
+			continue
+		}
+		for k := 0; k < geom.CrossCount(s.routes[i], s.routes[j]); k++ {
+			dst = append(dst, CrossPoint{EdgeI: i, EdgeJ: j})
+		}
+	}
+	return dst
 }

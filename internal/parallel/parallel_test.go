@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAcquireNeverBlocksAndFloorsAtOne(t *testing.T) {
+	b := NewBudget(3)
+	g1 := b.Acquire(2)
+	if g1.Lanes() != 2 {
+		t.Fatalf("first grant lanes = %d, want 2", g1.Lanes())
+	}
+	g2 := b.Acquire(5)
+	if g2.Lanes() != 1 { // only 1 token left
+		t.Fatalf("second grant lanes = %d, want 1", g2.Lanes())
+	}
+	g3 := b.Acquire(4)
+	if g3.Lanes() != 1 { // exhausted: caller lane only
+		t.Fatalf("exhausted grant lanes = %d, want 1", g3.Lanes())
+	}
+	if got := b.Stats().TokensInUse; got != 3 {
+		t.Fatalf("tokens in use = %d, want 3", got)
+	}
+	g1.Release()
+	g2.Release()
+	g3.Release()
+	if got := b.Stats().TokensInUse; got != 0 {
+		t.Fatalf("tokens in use after release = %d, want 0", got)
+	}
+	s := b.Stats()
+	if s.TokensGranted != 3 {
+		t.Fatalf("granted = %d, want 3", s.TokensGranted)
+	}
+	if s.TokensDenied != 4+4 { // g2 missed 4, g3 missed 4
+		t.Fatalf("denied = %d, want 8", s.TokensDenied)
+	}
+}
+
+func TestRunCoversAllLanesExactlyOnce(t *testing.T) {
+	b := NewBudget(8)
+	g := b.Acquire(8)
+	defer g.Release()
+	var hits [8]atomic.Int64
+	for round := 0; round < 50; round++ {
+		g.Run(8, func(lane int) { hits[lane].Add(1) })
+	}
+	for lane := range hits {
+		if got := hits[lane].Load(); got != 50 {
+			t.Fatalf("lane %d ran %d times, want 50", lane, got)
+		}
+	}
+	g.Run(3, func(lane int) {
+		if lane >= 3 {
+			t.Errorf("lane %d ran with clamp 3", lane)
+		}
+	})
+}
+
+func TestBudgetClampsExtraLanes(t *testing.T) {
+	const capacity = 3
+	b := NewBudget(capacity)
+	var wg sync.WaitGroup
+	for job := 0; job < 10; job++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := b.Acquire(capacity)
+			defer g.Release()
+			for round := 0; round < 20; round++ {
+				g.Run(g.Lanes(), func(int) {})
+			}
+		}()
+	}
+	wg.Wait()
+	s := b.Stats()
+	if s.PeakExtraLanes > capacity {
+		t.Fatalf("peak extra lanes %d exceeds capacity %d", s.PeakExtraLanes, capacity)
+	}
+	if s.TokensInUse != 0 {
+		t.Fatalf("tokens leaked: %d in use", s.TokensInUse)
+	}
+}
+
+func TestCloseReclaimsAndAllowsReuse(t *testing.T) {
+	b := NewBudget(4)
+	g := b.Acquire(4)
+	var n atomic.Int64
+	g.Run(4, func(int) { n.Add(1) })
+	g.Release()
+	b.Close()
+	b.Close() // idempotent
+	// A fresh grant after Close respawns the pool transparently.
+	g = b.Acquire(4)
+	defer g.Release()
+	g.Run(4, func(int) { n.Add(1) })
+	if n.Load() != 8 {
+		t.Fatalf("ran %d lanes, want 8", n.Load())
+	}
+	b.Close()
+}
+
+func TestNilBudgetUsesDefault(t *testing.T) {
+	var b *Budget
+	g := b.Acquire(1)
+	defer g.Release()
+	if g.Lanes() < 1 {
+		t.Fatalf("lanes = %d", g.Lanes())
+	}
+	ran := false
+	g.Run(1, func(lane int) { ran = lane == 0 })
+	if !ran {
+		t.Fatal("lane 0 did not run inline")
+	}
+}

@@ -1,0 +1,16 @@
+// Package scratch holds the tiny helpers shared by the pooled-buffer
+// kernels (dplace lane refiners, lp1d's feasibility detector).
+package scratch
+
+// Grow returns s resized to n zeroed elements, reusing the existing
+// capacity when it suffices and allocating fresh storage otherwise.
+// The zeroing makes a recycled buffer indistinguishable from a new
+// one, which is what lets pooled kernel state be rebuilt with it.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

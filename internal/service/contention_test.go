@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layoutio"
+)
+
+// layoutBytes serializes a layout for byte-level comparison.
+func layoutBytes(t *testing.T, lay *core.Layout) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := layoutio.WriteJSON(&buf, lay.Netlist); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelBudgetContention floods an engine with concurrent jobs
+// whose kernels all want parallel lanes, against a deliberately tiny
+// lane budget. The budget must clamp the pool lanes running at once to
+// its capacity (no oversubscription no matter how many jobs are in
+// flight), jobs must fall back toward serial execution rather than
+// fail, and — the determinism contract — every job's layout must be
+// byte-identical to the single-lane reference computation.
+func TestParallelBudgetContention(t *testing.T) {
+	const budgetCap = 2
+	eng := New(Options{Workers: 4, CacheSize: 8, ParallelBudget: budgetCap})
+	// Reference engine: single-lane budget, so every kernel runs its
+	// serial path.
+	ref := New(Options{Workers: 1, CacheSize: 8, ParallelBudget: 1})
+
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	reqFor := func(seed int64) LayoutRequest {
+		cfg := core.DefaultConfig()
+		cfg.GP.Seed = seed
+		return LayoutRequest{Topology: "Grid", Strategy: core.QGDPDP, Config: cfg}
+	}
+
+	got := make([][]byte, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			res, err := eng.Layout(context.Background(), reqFor(seed))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := layoutio.WriteJSON(&buf, res.Layout.Netlist); err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = buf.Bytes()
+		}(i, seed)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("seed %d: %v", seeds[i], err)
+		}
+	}
+
+	ps := eng.ParallelStats()
+	if ps.PeakExtraLanes > budgetCap {
+		t.Fatalf("peak pool lanes %d exceeds budget capacity %d (oversubscription)",
+			ps.PeakExtraLanes, budgetCap)
+	}
+	if ps.TokensInUse != 0 {
+		t.Fatalf("%d lane tokens leaked after all jobs finished", ps.TokensInUse)
+	}
+
+	for i, seed := range seeds {
+		res, err := ref.Layout(context.Background(), reqFor(seed))
+		if err != nil {
+			t.Fatalf("reference seed %d: %v", seed, err)
+		}
+		want := layoutBytes(t, res.Layout)
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("seed %d: contended layout differs from single-lane reference (%d vs %d bytes)",
+				seed, len(got[i]), len(want))
+		}
+	}
+	if rs := ref.ParallelStats(); rs.PeakExtraLanes != 0 {
+		t.Fatalf("single-lane reference used %d pool lanes", rs.PeakExtraLanes)
+	}
+}
+
+// TestWithBudgetDoesNotChangeCacheKeys pins the hashing contract: the
+// injected budget fields must be invisible to the request hash, or
+// cache identity would depend on runtime wiring.
+func TestWithBudgetDoesNotChangeCacheKeys(t *testing.T) {
+	eng := New(Options{ParallelBudget: 3})
+	cfg := core.DefaultConfig()
+	req := LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg}
+	plain := layoutKey(req)
+	req.Config = eng.withBudget(req.Config)
+	if stamped := layoutKey(req); stamped != plain {
+		t.Fatalf("budget stamping changed the layout key:\n%s\n%s", plain, stamped)
+	}
+	if a, b := gpKey("Grid", cfg), gpKey("Grid", eng.withBudget(cfg)); a != b {
+		t.Fatalf("budget stamping changed the gp key:\n%s\n%s", a, b)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/kernstats"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/topology"
 )
 
@@ -45,12 +46,20 @@ type Options struct {
 	// CacheSize is the per-cache entry capacity (GP solutions, layouts,
 	// and fidelity values each get their own LRU; default 256).
 	CacheSize int
+	// ParallelBudget caps the total compute lanes the engine's
+	// in-flight jobs may use for their internally parallel kernels (GP
+	// repulsion shards, DP refinement waves, crossing-pair shards). 0
+	// shares the process-wide default budget (GOMAXPROCS lanes).
+	// Whatever the budget grants, every job's output is bit-identical
+	// to its serial computation.
+	ParallelBudget int
 }
 
 // Engine is a concurrent layout/fidelity computation service over the
 // core pipeline. All methods are safe for concurrent use.
 type Engine struct {
-	sem chan struct{}
+	sem    chan struct{}
+	budget *parallel.Budget
 
 	gpCache, layCache, fidCache    *lru
 	gpFlight, layFlight, fidFlight flightGroup
@@ -71,8 +80,13 @@ func New(opts Options) *Engine {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = 256
 	}
+	var budget *parallel.Budget // nil: kernels use parallel.Default()
+	if opts.ParallelBudget > 0 {
+		budget = parallel.NewBudget(opts.ParallelBudget)
+	}
 	return &Engine{
 		sem:      make(chan struct{}, opts.Workers),
+		budget:   budget,
 		gpCache:  newLRU(opts.CacheSize),
 		layCache: newLRU(opts.CacheSize),
 		fidCache: newLRU(opts.CacheSize),
@@ -119,6 +133,17 @@ type StatsSnapshot struct {
 	// scratch reuse (process-wide; see package kernstats). A healthy
 	// steady-state engine shows scratch_reuses far above scratch_allocs.
 	Kernels map[string]kernstats.Snapshot `json:"kernels,omitempty"`
+	// Counters are the process-wide event counters (detailed-placement
+	// wave sizes, scheduling conflicts, serial-path windows). The mean
+	// wave size is wave_windows/waves; the conflict rate is
+	// wave_deferred over wave_windows + wave_deferred; worker
+	// utilization is wave_lanes/waves against the budget's capacity.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Parallel snapshots the engine's lane budget: grants, denials,
+	// tokens in use, and the high-water mark of concurrently running
+	// pool lanes (never above capacity — the no-oversubscription
+	// invariant).
+	Parallel parallel.Stats `json:"parallel"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -135,6 +160,8 @@ func (e *Engine) Stats() StatsSnapshot {
 		SharedFlights:  e.stats.sharedFlights.Load(),
 		InFlight:       e.stats.inFlight.Load(),
 		Kernels:        kernstats.All(),
+		Counters:       kernstats.Counters(),
+		Parallel:       e.budget.Stats(),
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.MeanLatencyMs = float64(e.stats.latencyNs.Load()) / float64(n) / 1e6
@@ -218,6 +245,23 @@ func fidelityKey(req FidelityRequest) string {
 		Benchmark string
 		Config    core.Config
 	}{req.Topology, req.Strategy, req.Benchmark, req.Config})
+}
+
+// withBudget stamps the engine's parallelism budget into every stage's
+// params before a computation runs. The stamped fields carry json:"-"
+// and are excluded from request hashing, so cache keys and layouts are
+// unchanged — the budget only decides how many lanes compute them.
+func (e *Engine) withBudget(cfg core.Config) core.Config {
+	cfg.GP.Par = e.budget
+	cfg.DP.Par = e.budget
+	cfg.Metrics.Par = e.budget
+	return cfg
+}
+
+// ParallelStats snapshots the engine's parallelism budget (the shared
+// process-wide budget when none was configured).
+func (e *Engine) ParallelStats() parallel.Stats {
+	return e.budget.Stats()
 }
 
 // retryShared reports whether a flight error is another request's
@@ -318,7 +362,7 @@ func (e *Engine) computeLayout(ctx context.Context, req LayoutRequest) (*core.La
 	e.stats.inFlight.Add(1)
 	defer e.stats.inFlight.Add(-1)
 	e.stats.computed.Add(1)
-	return e.legalizeFn(ctx, gp, req.Strategy, req.Config)
+	return e.legalizeFn(ctx, gp, req.Strategy, e.withBudget(req.Config))
 }
 
 // gpFor returns the (immutable) global-placement solution for the
@@ -346,7 +390,7 @@ func (e *Engine) gpFor(ctx context.Context, req LayoutRequest) (*netlist.Netlist
 			e.stats.inFlight.Add(1)
 			defer e.stats.inFlight.Add(-1)
 			e.stats.computed.Add(1)
-			gp := e.prepareFn(dev, req.Config)
+			gp := e.prepareFn(dev, e.withBudget(req.Config))
 			e.gpCache.Add(key, gp)
 			return gp, nil
 		})
@@ -442,7 +486,7 @@ func (e *Engine) Analyze(ctx context.Context, req LayoutRequest) (metrics.Report
 	if err != nil {
 		return metrics.Report{}, nil, err
 	}
-	return core.Analyze(res.Layout.Netlist, req.Config), res.Layout, nil
+	return core.Analyze(res.Layout.Netlist, e.withBudget(req.Config)), res.Layout, nil
 }
 
 // SweepItem is one topology × strategy result of a Sweep stream.
@@ -495,7 +539,7 @@ func (e *Engine) sweepOne(ctx context.Context, topo string, s core.Strategy, ben
 		return item
 	}
 	item.CacheHit = res.CacheHit
-	item.Report = core.Analyze(res.Layout.Netlist, cfg)
+	item.Report = core.Analyze(res.Layout.Netlist, e.withBudget(cfg))
 	item.QubitMs = float64(res.Layout.QubitTime.Nanoseconds()) / 1e6
 	item.ResonatorMs = float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6
 	if len(benches) == 0 {

@@ -152,7 +152,7 @@ func handleLayout(e *Engine, w http.ResponseWriter, r *http.Request) {
 		Seed:        req.Config.GP.Seed,
 		CacheHit:    res.CacheHit,
 		Shared:      res.Shared,
-		Report:      core.Analyze(res.Layout.Netlist, req.Config),
+		Report:      core.Analyze(res.Layout.Netlist, e.withBudget(req.Config)),
 		QubitMs:     float64(res.Layout.QubitTime.Nanoseconds()) / 1e6,
 		ResonatorMs: float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6,
 		DPMs:        float64(res.Layout.DPTime.Nanoseconds()) / 1e6,

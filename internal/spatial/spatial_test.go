@@ -1,0 +1,73 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// brute is the reference: closed-rectangle intersection over a slice.
+type brect struct{ x0, y0, x1, y1 float64 }
+
+func (a brect) overlaps(b brect) bool {
+	return a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+}
+
+// TestRectIndexMatchesBruteForce cross-checks Overlaps against the
+// quadratic reference over random rectangles, including rects clamped
+// at the world border, across several Reset cycles (shrinking and
+// growing the world to exercise bucket reuse).
+func TestRectIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ri RectIndex
+	worlds := []struct{ cell, w, h float64 }{
+		{4, 60, 40}, {8, 20, 20}, {3, 100, 70}, {5, 40, 90},
+	}
+	for wi, world := range worlds {
+		ri.Reset(world.cell, world.w, world.h)
+		var added []brect
+		for step := 0; step < 300; step++ {
+			r := brect{
+				x0: rng.Float64()*world.w - 5,
+				y0: rng.Float64()*world.h - 5,
+			}
+			r.x1 = r.x0 + rng.Float64()*12
+			r.y1 = r.y0 + rng.Float64()*12
+			want := false
+			for _, a := range added {
+				if a.overlaps(r) {
+					want = true
+					break
+				}
+			}
+			if got := ri.Overlaps(r.x0, r.y0, r.x1, r.y1); got != want {
+				t.Fatalf("world %d step %d: Overlaps=%v, brute=%v (rect %+v)",
+					wi, step, got, want, r)
+			}
+			// Admit non-overlapping rects, as the wave scheduler does.
+			if !want {
+				ri.Add(r.x0, r.y0, r.x1, r.y1)
+				added = append(added, r)
+			}
+		}
+		if ri.Len() != len(added) {
+			t.Fatalf("world %d: Len=%d, want %d", wi, ri.Len(), len(added))
+		}
+	}
+}
+
+// TestRectIndexTouchingEdgesConflict pins the conservative closed-rect
+// semantics: footprints sharing only an edge must count as overlapping.
+func TestRectIndexTouchingEdgesConflict(t *testing.T) {
+	var ri RectIndex
+	ri.Reset(4, 32, 32)
+	ri.Add(0, 0, 8, 8)
+	if !ri.Overlaps(8, 0, 16, 8) {
+		t.Fatal("edge-touching rects must conflict")
+	}
+	if !ri.Overlaps(8, 8, 12, 12) {
+		t.Fatal("corner-touching rects must conflict")
+	}
+	if ri.Overlaps(8.01, 0, 16, 8) {
+		t.Fatal("separated rects must not conflict")
+	}
+}
