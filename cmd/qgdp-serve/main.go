@@ -1,9 +1,16 @@
 // Command qgdp-serve runs the layout-as-a-service HTTP server: the
-// concurrent placement engine of internal/service behind a JSON API.
+// concurrent placement engine of internal/service behind a JSON API,
+// optionally over a persistent, restart-surviving layout store.
 //
 // Usage:
 //
-//	qgdp-serve -addr :8080 -workers 8 -cache 256
+//	qgdp-serve -addr :8080 -workers 8 -cache 256 -cache-dir /var/cache/qgdp -cache-disk-mb 512
+//
+// With -cache-dir set, every computed layout is written through to a
+// content-addressed disk tier (layoutio JSON, atomic writes, size
+// bounded by -cache-disk-mb); a restarted server pointed at the same
+// directory serves previously computed layouts byte-identically without
+// re-running placement.
 //
 // Endpoints:
 //
@@ -11,6 +18,8 @@
 //	curl 'localhost:8080/v1/fidelity?topology=Falcon&strategy=qGDP-DP&bench=bv-4&mappings=50'
 //	curl 'localhost:8080/v1/strategies'
 //	curl 'localhost:8080/v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4'
+//	curl -X POST localhost:8080/v1/jobs -d '{"requests":[{"topology":"Falcon","seed":1}]}'
+//	curl 'localhost:8080/v1/jobs/<id>'
 //	curl 'localhost:8080/statsz'
 //	curl 'localhost:8080/benchz'    # live qgdp-bench trajectory point
 package main
@@ -29,24 +38,39 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent pipeline computations (default GOMAXPROCS)")
-	cacheSize := flag.Int("cache", 256, "entries per cache (GP, layout, fidelity)")
+	cacheSize := flag.Int("cache", 256, "entries per in-memory cache (GP, layout, fidelity)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent layout tier (empty: memory only)")
+	cacheDiskMB := flag.Int("cache-disk-mb", 512, "size bound of the disk tier in MiB (0: unbounded)")
 	lanes := flag.Int("lanes", 0, "engine-wide parallelism budget for intra-job kernels (default GOMAXPROCS)")
 	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheSize, *lanes, *pr); err != nil {
+	if err := run(*addr, *workers, *cacheSize, *cacheDir, *cacheDiskMB, *lanes, *pr); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cacheSize, lanes, pr int) error {
-	eng := service.New(service.Options{Workers: workers, CacheSize: cacheSize, ParallelBudget: lanes})
+func run(addr string, workers, cacheSize int, cacheDir string, cacheDiskMB, lanes, pr int) error {
+	var layStore store.Store
+	if cacheDir != "" {
+		disk, err := store.OpenDisk(cacheDir, store.DiskOptions{MaxBytes: int64(cacheDiskMB) << 20})
+		if err != nil {
+			return err
+		}
+		layStore = store.NewTiered(store.NewMemory(cacheSize), disk)
+		log.Printf("qgdp-serve persistent layout store at %s (%d entries on disk)", cacheDir, disk.Stats().DiskFiles)
+	}
+	eng := service.New(service.Options{
+		Workers: workers, CacheSize: cacheSize, ParallelBudget: lanes, Store: layStore,
+	})
+	defer eng.Close()
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(eng))
 	mux.Handle("GET /benchz", experiments.BenchzHandler(eng, pr))

@@ -85,6 +85,28 @@ var (
 	DPSerialWindows = registerCounter("dplace.serial_windows")
 )
 
+// The tiered layout-store counters (process-wide across every store
+// instance; a store's own Stats() gives the per-store view). A healthy
+// warm deployment shows mem_hits dominating; disk_hits spiking right
+// after a restart is the persistent tier rehydrating the memory LRU.
+var (
+	StoreMemHits  = registerCounter("store.mem_hits")
+	StoreDiskHits = registerCounter("store.disk_hits")
+	StoreMisses   = registerCounter("store.misses")
+	StoreSpills   = registerCounter("store.spills")
+	StoreGCEvict  = registerCounter("store.gc_evictions")
+	StoreCorrupt  = registerCounter("store.corrupt_skipped")
+)
+
+// The async job-subsystem counters. queue_depth is a gauge (incremented
+// on item enqueue, decremented on completion), so its current value is
+// the number of job items waiting for or holding a worker slot.
+var (
+	JobsSubmitted = registerCounter("jobs.submitted")
+	JobsCompleted = registerCounter("jobs.completed")
+	JobQueueDepth = registerCounter("jobs.queue_depth")
+)
+
 var counters []*Counter
 
 // registerCounter creates and registers a named counter. Registration

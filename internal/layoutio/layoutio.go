@@ -16,9 +16,18 @@ import (
 	"repro/internal/netlist"
 )
 
+// SchemaVersion is stamped into every JSON layout written by WriteJSON.
+// ReadJSON rejects any other version: the disk cache rehydrates layouts
+// written by earlier processes, and decoding a stale schema into the
+// current structs would silently corrupt placements — failing safe (the
+// entry is treated as a miss and recomputed) is always cheaper.
+const SchemaVersion = 1
+
 // jsonNetlist is the stable on-disk schema; it mirrors netlist.Netlist
-// but decouples the file format from internal struct evolution.
+// but decouples the file format from internal struct evolution. Any
+// change to the field layout must bump SchemaVersion.
 type jsonNetlist struct {
+	Version    int             `json:"version"`
 	Name       string          `json:"name"`
 	W          float64         `json:"w"`
 	H          float64         `json:"h"`
@@ -53,7 +62,8 @@ type jsonBlock struct {
 // WriteJSON writes the netlist to w as indented JSON.
 func WriteJSON(w io.Writer, n *netlist.Netlist) error {
 	jn := jsonNetlist{
-		Name: n.Name, W: n.W, H: n.H, BlockSize: n.BlockSize,
+		Version: SchemaVersion,
+		Name:    n.Name, W: n.W, H: n.H, BlockSize: n.BlockSize,
 	}
 	for _, q := range n.Qubits {
 		jn.Qubits = append(jn.Qubits, jsonQubit{X: q.Pos.X, Y: q.Pos.Y, Size: q.Size, Freq: q.Freq})
@@ -78,6 +88,9 @@ func ReadJSON(r io.Reader) (*netlist.Netlist, error) {
 	var jn jsonNetlist
 	if err := json.NewDecoder(r).Decode(&jn); err != nil {
 		return nil, fmt.Errorf("layoutio: decode: %w", err)
+	}
+	if jn.Version != SchemaVersion {
+		return nil, fmt.Errorf("layoutio: unsupported schema version %d (want %d)", jn.Version, SchemaVersion)
 	}
 	n := &netlist.Netlist{Name: jn.Name, W: jn.W, H: jn.H, BlockSize: jn.BlockSize}
 	for i, q := range jn.Qubits {

@@ -74,12 +74,36 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 	// Valid JSON, invalid netlist (self-loop resonator).
-	bad := `{"name":"x","w":10,"h":10,"block_size":1,
+	bad := `{"version":1,"name":"x","w":10,"h":10,"block_size":1,
 	  "qubits":[{"x":2,"y":2,"size":3,"freq":5}],
 	  "resonators":[{"q1":0,"q2":0,"freq":7,"length":1,"blocks":[]}],
 	  "blocks":[]}`
 	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
 		t.Error("invalid netlist accepted")
+	}
+}
+
+// TestSchemaVersionEnforced: every written layout carries the current
+// schema version, and loads of any other version (including legacy
+// pre-version files, which decode as version 0) fail safe instead of
+// decoding a stale schema into current structs.
+func TestSchemaVersionEnforced(t *testing.T) {
+	buf := sampleLayout(t)
+	if !strings.Contains(buf.String(), `"version": 1`) {
+		t.Fatal("WriteJSON did not stamp the schema version")
+	}
+	if _, err := ReadJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("current-version layout rejected: %v", err)
+	}
+
+	future := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	if _, err := ReadJSON(strings.NewReader(future)); err == nil ||
+		!strings.Contains(err.Error(), "schema version") {
+		t.Errorf("future schema version accepted (err=%v)", err)
+	}
+	legacy := strings.Replace(buf.String(), `"version": 1`, `"version": 0`, 1)
+	if _, err := ReadJSON(strings.NewReader(legacy)); err == nil {
+		t.Error("legacy (pre-version) layout accepted")
 	}
 }
 

@@ -7,10 +7,17 @@
 // global placement in (topology, Build, GP params), legalization in
 // (GP solution, strategy, DP params), fidelity averaging in (layout,
 // benchmark, fidelity params, mapping count) — so each stage is cached
-// in an LRU keyed by a canonical hash of those inputs. Concurrent
-// identical requests collapse into one computation via singleflight,
-// and all computations run inside a bounded worker pool with context
-// cancellation between stages.
+// by a canonical hash of those inputs: GP solutions and fidelity values
+// in engine-local LRUs, finished layouts in a pluggable store.Store
+// (optionally a disk-backed tier that survives restarts; see package
+// store). Concurrent identical requests collapse into one computation
+// via singleflight, and all computations run inside a bounded worker
+// pool with context cancellation between stages.
+//
+// On top of the synchronous API sits the async job subsystem (Jobs):
+// batches of layout requests submitted via POST /v1/jobs run through
+// the same worker pool and parallelism budget, and their results land
+// in the store so later synchronous requests hit.
 //
 // The experiments package drives its topology × strategy fan-out
 // through the same engine, so the paper's Fig. 8/9 and Table II/III
@@ -35,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/parallel"
+	"repro/internal/store"
 	"repro/internal/topology"
 )
 
@@ -53,6 +61,13 @@ type Options struct {
 	// Whatever the budget grants, every job's output is bit-identical
 	// to its serial computation.
 	ParallelBudget int
+	// Store holds legalized layouts, keyed by the canonical
+	// (topology, strategy, seed, config) hash. nil means an ephemeral
+	// in-memory LRU of CacheSize entries; pass a store.Tiered over
+	// store.OpenDisk to survive restarts. The engine owns the store and
+	// closes it in Close. Singleflight dedup stays engine-side — the
+	// store only remembers results, it never computes.
+	Store store.Store
 }
 
 // Engine is a concurrent layout/fidelity computation service over the
@@ -61,8 +76,15 @@ type Engine struct {
 	sem    chan struct{}
 	budget *parallel.Budget
 
-	gpCache, layCache, fidCache    *lru
+	// layStore holds finished layouts (possibly persistently); the GP
+	// and fidelity caches are engine-local LRUs — GP solutions are an
+	// intermediate too large to spill usefully, fidelity values too
+	// cheap to bother.
+	layStore                       store.Store
+	gpCache, fidCache              *store.LRU
 	gpFlight, layFlight, fidFlight flightGroup
+
+	jobs *Jobs
 
 	stats stats
 
@@ -84,12 +106,15 @@ func New(opts Options) *Engine {
 	if opts.ParallelBudget > 0 {
 		budget = parallel.NewBudget(opts.ParallelBudget)
 	}
-	return &Engine{
+	if opts.Store == nil {
+		opts.Store = store.NewMemory(opts.CacheSize)
+	}
+	e := &Engine{
 		sem:      make(chan struct{}, opts.Workers),
 		budget:   budget,
-		gpCache:  newLRU(opts.CacheSize),
-		layCache: newLRU(opts.CacheSize),
-		fidCache: newLRU(opts.CacheSize),
+		layStore: opts.Store,
+		gpCache:  store.NewLRU(opts.CacheSize, nil),
+		fidCache: store.NewLRU(opts.CacheSize, nil),
 		prepareFn: func(dev *topology.Device, cfg core.Config) *netlist.Netlist {
 			return core.Prepare(dev, cfg)
 		},
@@ -100,7 +125,19 @@ func New(opts Options) *Engine {
 			return core.AverageFidelity(n, bench, cfg)
 		},
 	}
+	e.jobs = newJobs(e)
+	return e
 }
+
+// Close stops accepting new jobs and closes the layout store. In-flight
+// job items are cancelled; already-spilled layouts stay durable.
+func (e *Engine) Close() error {
+	e.jobs.close()
+	return e.layStore.Close()
+}
+
+// Jobs returns the engine's async batch-job subsystem.
+func (e *Engine) Jobs() *Jobs { return e.jobs }
 
 // stats holds the engine counters behind /statsz.
 type stats struct {
@@ -144,6 +181,13 @@ type StatsSnapshot struct {
 	// pool lanes (never above capacity — the no-oversubscription
 	// invariant).
 	Parallel parallel.Stats `json:"parallel"`
+	// Store is the layout store's per-tier view: memory hits, disk
+	// hits (restart rehydration), spills, GC evictions, corrupt files
+	// skipped. LayoutHits above counts any-tier hits; Store splits them.
+	Store store.Stats `json:"store"`
+	// Jobs snapshots the async batch-job subsystem, including the
+	// current queue depth.
+	Jobs JobsStats `json:"jobs"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -162,6 +206,8 @@ func (e *Engine) Stats() StatsSnapshot {
 		Kernels:        kernstats.All(),
 		Counters:       kernstats.Counters(),
 		Parallel:       e.budget.Stats(),
+		Store:          e.layStore.Stats(),
+		Jobs:           e.jobs.Stats(),
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.MeanLatencyMs = float64(e.stats.latencyNs.Load()) / float64(n) / 1e6
@@ -298,9 +344,9 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	}()
 
 	key := layoutKey(req)
-	if v, ok := e.layCache.Get(key); ok {
+	if lay, ok := e.layStore.Get(key); ok {
 		e.stats.layoutHits.Add(1)
-		return LayoutResult{Layout: v.(*core.Layout), CacheHit: true}, nil
+		return LayoutResult{Layout: lay, CacheHit: true}, nil
 	}
 
 	release, err := e.acquire(ctx)
@@ -309,11 +355,13 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	}
 	defer release()
 
-	// The cache may have filled while this request queued for a slot;
-	// hit/miss is decided only now so each request counts exactly once.
-	if v, ok := e.layCache.Get(key); ok {
+	// The store may have filled while this request queued for a slot;
+	// engine hit/miss is decided only now so each request counts exactly
+	// once. Peek, not Get — the store already counted this request's
+	// miss above.
+	if lay, ok := e.layStore.Peek(key); ok {
 		e.stats.layoutHits.Add(1)
-		return LayoutResult{Layout: v.(*core.Layout), CacheHit: true}, nil
+		return LayoutResult{Layout: lay, CacheHit: true}, nil
 	}
 	e.stats.layoutMiss.Add(1)
 
@@ -336,7 +384,7 @@ func (e *Engine) layoutFlightDo(ctx context.Context, key string, req LayoutReque
 			if err != nil {
 				return nil, err
 			}
-			e.layCache.Add(key, lay)
+			e.layStore.Put(key, lay)
 			return lay, nil
 		})
 		if retryShared(ctx, err, shared) {
@@ -471,8 +519,8 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 // and this resolution belongs to a fidelity request counted elsewhere.
 func (e *Engine) layoutForNested(ctx context.Context, req LayoutRequest) (*core.Layout, error) {
 	key := layoutKey(req)
-	if v, ok := e.layCache.Get(key); ok {
-		return v.(*core.Layout), nil
+	if lay, ok := e.layStore.Get(key); ok {
+		return lay, nil
 	}
 	lay, err, _ := e.layoutFlightDo(ctx, key, req)
 	return lay, err

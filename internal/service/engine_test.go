@@ -485,25 +485,6 @@ func TestEngineMatchesCore(t *testing.T) {
 	}
 }
 
-func TestLRUBasics(t *testing.T) {
-	c := newLRU(2)
-	c.Add("a", 1)
-	c.Add("b", 2)
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a missing")
-	}
-	c.Add("c", 3) // evicts b (a was just used)
-	if _, ok := c.Get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if _, ok := c.Get("a"); !ok {
-		t.Error("a should have survived")
-	}
-	if c.Len() != 2 {
-		t.Errorf("len = %d, want 2", c.Len())
-	}
-}
-
 func TestKeyStability(t *testing.T) {
 	cfg := core.DefaultConfig()
 	a := layoutKey(LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg})

@@ -18,18 +18,33 @@ import (
 
 // NewHandler wires the engine behind the service's HTTP API:
 //
-//	GET /v1/layout?topology=Falcon&strategy=qGDP-LG&seed=1   layout + report (format=svg for a rendering)
-//	GET /v1/fidelity?topology=Falcon&strategy=qGDP-LG&bench=bv-4&mappings=50
-//	GET /v1/strategies                                       strategies, topologies, benchmarks
-//	GET /v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4     NDJSON stream, one line per topology × strategy
-//	GET /healthz                                             liveness
-//	GET /statsz                                              engine counters
+//	GET  /v1/layout?topology=Falcon&strategy=qGDP-LG&seed=1   layout + report (format=svg for a rendering)
+//	GET  /v1/fidelity?topology=Falcon&strategy=qGDP-LG&bench=bv-4&mappings=50
+//	GET  /v1/strategies                                       strategies, topologies, benchmarks
+//	GET  /v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4     NDJSON stream, one line per topology × strategy
+//	POST /v1/jobs                                             submit a batch of layout requests, returns a job ID
+//	GET  /v1/jobs                                             summaries of retained jobs
+//	GET  /v1/jobs/{id}                                        job status + per-item partial results
+//	GET  /healthz                                             liveness
+//	GET  /statsz                                              engine counters
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/layout", func(w http.ResponseWriter, r *http.Request) { handleLayout(e, w, r) })
 	mux.HandleFunc("GET /v1/fidelity", func(w http.ResponseWriter, r *http.Request) { handleFidelity(e, w, r) })
 	mux.HandleFunc("GET /v1/strategies", handleStrategies)
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleJobSubmit(e, w, r) })
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": e.Jobs().List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, ok := e.Jobs().Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -51,49 +66,88 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// applyConfigOverrides applies the optional per-request knobs shared by
+// the query API and the jobs API onto cfg. Both paths MUST build
+// configs identically — the config is hashed into the cache key, so any
+// divergence would make job-computed layouts invisible to sync traffic.
+func applyConfigOverrides(cfg *core.Config, seed *int64, mappings *int, padding *float64) error {
+	if seed != nil {
+		cfg.GP.Seed = *seed
+	}
+	if mappings != nil {
+		if *mappings <= 0 {
+			return fmt.Errorf("bad mappings %d", *mappings)
+		}
+		cfg.Mappings = *mappings
+	}
+	if padding != nil {
+		if *padding < 0 {
+			return fmt.Errorf("bad padding %g", *padding)
+		}
+		cfg.GP.Padding = *padding
+	}
+	return nil
+}
+
+// resolveTarget validates the topology name and resolves the strategy
+// (empty defaults to qGDP-LG) — the request-identity checks shared by
+// the query API and the jobs API.
+func resolveTarget(topo, strategy string) (core.Strategy, error) {
+	if topo == "" {
+		return "", fmt.Errorf("missing topology parameter")
+	}
+	if _, err := topology.ByName(topo); err != nil {
+		return "", err
+	}
+	s := core.Strategy(strategy)
+	if s == "" {
+		s = core.QGDPLG
+	}
+	if !validStrategy(s) {
+		return "", fmt.Errorf("unknown strategy %q", strategy)
+	}
+	return s, nil
+}
+
 // configFromQuery builds a request config: evaluation defaults with the
 // cache-relevant knobs (seed, mappings, padding) overridable per call.
 func configFromQuery(r *http.Request) (core.Config, error) {
 	cfg := core.DefaultConfig()
 	q := r.URL.Query()
+	var (
+		seed     *int64
+		mappings *int
+		padding  *float64
+	)
 	if v := q.Get("seed"); v != "" {
-		seed, err := strconv.ParseInt(v, 10, 64)
+		s, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			return cfg, fmt.Errorf("bad seed %q", v)
 		}
-		cfg.GP.Seed = seed
+		seed = &s
 	}
 	if v := q.Get("mappings"); v != "" {
 		m, err := strconv.Atoi(v)
-		if err != nil || m <= 0 {
+		if err != nil {
 			return cfg, fmt.Errorf("bad mappings %q", v)
 		}
-		cfg.Mappings = m
+		mappings = &m
 	}
 	if v := q.Get("padding"); v != "" {
 		p, err := strconv.ParseFloat(v, 64)
-		if err != nil || p < 0 {
+		if err != nil {
 			return cfg, fmt.Errorf("bad padding %q", v)
 		}
-		cfg.GP.Padding = p
+		padding = &p
 	}
-	return cfg, nil
+	return cfg, applyConfigOverrides(&cfg, seed, mappings, padding)
 }
 
 func layoutRequestFromQuery(r *http.Request) (LayoutRequest, error) {
 	topo := r.URL.Query().Get("topology")
-	if topo == "" {
-		return LayoutRequest{}, fmt.Errorf("missing topology parameter")
-	}
-	if _, err := topology.ByName(topo); err != nil {
+	strategy, err := resolveTarget(topo, r.URL.Query().Get("strategy"))
+	if err != nil {
 		return LayoutRequest{}, err
-	}
-	strategy := core.Strategy(r.URL.Query().Get("strategy"))
-	if strategy == "" {
-		strategy = core.QGDPLG
-	}
-	if !validStrategy(strategy) {
-		return LayoutRequest{}, fmt.Errorf("unknown strategy %q", strategy)
 	}
 	cfg, err := configFromQuery(r)
 	if err != nil {
@@ -263,6 +317,50 @@ func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// jobSpecItem is one layout request in a POST /v1/jobs body. Optional
+// knobs default like the query-parameter API: strategy qGDP-LG, config
+// core.DefaultConfig().
+type jobSpecItem struct {
+	Topology string   `json:"topology"`
+	Strategy string   `json:"strategy,omitempty"`
+	Seed     *int64   `json:"seed,omitempty"`
+	Mappings *int     `json:"mappings,omitempty"`
+	Padding  *float64 `json:"padding,omitempty"`
+}
+
+// handleJobSubmit accepts {"requests": [{...}, ...]}, validates every
+// item up front (a job either starts whole or not at all), and returns
+// 202 with the job snapshot.
+func handleJobSubmit(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Requests []jobSpecItem `json:"requests"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job body: %w", err))
+		return
+	}
+	reqs := make([]LayoutRequest, 0, len(body.Requests))
+	for i, it := range body.Requests {
+		strategy, err := resolveTarget(it.Topology, it.Strategy)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+		cfg := core.DefaultConfig()
+		if err := applyConfigOverrides(&cfg, it.Seed, it.Mappings, it.Padding); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+		reqs = append(reqs, LayoutRequest{Topology: it.Topology, Strategy: strategy, Config: cfg})
+	}
+	view, err := e.Jobs().Submit(reqs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
 }
 
 func splitList(s string) []string {

@@ -216,6 +216,16 @@ func TestStatszEndpoint(t *testing.T) {
 			t.Errorf("statsz missing kernel counters for %q", kernel)
 		}
 	}
+	// Per-tier store and job-queue counters ride the same snapshot.
+	for _, counter := range []string{
+		"store.mem_hits", "store.disk_hits", "store.misses", "store.spills",
+		"store.gc_evictions", "store.corrupt_skipped",
+		"jobs.submitted", "jobs.completed", "jobs.queue_depth",
+	} {
+		if _, ok := s.Counters[counter]; !ok {
+			t.Errorf("statsz missing counter %q", counter)
+		}
+	}
 }
 
 // Kernel counters must advance when the engine actually computes a

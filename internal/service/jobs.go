@@ -1,0 +1,335 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernstats"
+)
+
+// Jobs is the async batch-computation subsystem: a submitted job is a
+// batch of layout requests that runs in the background through the
+// engine's bounded worker pool (and therefore its parallelism budget),
+// with per-item status pollable while the job is in flight. Completed
+// layouts land in the engine's store — on a persistent store they
+// survive restarts — so jobs double as cache warmers: submit tonight's
+// sweep as a job and tomorrow's synchronous traffic hits.
+//
+// Jobs are in-memory bookkeeping only; a restart forgets job IDs (but
+// not the layouts a finished job already stored).
+type Jobs struct {
+	e *Engine
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for bounded retention
+	closed bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	submitted, completed, itemsDone, itemsFailed int64
+	queueDepth                                   int64
+}
+
+// maxRetainedJobs bounds the finished-job history kept for polling;
+// the oldest finished jobs are forgotten first. Running jobs are never
+// evicted.
+const maxRetainedJobs = 256
+
+// maxJobBatch bounds the items accepted in one submission.
+const maxJobBatch = 1024
+
+// JobItemStatus is the lifecycle of one request inside a job.
+type JobItemStatus string
+
+const (
+	JobItemPending JobItemStatus = "pending"
+	JobItemRunning JobItemStatus = "running"
+	JobItemDone    JobItemStatus = "done"
+	JobItemError   JobItemStatus = "error"
+)
+
+// JobItem is the pollable view of one layout request in a job. Finished
+// items carry the layout's timing summary; the layout itself is
+// retrieved through the synchronous API (GET /v1/layout with the same
+// parameters), which hits the store the job filled.
+type JobItem struct {
+	Topology    string        `json:"topology"`
+	Strategy    core.Strategy `json:"strategy"`
+	Seed        int64         `json:"seed"`
+	Status      JobItemStatus `json:"status"`
+	Err         string        `json:"error,omitempty"`
+	CacheHit    bool          `json:"cache_hit"`
+	QubitMs     float64       `json:"tq_ms"`
+	ResonatorMs float64       `json:"te_ms"`
+}
+
+// JobStatus is the lifecycle of a job: running until every item
+// finished (successfully or not), then done.
+type JobStatus string
+
+const (
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+)
+
+// JobView is a point-in-time snapshot of a job, safe to serialize.
+type JobView struct {
+	ID      string    `json:"id"`
+	Status  JobStatus `json:"status"`
+	Created time.Time `json:"created"`
+	Total   int       `json:"total"`
+	Done    int       `json:"done"`
+	Failed  int       `json:"failed"`
+	Items   []JobItem `json:"items,omitempty"`
+}
+
+// JobsStats is the /statsz view of the subsystem.
+type JobsStats struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	// ItemsDone counts items that finished successfully; ItemsFailed
+	// counts items that finished with an error.
+	ItemsDone   int64 `json:"items_done"`
+	ItemsFailed int64 `json:"items_failed"`
+	// QueueDepth is the number of items currently waiting for or
+	// holding a worker slot.
+	QueueDepth int64 `json:"queue_depth"`
+	// Retained is the number of jobs currently pollable.
+	Retained int64 `json:"retained"`
+}
+
+// job is the internal mutable state; every field after construction is
+// guarded by Jobs.mu.
+type job struct {
+	id      string
+	created time.Time
+	reqs    []LayoutRequest
+	items   []JobItem
+	done    int
+	failed  int
+}
+
+func newJobs(e *Engine) *Jobs {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Jobs{e: e, jobs: map[string]*job{}, ctx: ctx, cancel: cancel}
+}
+
+// close stops accepting submissions and cancels in-flight items.
+func (js *Jobs) close() {
+	js.mu.Lock()
+	js.closed = true
+	js.mu.Unlock()
+	js.cancel()
+	js.wg.Wait()
+}
+
+// newJobID returns a random, unguessable job handle.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: job id entropy: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit registers a batch of layout requests and starts computing them
+// in the background. It returns immediately with the job's ID; poll Get
+// for status and partial results. Items run detached from the
+// submitter's context — a client may disconnect and poll later.
+func (js *Jobs) Submit(reqs []LayoutRequest) (JobView, error) {
+	if len(reqs) == 0 {
+		return JobView{}, fmt.Errorf("empty job: no requests")
+	}
+	if len(reqs) > maxJobBatch {
+		return JobView{}, fmt.Errorf("job too large: %d requests (max %d)", len(reqs), maxJobBatch)
+	}
+
+	j := &job{id: newJobID(), created: time.Now(), reqs: reqs, items: make([]JobItem, len(reqs))}
+	for i, r := range reqs {
+		j.items[i] = JobItem{
+			Topology: r.Topology, Strategy: r.Strategy, Seed: r.Config.GP.Seed,
+			Status: JobItemPending,
+		}
+	}
+
+	// Runner fan-out is bounded by the engine's worker pool: each item
+	// acquires a pool slot inside Engine.Layout, so extra runners only
+	// queue. Cap the goroutines anyway to the pool size.
+	runners := cap(js.e.sem)
+	if runners > len(reqs) {
+		runners = len(reqs)
+	}
+
+	js.mu.Lock()
+	if js.closed {
+		js.mu.Unlock()
+		return JobView{}, fmt.Errorf("engine closed")
+	}
+	js.jobs[j.id] = j
+	js.order = append(js.order, j.id)
+	js.submitted++
+	js.queueDepth += int64(len(reqs))
+	// Register the runners while still holding the closed-check lock:
+	// close()'s wg.Wait must not be able to return between this
+	// submission passing the check and its goroutines starting.
+	js.wg.Add(runners + 1)
+	js.evictOldLocked()
+	js.mu.Unlock()
+	kernstats.JobsSubmitted.Add(1)
+	kernstats.JobQueueDepth.Add(int64(len(reqs)))
+
+	next := make(chan int)
+	go func() {
+		defer js.wg.Done()
+		defer close(next)
+		for i := range reqs {
+			select {
+			case next <- i:
+			case <-js.ctx.Done():
+				// Drain: mark the unscheduled remainder as cancelled so
+				// the job still terminates.
+				for k := i; k < len(reqs); k++ {
+					js.finishItem(j, k, LayoutResult{}, js.ctx.Err())
+				}
+				return
+			}
+		}
+	}()
+	for r := 0; r < runners; r++ {
+		go func() {
+			defer js.wg.Done()
+			for i := range next {
+				js.runItem(j, i)
+			}
+		}()
+	}
+	return js.snapshot(j, true), nil
+}
+
+func (js *Jobs) runItem(j *job, i int) {
+	js.mu.Lock()
+	j.items[i].Status = JobItemRunning
+	js.mu.Unlock()
+	res, err := js.e.Layout(js.ctx, j.reqs[i])
+	js.finishItem(j, i, res, err)
+}
+
+// finishItem records one item's outcome and closes out the job when it
+// was the last.
+func (js *Jobs) finishItem(j *job, i int, res LayoutResult, err error) {
+	js.mu.Lock()
+	it := &j.items[i]
+	if it.Status == JobItemDone || it.Status == JobItemError {
+		js.mu.Unlock()
+		return
+	}
+	j.done++
+	js.queueDepth--
+	if err != nil {
+		it.Status = JobItemError
+		it.Err = err.Error()
+		j.failed++
+		js.itemsFailed++
+	} else {
+		it.Status = JobItemDone
+		it.CacheHit = res.CacheHit
+		it.QubitMs = float64(res.Layout.QubitTime.Nanoseconds()) / 1e6
+		it.ResonatorMs = float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6
+		js.itemsDone++
+	}
+	finished := j.done == len(j.items)
+	if finished {
+		js.completed++
+	}
+	js.mu.Unlock()
+	kernstats.JobQueueDepth.Add(-1)
+	if finished {
+		kernstats.JobsCompleted.Add(1)
+	}
+}
+
+// snapshot copies a job under the lock (unless already held).
+func (js *Jobs) snapshot(j *job, withItems bool) JobView {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.snapshotLocked(j, withItems)
+}
+
+func (js *Jobs) snapshotLocked(j *job, withItems bool) JobView {
+	v := JobView{
+		ID: j.id, Status: JobRunning, Created: j.created,
+		Total: len(j.items), Done: j.done, Failed: j.failed,
+	}
+	if j.done == len(j.items) {
+		v.Status = JobDone
+	}
+	if withItems {
+		v.Items = append([]JobItem(nil), j.items...)
+	}
+	return v
+}
+
+// Get returns the job's current snapshot, including per-item partial
+// results.
+func (js *Jobs) Get(id string) (JobView, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return js.snapshotLocked(j, true), true
+}
+
+// List returns item-free summaries of every retained job, oldest first.
+func (js *Jobs) List() []JobView {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]JobView, 0, len(js.order))
+	for _, id := range js.order {
+		out = append(out, js.snapshotLocked(js.jobs[id], false))
+	}
+	return out
+}
+
+// Stats returns the subsystem counters.
+func (js *Jobs) Stats() JobsStats {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return JobsStats{
+		Submitted:   js.submitted,
+		Completed:   js.completed,
+		ItemsDone:   js.itemsDone,
+		ItemsFailed: js.itemsFailed,
+		QueueDepth:  js.queueDepth,
+		Retained:    int64(len(js.jobs)),
+	}
+}
+
+// evictOldLocked drops the oldest finished jobs beyond the retention
+// bound. Caller holds js.mu.
+func (js *Jobs) evictOldLocked() {
+	if len(js.jobs) <= maxRetainedJobs {
+		return
+	}
+	kept := js.order[:0]
+	excess := len(js.jobs) - maxRetainedJobs
+	for _, id := range js.order {
+		j := js.jobs[id]
+		if excess > 0 && j.done == len(j.items) {
+			delete(js.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	js.order = kept
+}

@@ -1,0 +1,330 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// jobStubEngine is a stub engine whose legalize stage produces valid,
+// per-request-distinct layouts (required for job tests that also
+// exercise the store).
+func jobStubEngine(opts Options) (*Engine, *stubCounts) {
+	e, c := stubEngine(opts)
+	base := e.legalizeFn
+	e.legalizeFn = func(ctx context.Context, gp *netlist.Netlist, s core.Strategy, cfg core.Config) (*core.Layout, error) {
+		if _, err := base(ctx, gp, s, cfg); err != nil {
+			return nil, err
+		}
+		return fakeLayout(s, cfg.GP.Seed), nil
+	}
+	return e, c
+}
+
+// waitJobDone polls until the job reports done or the deadline passes.
+func waitJobDone(t *testing.T, get func() (JobView, bool)) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		view, ok := get()
+		if !ok {
+			t.Fatal("job disappeared while polling")
+		}
+		if view.Status == JobDone {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", view)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycle: submit → poll → results. Completed results land in
+// the layout store, so a subsequent synchronous request is a cache hit
+// with zero recompute.
+func TestJobLifecycle(t *testing.T) {
+	e, c := jobStubEngine(Options{Workers: 2})
+	defer e.Close()
+
+	cfg7 := core.DefaultConfig()
+	cfg7.GP.Seed = 7
+	reqs := []LayoutRequest{
+		layoutReq("Grid", core.QGDPLG),
+		{Topology: "Falcon", Strategy: core.QGDPLG, Config: cfg7},
+		layoutReq("Grid", core.QGDPLG), // duplicate of the first
+	}
+	view, err := e.Jobs().Submit(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || view.Total != 3 {
+		t.Fatalf("submit view = %+v", view)
+	}
+
+	final := waitJobDone(t, func() (JobView, bool) { return e.Jobs().Get(view.ID) })
+	if final.Done != 3 || final.Failed != 0 {
+		t.Fatalf("final = %+v, want 3 done / 0 failed", final)
+	}
+	for i, it := range final.Items {
+		if it.Status != JobItemDone {
+			t.Errorf("item %d status = %s", i, it.Status)
+		}
+		if it.QubitMs <= 0 {
+			t.Errorf("item %d missing timing summary", i)
+		}
+	}
+	// The duplicate deduped through the store/singleflight: two computes.
+	if got := c.legalizes.Load(); got != 2 {
+		t.Errorf("legalize ran %d times for 3 items (1 duplicate), want 2", got)
+	}
+
+	// Results landed in the store: sync requests hit without compute.
+	for _, req := range reqs {
+		res, err := e.Layout(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit {
+			t.Errorf("sync request after job not served from store: %+v", req.Topology)
+		}
+	}
+	if got := c.legalizes.Load(); got != 2 {
+		t.Errorf("sync traffic recomputed: %d legalizes", got)
+	}
+
+	s := e.Jobs().Stats()
+	if s.Submitted != 1 || s.Completed != 1 || s.ItemsDone != 3 || s.QueueDepth != 0 {
+		t.Errorf("jobs stats = %+v", s)
+	}
+}
+
+// TestJobPartialResults: items finish independently; a poll mid-job
+// sees completed items while others still run.
+func TestJobPartialResults(t *testing.T) {
+	e, _ := jobStubEngine(Options{Workers: 1})
+	defer e.Close()
+	gate := make(chan struct{})
+	firstDone := make(chan struct{}, 1)
+	base := e.legalizeFn
+	e.legalizeFn = func(ctx context.Context, gp *netlist.Netlist, s core.Strategy, cfg core.Config) (*core.Layout, error) {
+		if cfg.GP.Seed == 99 { // the slow item
+			<-gate
+		} else {
+			defer func() { firstDone <- struct{}{} }()
+		}
+		return base(ctx, gp, s, cfg)
+	}
+
+	slow := core.DefaultConfig()
+	slow.GP.Seed = 99
+	view, err := e.Jobs().Submit([]LayoutRequest{
+		layoutReq("Grid", core.QGDPLG),
+		{Topology: "Grid", Strategy: core.QGDPLG, Config: slow},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstDone
+	// Poll until the first item's completion is visible.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mid, _ := e.Jobs().Get(view.ID)
+		if mid.Done >= 1 {
+			if mid.Status != JobRunning {
+				t.Errorf("job status = %s with one item pending", mid.Status)
+			}
+			if mid.Items[0].Status != JobItemDone {
+				t.Errorf("first item = %s, want done", mid.Items[0].Status)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first item completion never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := e.Jobs().Stats().QueueDepth; d != 1 {
+		t.Errorf("queue_depth = %d with one item in flight, want 1", d)
+	}
+	close(gate)
+	waitJobDone(t, func() (JobView, bool) { return e.Jobs().Get(view.ID) })
+	if d := e.Jobs().Stats().QueueDepth; d != 0 {
+		t.Errorf("queue_depth = %d after completion, want 0", d)
+	}
+}
+
+// TestJobSubmitValidation: empty and oversized batches are rejected;
+// a closed engine refuses new jobs.
+func TestJobSubmitValidation(t *testing.T) {
+	e, _ := jobStubEngine(Options{Workers: 1})
+	if _, err := e.Jobs().Submit(nil); err == nil {
+		t.Error("empty job accepted")
+	}
+	big := make([]LayoutRequest, maxJobBatch+1)
+	for i := range big {
+		big[i] = layoutReq("Grid", core.QGDPLG)
+	}
+	if _, err := e.Jobs().Submit(big); err == nil {
+		t.Error("oversized job accepted")
+	}
+	e.Close()
+	if _, err := e.Jobs().Submit([]LayoutRequest{layoutReq("Grid", core.QGDPLG)}); err == nil {
+		t.Error("closed engine accepted a job")
+	}
+}
+
+// TestJobsHTTPLifecycle drives the full POST /v1/jobs → poll →
+// GET /v1/jobs/{id} flow over HTTP.
+func TestJobsHTTPLifecycle(t *testing.T) {
+	e, _ := jobStubEngine(Options{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	body := `{"requests":[{"topology":"Grid"},{"topology":"Falcon","strategy":"qGDP-LG","seed":7}]}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted JobView
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" || submitted.Total != 2 {
+		t.Fatalf("submit: status %d view %+v", resp.StatusCode, submitted)
+	}
+
+	final := waitJobDone(t, func() (JobView, bool) {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return JobView{}, false
+		}
+		var v JobView
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v, true
+	})
+	if final.Done != 2 || final.Failed != 0 {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.Items[1].Seed != 7 {
+		t.Errorf("item seed = %d, want 7", final.Items[1].Seed)
+	}
+
+	// The job's results are in the store: the same request via the sync
+	// API is a cache hit.
+	cfg := core.DefaultConfig()
+	cfg.GP.Seed = 7
+	res, err := e.Layout(context.Background(), LayoutRequest{Topology: "Falcon", Strategy: core.QGDPLG, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("job result not served to sync traffic from the store")
+	}
+
+	// The list endpoint knows the job.
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	getJSON(t, srv.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != submitted.ID {
+		t.Errorf("jobs list = %+v", list.Jobs)
+	}
+	if len(list.Jobs[0].Items) != 0 {
+		t.Error("list endpoint should omit per-item detail")
+	}
+
+	// /statsz reflects the subsystem.
+	var stats StatsSnapshot
+	getJSON(t, srv.URL+"/statsz", &stats)
+	if stats.Jobs.Submitted != 1 || stats.Jobs.Completed != 1 {
+		t.Errorf("statsz jobs = %+v", stats.Jobs)
+	}
+	if _, ok := stats.Counters["jobs.queue_depth"]; !ok {
+		t.Error("statsz missing jobs.queue_depth counter")
+	}
+}
+
+func TestJobsHTTPBadRequests(t *testing.T) {
+	e, _ := jobStubEngine(Options{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	cases := []string{
+		`{not json`,
+		`{"requests":[]}`,
+		`{"requests":[{"strategy":"qGDP-LG"}]}`,                // missing topology
+		`{"requests":[{"topology":"Nope"}]}`,                   // unknown topology
+		`{"requests":[{"topology":"Grid","strategy":"Nope"}]}`, // unknown strategy
+		`{"requests":[{"topology":"Grid","mappings":0}]}`,      // bad mappings
+		`{"requests":[{"topology":"Grid","padding":-1}]}`,      // bad padding
+	}
+	for _, body := range cases {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// A rejected submission must not leak queue depth.
+	if d := e.Jobs().Stats().QueueDepth; d != 0 {
+		t.Errorf("queue_depth = %d after rejected submissions, want 0", d)
+	}
+}
+
+// TestJobsSurviveSubmitterDisconnect: job items run detached from any
+// request context — closing the submitting connection doesn't cancel
+// the batch (only Engine.Close does).
+func TestJobsDetachedFromSubmitter(t *testing.T) {
+	e, _ := jobStubEngine(Options{Workers: 1})
+	defer e.Close()
+	release := make(chan struct{})
+	base := e.legalizeFn
+	e.legalizeFn = func(ctx context.Context, gp *netlist.Netlist, s core.Strategy, cfg core.Config) (*core.Layout, error) {
+		<-release
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return base(ctx, gp, s, cfg)
+	}
+	view, err := e.Jobs().Submit([]LayoutRequest{layoutReq("Grid", core.QGDPLG)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Disconnect": the submitter goes away entirely; nothing holds a
+	// context. Releasing the stage must still complete the job.
+	close(release)
+	final := waitJobDone(t, func() (JobView, bool) { return e.Jobs().Get(view.ID) })
+	if final.Failed != 0 {
+		t.Errorf("detached job failed: %+v", final)
+	}
+}

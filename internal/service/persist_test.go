@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/store"
+	"repro/internal/topology"
+)
+
+// fakeLayout builds a small valid layout deterministic in (strategy,
+// seed), so persisted entries are distinguishable and serializable
+// (the plain stubEngine netlists carry no substrate and cannot go to
+// disk).
+func fakeLayout(s core.Strategy, seed int64) *core.Layout {
+	dx := float64(seed%7) + float64(len(s))*0.25
+	n := &netlist.Netlist{
+		Name: "fake", W: 20, H: 20, BlockSize: 1,
+		Qubits: []netlist.Qubit{
+			{ID: 0, Pos: geom.Pt{X: 2 + dx, Y: 3}, Size: 2, Freq: 5.1},
+			{ID: 1, Pos: geom.Pt{X: 9, Y: 4 + dx}, Size: 2, Freq: 5.3},
+		},
+		Resonators: []netlist.Resonator{
+			{ID: 0, Q1: 0, Q2: 1, Freq: 7.0, Length: 3, Blocks: []int{0}},
+		},
+		Blocks: []netlist.WireBlock{
+			{ID: 0, Edge: 0, Index: 0, Pos: geom.Pt{X: 5, Y: 5}},
+		},
+	}
+	return &core.Layout{Netlist: n, QubitTime: time.Millisecond, ResonatorTime: 2 * time.Millisecond}
+}
+
+// persistEngine is a stub engine over a tiered store rooted at dir.
+// With allowCompute=false every pipeline stage fails the test — the
+// engine must serve everything from the store.
+func persistEngine(t *testing.T, dir string, allowCompute bool) *Engine {
+	t.Helper()
+	disk, err := store.OpenDisk(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stubEngine(Options{Workers: 2, Store: store.NewTiered(store.NewMemory(8), disk)})
+	e.legalizeFn = func(_ context.Context, _ *netlist.Netlist, s core.Strategy, cfg core.Config) (*core.Layout, error) {
+		if !allowCompute {
+			t.Errorf("legalize recomputed (%s seed %d) — restart rehydration failed", s, cfg.GP.Seed)
+		}
+		return fakeLayout(s, cfg.GP.Seed), nil
+	}
+	prepare := e.prepareFn
+	e.prepareFn = func(dev *topology.Device, cfg core.Config) *netlist.Netlist {
+		if !allowCompute {
+			t.Error("GP recomputed — restart rehydration failed")
+		}
+		return prepare(dev, cfg)
+	}
+	return e
+}
+
+// TestEngineRestartRehydration: an engine over a disk-backed store is
+// killed and a new process (fresh engine, same cache dir) serves the
+// same requests byte-identically from the disk tier with zero placement
+// recompute.
+func TestEngineRestartRehydration(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []LayoutRequest{}
+	for _, seed := range []int64{1, 5} {
+		cfg := core.DefaultConfig()
+		cfg.GP.Seed = seed
+		reqs = append(reqs, LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg})
+	}
+
+	// First process: compute and (implicitly, via write-through) spill.
+	e1 := persistEngine(t, dir, true)
+	want := map[int][]byte{}
+	for i, req := range reqs {
+		res, err := e1.Layout(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			t.Fatal("cold engine reported a cache hit")
+		}
+		want[i] = layoutBytes(t, res.Layout)
+	}
+	if s := e1.Stats().Store; s.Spills != int64(len(reqs)) {
+		t.Fatalf("spills = %d, want %d (write-through on compute)", s.Spills, len(reqs))
+	}
+	// One store miss per cold request — the post-acquire double-check
+	// must not count a second one.
+	if s := e1.Stats().Store; s.Misses != int64(len(reqs)) {
+		t.Errorf("misses = %d for %d cold requests, want %d", s.Misses, len(reqs), len(reqs))
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: every stage fails the test if invoked.
+	e2 := persistEngine(t, dir, false)
+	defer e2.Close()
+	for i, req := range reqs {
+		res, err := e2.Layout(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit {
+			t.Errorf("request %d after restart: want cache hit", i)
+		}
+		if !bytes.Equal(layoutBytes(t, res.Layout), want[i]) {
+			t.Errorf("request %d: rehydrated layout not byte-identical", i)
+		}
+	}
+	s := e2.Stats()
+	if s.Store.DiskHits != int64(len(reqs)) {
+		t.Errorf("disk_hits = %d, want %d", s.Store.DiskHits, len(reqs))
+	}
+	if s.Computed != 0 {
+		t.Errorf("computed = %d after restart, want 0 (no placement recompute)", s.Computed)
+	}
+	// Rehydrated entries were promoted into the memory tier.
+	if _, err := e2.Layout(context.Background(), reqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s := e2.Stats().Store; s.MemHits != 1 {
+		t.Errorf("mem_hits = %d after re-request, want 1 (promotion)", s.MemHits)
+	}
+}
+
+// TestEngineEvictionSurvivesViaDisk: with a tiny memory tier, an entry
+// evicted by later traffic is still served (from disk) without
+// recomputing — the eviction write-through at engine level.
+func TestEngineEvictionSurvivesViaDisk(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := store.OpenDisk(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, c := jobStubEngine(Options{Workers: 2, Store: store.NewTiered(store.NewMemory(1), disk)})
+	defer e.Close()
+
+	ctx := context.Background()
+	a := layoutReq("Grid", core.QGDPLG)
+	b := layoutReq("Falcon", core.QGDPLG)
+	for _, req := range []LayoutRequest{a, b, a} { // b evicts a from memory
+		if _, err := e.Layout(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.legalizes.Load(); got != 2 {
+		t.Errorf("legalize ran %d times, want 2 — eviction caused a recompute", got)
+	}
+	if s := e.Stats().Store; s.DiskHits != 1 {
+		t.Errorf("disk_hits = %d, want 1 (evicted entry served from disk)", s.DiskHits)
+	}
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernstats"
+	"repro/internal/layoutio"
+	"repro/internal/qlegal"
+)
+
+// envelopeVersion guards the disk-entry envelope (key, timings, netlist
+// wrapper). The netlist payload inside is additionally guarded by
+// layoutio.SchemaVersion; a mismatch at either level discards the entry.
+const envelopeVersion = 1
+
+// DiskOptions configures a Disk tier.
+type DiskOptions struct {
+	// MaxBytes bounds the total size of cache files in the directory;
+	// once exceeded after a write, oldest-written entries are deleted
+	// until back under the bound. 0 means unbounded.
+	MaxBytes int64
+}
+
+// Disk is the persistent layout tier: one JSON file per layout,
+// content-addressed by the canonical request key, surviving process
+// restarts. All writes are atomic (tmp file + rename in the same
+// directory), so a crash mid-spill never leaves a partial entry under a
+// live name; whatever else goes wrong, a corrupt or stale-schema file is
+// counted, deleted, and served as a miss.
+type Disk struct {
+	dir string
+	max int64
+
+	mu    sync.Mutex
+	files map[string]int64 // base name -> size
+	// order lists file names oldest-written first, so GC evicts in O(1)
+	// per file. It may hold stale names (corrupt-removed entries, rare
+	// duplicate-put races); gc skips anything no longer in files.
+	order []string
+	size  int64
+
+	hits, misses, puts     atomic.Int64
+	spills, gcEvictions    atomic.Int64
+	corrupt, writeFailures atomic.Int64
+}
+
+// diskEntry is the on-disk envelope: the layout netlist as layoutio
+// JSON plus the layout metadata that must survive a restart (timings
+// feed the API's tq_ms/te_ms fields; the qubit-legalization result
+// feeds displacement reporting).
+type diskEntry struct {
+	Version     int             `json:"version"`
+	Key         string          `json:"key"`
+	QubitNs     int64           `json:"tq_ns"`
+	ResonatorNs int64           `json:"te_ns"`
+	DPNs        int64           `json:"dp_ns"`
+	QubitResult qlegal.Result   `json:"qubit_result"`
+	Netlist     json.RawMessage `json:"netlist"`
+}
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir,
+// scanning existing entries so a fresh process inherits the previous
+// one's cache. Leftover temp files from a crashed writer are removed.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open disk tier: %w", err)
+	}
+	d := &Disk{dir: dir, max: opts.MaxBytes, files: map[string]int64{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan disk tier: %w", err)
+	}
+	type scanned struct {
+		name    string
+		size    int64
+		written time.Time
+	}
+	var found []scanned
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{name, info.Size(), info.ModTime()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].written.Before(found[j].written) })
+	for _, f := range found {
+		d.files[f.name] = f.size
+		d.order = append(d.order, f.name)
+		d.size += f.size
+	}
+	d.gc()
+	return d, nil
+}
+
+// Dir returns the cache directory.
+func (d *Disk) Dir() string { return d.dir }
+
+const tmpPrefix = ".tmp-"
+
+// fileName content-addresses a canonical request key.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".json"
+}
+
+func (d *Disk) get(key string) (*core.Layout, bool) {
+	name := fileName(key)
+	data, err := os.ReadFile(filepath.Join(d.dir, name))
+	if err != nil {
+		// Missing (or GC'd between lookup and read) is a plain miss.
+		return nil, false
+	}
+	lay, err := decodeEntry(data, key)
+	if err != nil {
+		d.corrupt.Add(1)
+		kernstats.StoreCorrupt.Add(1)
+		d.remove(name)
+		return nil, false
+	}
+	return lay, true
+}
+
+func decodeEntry(data []byte, key string) (*core.Layout, error) {
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, err
+	}
+	if ent.Version != envelopeVersion {
+		return nil, fmt.Errorf("store: envelope version %d (want %d)", ent.Version, envelopeVersion)
+	}
+	if ent.Key != key {
+		return nil, fmt.Errorf("store: entry key mismatch")
+	}
+	n, err := layoutio.ReadJSON(bytes.NewReader(ent.Netlist))
+	if err != nil {
+		return nil, err
+	}
+	return &core.Layout{
+		Netlist:       n,
+		QubitTime:     time.Duration(ent.QubitNs),
+		ResonatorTime: time.Duration(ent.ResonatorNs),
+		DPTime:        time.Duration(ent.DPNs),
+		QubitResult:   ent.QubitResult,
+	}, nil
+}
+
+// put spills the layout unless it is already on disk (entries are
+// content-addressed by key, so an existing file is the same layout).
+func (d *Disk) put(key string, lay *core.Layout) {
+	name := fileName(key)
+	d.mu.Lock()
+	_, exists := d.files[name]
+	d.mu.Unlock()
+	if exists {
+		return
+	}
+
+	var nb bytes.Buffer
+	if err := layoutio.WriteJSON(&nb, lay.Netlist); err != nil {
+		d.writeFailures.Add(1)
+		return
+	}
+	data, err := json.Marshal(diskEntry{
+		Version:     envelopeVersion,
+		Key:         key,
+		QubitNs:     lay.QubitTime.Nanoseconds(),
+		ResonatorNs: lay.ResonatorTime.Nanoseconds(),
+		DPNs:        lay.DPTime.Nanoseconds(),
+		QubitResult: lay.QubitResult,
+		Netlist:     json.RawMessage(nb.Bytes()),
+	})
+	if err != nil {
+		d.writeFailures.Add(1)
+		return
+	}
+	if err := d.writeAtomic(name, data); err != nil {
+		d.writeFailures.Add(1)
+		return
+	}
+
+	d.mu.Lock()
+	if old, ok := d.files[name]; ok {
+		// A concurrent writer raced us; both wrote identical content
+		// (the stale duplicate in order is skipped by gc).
+		d.size -= old
+	}
+	d.files[name] = int64(len(data))
+	d.order = append(d.order, name)
+	d.size += int64(len(data))
+	d.mu.Unlock()
+	d.spills.Add(1)
+	kernstats.StoreSpills.Add(1)
+	d.gc()
+}
+
+// writeAtomic writes data under name via tmp file + rename, so readers
+// only ever observe complete entries.
+func (d *Disk) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// remove deletes an entry (corrupt file) and fixes the bookkeeping.
+// Its name stays in order as a stale entry until gc reaches it.
+func (d *Disk) remove(name string) {
+	d.mu.Lock()
+	if size, ok := d.files[name]; ok {
+		d.size -= size
+		delete(d.files, name)
+	}
+	d.mu.Unlock()
+	os.Remove(filepath.Join(d.dir, name))
+}
+
+// gc enforces the size bound, deleting oldest-written entries first
+// (O(1) per eviction off the order queue).
+func (d *Disk) gc() {
+	if d.max <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size > d.max && len(d.order) > 0 {
+		name := d.order[0]
+		d.order = d.order[1:]
+		size, ok := d.files[name]
+		if !ok {
+			continue // stale queue entry (removed or duplicate)
+		}
+		d.size -= size
+		delete(d.files, name)
+		os.Remove(filepath.Join(d.dir, name))
+		d.gcEvictions.Add(1)
+		kernstats.StoreGCEvict.Add(1)
+	}
+}
+
+// Peek implements Store.
+func (d *Disk) Peek(key string) (*core.Layout, bool) {
+	if lay, ok := d.get(key); ok {
+		d.hits.Add(1)
+		kernstats.StoreDiskHits.Add(1)
+		return lay, true
+	}
+	return nil, false
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) (*core.Layout, bool) {
+	if lay, ok := d.Peek(key); ok {
+		return lay, true
+	}
+	d.misses.Add(1)
+	kernstats.StoreMisses.Add(1)
+	return nil, false
+}
+
+// Put implements Store.
+func (d *Disk) Put(key string, lay *core.Layout) {
+	d.puts.Add(1)
+	d.put(key, lay)
+}
+
+// Stats implements Store.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	files, size := int64(len(d.files)), d.size
+	d.mu.Unlock()
+	return Stats{
+		DiskHits:       d.hits.Load(),
+		Misses:         d.misses.Load(),
+		Puts:           d.puts.Load(),
+		Spills:         d.spills.Load(),
+		GCEvictions:    d.gcEvictions.Load(),
+		CorruptSkipped: d.corrupt.Load(),
+		WriteErrors:    d.writeFailures.Load(),
+		DiskFiles:      files,
+		DiskBytes:      size,
+	}
+}
+
+// Close implements Store. Entries are durable the moment put returns,
+// so Close has nothing to flush.
+func (d *Disk) Close() error { return nil }

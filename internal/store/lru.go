@@ -1,0 +1,87 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a thread-safe fixed-capacity least-recently-used cache over
+// arbitrary values. Values are treated as immutable once inserted, so
+// Get hands the stored value to concurrent readers directly. An
+// optional eviction callback observes every capacity eviction — that is
+// the hook the tiered store uses to spill memory evictions to disk
+// instead of dropping them.
+//
+// This is the cache that used to live in internal/service; the service
+// engine still uses it directly for its GP-solution and fidelity
+// caches, while layouts go through the Store implementations built on
+// top of it.
+type LRU struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	m       map[string]*list.Element
+	onEvict func(key string, val any)
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// NewLRU builds an LRU holding at most capacity entries (minimum 1).
+// onEvict, if non-nil, is called outside the cache lock for every entry
+// dropped to make room — not for overwrites of an existing key.
+func NewLRU(capacity int, onEvict func(key string, val any)) *LRU {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU{cap: capacity, ll: list.New(), m: map[string]*list.Element{}, onEvict: onEvict}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts or refreshes key. Capacity evictions run the eviction
+// callback after the lock is released, so the callback may re-enter the
+// cache (a disk spill that promotes something else back is safe).
+func (c *LRU) Add(key string, val any) {
+	var evicted []*lruEntry
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		c.mu.Unlock()
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		ent := oldest.Value.(*lruEntry)
+		delete(c.m, ent.key)
+		evicted = append(evicted, ent)
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, ent := range evicted {
+			c.onEvict(ent.key, ent.val)
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/kernstats"
+)
+
+// Memory is the in-process LRU layout tier. Standalone it is the
+// engine's default (ephemeral) store; under Tiered its evictions spill
+// to the disk tier instead of being dropped.
+type Memory struct {
+	lru *LRU
+	// onEvict, when set (by NewTiered, before the store serves traffic),
+	// observes every capacity eviction with the typed layout.
+	onEvict func(key string, lay *core.Layout)
+
+	hits, misses, puts atomic.Int64
+}
+
+// NewMemory builds a memory tier holding at most capacity layouts.
+func NewMemory(capacity int) *Memory {
+	m := &Memory{}
+	m.lru = NewLRU(capacity, func(key string, val any) {
+		if f := m.onEvict; f != nil {
+			f(key, val.(*core.Layout))
+		}
+	})
+	return m
+}
+
+// get/put are the uncounted accessors the tiered store composes; the
+// exported methods add standalone accounting on top.
+
+func (m *Memory) get(key string) (*core.Layout, bool) {
+	v, ok := m.lru.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*core.Layout), true
+}
+
+func (m *Memory) put(key string, lay *core.Layout) { m.lru.Add(key, lay) }
+
+// Peek implements Store.
+func (m *Memory) Peek(key string) (*core.Layout, bool) {
+	if lay, ok := m.get(key); ok {
+		m.hits.Add(1)
+		kernstats.StoreMemHits.Add(1)
+		return lay, true
+	}
+	return nil, false
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) (*core.Layout, bool) {
+	if lay, ok := m.Peek(key); ok {
+		return lay, true
+	}
+	m.misses.Add(1)
+	kernstats.StoreMisses.Add(1)
+	return nil, false
+}
+
+// Put implements Store.
+func (m *Memory) Put(key string, lay *core.Layout) {
+	m.puts.Add(1)
+	m.put(key, lay)
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		MemHits:    m.hits.Load(),
+		Misses:     m.misses.Load(),
+		Puts:       m.puts.Load(),
+		MemEntries: int64(m.lru.Len()),
+	}
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }

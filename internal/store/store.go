@@ -1,0 +1,71 @@
+// Package store is the tiered layout store behind the serving layer:
+// pluggable caches for legalized layouts keyed by the canonical
+// (topology, strategy, seed, config) hash computed in internal/service.
+//
+// Three composable implementations cover the deployment spectrum:
+//
+//   - Memory: the generalized in-process LRU (the cache that used to be
+//     welded into service.Engine), for ephemeral single-process serving.
+//   - Disk: a persistent content-addressed tier that writes each layout
+//     as a layoutio JSON envelope under a cache directory — atomic
+//     tmp+rename writes, corrupt-file tolerance (bad entries are counted,
+//     deleted, and treated as misses), and size-bounded oldest-first GC.
+//   - Tiered: Memory over Disk. Puts write through to both tiers,
+//     memory evictions spill to disk before the entry is dropped, and
+//     disk hits are promoted back into memory — so a restarted server
+//     pointed at the same directory rehydrates byte-identical layouts
+//     without re-running placement.
+//
+// Stores hold immutable values: callers must never mutate a layout after
+// Put or one obtained from Get (the serving layer already treats cached
+// layouts as immutable and clones before legalizing).
+package store
+
+import (
+	"repro/internal/core"
+)
+
+// Store is a layout cache. Implementations are safe for concurrent use.
+type Store interface {
+	// Get returns the layout stored under key, or ok=false on a miss.
+	Get(key string) (*core.Layout, bool)
+	// Peek is Get without miss accounting: hits count (per tier, with
+	// promotion), a miss counts nothing. For double-checked lookup
+	// patterns where the caller already counted the miss on a prior Get
+	// — otherwise one logical request would record two misses.
+	Peek(key string) (*core.Layout, bool)
+	// Put stores the layout under key. Layouts are content-addressed by
+	// their canonical request hash, so putting the same key twice is a
+	// no-op on persistent tiers.
+	Put(key string, lay *core.Layout)
+	// Stats snapshots this store's counters.
+	Stats() Stats
+	// Close releases resources. Get/Put after Close are undefined.
+	Close() error
+}
+
+// Stats is a point-in-time view of a store's counters. Tier fields not
+// applicable to an implementation stay zero (a pure Memory store never
+// reports disk hits).
+type Stats struct {
+	MemHits  int64 `json:"mem_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	Misses   int64 `json:"misses"`
+	Puts     int64 `json:"puts"`
+	// Spills counts layouts actually written to the disk tier (write-
+	// throughs and memory evictions of entries not yet on disk).
+	Spills int64 `json:"spills"`
+	// Promotions counts disk hits copied back into the memory tier.
+	Promotions int64 `json:"promotions"`
+	// GCEvictions counts files deleted by the size-bounded disk GC.
+	GCEvictions int64 `json:"gc_evictions"`
+	// CorruptSkipped counts unreadable/stale-schema disk entries that
+	// were discarded and served as misses.
+	CorruptSkipped int64 `json:"corrupt_skipped"`
+	// WriteErrors counts failed disk spills (the layout stays served
+	// from memory; persistence is best-effort).
+	WriteErrors int64 `json:"write_errors"`
+	MemEntries  int64 `json:"mem_entries"`
+	DiskFiles   int64 `json:"disk_files"`
+	DiskBytes   int64 `json:"disk_bytes"`
+}

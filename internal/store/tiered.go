@@ -1,0 +1,98 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/kernstats"
+)
+
+// Tiered composes the memory LRU over the persistent disk tier:
+//
+//   - Get: memory hit, else disk hit promoted back into memory, else miss.
+//   - Put: write-through to disk (content-addressed, so repeat puts of a
+//     key skip the file write) and into memory.
+//   - Memory evictions spill to disk before the entry is dropped, so a
+//     hot-set overflow degrades to a disk hit instead of a recompute.
+//
+// A restarted process that opens the same disk directory therefore
+// serves byte-identical layouts without re-running placement.
+type Tiered struct {
+	mem  *Memory
+	disk *Disk
+
+	memHits, diskHits, misses atomic.Int64
+	puts, promotions          atomic.Int64
+}
+
+// NewTiered wires mem over disk. The memory tier's eviction hook is
+// claimed by the combinator; pass a Memory not shared with another
+// tiered store.
+func NewTiered(mem *Memory, disk *Disk) *Tiered {
+	t := &Tiered{mem: mem, disk: disk}
+	mem.onEvict = func(key string, lay *core.Layout) { disk.put(key, lay) }
+	return t
+}
+
+// Peek implements Store.
+func (t *Tiered) Peek(key string) (*core.Layout, bool) {
+	if lay, ok := t.mem.get(key); ok {
+		t.memHits.Add(1)
+		kernstats.StoreMemHits.Add(1)
+		return lay, true
+	}
+	if lay, ok := t.disk.get(key); ok {
+		t.diskHits.Add(1)
+		t.promotions.Add(1)
+		kernstats.StoreDiskHits.Add(1)
+		// Promotion may evict something else from memory, which spills
+		// to disk via the eviction hook — a no-op if already there.
+		t.mem.put(key, lay)
+		return lay, true
+	}
+	return nil, false
+}
+
+// Get implements Store.
+func (t *Tiered) Get(key string) (*core.Layout, bool) {
+	if lay, ok := t.Peek(key); ok {
+		return lay, true
+	}
+	t.misses.Add(1)
+	kernstats.StoreMisses.Add(1)
+	return nil, false
+}
+
+// Put implements Store.
+func (t *Tiered) Put(key string, lay *core.Layout) {
+	t.puts.Add(1)
+	t.disk.put(key, lay)
+	t.mem.put(key, lay)
+}
+
+// Stats implements Store, merging tier-level counters: hit/miss/put
+// accounting from the combinator, spill/GC/corruption accounting from
+// the disk tier it drives.
+func (t *Tiered) Stats() Stats {
+	ds := t.disk.Stats()
+	return Stats{
+		MemHits:        t.memHits.Load(),
+		DiskHits:       t.diskHits.Load(),
+		Misses:         t.misses.Load(),
+		Puts:           t.puts.Load(),
+		Promotions:     t.promotions.Load(),
+		Spills:         ds.Spills,
+		GCEvictions:    ds.GCEvictions,
+		CorruptSkipped: ds.CorruptSkipped,
+		WriteErrors:    ds.WriteErrors,
+		MemEntries:     int64(t.mem.lru.Len()),
+		DiskFiles:      ds.DiskFiles,
+		DiskBytes:      ds.DiskBytes,
+	}
+}
+
+// Close implements Store.
+func (t *Tiered) Close() error {
+	return errors.Join(t.mem.Close(), t.disk.Close())
+}

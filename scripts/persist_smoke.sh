@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Integration smoke for the persistent layout store: start qgdp-serve
+# with -cache-dir, request a layout, restart the server, and assert the
+# second request is served byte-identically from the disk tier with
+# zero placement recompute. Needs only a Go toolchain, curl, and POSIX
+# tools; run from the repo root.
+set -euo pipefail
+
+ADDR=127.0.0.1:18231
+WORK=$(mktemp -d)
+CACHE="$WORK/cache"
+BIN="$WORK/qgdp-serve"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {
+  "$BIN" -addr "$ADDR" -cache-dir "$CACHE" -cache-disk-mb 64 &
+  PID=$!
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: server did not become healthy" >&2
+  exit 1
+}
+
+stop_server() {
+  kill "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
+}
+
+go build -o "$BIN" ./cmd/qgdp-serve
+
+URL="http://$ADDR/v1/layout?topology=Grid&strategy=qGDP-LG&seed=3&mappings=1"
+
+echo "== first run: cold compute, spills to $CACHE"
+start_server
+curl -sf "$URL" -o "$WORK/first.json"
+grep -q '"cache_hit": false' "$WORK/first.json" || { echo "FAIL: first request was not a cold compute"; exit 1; }
+stop_server
+
+ls "$CACHE"/*.json >/dev/null || { echo "FAIL: no spill files written"; exit 1; }
+
+echo "== second run: restart must rehydrate from disk"
+start_server
+curl -sf "$URL" -o "$WORK/second.json"
+grep -q '"cache_hit": true' "$WORK/second.json" || { echo "FAIL: restarted server recomputed"; exit 1; }
+
+curl -sf "http://$ADDR/statsz" -o "$WORK/statsz.json"
+grep -q '"disk_hits": 1' "$WORK/statsz.json" || { echo "FAIL: disk-hit counter did not advance"; exit 1; }
+grep -q '"computed": 0' "$WORK/statsz.json" || { echo "FAIL: restarted server ran placement stages"; exit 1; }
+
+# Byte-identical responses modulo the cache_hit flag: layout JSON,
+# report, and persisted timings must all match the original compute.
+if ! diff <(grep -v '"cache_hit"' "$WORK/first.json") <(grep -v '"cache_hit"' "$WORK/second.json"); then
+  echo "FAIL: rehydrated response differs from the original compute"
+  exit 1
+fi
+
+echo "PASS: restart served the layout from the disk tier, byte-identical, zero recompute"
