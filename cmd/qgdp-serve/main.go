@@ -1,6 +1,7 @@
 // Command qgdp-serve runs the layout-as-a-service HTTP server: the
 // concurrent placement engine of internal/service behind a JSON API,
-// optionally over a persistent, restart-surviving layout store.
+// optionally over a persistent, restart-surviving layout store, and
+// optionally as one replica of a sharded cluster.
 //
 // Usage:
 //
@@ -10,7 +11,18 @@
 // content-addressed disk tier (layoutio JSON, atomic writes, size
 // bounded by -cache-disk-mb); a restarted server pointed at the same
 // directory serves previously computed layouts byte-identically without
-// re-running placement.
+// re-running placement. Job manifests persist under <cache-dir>/jobs,
+// so unfinished batches are reported and resumed after a restart.
+//
+// With -peers set, N replicas form a consistent-hash serving tier: each
+// request key has a deterministic owner on a rendezvous ring, non-owners
+// proxy to the owner (unless the shared store already has the result),
+// and batch jobs partition their items by owner. Example 3-replica
+// cluster over one shared cache directory:
+//
+//	qgdp-serve -addr :8080 -advertise h1:8080 -peers h1:8080,h2:8080,h3:8080 -cache-dir /shared/qgdp
+//	qgdp-serve -addr :8080 -advertise h2:8080 -peers h1:8080,h2:8080,h3:8080 -cache-dir /shared/qgdp
+//	qgdp-serve -addr :8080 -advertise h3:8080 -peers h1:8080,h2:8080,h3:8080 -cache-dir /shared/qgdp
 //
 // Endpoints:
 //
@@ -21,7 +33,8 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{"requests":[{"topology":"Falcon","seed":1}]}'
 //	curl 'localhost:8080/v1/jobs/<id>'
 //	curl 'localhost:8080/statsz'
-//	curl 'localhost:8080/benchz'    # live qgdp-bench trajectory point
+//	curl 'localhost:8080/clusterz'   # cluster mode: membership + health
+//	curl 'localhost:8080/benchz'     # live qgdp-bench trajectory point
 package main
 
 import (
@@ -33,9 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -48,34 +64,98 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent layout tier (empty: memory only)")
 	cacheDiskMB := flag.Int("cache-disk-mb", 512, "size bound of the disk tier in MiB (0: unbounded)")
 	lanes := flag.Int("lanes", 0, "engine-wide parallelism budget for intra-job kernels (default GOMAXPROCS)")
+	peers := flag.String("peers", "", "comma-separated replica addresses forming the cluster, this one included (empty: single process)")
+	advertise := flag.String("advertise", "", "address peers reach this replica at (default: -addr, host 127.0.0.1 if unset)")
+	replication := flag.Int("replication", 2, "owners per key on the cluster ring (failover depth)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
 	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheSize, *cacheDir, *cacheDiskMB, *lanes, *pr); err != nil {
+	if err := run(options{
+		addr: *addr, workers: *workers, cacheSize: *cacheSize,
+		cacheDir: *cacheDir, cacheDiskMB: *cacheDiskMB, lanes: *lanes,
+		peers: *peers, advertise: *advertise, replication: *replication,
+		heartbeat: *heartbeat, pr: *pr,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cacheSize int, cacheDir string, cacheDiskMB, lanes, pr int) error {
+type options struct {
+	addr               string
+	workers, cacheSize int
+	cacheDir           string
+	cacheDiskMB, lanes int
+	peers, advertise   string
+	replication        int
+	heartbeat          time.Duration
+	pr                 int
+}
+
+// advertiseAddr resolves the address peers dial this replica at: the
+// -advertise flag, else -addr with a loopback host filled in when the
+// listen address is host-less (":8080").
+func advertiseAddr(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "127.0.0.1" + addr
+	}
+	return addr
+}
+
+func run(o options) error {
 	var layStore store.Store
-	if cacheDir != "" {
-		disk, err := store.OpenDisk(cacheDir, store.DiskOptions{MaxBytes: int64(cacheDiskMB) << 20})
+	jobsDir := ""
+	if o.cacheDir != "" {
+		disk, err := store.OpenDisk(o.cacheDir, store.DiskOptions{MaxBytes: int64(o.cacheDiskMB) << 20})
 		if err != nil {
 			return err
 		}
-		layStore = store.NewTiered(store.NewMemory(cacheSize), disk)
-		log.Printf("qgdp-serve persistent layout store at %s (%d entries on disk)", cacheDir, disk.Stats().DiskFiles)
+		layStore = store.NewTiered(store.NewMemory(o.cacheSize), disk)
+		jobsDir = filepath.Join(o.cacheDir, "jobs")
+		log.Printf("qgdp-serve persistent layout store at %s (%d entries on disk)", o.cacheDir, disk.Stats().DiskFiles)
 	}
+
+	var cl *cluster.Cluster
+	if o.peers != "" {
+		self := advertiseAddr(o.advertise, o.addr)
+		var peerList []string
+		for _, p := range strings.Split(o.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:              self,
+			Peers:             peerList,
+			Replication:       o.replication,
+			HeartbeatInterval: o.heartbeat,
+		})
+		if err != nil {
+			return err
+		}
+		cl.Start()
+		log.Printf("qgdp-serve cluster replica %s on a %d-peer ring (replication %d)", self, cl.Ring().Len(), cl.Replication())
+	}
+
 	eng := service.New(service.Options{
-		Workers: workers, CacheSize: cacheSize, ParallelBudget: lanes, Store: layStore,
+		Workers: o.workers, CacheSize: o.cacheSize, ParallelBudget: o.lanes,
+		Store: layStore, Cluster: cl, JobsDir: jobsDir,
 	})
 	defer eng.Close()
+	if n := eng.Jobs().Resume(); n > 0 {
+		log.Printf("qgdp-serve resumed %d unfinished job items from %s", n, jobsDir)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(eng))
-	mux.Handle("GET /benchz", experiments.BenchzHandler(eng, pr))
+	mux.Handle("GET /benchz", experiments.BenchzHandler(eng, o.pr))
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -85,7 +165,7 @@ func run(addr string, workers, cacheSize int, cacheDir string, cacheDiskMB, lane
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("qgdp-serve listening on %s", addr)
+		log.Printf("qgdp-serve listening on %s", o.addr)
 		errc <- srv.ListenAndServe()
 	}()
 

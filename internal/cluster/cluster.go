@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kernstats"
+)
+
+// ForwardHeader marks a proxied request so the receiving replica serves
+// it locally instead of forwarding again — the one-hop guard that makes
+// routing loops impossible even when two replicas disagree about
+// liveness. Its value is the address of the replica that forwarded.
+const ForwardHeader = "X-QGDP-Forwarded"
+
+// State is a peer's health as seen by this replica's failure detector.
+type State string
+
+const (
+	// StateAlive: last probe (or inbound heartbeat) succeeded. New peers
+	// start alive so routing works before the first probe round.
+	StateAlive State = "alive"
+	// StateSuspect: at least SuspectAfter consecutive probe failures.
+	// Suspect peers are still routed to — a slow peer beats a recompute
+	// — but one more failure at the forwarding layer falls back locally.
+	StateSuspect State = "suspect"
+	// StateDead: at least DeadAfter consecutive failures. Dead peers are
+	// skipped by Route until a probe or inbound heartbeat revives them.
+	StateDead State = "dead"
+)
+
+// Config configures a replica's view of the cluster.
+type Config struct {
+	// Self is the address peers reach this replica at (the -advertise
+	// flag). It must appear in Peers — New rejects a config whose ring
+	// would differ from the other replicas'.
+	Self string
+	// Peers is the static membership: every replica's advertise address,
+	// including Self. All replicas must agree on this set (order
+	// irrelevant) for ownership to be consistent.
+	Peers []string
+	// Replication is how many owners each key has on the ring (default
+	// 2, clamped to the ring size). The first live owner serves the key;
+	// the rest are failover candidates, so a single replica death
+	// re-routes instead of falling back to compute-everywhere.
+	Replication int
+	// HeartbeatInterval is the probe period (default 1s).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter are the consecutive-failure thresholds
+	// (defaults 1 and 3).
+	SuspectAfter, DeadAfter int
+	// ProbeTimeout bounds one heartbeat probe (default half the
+	// interval, at most 2s).
+	ProbeTimeout time.Duration
+}
+
+// peerState is one remote peer's detector state, guarded by Cluster.mu.
+type peerState struct {
+	state    State
+	failures int       // consecutive probe failures
+	lastSeen time.Time // last successful probe or inbound heartbeat
+	lastErr  string
+}
+
+// Cluster is this replica's membership + health view plus the ring
+// routing over it. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg  Config
+	ring *Ring
+
+	mu    sync.Mutex
+	peers map[string]*peerState // remote peers only (Self excluded)
+
+	// client is the HTTP client the service layer forwards through:
+	// fast connection establishment failure (dead peer detection at the
+	// forwarding layer), no overall timeout (layout computes are slow;
+	// the caller's request context bounds the wait).
+	client *http.Client
+	probe  *http.Client
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	owned, forwarded, fallback, shortCircuit atomic.Int64
+	forwardErrs, hbSent, hbRecv              atomic.Int64
+}
+
+// New validates cfg and builds the cluster view. The heartbeat loop
+// does not run until Start.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: empty self address")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 1
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter + 2
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.HeartbeatInterval / 2
+		if cfg.ProbeTimeout > 2*time.Second {
+			cfg.ProbeTimeout = 2 * time.Second
+		}
+		if cfg.ProbeTimeout <= 0 {
+			cfg.ProbeTimeout = time.Second
+		}
+	}
+	ring := NewRing(cfg.Peers)
+	selfListed := false
+	for _, p := range ring.Peers() {
+		if p == cfg.Self {
+			selfListed = true
+			break
+		}
+	}
+	if !selfListed {
+		// Appending Self silently would build a ring the other replicas
+		// do not have — two "owners" per key, duplicated computes.
+		return nil, fmt.Errorf("cluster: self %q not in peers %v — every replica must list the full membership, itself included", cfg.Self, ring.Peers())
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		ring:  ring,
+		peers: map[string]*peerState{},
+		stop:  make(chan struct{}),
+		client: &http.Client{Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			MaxIdleConnsPerHost: 16,
+		}},
+	}
+	c.probe = &http.Client{Timeout: cfg.ProbeTimeout}
+	for _, p := range ring.Peers() {
+		if p != cfg.Self {
+			c.peers[p] = &peerState{state: StateAlive, lastSeen: time.Now()}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this replica's advertise address.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Ring returns the (immutable) ownership ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Replication returns the configured owners-per-key.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
+// Client returns the HTTP client the forwarding proxy should use.
+func (c *Cluster) Client() *http.Client { return c.client }
+
+// Start launches the heartbeat loop: one prober goroutine per remote
+// peer, each on its own ticker, so one unresponsive peer never delays
+// detection of another.
+func (c *Cluster) Start() {
+	for addr := range c.peers {
+		c.wg.Add(1)
+		go c.probeLoop(addr)
+	}
+}
+
+// Close stops the heartbeat loop and idle connections.
+func (c *Cluster) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	c.client.CloseIdleConnections()
+}
+
+func (c *Cluster) probeLoop(addr string) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeOnce(addr)
+		}
+	}
+}
+
+func (c *Cluster) probeOnce(addr string) {
+	c.hbSent.Add(1)
+	kernstats.ClusterHeartbeatsSent.Add(1)
+	resp, err := c.probe.Get("http://" + addr + "/clusterz?from=" + c.cfg.Self)
+	if err != nil {
+		c.MarkFailure(addr, err)
+		return
+	}
+	// Drain before closing so the transport can keep the connection
+	// alive — heartbeats run forever and must not churn sockets.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.MarkFailure(addr, fmt.Errorf("heartbeat status %d", resp.StatusCode))
+		return
+	}
+	c.MarkAlive(addr)
+}
+
+// MarkAlive resets a peer to alive (successful probe, inbound
+// heartbeat, or successful forward).
+func (c *Cluster) MarkAlive(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[addr]; ok {
+		p.state = StateAlive
+		p.failures = 0
+		p.lastSeen = time.Now()
+		p.lastErr = ""
+	}
+}
+
+// MarkFailure records one failed interaction with a peer (probe or
+// forward) and advances its state along alive → suspect → dead.
+func (c *Cluster) MarkFailure(addr string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[addr]
+	if !ok {
+		return
+	}
+	p.failures++
+	if err != nil {
+		p.lastErr = err.Error()
+	}
+	switch {
+	case p.failures >= c.cfg.DeadAfter:
+		p.state = StateDead
+	case p.failures >= c.cfg.SuspectAfter:
+		p.state = StateSuspect
+	}
+}
+
+// PeerState returns the detector state for addr; Self is always alive.
+func (c *Cluster) PeerState(addr string) State {
+	if addr == c.cfg.Self {
+		return StateAlive
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[addr]; ok {
+		return p.state
+	}
+	return StateDead
+}
+
+// Route returns where key should be served: the first non-dead peer in
+// its rendezvous owner order. self reports whether that is this
+// replica — either because it owns the key outright or because every
+// owner is dead and the caller must fall back to local compute.
+func (c *Cluster) Route(key string) (addr string, self bool) {
+	for _, owner := range c.ring.Owners(key, c.cfg.Replication) {
+		if owner == c.cfg.Self {
+			return owner, true
+		}
+		if c.PeerState(owner) != StateDead {
+			return owner, false
+		}
+	}
+	return c.cfg.Self, true
+}
+
+// Owns reports whether this replica is in key's replica set at all
+// (owner or failover candidate).
+func (c *Cluster) Owns(key string) bool {
+	for _, owner := range c.ring.Owners(key, c.cfg.Replication) {
+		if owner == c.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// The routing-outcome counters, incremented by the service forwarding
+// layer and surfaced on /statsz and /clusterz.
+
+// CountOwned records a request served locally as ring owner.
+func (c *Cluster) CountOwned() { c.owned.Add(1); kernstats.ClusterOwned.Add(1) }
+
+// CountForwarded records a request proxied to its owner.
+func (c *Cluster) CountForwarded() { c.forwarded.Add(1); kernstats.ClusterForwarded.Add(1) }
+
+// CountFallback records a request computed locally because its owner
+// was unreachable.
+func (c *Cluster) CountFallback() { c.fallback.Add(1); kernstats.ClusterFallback.Add(1) }
+
+// CountShortCircuit records a non-owned request answered straight from
+// the shared store without forwarding.
+func (c *Cluster) CountShortCircuit() { c.shortCircuit.Add(1); kernstats.ClusterShortCircuit.Add(1) }
+
+// CountForwardError records a failed proxy attempt (the request then
+// falls back locally or to the next owner).
+func (c *Cluster) CountForwardError() { c.forwardErrs.Add(1); kernstats.ClusterForwardErrors.Add(1) }
+
+// PeerStatus is one remote peer's row in the /clusterz and /statsz
+// views.
+type PeerStatus struct {
+	Addr     string    `json:"addr"`
+	State    State     `json:"state"`
+	Failures int       `json:"failures"`
+	LastSeen time.Time `json:"last_seen"`
+	LastErr  string    `json:"last_err,omitempty"`
+}
+
+// Stats is the cluster section of /statsz (and the body of /clusterz).
+type Stats struct {
+	Self        string `json:"self"`
+	Replication int    `json:"replication"`
+	// Owned/Forwarded/FallbackLocal/StoreShortCircuit partition the
+	// routed requests this replica has seen; load imbalance across the
+	// ring shows up as skewed owned counts across replicas.
+	Owned              int64 `json:"owned"`
+	Forwarded          int64 `json:"forwarded"`
+	FallbackLocal      int64 `json:"fallback_local"`
+	StoreShortCircuit  int64 `json:"store_short_circuit"`
+	ForwardErrors      int64 `json:"forward_errors"`
+	HeartbeatsSent     int64 `json:"heartbeats_sent"`
+	HeartbeatsReceived int64 `json:"heartbeats_received"`
+	// PeerUp maps every remote peer to whether routing currently
+	// considers it usable (not dead).
+	PeerUp map[string]bool `json:"peer_up"`
+	Peers  []PeerStatus    `json:"peers"`
+}
+
+// Stats snapshots the cluster counters and per-peer detector state.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Self:               c.cfg.Self,
+		Replication:        c.cfg.Replication,
+		Owned:              c.owned.Load(),
+		Forwarded:          c.forwarded.Load(),
+		FallbackLocal:      c.fallback.Load(),
+		StoreShortCircuit:  c.shortCircuit.Load(),
+		ForwardErrors:      c.forwardErrs.Load(),
+		HeartbeatsSent:     c.hbSent.Load(),
+		HeartbeatsReceived: c.hbRecv.Load(),
+		PeerUp:             map[string]bool{},
+	}
+	c.mu.Lock()
+	for addr, p := range c.peers {
+		s.PeerUp[addr] = p.state != StateDead
+		s.Peers = append(s.Peers, PeerStatus{
+			Addr: addr, State: p.state, Failures: p.failures,
+			LastSeen: p.lastSeen, LastErr: p.lastErr,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(s.Peers, func(i, j int) bool { return s.Peers[i].Addr < s.Peers[j].Addr })
+	return s
+}
+
+// Handler serves GET /clusterz: the membership/health view, doubling as
+// the heartbeat probe target. A ?from=addr query marks the calling peer
+// alive (a peer that can reach us is certainly up), so detection works
+// even when probes are asymmetric.
+func (c *Cluster) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if from := r.URL.Query().Get("from"); from != "" {
+			c.hbRecv.Add(1)
+			kernstats.ClusterHeartbeatsRecv.Add(1)
+			c.MarkAlive(from)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Stats())
+	})
+}

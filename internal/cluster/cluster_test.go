@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testCluster(t *testing.T, self string, peers []string, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Self = self
+	cfg.Peers = peers
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestFailureDetectorTransitions: consecutive failures walk a peer
+// alive → suspect → dead; any success snaps it back to alive.
+func TestFailureDetectorTransitions(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1"}
+	c := testCluster(t, "a:1", peers, Config{SuspectAfter: 1, DeadAfter: 3})
+
+	if got := c.PeerState("b:1"); got != StateAlive {
+		t.Fatalf("initial state = %s, want alive", got)
+	}
+	c.MarkFailure("b:1", nil)
+	if got := c.PeerState("b:1"); got != StateSuspect {
+		t.Fatalf("after 1 failure: %s, want suspect", got)
+	}
+	c.MarkFailure("b:1", nil)
+	if got := c.PeerState("b:1"); got != StateSuspect {
+		t.Fatalf("after 2 failures: %s, want suspect", got)
+	}
+	c.MarkFailure("b:1", nil)
+	if got := c.PeerState("b:1"); got != StateDead {
+		t.Fatalf("after 3 failures: %s, want dead", got)
+	}
+	c.MarkAlive("b:1")
+	if got := c.PeerState("b:1"); got != StateAlive {
+		t.Fatalf("after recovery: %s, want alive", got)
+	}
+	// Self is always alive; unknown peers are never routable.
+	if got := c.PeerState("a:1"); got != StateAlive {
+		t.Errorf("self state = %s", got)
+	}
+	if got := c.PeerState("nope:1"); got != StateDead {
+		t.Errorf("unknown peer state = %s, want dead", got)
+	}
+}
+
+// TestRouteSkipsDeadOwners: routing walks the key's replica set in
+// rendezvous order, skipping dead peers, and lands on self when every
+// owner is gone (local-compute fallback).
+func TestRouteSkipsDeadOwners(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1"}
+	c := testCluster(t, "a:1", peers, Config{Replication: 2, DeadAfter: 2})
+
+	// Find a key whose primary owner is b and whose set excludes self,
+	// so failover is observable.
+	var key string
+	var owners []string
+	for i := 0; ; i++ {
+		k := keys(i + 1)[i]
+		o := c.Ring().Owners(k, 2)
+		if o[0] == "b:1" && o[1] == "c:1" {
+			key, owners = k, o
+			break
+		}
+	}
+	if addr, self := c.Route(key); self || addr != owners[0] {
+		t.Fatalf("healthy route = %s self=%v, want %s", addr, self, owners[0])
+	}
+	c.MarkFailure("b:1", nil)
+	c.MarkFailure("b:1", nil) // dead
+	if addr, self := c.Route(key); self || addr != "c:1" {
+		t.Fatalf("route after owner death = %s self=%v, want failover to c:1", addr, self)
+	}
+	c.MarkFailure("c:1", nil)
+	c.MarkFailure("c:1", nil)
+	if addr, self := c.Route(key); !self || addr != "a:1" {
+		t.Fatalf("route with whole replica set dead = %s self=%v, want local fallback", addr, self)
+	}
+	c.MarkAlive("b:1")
+	if addr, _ := c.Route(key); addr != "b:1" {
+		t.Fatalf("route after owner recovery = %s, want b:1 again", addr)
+	}
+}
+
+// TestHeartbeatLoop: a live /clusterz target stays alive; once its
+// server dies the prober walks it to dead within a few intervals, and
+// inbound heartbeats (?from=) revive it passively.
+func TestHeartbeatLoop(t *testing.T) {
+	peerCluster := testCluster(t, "peer:1", []string{"peer:1"}, Config{})
+	srv := httptest.NewServer(peerCluster.Handler())
+	peerAddr := strings.TrimPrefix(srv.URL, "http://")
+
+	c := testCluster(t, "self:1", []string{"self:1", peerAddr}, Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      1,
+		DeadAfter:         3,
+	})
+	c.Start()
+
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for c.PeerState(peerAddr) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("peer never reached %s (now %s)", want, c.PeerState(peerAddr))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Wait for a full probe round-trip: we sent one, the peer counted
+	// the inbound ?from= heartbeat, and the peer stayed alive.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().HeartbeatsSent == 0 || peerCluster.Stats().HeartbeatsReceived == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no heartbeat round-trip: sent=%d recv=%d",
+				c.Stats().HeartbeatsSent, peerCluster.Stats().HeartbeatsReceived)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitState(StateAlive)
+
+	srv.Close()
+	waitState(StateDead)
+	if up := c.Stats().PeerUp[peerAddr]; up {
+		t.Error("dead peer still reported up")
+	}
+
+	// Passive revival: an inbound heartbeat from the peer proves it is
+	// back without waiting for our next successful probe.
+	c.MarkAlive(peerAddr)
+	if got := c.PeerState(peerAddr); got != StateAlive {
+		t.Errorf("state after inbound heartbeat = %s", got)
+	}
+}
+
+// TestClusterzHandler: the endpoint returns the membership view and
+// marks the caller alive.
+func TestClusterzHandler(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1"}, Config{})
+	c.MarkFailure("b:1", nil)
+	c.MarkFailure("b:1", nil)
+	c.MarkFailure("b:1", nil) // dead
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/clusterz?from=b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view Stats
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != "a:1" || view.Replication != 2 {
+		t.Errorf("view = %+v", view)
+	}
+	if len(view.Peers) != 1 || view.Peers[0].Addr != "b:1" {
+		t.Fatalf("peers = %+v", view.Peers)
+	}
+	// The inbound heartbeat revived b.
+	if view.Peers[0].State != StateAlive || !view.PeerUp["b:1"] {
+		t.Errorf("heartbeat did not revive caller: %+v", view.Peers[0])
+	}
+	if view.HeartbeatsReceived != 1 {
+		t.Errorf("heartbeats_received = %d, want 1", view.HeartbeatsReceived)
+	}
+}
+
+// TestConfigDefaults: a minimal config is viable and self joins the
+// ring exactly once.
+func TestConfigDefaults(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"b:1", "a:1"}, Config{})
+	if c.Ring().Len() != 2 {
+		t.Errorf("ring size = %d, want 2 (self deduplicated)", c.Ring().Len())
+	}
+	if !c.Owns("anything") && c.Replication() == 2 {
+		t.Error("with replication 2 of 2 peers, self must be in every replica set")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty self accepted")
+	}
+}

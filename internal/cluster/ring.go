@@ -1,0 +1,113 @@
+// Package cluster turns N qgdp-serve replicas into one sharded serving
+// tier. Three pieces compose it:
+//
+//   - Ring: a rendezvous (highest-random-weight) hash ring over the
+//     canonical request keys already used as store keys. Ownership is a
+//     pure function of (peer set, key), so every replica computes the
+//     same owner without coordination, and membership changes move only
+//     the keys the joining/leaving peer gains/loses (~1/N of the
+//     keyspace) — no global reshuffle.
+//   - Cluster: static membership (the -peers list) plus a failure
+//     detector fed by JSON heartbeats over the replicas' existing HTTP
+//     mux (/clusterz). Peers move alive → suspect → dead on consecutive
+//     probe failures and snap back to alive on any success or inbound
+//     heartbeat; routing skips dead peers, so requests re-route while an
+//     owner is down and return when it recovers.
+//   - the /clusterz handler: probe target and human-readable membership
+//     view in one endpoint.
+//
+// The forwarding proxy that rides on this (replica A answering a key
+// owned by replica B by proxying the HTTP request) lives in
+// internal/service — this package only decides who owns what and who is
+// alive.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a rendezvous hash ring over a fixed peer set. It is immutable
+// after construction and safe for concurrent use; liveness-aware
+// routing on top of it belongs to Cluster.
+type Ring struct {
+	peers []string // sorted, deduplicated
+}
+
+// NewRing builds a ring over the given peer addresses. Order and
+// duplicates in the input do not matter: two replicas configured with
+// permuted -peers lists build identical rings.
+func NewRing(peers []string) *Ring {
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p != "" && !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	return &Ring{peers: uniq}
+}
+
+// Peers returns the ring's peer set, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Len returns the number of peers on the ring.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// score is the rendezvous weight of (peer, key): the first 8 bytes of
+// sha256(peer \x00 key). The key is already a sha256-derived canonical
+// hash, but re-hashing with the peer folded in keeps scores independent
+// across peers regardless of the key's own distribution.
+func score(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// Owners returns the top-n peers for key in descending rendezvous
+// order: Owners(key, n)[0] is the primary owner, the rest are the
+// replica set a router falls through when earlier owners are down.
+// Deterministic for a given peer set; ties (vanishingly rare) break by
+// peer name. n is clamped to the ring size.
+func (r *Ring) Owners(key string, n int) []string {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	if n <= 0 {
+		return nil
+	}
+	type ranked struct {
+		peer string
+		s    uint64
+	}
+	rs := make([]ranked, len(r.peers))
+	for i, p := range r.peers {
+		rs[i] = ranked{p, score(p, key)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].s != rs[j].s {
+			return rs[i].s > rs[j].s
+		}
+		return rs[i].peer < rs[j].peer
+	})
+	out := make([]string, n)
+	for i := range out {
+		out[i] = rs[i].peer
+	}
+	return out
+}
+
+// Owner returns the primary owner of key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

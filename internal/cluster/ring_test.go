@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys generates n synthetic canonical-looking store keys.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("layout:%064x", i*2654435761)
+	}
+	return out
+}
+
+func peersN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossReplicas: every replica must compute the
+// same owners for the same peer set, regardless of the order (or
+// duplication) its -peers flag listed them in.
+func TestRingDeterministicAcrossReplicas(t *testing.T) {
+	peers := peersN(5)
+	a := NewRing(peers)
+	b := NewRing([]string{peers[3], peers[0], peers[4], peers[1], peers[2], peers[0]})
+	for _, k := range keys(2000) {
+		oa, ob := a.Owners(k, 3), b.Owners(k, 3)
+		if len(oa) != 3 || len(ob) != 3 {
+			t.Fatalf("owner count: %d vs %d", len(oa), len(ob))
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("key %s: replica disagreement at rank %d: %s vs %s", k, i, oa[i], ob[i])
+			}
+		}
+		seen := map[string]bool{}
+		for _, o := range oa {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s in replica set", k, o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingBalance: primary ownership should spread roughly evenly; a
+// peer owning more than twice or less than half its fair share flags a
+// broken hash.
+func TestRingBalance(t *testing.T) {
+	peers := peersN(5)
+	r := NewRing(peers)
+	ks := keys(5000)
+	counts := map[string]int{}
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	fair := len(ks) / len(peers)
+	for _, p := range peers {
+		if c := counts[p]; c < fair/2 || c > fair*2 {
+			t.Errorf("peer %s owns %d keys, fair share %d", p, c, fair)
+		}
+	}
+}
+
+// TestRingRebalanceBounds: when one peer joins or leaves, strictly
+// fewer than 2/N of keys may change primary owner (rendezvous moves
+// ~1/N in expectation), and every key whose primary was uninvolved must
+// keep it — membership changes never shuffle unrelated keys.
+func TestRingRebalanceBounds(t *testing.T) {
+	ks := keys(4000)
+
+	t.Run("join", func(t *testing.T) {
+		before := NewRing(peersN(4))
+		after := NewRing(peersN(5)) // 10.0.0.5 joins
+		joined := "10.0.0.5:8080"
+		moved := 0
+		for _, k := range ks {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob != oa {
+				moved++
+				if oa != joined {
+					t.Fatalf("key %s moved %s -> %s, neither the joining peer", k, ob, oa)
+				}
+			}
+		}
+		bound := 2 * len(ks) / after.Len()
+		if moved >= bound {
+			t.Errorf("join moved %d/%d keys, want < %d (2/N)", moved, len(ks), bound)
+		}
+		if moved == 0 {
+			t.Error("join moved no keys — the new peer owns nothing")
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		before := NewRing(peersN(5))
+		after := NewRing(peersN(4)) // 10.0.0.5 leaves
+		left := "10.0.0.5:8080"
+		moved := 0
+		for _, k := range ks {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob != oa {
+				moved++
+				if ob != left {
+					t.Fatalf("key %s moved %s -> %s but its owner did not leave", k, ob, oa)
+				}
+			}
+		}
+		bound := 2 * len(ks) / before.Len()
+		if moved >= bound {
+			t.Errorf("leave moved %d/%d keys, want < %d (2/N)", moved, len(ks), bound)
+		}
+		if moved == 0 {
+			t.Error("leave moved no keys — the departed peer owned nothing")
+		}
+	})
+}
+
+// TestRingFailoverOrderStable: the replica set of a key must not change
+// order when an unrelated peer is removed — the failover candidate a
+// router falls through to is the same one every replica computes.
+func TestRingFailoverOrderStable(t *testing.T) {
+	full := NewRing(peersN(5))
+	for _, k := range keys(500) {
+		owners := full.Owners(k, 3)
+		// Remove a peer outside the replica set; the set must be
+		// unchanged.
+		inSet := map[string]bool{}
+		for _, o := range owners {
+			inSet[o] = true
+		}
+		var outsider string
+		for _, p := range full.Peers() {
+			if !inSet[p] {
+				outsider = p
+				break
+			}
+		}
+		var rest []string
+		for _, p := range full.Peers() {
+			if p != outsider {
+				rest = append(rest, p)
+			}
+		}
+		shrunk := NewRing(rest)
+		after := shrunk.Owners(k, 3)
+		for i := range owners {
+			if owners[i] != after[i] {
+				t.Fatalf("key %s: replica set reordered by unrelated leave: %v vs %v", k, owners, after)
+			}
+		}
+	}
+}
+
+func BenchmarkRingOwners(b *testing.B) {
+	r := NewRing(peersN(8))
+	ks := keys(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owners(ks[i%len(ks)], 2)
+	}
+}

@@ -101,10 +101,40 @@ var (
 // The async job-subsystem counters. queue_depth is a gauge (incremented
 // on item enqueue, decremented on completion), so its current value is
 // the number of job items waiting for or holding a worker slot.
+// resumed counts job items re-scheduled from persisted manifests after
+// a restart; persist_errors counts failed manifest writes (durability
+// is best-effort, the job still runs).
 var (
-	JobsSubmitted = registerCounter("jobs.submitted")
-	JobsCompleted = registerCounter("jobs.completed")
-	JobQueueDepth = registerCounter("jobs.queue_depth")
+	JobsSubmitted     = registerCounter("jobs.submitted")
+	JobsCompleted     = registerCounter("jobs.completed")
+	JobQueueDepth     = registerCounter("jobs.queue_depth")
+	JobsResumed       = registerCounter("jobs.resumed")
+	JobsPersistErrors = registerCounter("jobs.persist_errors")
+)
+
+// StoreGCRaces counts benign filesystem races between replicas sharing
+// one cache directory: a delete or read that found the file already
+// gone because another process GC'd it first. A nonzero value under a
+// shared -cache-dir is expected traffic, not corruption.
+var StoreGCRaces = registerCounter("store.gc_races")
+
+// The cluster counters (see internal/cluster and the service forwarding
+// layer). owned counts requests this replica served as ring owner;
+// forwarded counts requests proxied to the owning replica;
+// fallback_local counts requests computed locally because the owner was
+// unreachable; store_short_circuit counts non-owned requests answered
+// straight from the shared store without crossing the network. A
+// balanced ring shows owned roughly equal across replicas; forwarded
+// collapsing toward store_short_circuit means the shared disk tier is
+// absorbing the cross-replica traffic.
+var (
+	ClusterOwned          = registerCounter("cluster.owned")
+	ClusterForwarded      = registerCounter("cluster.forwarded")
+	ClusterFallback       = registerCounter("cluster.fallback_local")
+	ClusterShortCircuit   = registerCounter("cluster.store_short_circuit")
+	ClusterForwardErrors  = registerCounter("cluster.forward_errors")
+	ClusterHeartbeatsSent = registerCounter("cluster.heartbeats_sent")
+	ClusterHeartbeatsRecv = registerCounter("cluster.heartbeats_received")
 )
 
 var counters []*Counter

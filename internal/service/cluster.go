@@ -1,0 +1,148 @@
+package service
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+)
+
+// This file is the cluster-mode HTTP glue: ring-routed request
+// forwarding between replicas. The ring and failure detector live in
+// internal/cluster; here they are applied to the canonical request keys
+// (the same hashes the store is keyed by), so the key a replica owns is
+// exactly the key whose layout it computes and spills.
+//
+// Routing policy, in order:
+//
+//  1. Hop guard: a request carrying cluster.ForwardHeader is served
+//     locally, whatever the ring says — one hop maximum, loops
+//     impossible even when replicas disagree about liveness.
+//  2. Owner: if the ring routes the key here, compute locally.
+//  3. Store short-circuit: a non-owned key already present in the local
+//     store (e.g. replicas share one disk tier) is served locally —
+//     disk hits never cross the network.
+//  4. Forward: proxy to the first live owner, byte-for-byte.
+//  5. Fallback: if the owner is unreachable, compute locally rather
+//     than fail — availability beats sharding discipline.
+
+// serveRouted implements the routing policy for one request identified
+// by key. cached peeks for a locally available result; local serves the
+// request on this replica.
+func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, cached func() bool, local http.HandlerFunc) {
+	cl := e.cluster
+	if r.Header.Get(cluster.ForwardHeader) != "" {
+		cl.CountOwned()
+		local(w, r)
+		return
+	}
+	addr, self := cl.Route(key)
+	if self {
+		cl.CountOwned()
+		local(w, r)
+		return
+	}
+	if cached() {
+		cl.CountShortCircuit()
+		local(w, r)
+		return
+	}
+	if forwardRequest(cl, addr, w, r) {
+		return
+	}
+	cl.CountFallback()
+	local(w, r)
+}
+
+// forwardRequest proxies r to owner, relaying status, headers, and body
+// verbatim (the owner's response IS the response — byte-identity across
+// replicas falls out). Returns false on transport failure, feeding the
+// failure detector so repeatedly unreachable owners go suspect → dead
+// and later requests re-route without paying the dial timeout.
+func forwardRequest(cl *cluster.Cluster, owner string, w http.ResponseWriter, r *http.Request) bool {
+	u := *r.URL
+	u.Scheme = "http"
+	u.Host = owner
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		cl.CountForwardError()
+		return false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(cluster.ForwardHeader, cl.Self())
+	resp, err := cl.Client().Do(req)
+	if err != nil {
+		cl.CountForwardError()
+		cl.MarkFailure(owner, err)
+		return false
+	}
+	defer resp.Body.Close()
+	cl.MarkAlive(owner)
+	cl.CountForwarded()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// routedLayoutHandler wraps the local /v1/layout handler with ring
+// routing. Unparseable requests skip routing — the local handler owns
+// the 400.
+func routedLayoutHandler(e *Engine, local http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := layoutRequestFromQuery(r)
+		if err != nil {
+			local(w, r)
+			return
+		}
+		key := layoutKey(req)
+		serveRouted(e, w, r, key, func() bool {
+			_, ok := e.layStore.Peek(key)
+			return ok
+		}, local)
+	}
+}
+
+// routedFidelityHandler routes /v1/fidelity by the underlying layout's
+// key, so a layout's fidelity evaluations land on the replica that
+// computed (and fidelity-cached) it. The short-circuit peeks the local
+// fidelity cache — the layout being on shared disk does not make the
+// fidelity evaluation free.
+func routedFidelityHandler(e *Engine, local http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lreq, err := layoutRequestFromQuery(r)
+		if err != nil {
+			local(w, r)
+			return
+		}
+		bench := r.URL.Query().Get("bench")
+		key := layoutKey(lreq)
+		serveRouted(e, w, r, key, func() bool {
+			_, ok := e.fidCache.Get(fidelityKey(FidelityRequest{LayoutRequest: lreq, Benchmark: bench}))
+			return ok
+		}, local)
+	}
+}
+
+// handleClusterRoute serves GET /clusterz/route: the ring's verdict for
+// one request, for debugging and for the cluster smoke test to find a
+// key's owner from outside.
+func handleClusterRoute(e *Engine, w http.ResponseWriter, r *http.Request) {
+	req, err := layoutRequestFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := layoutKey(req)
+	addr, self := e.cluster.Route(key)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":    key,
+		"owners": e.cluster.Ring().Owners(key, e.cluster.Replication()),
+		"route":  addr,
+		"self":   self,
+	})
+}

@@ -1,0 +1,432 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// swapHandler lets a test boot httptest servers (fixing their
+// addresses) before the engines that serve them exist — the cluster
+// config needs every replica's address up front.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "replica not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// replica is one member of an in-process test cluster.
+type replica struct {
+	addr   string
+	srv    *httptest.Server
+	eng    *Engine
+	counts *stubCounts
+	cl     *cluster.Cluster
+}
+
+// testReplicas boots n stub-engine replicas into one cluster. With
+// sharedDir non-empty every replica gets a tiered store over that one
+// directory (the shared-cache deployment); otherwise each has a private
+// memory store (the forwarding-only deployment). Heartbeats are not
+// started — routing begins optimistic and learns from forward failures.
+func testReplicas(t *testing.T, n int, sharedDir string) []*replica {
+	t.Helper()
+	reps := make([]*replica, n)
+	addrs := make([]string, n)
+	for i := range reps {
+		sh := &swapHandler{}
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		reps[i] = &replica{addr: strings.TrimPrefix(srv.URL, "http://"), srv: srv}
+		reps[i].srv.Config.Handler = sh
+		addrs[i] = reps[i].addr
+	}
+	for i, rep := range reps {
+		cl, err := cluster.New(cluster.Config{Self: rep.addr, Peers: addrs, Replication: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st store.Store
+		if sharedDir != "" {
+			disk, err := store.OpenDisk(sharedDir, store.DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = store.NewTiered(store.NewMemory(64), disk)
+		}
+		eng, counts := jobStubEngine(Options{Workers: 2, Cluster: cl, Store: st})
+		t.Cleanup(func() { eng.Close() })
+		rep.eng, rep.counts, rep.cl = eng, counts, cl
+		reps[i].srv.Config.Handler.(*swapHandler).set(NewHandler(eng))
+	}
+	return reps
+}
+
+// reqOwnedBy scans seeds until the request's first-choice route is the
+// given replica — ownership is identical from every replica's view, so
+// any ring works for the scan.
+func reqOwnedBy(t *testing.T, cl *cluster.Cluster, owner string) LayoutRequest {
+	t.Helper()
+	for seed := int64(0); seed < 100000; seed++ {
+		cfg := core.DefaultConfig()
+		cfg.GP.Seed = seed
+		req := LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg}
+		if addr, _ := cl.Route(layoutKey(req)); addr == owner {
+			return req
+		}
+	}
+	t.Fatal("no seed routed to owner — ring broken")
+	return LayoutRequest{}
+}
+
+func layoutURL(base string, req LayoutRequest) string {
+	return fmt.Sprintf("%s/v1/layout?topology=%s&strategy=%s&seed=%d",
+		base, req.Topology, req.Strategy, req.Config.GP.Seed)
+}
+
+// TestClusterForwarding: a replica that does not own a key proxies the
+// request to the owner; the owner computes, the proxy computes nothing,
+// and both sides' counters record the hop.
+func TestClusterForwarding(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	owner, other := reps[1], reps[0]
+	req := reqOwnedBy(t, other.cl, owner.addr)
+
+	var body struct {
+		CacheHit bool            `json:"cache_hit"`
+		Layout   json.RawMessage `json:"layout"`
+	}
+	resp := getJSON(t, layoutURL(other.srv.URL, req), &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body.Layout) == 0 {
+		t.Error("forwarded response carries no layout")
+	}
+	if got := owner.counts.legalizes.Load(); got != 1 {
+		t.Errorf("owner legalized %d times, want 1", got)
+	}
+	if got := other.counts.legalizes.Load(); got != 0 {
+		t.Errorf("forwarding replica legalized %d times, want 0", got)
+	}
+	if s := other.cl.Stats(); s.Forwarded != 1 || s.Owned != 0 {
+		t.Errorf("proxy stats: forwarded=%d owned=%d, want 1/0", s.Forwarded, s.Owned)
+	}
+	if s := owner.cl.Stats(); s.Owned != 1 {
+		t.Errorf("owner stats: owned=%d, want 1", s.Owned)
+	}
+
+	// Fidelity routes by the same layout key: the owner evaluates it,
+	// reusing its cached layout.
+	var fbody struct {
+		Fidelity float64 `json:"fidelity"`
+	}
+	resp = getJSON(t, layoutURL(other.srv.URL, req)+"&bench=bv-4", nil)
+	resp.Body.Close()
+	resp = getJSON(t, strings.Replace(layoutURL(other.srv.URL, req), "/v1/layout", "/v1/fidelity", 1)+"&bench=bv-4", &fbody)
+	if resp.StatusCode != http.StatusOK || fbody.Fidelity != 0.5 {
+		t.Fatalf("fidelity status %d body %+v", resp.StatusCode, fbody)
+	}
+	if got := owner.counts.fidelities.Load(); got != 1 {
+		t.Errorf("owner evaluated fidelity %d times, want 1", got)
+	}
+	if got := other.counts.fidelities.Load(); got != 0 {
+		t.Errorf("proxy evaluated fidelity %d times, want 0", got)
+	}
+
+	// The engine's /statsz carries the cluster section.
+	var stats StatsSnapshot
+	getJSON(t, other.srv.URL+"/statsz", &stats)
+	if stats.Cluster == nil || stats.Cluster.Self != other.addr {
+		t.Errorf("statsz cluster section = %+v", stats.Cluster)
+	}
+}
+
+// TestClusterHopGuard: a request already carrying the forward header is
+// served locally whatever the ring says — one hop max, no loops.
+func TestClusterHopGuard(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	owner, other := reps[1], reps[0]
+	req := reqOwnedBy(t, other.cl, owner.addr)
+
+	hr, err := http.NewRequest(http.MethodGet, layoutURL(other.srv.URL, req), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set(cluster.ForwardHeader, "someone")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := other.counts.legalizes.Load(); got != 1 {
+		t.Errorf("hop-guarded request computed on %d replicas, want locally (1)", got)
+	}
+	if got := owner.counts.legalizes.Load(); got != 0 {
+		t.Errorf("hop-guarded request leaked to the owner (%d computes)", got)
+	}
+	if s := other.cl.Stats(); s.Forwarded != 0 {
+		t.Errorf("hop-guarded request re-forwarded %d times", s.Forwarded)
+	}
+}
+
+// TestClusterStoreShortCircuit: replicas sharing one disk tier serve
+// non-owned keys already on disk locally — a disk hit never crosses the
+// network.
+func TestClusterStoreShortCircuit(t *testing.T) {
+	dir := t.TempDir()
+	reps := testReplicas(t, 3, dir)
+	owner, other := reps[2], reps[0]
+	req := reqOwnedBy(t, other.cl, owner.addr)
+
+	// Prime via the owner (computes and spills to the shared dir).
+	resp := getJSON(t, layoutURL(owner.srv.URL, req), nil)
+	resp.Body.Close()
+	if got := owner.counts.legalizes.Load(); got != 1 {
+		t.Fatalf("owner legalized %d times, want 1", got)
+	}
+
+	// The non-owner finds it on shared disk and never forwards.
+	var body struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	resp = getJSON(t, layoutURL(other.srv.URL, req), &body)
+	if resp.StatusCode != http.StatusOK || !body.CacheHit {
+		t.Fatalf("short-circuit response: status %d cache_hit %v", resp.StatusCode, body.CacheHit)
+	}
+	if got := other.counts.legalizes.Load(); got != 0 {
+		t.Errorf("short-circuiting replica recomputed (%d legalizes)", got)
+	}
+	s := other.cl.Stats()
+	if s.StoreShortCircuit != 1 || s.Forwarded != 0 {
+		t.Errorf("stats: short_circuit=%d forwarded=%d, want 1/0", s.StoreShortCircuit, s.Forwarded)
+	}
+}
+
+// TestClusterFallbackWhenOwnerDown: with the owner unreachable the
+// request computes locally instead of failing, and the failure feeds
+// the detector.
+func TestClusterFallbackWhenOwnerDown(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	// Use a key whose whole replica set avoids reps[0], then kill both
+	// owners so the fallback (not the failover to owner #2) is what
+	// serves it.
+	other := reps[0]
+	var req LayoutRequest
+	var owners []string
+	for seed := int64(0); ; seed++ {
+		cfg := core.DefaultConfig()
+		cfg.GP.Seed = seed
+		r := LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg}
+		o := other.cl.Ring().Owners(layoutKey(r), 2)
+		if o[0] != other.addr && o[1] != other.addr {
+			req, owners = r, o
+			break
+		}
+	}
+	for _, rep := range reps {
+		for _, o := range owners {
+			if rep.addr == o {
+				rep.srv.Close()
+			}
+		}
+	}
+
+	resp := getJSON(t, layoutURL(other.srv.URL, req), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d with owner down, want 200 local fallback", resp.StatusCode)
+	}
+	if got := other.counts.legalizes.Load(); got != 1 {
+		t.Errorf("fallback computed %d times locally, want 1", got)
+	}
+	s := other.cl.Stats()
+	if s.FallbackLocal != 1 || s.ForwardErrors == 0 {
+		t.Errorf("stats: fallback=%d forward_errors=%d, want 1/>=1", s.FallbackLocal, s.ForwardErrors)
+	}
+	// The failed forward advanced the owner's detector state.
+	if st := other.cl.PeerState(owners[0]); st == cluster.StateAlive {
+		t.Errorf("unreachable owner still %s after failed forward", st)
+	}
+}
+
+// TestClusterJobFanout: a batch posted to one replica partitions by
+// ring owner — remote groups run as hop-guarded sub-jobs on their
+// owners, results merge back (Via recording the computing replica), and
+// every item lands done.
+func TestClusterJobFanout(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	entry := reps[0]
+
+	// One item per replica, chosen by ownership.
+	var specs []map[string]any
+	wantOwner := map[int64]string{}
+	for _, rep := range reps {
+		req := reqOwnedBy(t, entry.cl, rep.addr)
+		specs = append(specs, map[string]any{"topology": "Grid", "seed": req.Config.GP.Seed})
+		wantOwner[req.Config.GP.Seed] = rep.addr
+	}
+	payload, err := json.Marshal(map[string]any{"requests": specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(entry.srv.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || view.Total != 3 {
+		t.Fatalf("submit: status %d view %+v", resp.StatusCode, view)
+	}
+
+	final := waitJobDone(t, func() (JobView, bool) { return entry.eng.Jobs().Get(view.ID) })
+	if final.Done != 3 || final.Failed != 0 {
+		t.Fatalf("final = %+v", final)
+	}
+	for _, it := range final.Items {
+		owner := wantOwner[it.Seed]
+		if it.Status != JobItemDone {
+			t.Errorf("item seed %d: status %s (%s)", it.Seed, it.Status, it.Err)
+		}
+		if owner == entry.addr && it.Via != "" {
+			t.Errorf("locally owned item seed %d has Via %q", it.Seed, it.Via)
+		}
+		if owner != entry.addr && it.Via != owner {
+			t.Errorf("item seed %d: via %q, want %q", it.Seed, it.Via, owner)
+		}
+	}
+	// Each replica computed exactly its own item.
+	for i, rep := range reps {
+		if got := rep.counts.legalizes.Load(); got != 1 {
+			t.Errorf("replica %d legalized %d items, want 1", i, got)
+		}
+	}
+}
+
+// TestClusterJobFanoutFallback: a remote group whose owner is down
+// computes locally; the job still completes with every item done.
+func TestClusterJobFanoutFallback(t *testing.T) {
+	reps := testReplicas(t, 2, "")
+	entry, owner := reps[0], reps[1]
+	req := reqOwnedBy(t, entry.cl, owner.addr)
+	owner.srv.Close()
+
+	view, err := entry.eng.Jobs().Submit([]LayoutRequest{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJobDone(t, func() (JobView, bool) { return entry.eng.Jobs().Get(view.ID) })
+	if final.Done != 1 || final.Failed != 0 {
+		t.Fatalf("final = %+v (items: %+v)", final, final.Items)
+	}
+	if final.Items[0].Via != "" {
+		t.Errorf("fallback item credited to %q, want local", final.Items[0].Via)
+	}
+	if got := entry.counts.legalizes.Load(); got != 1 {
+		t.Errorf("fallback computed %d times, want 1", got)
+	}
+	if s := entry.cl.Stats(); s.FallbackLocal != 1 {
+		t.Errorf("fallback_local = %d, want 1", s.FallbackLocal)
+	}
+}
+
+// TestClusterRouteEndpoint: /clusterz and /clusterz/route are mounted
+// in cluster mode and agree with the ring.
+func TestClusterRouteEndpoint(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	owner := reps[1]
+	req := reqOwnedBy(t, reps[0].cl, owner.addr)
+
+	var route struct {
+		Key    string   `json:"key"`
+		Owners []string `json:"owners"`
+		Route  string   `json:"route"`
+		Self   bool     `json:"self"`
+	}
+	resp := getJSON(t, strings.Replace(layoutURL(reps[0].srv.URL, req), "/v1/layout", "/clusterz/route", 1), &route)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if route.Key != layoutKey(req) || route.Route != owner.addr || route.Self {
+		t.Errorf("route = %+v, want owner %s", route, owner.addr)
+	}
+	if len(route.Owners) != 2 {
+		t.Errorf("owners = %v, want replication-factor 2", route.Owners)
+	}
+
+	var view cluster.Stats
+	resp = getJSON(t, reps[0].srv.URL+"/clusterz", &view)
+	if resp.StatusCode != http.StatusOK || view.Self != reps[0].addr || len(view.PeerUp) != 2 {
+		t.Errorf("clusterz: status %d view self=%s peers=%v", resp.StatusCode, view.Self, view.PeerUp)
+	}
+}
+
+// TestClusterByteIdentical: the same request answered by the owner, a
+// forwarding replica, and a single-process engine yields byte-identical
+// layouts — sharding must never change results.
+func TestClusterByteIdentical(t *testing.T) {
+	reps := testReplicas(t, 2, "")
+	owner, other := reps[1], reps[0]
+	req := reqOwnedBy(t, other.cl, owner.addr)
+
+	single, _ := jobStubEngine(Options{Workers: 2})
+	defer single.Close()
+	srvSingle := httptest.NewServer(NewHandler(single))
+	defer srvSingle.Close()
+
+	norm := func(url string) string {
+		var body map[string]any
+		resp := getJSON(t, url, &body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		delete(body, "cache_hit")
+		delete(body, "shared")
+		out, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	forwarded := norm(layoutURL(other.srv.URL, req))
+	direct := norm(layoutURL(owner.srv.URL, req))
+	solo := norm(layoutURL(srvSingle.URL, req))
+	if forwarded != direct {
+		t.Error("forwarded response differs from owner's direct response")
+	}
+	if forwarded != solo {
+		t.Error("cluster response differs from single-process response")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kernstats"
 	"repro/internal/metrics"
@@ -68,13 +69,26 @@ type Options struct {
 	// closes it in Close. Singleflight dedup stays engine-side — the
 	// store only remembers results, it never computes.
 	Store store.Store
+	// Cluster, when non-nil, shards the request keyspace across
+	// replicas: the HTTP layer forwards requests this replica does not
+	// own to the ring owner (store-aware — shared-store hits never cross
+	// the network), and job batches partition their items by owner. nil
+	// means single-process serving. The engine owns the cluster and
+	// closes it in Close.
+	Cluster *cluster.Cluster
+	// JobsDir, when non-empty, persists one manifest per job under it
+	// (atomic writes) so a restarted replica reports — and on
+	// Jobs().Resume() re-runs — unfinished batches instead of returning
+	// 404. qgdp-serve points it at <cache-dir>/jobs.
+	JobsDir string
 }
 
 // Engine is a concurrent layout/fidelity computation service over the
 // core pipeline. All methods are safe for concurrent use.
 type Engine struct {
-	sem    chan struct{}
-	budget *parallel.Budget
+	sem     chan struct{}
+	budget  *parallel.Budget
+	cluster *cluster.Cluster
 
 	// layStore holds finished layouts (possibly persistently); the GP
 	// and fidelity caches are engine-local LRUs — GP solutions are an
@@ -112,6 +126,7 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		sem:      make(chan struct{}, opts.Workers),
 		budget:   budget,
+		cluster:  opts.Cluster,
 		layStore: opts.Store,
 		gpCache:  store.NewLRU(opts.CacheSize, nil),
 		fidCache: store.NewLRU(opts.CacheSize, nil),
@@ -125,19 +140,26 @@ func New(opts Options) *Engine {
 			return core.AverageFidelity(n, bench, cfg)
 		},
 	}
-	e.jobs = newJobs(e)
+	e.jobs = newJobs(e, opts.JobsDir)
 	return e
 }
 
-// Close stops accepting new jobs and closes the layout store. In-flight
-// job items are cancelled; already-spilled layouts stay durable.
+// Close stops accepting new jobs, stops cluster heartbeats, and closes
+// the layout store. In-flight job items are cancelled; already-spilled
+// layouts stay durable.
 func (e *Engine) Close() error {
 	e.jobs.close()
+	if e.cluster != nil {
+		e.cluster.Close()
+	}
 	return e.layStore.Close()
 }
 
 // Jobs returns the engine's async batch-job subsystem.
 func (e *Engine) Jobs() *Jobs { return e.jobs }
+
+// Cluster returns the sharding layer, nil in single-process mode.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 
 // stats holds the engine counters behind /statsz.
 type stats struct {
@@ -188,6 +210,11 @@ type StatsSnapshot struct {
 	// Jobs snapshots the async batch-job subsystem, including the
 	// current queue depth.
 	Jobs JobsStats `json:"jobs"`
+	// Cluster, present only in cluster mode, reports this replica's
+	// routing outcomes (owned/forwarded/fallback_local/short_circuit)
+	// and per-peer liveness (peer_up) so load imbalance across the ring
+	// is observable next to the budget stats.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -211,6 +238,10 @@ func (e *Engine) Stats() StatsSnapshot {
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.MeanLatencyMs = float64(e.stats.latencyNs.Load()) / float64(n) / 1e6
+	}
+	if e.cluster != nil {
+		cs := e.cluster.Stats()
+		s.Cluster = &cs
 	}
 	return s
 }

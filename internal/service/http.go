@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/layoutio"
 	"repro/internal/metrics"
@@ -27,10 +28,26 @@ import (
 //	GET  /v1/jobs/{id}                                        job status + per-item partial results
 //	GET  /healthz                                             liveness
 //	GET  /statsz                                              engine counters
+//	GET  /clusterz                                            cluster mode: membership + health (heartbeat target)
+//	GET  /clusterz/route?topology=...                         cluster mode: ring verdict for one request
+//
+// In cluster mode (Options.Cluster set), /v1/layout, /v1/fidelity, and
+// job items are ring-routed: a replica that does not own the request
+// key proxies it to the owner (one hop, X-QGDP-Forwarded guarded)
+// unless the result is already in the local/shared store, and computes
+// locally when the owner is unreachable.
 func NewHandler(e *Engine) http.Handler {
+	layout := func(w http.ResponseWriter, r *http.Request) { handleLayout(e, w, r) }
+	fidelity := func(w http.ResponseWriter, r *http.Request) { handleFidelity(e, w, r) }
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/layout", func(w http.ResponseWriter, r *http.Request) { handleLayout(e, w, r) })
-	mux.HandleFunc("GET /v1/fidelity", func(w http.ResponseWriter, r *http.Request) { handleFidelity(e, w, r) })
+	if e.cluster != nil {
+		layout = routedLayoutHandler(e, layout)
+		fidelity = routedFidelityHandler(e, fidelity)
+		mux.Handle("GET /clusterz", e.cluster.Handler())
+		mux.HandleFunc("GET /clusterz/route", func(w http.ResponseWriter, r *http.Request) { handleClusterRoute(e, w, r) })
+	}
+	mux.HandleFunc("GET /v1/layout", layout)
+	mux.HandleFunc("GET /v1/fidelity", fidelity)
 	mux.HandleFunc("GET /v1/strategies", handleStrategies)
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleJobSubmit(e, w, r) })
@@ -321,18 +338,22 @@ func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
 
 // jobSpecItem is one layout request in a POST /v1/jobs body. Optional
 // knobs default like the query-parameter API: strategy qGDP-LG, config
-// core.DefaultConfig().
+// core.DefaultConfig(). Config, when present, replaces the default
+// config wholesale before the scalar overrides apply — that is how
+// cluster sub-jobs ship exact request identities between replicas.
 type jobSpecItem struct {
-	Topology string   `json:"topology"`
-	Strategy string   `json:"strategy,omitempty"`
-	Seed     *int64   `json:"seed,omitempty"`
-	Mappings *int     `json:"mappings,omitempty"`
-	Padding  *float64 `json:"padding,omitempty"`
+	Topology string       `json:"topology"`
+	Strategy string       `json:"strategy,omitempty"`
+	Config   *core.Config `json:"config,omitempty"`
+	Seed     *int64       `json:"seed,omitempty"`
+	Mappings *int         `json:"mappings,omitempty"`
+	Padding  *float64     `json:"padding,omitempty"`
 }
 
 // handleJobSubmit accepts {"requests": [{...}, ...]}, validates every
 // item up front (a job either starts whole or not at all), and returns
-// 202 with the job snapshot.
+// 202 with the job snapshot. A forwarded submission (cluster sub-job)
+// runs wholly on this replica — one hop, like the synchronous API.
 func handleJobSubmit(e *Engine, w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Requests []jobSpecItem `json:"requests"`
@@ -349,13 +370,28 @@ func handleJobSubmit(e *Engine, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cfg := core.DefaultConfig()
+		if it.Config != nil {
+			cfg = *it.Config
+			// The full-config path must satisfy the same invariants the
+			// scalar knobs enforce — feed its own values back through
+			// the shared validator.
+			m, p := cfg.Mappings, cfg.GP.Padding
+			if err := applyConfigOverrides(&cfg, nil, &m, &p); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+		}
 		if err := applyConfigOverrides(&cfg, it.Seed, it.Mappings, it.Padding); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
 			return
 		}
 		reqs = append(reqs, LayoutRequest{Topology: it.Topology, Strategy: strategy, Config: cfg})
 	}
-	view, err := e.Jobs().Submit(reqs)
+	submit := e.Jobs().Submit
+	if r.Header.Get(cluster.ForwardHeader) != "" {
+		submit = e.Jobs().SubmitLocal
+	}
+	view, err := submit(reqs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -1,13 +1,22 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kernstats"
 )
@@ -20,10 +29,21 @@ import (
 // survive restarts — so jobs double as cache warmers: submit tonight's
 // sweep as a job and tomorrow's synchronous traffic hits.
 //
-// Jobs are in-memory bookkeeping only; a restart forgets job IDs (but
-// not the layouts a finished job already stored).
+// In cluster mode, Submit partitions the batch by ring owner: items
+// this replica owns run locally, each remote group is forwarded as one
+// hop-guarded sub-job to its owning replica and polled to completion,
+// and the per-item results merge back into the parent job (with Via
+// recording which replica computed what). A group whose owner is
+// unreachable falls back to local compute.
+//
+// With a jobs directory configured (qgdp-serve: <cache-dir>/jobs), every
+// job also persists a manifest — written atomically on submission and
+// on each item completion — so a restarted replica still answers polls
+// for old job IDs and, after Resume, re-runs the unfinished remainder
+// (cheaply: finished items' layouts are already in the store).
 type Jobs struct {
-	e *Engine
+	e   *Engine
+	dir string // manifest directory; "" disables persistence
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -35,6 +55,7 @@ type Jobs struct {
 	wg     sync.WaitGroup
 
 	submitted, completed, itemsDone, itemsFailed int64
+	resumed                                      int64
 	queueDepth                                   int64
 }
 
@@ -45,6 +66,9 @@ const maxRetainedJobs = 256
 
 // maxJobBatch bounds the items accepted in one submission.
 const maxJobBatch = 1024
+
+// manifestVersion guards the persisted job manifest schema.
+const manifestVersion = 1
 
 // JobItemStatus is the lifecycle of one request inside a job.
 type JobItemStatus string
@@ -59,7 +83,8 @@ const (
 // JobItem is the pollable view of one layout request in a job. Finished
 // items carry the layout's timing summary; the layout itself is
 // retrieved through the synchronous API (GET /v1/layout with the same
-// parameters), which hits the store the job filled.
+// parameters), which hits the store the job filled. Via names the
+// replica a cluster-forwarded item was computed by (empty: this one).
 type JobItem struct {
 	Topology    string        `json:"topology"`
 	Strategy    core.Strategy `json:"strategy"`
@@ -69,6 +94,7 @@ type JobItem struct {
 	CacheHit    bool          `json:"cache_hit"`
 	QubitMs     float64       `json:"tq_ms"`
 	ResonatorMs float64       `json:"te_ms"`
+	Via         string        `json:"via,omitempty"`
 }
 
 // JobStatus is the lifecycle of a job: running until every item
@@ -99,15 +125,20 @@ type JobsStats struct {
 	// counts items that finished with an error.
 	ItemsDone   int64 `json:"items_done"`
 	ItemsFailed int64 `json:"items_failed"`
-	// QueueDepth is the number of items currently waiting for or
-	// holding a worker slot.
+	// QueueDepth is the number of items currently in flight: waiting
+	// for or holding a local worker slot, or running on the owning
+	// replica of a forwarded group.
 	QueueDepth int64 `json:"queue_depth"`
+	// Resumed counts items re-scheduled from persisted manifests after
+	// a restart.
+	Resumed int64 `json:"resumed"`
 	// Retained is the number of jobs currently pollable.
 	Retained int64 `json:"retained"`
 }
 
 // job is the internal mutable state; every field after construction is
-// guarded by Jobs.mu.
+// guarded by Jobs.mu, except the persistence fields noted below. reqs
+// is immutable after construction (manifest writers read it unlocked).
 type job struct {
 	id      string
 	created time.Time
@@ -115,11 +146,38 @@ type job struct {
 	items   []JobItem
 	done    int
 	failed  int
+	// scheduled marks jobs whose unfinished items have runners (set by
+	// submit and Resume), so a double Resume never double-schedules.
+	scheduled bool
+
+	// gen counts manifest-relevant mutations (guarded by Jobs.mu);
+	// genWritten is the newest generation on disk (guarded by
+	// persistMu). Concurrent item completions race to write the
+	// manifest — the generation check stops a stale snapshot from
+	// overwriting a newer one as the final on-disk state.
+	gen        int64
+	persistMu  sync.Mutex
+	genWritten int64
 }
 
-func newJobs(e *Engine) *Jobs {
+// jobManifest is the persisted form of a job. LayoutRequest serializes
+// its identity (topology, strategy, config); a custom in-process Device
+// is not persistable and resumes by topology name.
+type jobManifest struct {
+	Version  int             `json:"version"`
+	ID       string          `json:"id"`
+	Created  time.Time       `json:"created"`
+	Requests []LayoutRequest `json:"requests"`
+	Items    []JobItem       `json:"items"`
+}
+
+func newJobs(e *Engine, dir string) *Jobs {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Jobs{e: e, jobs: map[string]*job{}, ctx: ctx, cancel: cancel}
+	js := &Jobs{e: e, dir: dir, jobs: map[string]*job{}, ctx: ctx, cancel: cancel}
+	if dir != "" {
+		js.loadManifests()
+	}
+	return js
 }
 
 // close stops accepting submissions and cancels in-flight items.
@@ -143,8 +201,20 @@ func newJobID() string {
 // Submit registers a batch of layout requests and starts computing them
 // in the background. It returns immediately with the job's ID; poll Get
 // for status and partial results. Items run detached from the
-// submitter's context — a client may disconnect and poll later.
+// submitter's context — a client may disconnect and poll later. In
+// cluster mode the batch is partitioned by ring owner (see Jobs).
 func (js *Jobs) Submit(reqs []LayoutRequest) (JobView, error) {
+	return js.submit(reqs, false)
+}
+
+// SubmitLocal is Submit without cluster partitioning: every item runs
+// on this replica. It is the hop guard for forwarded sub-jobs — the
+// owner of a group must never forward it onward.
+func (js *Jobs) SubmitLocal(reqs []LayoutRequest) (JobView, error) {
+	return js.submit(reqs, true)
+}
+
+func (js *Jobs) submit(reqs []LayoutRequest, localOnly bool) (JobView, error) {
 	if len(reqs) == 0 {
 		return JobView{}, fmt.Errorf("empty job: no requests")
 	}
@@ -152,7 +222,7 @@ func (js *Jobs) Submit(reqs []LayoutRequest) (JobView, error) {
 		return JobView{}, fmt.Errorf("job too large: %d requests (max %d)", len(reqs), maxJobBatch)
 	}
 
-	j := &job{id: newJobID(), created: time.Now(), reqs: reqs, items: make([]JobItem, len(reqs))}
+	j := &job{id: newJobID(), created: time.Now(), reqs: reqs, items: make([]JobItem, len(reqs)), scheduled: true}
 	for i, r := range reqs {
 		j.items[i] = JobItem{
 			Topology: r.Topology, Strategy: r.Strategy, Seed: r.Config.GP.Seed,
@@ -160,12 +230,23 @@ func (js *Jobs) Submit(reqs []LayoutRequest) (JobView, error) {
 		}
 	}
 
-	// Runner fan-out is bounded by the engine's worker pool: each item
-	// acquires a pool slot inside Engine.Layout, so extra runners only
-	// queue. Cap the goroutines anyway to the pool size.
-	runners := cap(js.e.sem)
-	if runners > len(reqs) {
-		runners = len(reqs)
+	// Partition by ring owner: local items run through this replica's
+	// worker pool, each remote group forwards to its owner as one
+	// sub-job.
+	local := make([]int, 0, len(reqs))
+	remote := map[string][]int{}
+	if cl := js.e.cluster; cl != nil && !localOnly {
+		for i, r := range reqs {
+			if addr, self := cl.Route(layoutKey(r)); self {
+				local = append(local, i)
+			} else {
+				remote[addr] = append(remote[addr], i)
+			}
+		}
+	} else {
+		for i := range reqs {
+			local = append(local, i)
+		}
 	}
 
 	js.mu.Lock()
@@ -177,83 +258,322 @@ func (js *Jobs) Submit(reqs []LayoutRequest) (JobView, error) {
 	js.order = append(js.order, j.id)
 	js.submitted++
 	js.queueDepth += int64(len(reqs))
-	// Register the runners while still holding the closed-check lock:
-	// close()'s wg.Wait must not be able to return between this
-	// submission passing the check and its goroutines starting.
-	js.wg.Add(runners + 1)
-	js.evictOldLocked()
+	// Register all runner goroutines while still holding the
+	// closed-check lock: close()'s wg.Wait must not be able to return
+	// between this submission passing the check and its goroutines
+	// starting.
+	launch := js.scheduleLocked(j, local)
+	js.wg.Add(len(remote))
+	evicted := js.evictOldLocked()
+	gen, snap := js.manifestSnapshotLocked(j)
 	js.mu.Unlock()
 	kernstats.JobsSubmitted.Add(1)
 	kernstats.JobQueueDepth.Add(int64(len(reqs)))
 
-	next := make(chan int)
-	go func() {
-		defer js.wg.Done()
-		defer close(next)
-		for i := range reqs {
-			select {
-			case next <- i:
-			case <-js.ctx.Done():
-				// Drain: mark the unscheduled remainder as cancelled so
-				// the job still terminates.
-				for k := i; k < len(reqs); k++ {
-					js.finishItem(j, k, LayoutResult{}, js.ctx.Err())
-				}
-				return
-			}
-		}
-	}()
-	for r := 0; r < runners; r++ {
-		go func() {
-			defer js.wg.Done()
-			for i := range next {
-				js.runItem(j, i)
-			}
-		}()
+	js.removeManifests(evicted)
+	js.persistManifest(j, gen, snap)
+	launch()
+	for addr, idxs := range remote {
+		go js.forwardGroup(j, addr, idxs)
 	}
 	return js.snapshot(j, true), nil
 }
 
+// scheduleLocked registers pool runners for the given items of j and
+// returns the function that launches them. Caller holds js.mu (with the
+// closed check done); the launch must be called after unlock.
+func (js *Jobs) scheduleLocked(j *job, idxs []int) (launch func()) {
+	if len(idxs) == 0 {
+		return func() {}
+	}
+	// Runner fan-out is bounded by the engine's worker pool: each item
+	// acquires a pool slot inside Engine.Layout, so extra runners only
+	// queue. Cap the goroutines anyway to the pool size.
+	runners := cap(js.e.sem)
+	if runners > len(idxs) {
+		runners = len(idxs)
+	}
+	js.wg.Add(runners + 1)
+	return func() {
+		next := make(chan int)
+		go func() {
+			defer js.wg.Done()
+			defer close(next)
+			for k, i := range idxs {
+				select {
+				case next <- i:
+				case <-js.ctx.Done():
+					// Drain: mark the unscheduled remainder as cancelled
+					// so the job still terminates.
+					for _, rest := range idxs[k:] {
+						js.finishItem(j, rest, LayoutResult{}, js.ctx.Err())
+					}
+					return
+				}
+			}
+		}()
+		for r := 0; r < runners; r++ {
+			go func() {
+				defer js.wg.Done()
+				for i := range next {
+					js.runItem(j, i)
+				}
+			}()
+		}
+	}
+}
+
 func (js *Jobs) runItem(j *job, i int) {
 	js.mu.Lock()
+	if j.items[i].Status != JobItemPending {
+		// Already finished (drained on shutdown, or a double-scheduled
+		// resume racing a runner).
+		js.mu.Unlock()
+		return
+	}
 	j.items[i].Status = JobItemRunning
 	js.mu.Unlock()
 	res, err := js.e.Layout(js.ctx, j.reqs[i])
 	js.finishItem(j, i, res, err)
 }
 
-// finishItem records one item's outcome and closes out the job when it
-// was the last.
+// finishItem records one item's local outcome.
 func (js *Jobs) finishItem(j *job, i int, res LayoutResult, err error) {
+	js.finishWith(j, i, func(it *JobItem) {
+		if err != nil {
+			it.Status = JobItemError
+			it.Err = err.Error()
+			return
+		}
+		it.Status = JobItemDone
+		it.CacheHit = res.CacheHit
+		it.QubitMs = float64(res.Layout.QubitTime.Nanoseconds()) / 1e6
+		it.ResonatorMs = float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6
+	})
+}
+
+// finishRemoteItem records one item's outcome as computed by the owning
+// replica.
+func (js *Jobs) finishRemoteItem(j *job, i int, owner string, rit JobItem) {
+	js.finishWith(j, i, func(it *JobItem) {
+		it.Status = rit.Status
+		if it.Status != JobItemDone && it.Status != JobItemError {
+			// A cancelled remote job can report pending items; the
+			// parent item is nonetheless finished — as a failure.
+			it.Status = JobItemError
+			if rit.Err == "" {
+				rit.Err = fmt.Sprintf("remote item stuck in state %q", rit.Status)
+			}
+		}
+		it.Err = rit.Err
+		it.CacheHit = rit.CacheHit
+		it.QubitMs = rit.QubitMs
+		it.ResonatorMs = rit.ResonatorMs
+		it.Via = owner
+	})
+}
+
+// finishWith closes out one item under the lock (apply sets its final
+// status), persists the manifest, and completes the job when it was the
+// last item.
+func (js *Jobs) finishWith(j *job, i int, apply func(it *JobItem)) {
 	js.mu.Lock()
 	it := &j.items[i]
 	if it.Status == JobItemDone || it.Status == JobItemError {
 		js.mu.Unlock()
 		return
 	}
+	apply(it)
+	if it.Status != JobItemDone && it.Status != JobItemError {
+		panic(fmt.Sprintf("service: job item left unfinished in state %q", it.Status))
+	}
 	j.done++
 	js.queueDepth--
-	if err != nil {
-		it.Status = JobItemError
-		it.Err = err.Error()
+	if it.Status == JobItemError {
 		j.failed++
 		js.itemsFailed++
 	} else {
-		it.Status = JobItemDone
-		it.CacheHit = res.CacheHit
-		it.QubitMs = float64(res.Layout.QubitTime.Nanoseconds()) / 1e6
-		it.ResonatorMs = float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6
 		js.itemsDone++
 	}
 	finished := j.done == len(j.items)
 	if finished {
 		js.completed++
 	}
+	gen, snap := js.manifestSnapshotLocked(j)
 	js.mu.Unlock()
 	kernstats.JobQueueDepth.Add(-1)
 	if finished {
 		kernstats.JobsCompleted.Add(1)
 	}
+	js.persistManifest(j, gen, snap)
+}
+
+// forwardGroup runs one remote partition: submit the group to its
+// owning replica as a hop-guarded sub-job, poll to completion, merge
+// the per-item results. Any transport failure falls the whole group
+// back to local compute — availability beats sharding discipline.
+func (js *Jobs) forwardGroup(j *job, owner string, idxs []int) {
+	defer js.wg.Done()
+	cl := js.e.cluster
+	items, err := js.runRemoteGroup(owner, j, idxs)
+	if err != nil {
+		cl.CountForwardError()
+		cl.MarkFailure(owner, err)
+		// Hand the group back to the local path with the usual runner
+		// fan-out (a big orphaned group must not drain serially). The
+		// remote attempt marked the items running-via-owner, which
+		// runItem skips — reset them first. Registering runners here is
+		// safe even mid-shutdown: this goroutine holds a wg slot, so
+		// close()'s wg.Wait cannot have returned.
+		js.mu.Lock()
+		for _, i := range idxs {
+			if j.items[i].Status == JobItemRunning {
+				j.items[i].Status = JobItemPending
+				j.items[i].Via = ""
+			}
+		}
+		launch := js.scheduleLocked(j, idxs)
+		js.mu.Unlock()
+		for range idxs {
+			cl.CountFallback()
+		}
+		launch()
+		return
+	}
+	cl.MarkAlive(owner)
+	for k, i := range idxs {
+		cl.CountForwarded()
+		js.finishRemoteItem(j, i, owner, items[k])
+	}
+}
+
+// runRemoteGroup submits idxs of j to owner as a sub-job and polls it
+// to completion, returning the remote items in idxs order.
+func (js *Jobs) runRemoteGroup(owner string, j *job, idxs []int) ([]JobItem, error) {
+	type specItem struct {
+		Topology string       `json:"topology"`
+		Strategy string       `json:"strategy"`
+		Config   *core.Config `json:"config"`
+	}
+	var body struct {
+		Requests []specItem `json:"requests"`
+	}
+	for _, i := range idxs {
+		r := j.reqs[i]
+		cfg := r.Config
+		body.Requests = append(body.Requests, specItem{r.Topology, string(r.Strategy), &cfg})
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+
+	js.mu.Lock()
+	for _, i := range idxs {
+		if j.items[i].Status == JobItemPending {
+			j.items[i].Status = JobItemRunning
+			j.items[i].Via = owner
+		}
+	}
+	js.mu.Unlock()
+
+	view, err := js.remoteJobCall(http.MethodPost, owner, "/v1/jobs", payload)
+	if err != nil {
+		return nil, err
+	}
+	if view.Total != len(idxs) {
+		return nil, fmt.Errorf("sub-job registered %d items, sent %d", view.Total, len(idxs))
+	}
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for view.Status != JobDone {
+		select {
+		case <-js.ctx.Done():
+			return nil, js.ctx.Err()
+		case <-ticker.C:
+		}
+		view, err = js.remoteJobCall(http.MethodGet, owner, "/v1/jobs/"+view.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return view.Items, nil
+}
+
+// remoteJobCall performs one jobs-API request against a peer replica,
+// hop-guarded so the peer serves it locally.
+func (js *Jobs) remoteJobCall(method, owner, path string, payload []byte) (JobView, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(js.ctx, method, "http://"+owner+path, body)
+	if err != nil {
+		return JobView{}, err
+	}
+	req.Header.Set(cluster.ForwardHeader, js.e.cluster.Self())
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := js.e.cluster.Client().Do(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return JobView{}, fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return JobView{}, err
+	}
+	return view, nil
+}
+
+// Resume schedules the unfinished items of every job loaded from
+// persisted manifests, so a restarted replica picks its batches back up
+// (finished items' layouts are already in the store, so re-running a
+// partially complete job is cheap). Returns the number of items
+// re-scheduled. Safe to call when there is nothing to resume; repeat
+// calls are no-ops.
+func (js *Jobs) Resume() int {
+	js.mu.Lock()
+	if js.closed {
+		js.mu.Unlock()
+		return 0
+	}
+	var launches []func()
+	total := 0
+	for _, id := range js.order {
+		j := js.jobs[id]
+		if j.scheduled {
+			continue
+		}
+		j.scheduled = true
+		var pending []int
+		for i := range j.items {
+			if j.items[i].Status == JobItemPending {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		total += len(pending)
+		js.queueDepth += int64(len(pending))
+		js.resumed += int64(len(pending))
+		launches = append(launches, js.scheduleLocked(j, pending))
+	}
+	js.mu.Unlock()
+	if total > 0 {
+		kernstats.JobQueueDepth.Add(int64(total))
+		kernstats.JobsResumed.Add(int64(total))
+	}
+	for _, launch := range launches {
+		launch()
+	}
+	return total
 }
 
 // snapshot copies a job under the lock (unless already held).
@@ -310,15 +630,17 @@ func (js *Jobs) Stats() JobsStats {
 		ItemsDone:   js.itemsDone,
 		ItemsFailed: js.itemsFailed,
 		QueueDepth:  js.queueDepth,
+		Resumed:     js.resumed,
 		Retained:    int64(len(js.jobs)),
 	}
 }
 
 // evictOldLocked drops the oldest finished jobs beyond the retention
-// bound. Caller holds js.mu.
-func (js *Jobs) evictOldLocked() {
+// bound, returning their IDs so the caller can remove their manifests
+// after unlock. Caller holds js.mu.
+func (js *Jobs) evictOldLocked() (removed []string) {
 	if len(js.jobs) <= maxRetainedJobs {
-		return
+		return nil
 	}
 	kept := js.order[:0]
 	excess := len(js.jobs) - maxRetainedJobs
@@ -326,10 +648,165 @@ func (js *Jobs) evictOldLocked() {
 		j := js.jobs[id]
 		if excess > 0 && j.done == len(j.items) {
 			delete(js.jobs, id)
+			removed = append(removed, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	js.order = kept
+	return removed
+}
+
+// Manifest persistence. Durability is best-effort: a failed write
+// counts jobs.persist_errors and the job runs on regardless.
+
+const manifestTmpPrefix = ".tmp-"
+
+func manifestName(id string) string { return id + ".json" }
+
+// manifestSnapshotLocked advances j's persistence generation and copies
+// the mutable item states. Caller holds js.mu; the expensive marshal
+// and the file write happen outside it in persistManifest.
+func (js *Jobs) manifestSnapshotLocked(j *job) (int64, []JobItem) {
+	if js.dir == "" {
+		return 0, nil
+	}
+	j.gen++
+	return j.gen, append([]JobItem(nil), j.items...)
+}
+
+// persistManifest marshals and atomically writes one manifest snapshot,
+// unless a newer generation already reached disk. Running items persist
+// as pending — after a restart there is no runner behind them.
+func (js *Jobs) persistManifest(j *job, gen int64, items []JobItem) {
+	if js.dir == "" || items == nil {
+		return
+	}
+	for i := range items {
+		if items[i].Status == JobItemRunning {
+			items[i].Status = JobItemPending
+		}
+	}
+	data, err := json.Marshal(jobManifest{
+		Version:  manifestVersion,
+		ID:       j.id,
+		Created:  j.created,
+		Requests: j.reqs,
+		Items:    items,
+	})
+	if err != nil {
+		kernstats.JobsPersistErrors.Add(1)
+		return
+	}
+	j.persistMu.Lock()
+	defer j.persistMu.Unlock()
+	if gen <= j.genWritten {
+		return
+	}
+	js.writeManifest(j.id, data)
+	j.genWritten = gen
+}
+
+// writeManifest atomically persists one manifest (tmp + rename, like
+// the disk store's spills).
+func (js *Jobs) writeManifest(id string, data []byte) {
+	if js.dir == "" || data == nil {
+		return
+	}
+	tmp, err := os.CreateTemp(js.dir, manifestTmpPrefix+"*")
+	if err != nil {
+		kernstats.JobsPersistErrors.Add(1)
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		kernstats.JobsPersistErrors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		kernstats.JobsPersistErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(js.dir, manifestName(id))); err != nil {
+		os.Remove(tmp.Name())
+		kernstats.JobsPersistErrors.Add(1)
+	}
+}
+
+func (js *Jobs) removeManifests(ids []string) {
+	if js.dir == "" {
+		return
+	}
+	for _, id := range ids {
+		os.Remove(filepath.Join(js.dir, manifestName(id)))
+	}
+}
+
+// loadManifests rebuilds the job table from the manifest directory so a
+// restarted replica answers polls for pre-restart job IDs. Nothing is
+// scheduled here — Resume does that — so callers that only want the
+// status reports get them without compute. Corrupt manifests are
+// deleted and skipped, like corrupt store entries.
+func (js *Jobs) loadManifests() {
+	if err := os.MkdirAll(js.dir, 0o755); err != nil {
+		kernstats.JobsPersistErrors.Add(1)
+		return
+	}
+	entries, err := os.ReadDir(js.dir)
+	if err != nil {
+		kernstats.JobsPersistErrors.Add(1)
+		return
+	}
+	type loaded struct {
+		j       *job
+		created time.Time
+	}
+	var found []loaded
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, manifestTmpPrefix) {
+			os.Remove(filepath.Join(js.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(js.dir, name))
+		if err != nil {
+			continue
+		}
+		var m jobManifest
+		if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion ||
+			m.ID == "" || len(m.Items) != len(m.Requests) || len(m.Items) == 0 {
+			os.Remove(filepath.Join(js.dir, name))
+			kernstats.JobsPersistErrors.Add(1)
+			continue
+		}
+		j := &job{id: m.ID, created: m.Created, reqs: m.Requests, items: m.Items}
+		for i := range j.items {
+			switch j.items[i].Status {
+			case JobItemDone:
+				j.done++
+			case JobItemError:
+				j.done++
+				j.failed++
+			default:
+				// Anything unfinished (including the running state a
+				// crash may have persisted) resumes as pending.
+				j.items[i].Status = JobItemPending
+			}
+		}
+		found = append(found, loaded{j, m.Created})
+	}
+	sort.Slice(found, func(i, k int) bool { return found[i].created.Before(found[k].created) })
+	for _, l := range found {
+		js.jobs[l.j.id] = l.j
+		js.order = append(js.order, l.j.id)
+	}
 }

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestJobManifestSurvivesRestart: a finished job's manifest makes its
+// ID pollable on a fresh engine pointed at the same jobs directory —
+// no more 404 after restart.
+func TestJobManifestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1, _ := jobStubEngine(Options{Workers: 2, JobsDir: dir})
+
+	cfg := core.DefaultConfig()
+	cfg.GP.Seed = 11
+	view, err := e1.Jobs().Submit([]LayoutRequest{
+		layoutReq("Grid", core.QGDPLG),
+		{Topology: "Falcon", Strategy: core.QGDPLG, Config: cfg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJobDone(t, func() (JobView, bool) { return e1.Jobs().Get(view.ID) })
+	if final.Done != 2 || final.Failed != 0 {
+		t.Fatalf("final = %+v", final)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, c2 := jobStubEngine(Options{Workers: 2, JobsDir: dir})
+	defer e2.Close()
+	got, ok := e2.Jobs().Get(view.ID)
+	if !ok {
+		t.Fatal("restarted engine forgot the job")
+	}
+	if got.Status != JobDone || got.Done != 2 || len(got.Items) != 2 {
+		t.Fatalf("restarted view = %+v", got)
+	}
+	for i, it := range got.Items {
+		if it.Status != JobItemDone || it.QubitMs <= 0 {
+			t.Errorf("item %d lost results: %+v", i, it)
+		}
+	}
+	// A finished job resumes nothing.
+	if n := e2.Jobs().Resume(); n != 0 {
+		t.Errorf("Resume rescheduled %d items of a finished job", n)
+	}
+	if got := c2.legalizes.Load(); got != 0 {
+		t.Errorf("restart recomputed %d finished items", got)
+	}
+}
+
+// TestJobResumeUnfinished: an interrupted job (manifest with pending
+// items — what a crash mid-batch leaves) is reported immediately after
+// restart and completes after Resume.
+func TestJobResumeUnfinished(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg := core.DefaultConfig()
+	cfg.GP.Seed = 5
+	manifest := jobManifest{
+		Version: manifestVersion,
+		ID:      "jdeadbeef00000001",
+		Created: time.Now().Add(-time.Minute),
+		Requests: []LayoutRequest{
+			{Topology: "Grid", Strategy: core.QGDPLG, Config: core.DefaultConfig()},
+			{Topology: "Falcon", Strategy: core.QGDPLG, Config: cfg},
+		},
+		Items: []JobItem{
+			{Topology: "Grid", Strategy: core.QGDPLG, Status: JobItemDone, QubitMs: 1, ResonatorMs: 2},
+			// A crash persists in-flight items as pending (manifests
+			// normalize running), but tolerate a raw "running" too.
+			{Topology: "Falcon", Strategy: core.QGDPLG, Seed: 5, Status: JobItemRunning},
+		},
+	}
+	data, err := json.Marshal(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName(manifest.ID)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt manifest and a stray temp file must be swept, not fatal.
+	os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{nope"), 0o644)
+	os.WriteFile(filepath.Join(dir, manifestTmpPrefix+"crashed"), []byte("partial"), 0o644)
+
+	e, c := jobStubEngine(Options{Workers: 2, JobsDir: dir})
+	defer e.Close()
+
+	// Reported before any resume: still running, one item pending.
+	got, ok := e.Jobs().Get(manifest.ID)
+	if !ok {
+		t.Fatal("unfinished job not reported after restart")
+	}
+	if got.Status != JobRunning || got.Done != 1 {
+		t.Fatalf("pre-resume view = %+v", got)
+	}
+	if got.Items[1].Status != JobItemPending {
+		t.Fatalf("interrupted item state = %s, want pending", got.Items[1].Status)
+	}
+
+	if n := e.Jobs().Resume(); n != 1 {
+		t.Fatalf("Resume rescheduled %d items, want 1", n)
+	}
+	final := waitJobDone(t, func() (JobView, bool) { return e.Jobs().Get(manifest.ID) })
+	if final.Done != 2 || final.Failed != 0 {
+		t.Fatalf("final = %+v (items %+v)", final, final.Items)
+	}
+	// Only the interrupted item recomputed; the finished one kept its
+	// persisted result.
+	if got := c.legalizes.Load(); got != 1 {
+		t.Errorf("resume recomputed %d items, want 1", got)
+	}
+	if final.Items[0].QubitMs != 1 {
+		t.Errorf("finished item's persisted timing lost: %+v", final.Items[0])
+	}
+	if s := e.Jobs().Stats(); s.Resumed != 1 {
+		t.Errorf("stats resumed = %d, want 1", s.Resumed)
+	}
+
+	// Double Resume never double-schedules.
+	if n := e.Jobs().Resume(); n != 0 {
+		t.Errorf("second Resume rescheduled %d items", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "broken.json")); !os.IsNotExist(err) {
+		t.Error("corrupt manifest not swept")
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestTmpPrefix+"crashed")); !os.IsNotExist(err) {
+		t.Error("stray temp manifest not swept")
+	}
+}
+
+// TestJobManifestUpdatesPerItem: the on-disk manifest tracks item
+// completion as it happens, so a crash at any point loses at most the
+// in-flight items.
+func TestJobManifestUpdatesPerItem(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := jobStubEngine(Options{Workers: 1, JobsDir: dir})
+	defer e.Close()
+
+	view, err := e.Jobs().Submit([]LayoutRequest{layoutReq("Grid", core.QGDPLG)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, func() (JobView, bool) { return e.Jobs().Get(view.ID) })
+
+	data, err := os.ReadFile(filepath.Join(dir, manifestName(view.ID)))
+	if err != nil {
+		t.Fatalf("no manifest on disk: %v", err)
+	}
+	var m jobManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != manifestVersion || len(m.Items) != 1 || m.Items[0].Status != JobItemDone {
+		t.Errorf("manifest = %+v", m)
+	}
+	if m.Requests[0].Topology != "Grid" {
+		t.Errorf("manifest requests = %+v", m.Requests)
+	}
+}
+
+// TestJobSpecFullConfigValidated: the full-config job spec path (used
+// by cluster sub-jobs but open to any client) enforces the same
+// invariants as the scalar knobs.
+func TestJobSpecFullConfigValidated(t *testing.T) {
+	e, _ := jobStubEngine(Options{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	bad := `{"requests":[{"topology":"Grid","config":{"Mappings":-1}}]}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative-mappings config accepted: status %d", resp.StatusCode)
+	}
+
+	cfg := core.DefaultConfig()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `{"requests":[{"topology":"Grid","config":` + string(data) + `}]}`
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("valid full config rejected: status %d", resp.StatusCode)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +41,13 @@ type DiskOptions struct {
 // directory), so a crash mid-spill never leaves a partial entry under a
 // live name; whatever else goes wrong, a corrupt or stale-schema file is
 // counted, deleted, and served as a miss.
+//
+// Several processes may share one directory (cluster replicas over one
+// cache dir): content-addressing makes concurrent writes of a key
+// byte-identical, and every delete/read tolerates the file having
+// already been removed by another process's GC — such lost races are
+// counted in Stats.GCRaces, and the local size bookkeeping is corrected
+// when a tracked entry turns out to have vanished.
 type Disk struct {
 	dir string
 	max int64
@@ -54,6 +63,7 @@ type Disk struct {
 	hits, misses, puts     atomic.Int64
 	spills, gcEvictions    atomic.Int64
 	corrupt, writeFailures atomic.Int64
+	gcRaces                atomic.Int64
 }
 
 // diskEntry is the on-disk envelope: the layout netlist as layoutio
@@ -131,7 +141,12 @@ func (d *Disk) get(key string) (*core.Layout, bool) {
 	name := fileName(key)
 	data, err := os.ReadFile(filepath.Join(d.dir, name))
 	if err != nil {
-		// Missing (or GC'd between lookup and read) is a plain miss.
+		// Missing (or GC'd between lookup and read) is a plain miss; an
+		// entry we still track was deleted by another process sharing
+		// the directory — drop the stale bookkeeping and count the race.
+		if errors.Is(err, fs.ErrNotExist) {
+			d.noteVanished(name)
+		}
 		return nil, false
 	}
 	lay, err := decodeEntry(data, key)
@@ -249,11 +264,40 @@ func (d *Disk) remove(name string) {
 		delete(d.files, name)
 	}
 	d.mu.Unlock()
-	os.Remove(filepath.Join(d.dir, name))
+	d.removeFile(name)
+}
+
+// noteVanished corrects the bookkeeping for an entry another process
+// deleted out from under us (shared-directory GC race).
+func (d *Disk) noteVanished(name string) {
+	d.mu.Lock()
+	size, tracked := d.files[name]
+	if tracked {
+		d.size -= size
+		delete(d.files, name)
+	}
+	d.mu.Unlock()
+	if tracked {
+		d.gcRaces.Add(1)
+		kernstats.StoreGCRaces.Add(1)
+	}
+}
+
+// removeFile deletes the entry's file, tolerating (and counting) the
+// ENOENT race where another process sharing the directory already
+// removed it.
+func (d *Disk) removeFile(name string) {
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil && errors.Is(err, fs.ErrNotExist) {
+		d.gcRaces.Add(1)
+		kernstats.StoreGCRaces.Add(1)
+	}
 }
 
 // gc enforces the size bound, deleting oldest-written entries first
-// (O(1) per eviction off the order queue).
+// (O(1) per eviction off the order queue). Entries already deleted by a
+// concurrent writer sharing the directory still count as evictions
+// here — the local bookkeeping shrinks either way — but the lost delete
+// itself is tallied as a race, not an error.
 func (d *Disk) gc() {
 	if d.max <= 0 {
 		return
@@ -269,7 +313,7 @@ func (d *Disk) gc() {
 		}
 		d.size -= size
 		delete(d.files, name)
-		os.Remove(filepath.Join(d.dir, name))
+		d.removeFile(name)
 		d.gcEvictions.Add(1)
 		kernstats.StoreGCEvict.Add(1)
 	}
@@ -312,6 +356,7 @@ func (d *Disk) Stats() Stats {
 		Puts:           d.puts.Load(),
 		Spills:         d.spills.Load(),
 		GCEvictions:    d.gcEvictions.Load(),
+		GCRaces:        d.gcRaces.Load(),
 		CorruptSkipped: d.corrupt.Load(),
 		WriteErrors:    d.writeFailures.Load(),
 		DiskFiles:      files,

@@ -59,6 +59,11 @@ type Stats struct {
 	Promotions int64 `json:"promotions"`
 	// GCEvictions counts files deleted by the size-bounded disk GC.
 	GCEvictions int64 `json:"gc_evictions"`
+	// GCRaces counts benign lost races against other processes sharing
+	// the cache directory: a delete or read that found the entry
+	// already removed by a concurrent writer's GC. Expected to be
+	// nonzero (and harmless) when several replicas share one dir.
+	GCRaces int64 `json:"gc_races"`
 	// CorruptSkipped counts unreadable/stale-schema disk entries that
 	// were discarded and served as misses.
 	CorruptSkipped int64 `json:"corrupt_skipped"`

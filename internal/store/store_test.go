@@ -326,3 +326,71 @@ func TestOpenDiskCleansTempFiles(t *testing.T) {
 		t.Errorf("disk_files = %d, want 0", s.DiskFiles)
 	}
 }
+
+// TestDiskSharedDirRaces: two Disk instances over one directory model
+// cluster replicas sharing a cache dir. Deletions by one process under
+// the other's feet must degrade to counted races and corrected
+// bookkeeping, never errors or phantom entries.
+func TestDiskSharedDirRaces(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a writes; b (which scanned an empty dir) still reads it through
+	// the shared directory.
+	a.Put("layout:shared", testLayout(t, 1))
+	if _, ok := b.Get("layout:shared"); !ok {
+		t.Fatal("second process cannot read first process's spill")
+	}
+
+	// b deletes the file out from under a (what a concurrent GC does).
+	// a's next read is a miss that repairs its bookkeeping and counts
+	// the race instead of erroring.
+	os.Remove(filepath.Join(dir, fileName("layout:shared")))
+	if _, ok := a.Get("layout:shared"); ok {
+		t.Fatal("vanished entry still served")
+	}
+	s := a.Stats()
+	if s.GCRaces != 1 {
+		t.Errorf("gc_races = %d, want 1", s.GCRaces)
+	}
+	if s.DiskFiles != 0 || s.DiskBytes != 0 {
+		t.Errorf("bookkeeping not repaired: files=%d bytes=%d", s.DiskFiles, s.DiskBytes)
+	}
+
+	// GC over already-deleted entries: fill a bounded store, delete the
+	// victims externally, then trigger GC with one more put. The GC must
+	// finish (size bookkeeping shrinks) and count races, not fail.
+	c, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("layout:probe", testLayout(t, 0))
+	entrySize := c.Stats().DiskBytes
+
+	dir2 := t.TempDir()
+	d, err := OpenDisk(dir2, DiskOptions{MaxBytes: 2 * entrySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("layout:r0", testLayout(t, 0))
+	d.Put("layout:r1", testLayout(t, 1))
+	os.Remove(filepath.Join(dir2, fileName("layout:r0"))) // external GC wins the race
+	d.Put("layout:r2", testLayout(t, 2))                  // overflows, GC must evict r0 (already gone)
+	s = d.Stats()
+	if s.GCEvictions == 0 {
+		t.Error("bounded store never GC'd")
+	}
+	if s.GCRaces == 0 {
+		t.Error("lost delete race not counted")
+	}
+	if s.DiskBytes > 2*entrySize {
+		t.Errorf("disk_bytes = %d exceeds bound %d after racy GC", s.DiskBytes, 2*entrySize)
+	}
+}

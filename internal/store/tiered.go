@@ -84,6 +84,7 @@ func (t *Tiered) Stats() Stats {
 		Promotions:     t.promotions.Load(),
 		Spills:         ds.Spills,
 		GCEvictions:    ds.GCEvictions,
+		GCRaces:        ds.GCRaces,
 		CorruptSkipped: ds.CorruptSkipped,
 		WriteErrors:    ds.WriteErrors,
 		MemEntries:     int64(t.mem.lru.Len()),

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Integration smoke for cluster mode: boot 3 qgdp-serve replicas over
+# one shared cache directory, issue the same request to each, and assert
+# (1) every replica answers byte-identically to a single-process server,
+# (2) placement ran exactly once cluster-wide (forwarding or shared-store
+# hits covered the rest), and (3) requests still succeed after the
+# owning replica is killed (local-compute fallback). Needs only a Go
+# toolchain, curl, and POSIX tools; run from the repo root.
+set -euo pipefail
+
+HOST=127.0.0.1
+PORTS=(18241 18242 18243)
+REF_ADDR=$HOST:18240
+WORK=$(mktemp -d)
+CACHE="$WORK/cache"
+BIN="$WORK/qgdp-serve"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_healthy() { # addr
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $1 did not become healthy" >&2
+  exit 1
+}
+
+# Strip the per-hop response fields before comparing against the
+# independent reference compute: cache_hit/shared differ between a cold
+# compute and a store hit, and the *_ms timings are wall-clock
+# measurements of each process's own placement run. The layout and
+# report must match to the byte.
+norm() { grep -v '"cache_hit"\|"shared"\|_ms"' "$1"; }
+# Within the cluster every replica relays or rehydrates the one
+# persisted compute, so even the timings must agree.
+norm_cluster() { grep -v '"cache_hit"\|"shared"' "$1"; }
+
+go build -o "$BIN" ./cmd/qgdp-serve
+
+PEERS="$HOST:${PORTS[0]},$HOST:${PORTS[1]},$HOST:${PORTS[2]}"
+Q1="topology=Grid&strategy=qGDP-LG&seed=3&mappings=1"
+Q2="topology=Grid&strategy=qGDP-LG&seed=99&mappings=1"
+
+echo "== reference: single-process server (separate cache)"
+"$BIN" -addr "$REF_ADDR" -cache-dir "$WORK/refcache" &
+PIDS+=($!)
+wait_healthy "$REF_ADDR"
+curl -sf "http://$REF_ADDR/v1/layout?$Q1" -o "$WORK/ref1.json"
+curl -sf "http://$REF_ADDR/v1/layout?$Q2" -o "$WORK/ref2.json"
+
+echo "== boot 3 replicas sharing $CACHE"
+for i in 0 1 2; do
+  ADDR=$HOST:${PORTS[$i]}
+  "$BIN" -addr "$ADDR" -advertise "$ADDR" -peers "$PEERS" -replication 2 \
+    -heartbeat 300ms -cache-dir "$CACHE" -cache-disk-mb 64 &
+  PIDS+=($!)
+done
+for i in 0 1 2; do
+  wait_healthy "$HOST:${PORTS[$i]}"
+done
+
+echo "== same request to every replica: byte-identical, one compute cluster-wide"
+for i in 0 1 2; do
+  curl -sf "http://$HOST:${PORTS[$i]}/v1/layout?$Q1" -o "$WORK/resp$i.json"
+  if ! diff <(norm "$WORK/ref1.json") <(norm "$WORK/resp$i.json") >/dev/null; then
+    echo "FAIL: replica $i response differs from single-process output"
+    diff <(norm "$WORK/ref1.json") <(norm "$WORK/resp$i.json") | head
+    exit 1
+  fi
+  if ! diff <(norm_cluster "$WORK/resp0.json") <(norm_cluster "$WORK/resp$i.json") >/dev/null; then
+    echo "FAIL: replica $i response differs from replica 0 (same persisted compute)"
+    exit 1
+  fi
+done
+
+COMPUTED_NONZERO=0
+for i in 0 1 2; do
+  curl -sf "http://$HOST:${PORTS[$i]}/statsz" -o "$WORK/stats$i.json"
+  if ! grep -q '"computed": 0' "$WORK/stats$i.json"; then
+    COMPUTED_NONZERO=$((COMPUTED_NONZERO + 1))
+  fi
+done
+if [ "$COMPUTED_NONZERO" -ne 1 ]; then
+  echo "FAIL: $COMPUTED_NONZERO replicas ran placement for one key, want exactly 1"
+  grep '"computed"' "$WORK"/stats?.json
+  exit 1
+fi
+grep -q '"cluster"' "$WORK/stats0.json" || { echo "FAIL: /statsz lacks cluster section"; exit 1; }
+
+echo "== kill the owner of a fresh key; surviving replica must still answer"
+curl -sf "http://$HOST:${PORTS[0]}/clusterz/route?$Q2" -o "$WORK/route.json"
+OWNER=$(sed -n 's/.*"route": "\([^"]*\)".*/\1/p' "$WORK/route.json")
+[ -n "$OWNER" ] || { echo "FAIL: /clusterz/route returned no owner"; cat "$WORK/route.json"; exit 1; }
+OWNER_PORT=${OWNER##*:}
+
+SURVIVOR=""
+for i in 0 1 2; do
+  if [ "${PORTS[$i]}" != "$OWNER_PORT" ]; then
+    SURVIVOR=$HOST:${PORTS[$i]}
+    break
+  fi
+done
+# PIDS[0] is the reference server; replica i is PIDS[i+1].
+for i in 0 1 2; do
+  if [ "${PORTS[$i]}" = "$OWNER_PORT" ]; then
+    kill "${PIDS[$((i + 1))]}"
+    wait "${PIDS[$((i + 1))]}" 2>/dev/null || true
+  fi
+done
+
+curl -sf "http://$SURVIVOR/v1/layout?$Q2" -o "$WORK/failover.json" \
+  || { echo "FAIL: request failed after owner death"; exit 1; }
+if ! diff <(norm "$WORK/ref2.json") <(norm "$WORK/failover.json") >/dev/null; then
+  echo "FAIL: post-failover response differs from single-process output"
+  diff <(norm "$WORK/ref2.json") <(norm "$WORK/failover.json") | head
+  exit 1
+fi
+
+echo "PASS: 3-replica cluster served byte-identical layouts with one compute and survived the owner's death"
