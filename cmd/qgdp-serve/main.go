@@ -33,8 +33,14 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{"requests":[{"topology":"Falcon","seed":1}]}'
 //	curl 'localhost:8080/v1/jobs/<id>'
 //	curl 'localhost:8080/statsz'
+//	curl 'localhost:8080/metricsz'   # Prometheus text exposition
+//	curl 'localhost:8080/tracez'     # recent request traces, slowest first
 //	curl 'localhost:8080/clusterz'   # cluster mode: membership + health
 //	curl 'localhost:8080/benchz'     # live qgdp-bench trajectory point
+//
+// Observability knobs: -slow-log sets the latency threshold above which
+// a request's trace is logged as one structured JSON line (0 disables);
+// -debug-addr serves net/http/pprof on a second, private listener.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,6 +76,8 @@ func main() {
 	replication := flag.Int("replication", 2, "owners per key on the cluster ring (failover depth)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
 	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
+	slowLog := flag.Duration("slow-log", 0, "log a structured trace line for requests slower than this (0: disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty: disabled)")
 	flag.Parse()
 
 	if err := run(options{
@@ -76,6 +85,7 @@ func main() {
 		cacheDir: *cacheDir, cacheDiskMB: *cacheDiskMB, lanes: *lanes,
 		peers: *peers, advertise: *advertise, replication: *replication,
 		heartbeat: *heartbeat, pr: *pr,
+		slowLog: *slowLog, debugAddr: *debugAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
 		os.Exit(1)
@@ -91,6 +101,8 @@ type options struct {
 	replication        int
 	heartbeat          time.Duration
 	pr                 int
+	slowLog            time.Duration
+	debugAddr          string
 }
 
 // advertiseAddr resolves the address peers dial this replica at: the
@@ -145,6 +157,7 @@ func run(o options) error {
 	eng := service.New(service.Options{
 		Workers: o.workers, CacheSize: o.cacheSize, ParallelBudget: o.lanes,
 		Store: layStore, Cluster: cl, JobsDir: jobsDir,
+		SlowRequestThreshold: o.slowLog,
 	})
 	defer eng.Close()
 	if n := eng.Jobs().Resume(); n > 0 {
@@ -158,6 +171,23 @@ func run(o options) error {
 		Addr:              o.addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if o.debugAddr != "" {
+		// pprof stays off the public mux: profiles expose internals, so
+		// they bind to a separate (typically loopback-only) listener.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("qgdp-serve pprof on %s/debug/pprof/", o.debugAddr)
+			if err := http.ListenAndServe(o.debugAddr, dbg); err != nil {
+				log.Printf("qgdp-serve pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -20,6 +20,13 @@ import (
 // liveness. Its value is the address of the replica that forwarded.
 const ForwardHeader = "X-QGDP-Forwarded"
 
+// TraceHeader propagates a request's trace across a forward hop or a
+// ring-partitioned job fan-out. Its value is "<trace id>;<parent span
+// name>": the receiving replica adopts the ID so both halves of the
+// request record under one trace, and the caller grafts the returned
+// span tree under its hop span — yielding a single stitched tree.
+const TraceHeader = "X-QGDP-Trace"
+
 // State is a peer's health as seen by this replica's failure detector.
 type State string
 
@@ -90,6 +97,7 @@ type Cluster struct {
 	once sync.Once
 
 	owned, forwarded, fallback, shortCircuit atomic.Int64
+	forwardRecv                              atomic.Int64
 	forwardErrs, hbSent, hbRecv              atomic.Int64
 }
 
@@ -297,6 +305,14 @@ func (c *Cluster) CountOwned() { c.owned.Add(1); kernstats.ClusterOwned.Add(1) }
 // CountForwarded records a request proxied to its owner.
 func (c *Cluster) CountForwarded() { c.forwarded.Add(1); kernstats.ClusterForwarded.Add(1) }
 
+// CountForwardReceived records a request that arrived carrying the
+// one-hop forward header — the receiving side of CountForwarded, so
+// summing both counters across the ring reconciles forwarding traffic.
+func (c *Cluster) CountForwardReceived() {
+	c.forwardRecv.Add(1)
+	kernstats.ClusterForwardRecv.Add(1)
+}
+
 // CountFallback records a request computed locally because its owner
 // was unreachable.
 func (c *Cluster) CountFallback() { c.fallback.Add(1); kernstats.ClusterFallback.Add(1) }
@@ -328,6 +344,7 @@ type Stats struct {
 	// ring shows up as skewed owned counts across replicas.
 	Owned              int64 `json:"owned"`
 	Forwarded          int64 `json:"forwarded"`
+	ForwardReceived    int64 `json:"forward_received"`
 	FallbackLocal      int64 `json:"fallback_local"`
 	StoreShortCircuit  int64 `json:"store_short_circuit"`
 	ForwardErrors      int64 `json:"forward_errors"`
@@ -346,6 +363,7 @@ func (c *Cluster) Stats() Stats {
 		Replication:        c.cfg.Replication,
 		Owned:              c.owned.Load(),
 		Forwarded:          c.forwarded.Load(),
+		ForwardReceived:    c.forwardRecv.Load(),
 		FallbackLocal:      c.fallback.Load(),
 		StoreShortCircuit:  c.shortCircuit.Load(),
 		ForwardErrors:      c.forwardErrs.Load(),

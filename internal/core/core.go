@@ -26,6 +26,7 @@ import (
 	"repro/internal/gplace"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/qbench"
 	"repro/internal/qlegal"
 	"repro/internal/reslegal"
@@ -70,6 +71,11 @@ type Config struct {
 	// Mappings is the number of seeded transpilations averaged per
 	// fidelity bar (the paper uses 50).
 	Mappings int
+	// Obs is the request span pipeline stages hang their sub-spans
+	// under. Like the Par budgets, it is excluded from JSON (and hence
+	// from canonical cache keys) and stamped per call by the serving
+	// layer; nil means no tracing, at zero cost.
+	Obs *obs.Span `json:"-"`
 }
 
 // DefaultConfig mirrors the evaluation setup.
@@ -88,8 +94,12 @@ func DefaultConfig() Config {
 // All strategies legalize clones of the same GP solution, as in the
 // paper's methodology.
 func Prepare(dev *topology.Device, cfg Config) *netlist.Netlist {
+	sp := cfg.Obs.Child("topology.build")
 	n := topology.Build(dev, cfg.Build)
+	sp.End()
+	sp = cfg.Obs.Child("gplace.place")
 	gplace.Place(n, cfg.GP)
+	sp.End()
 	return n
 }
 
@@ -117,15 +127,18 @@ func Legalize(gp *netlist.Netlist, s Strategy, cfg Config) (*Layout, error) {
 	for i, q := range n.Qubits {
 		pre[i] = q.Pos
 	}
+	sp := cfg.Obs.Child("qlegal.legalize")
 	start := time.Now()
 	qres, err := qlegal.Legalize(n, qp)
 	lay.QubitTime = time.Since(start)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s qubit legalization: %w", s, err)
 	}
 	lay.QubitResult = qres
 	dragBlocks(n, pre)
 
+	sp = cfg.Obs.Child("reslegal." + resonatorLegalizer(s))
 	start = time.Now()
 	switch s {
 	case QGDPLG, QGDPDP:
@@ -135,21 +148,41 @@ func Legalize(gp *netlist.Netlist, s Strategy, cfg Config) (*Layout, error) {
 	case QTetris, TetrisS:
 		_, err = tetris.Legalize(n)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("unknown strategy %q", s)
 	}
 	lay.ResonatorTime = time.Since(start)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s resonator legalization: %w", s, err)
 	}
 
 	if s == QGDPDP {
+		sp = cfg.Obs.Child("dplace.refine")
+		dp := cfg.DP
+		dp.Obs = sp
 		start = time.Now()
-		if _, err := dplace.Refine(n, cfg.DP); err != nil {
+		if _, err := dplace.Refine(n, dp); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("detailed placement: %w", err)
 		}
 		lay.DPTime = time.Since(start)
+		sp.End()
 	}
 	return lay, nil
+}
+
+// resonatorLegalizer names the resonator-stage span suffix for a
+// strategy ("reslegal.qgdp", "reslegal.abacus", "reslegal.tetris").
+func resonatorLegalizer(s Strategy) string {
+	switch s {
+	case QAbacus, AbacusS:
+		return "abacus"
+	case QTetris, TetrisS:
+		return "tetris"
+	default:
+		return "qgdp"
+	}
 }
 
 // dragBlocks translates each resonator's wire blocks by its endpoint
@@ -181,11 +214,16 @@ func AverageFidelity(n *netlist.Netlist, benchmark string, cfg Config) (float64,
 	if err != nil {
 		return 0, err
 	}
+	sp := cfg.Obs.Child("fidelity.average")
+	sp.AttrInt("mappings", int64(cfg.Mappings))
+	defer sp.End()
 	return fidelity.Average(n, c, cfg.Fidelity, cfg.Mappings)
 }
 
 // Analyze is a convenience wrapper over metrics.Analyze with the
 // config's thresholds.
 func Analyze(n *netlist.Netlist, cfg Config) metrics.Report {
+	sp := cfg.Obs.Child("metrics.analyze")
+	defer sp.End()
 	return metrics.Analyze(n, cfg.Metrics)
 }

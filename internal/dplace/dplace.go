@@ -40,6 +40,7 @@ import (
 	"repro/internal/maze"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
 )
@@ -62,6 +63,10 @@ type Params struct {
 	// GOMAXPROCS. Tests use it to force multi-lane waves on small
 	// machines.
 	Lanes int `json:"-"`
+	// Obs is the span refinement passes and waves hang under (stamped
+	// by core.Legalize from the request trace); nil disables tracing.
+	// Excluded from hashing like Par/Lanes.
+	Obs *obs.Span `json:"-"`
 }
 
 // DefaultParams mirrors the evaluation setup.
@@ -108,19 +113,27 @@ func Refine(n *netlist.Netlist, p Params) (Result, error) {
 	var res Result
 	for pass := 0; pass < p.MaxPasses; pass++ {
 		res.Passes = pass + 1
+		ps := p.Obs.Child("dplace.pass")
 		cands := r.candidates()
 		res.Considered += len(cands)
 		accepted := 0
 		if pr == nil {
 			kernstats.DPSerialWindows.Add(int64(len(cands)))
+			ws := ps.Child("dplace.wave")
+			ws.AttrInt("windows", int64(len(cands)))
+			ws.AttrInt("lanes", 1)
 			for _, e := range cands {
 				if r.refineWindow(e) {
 					accepted++
 				}
 			}
+			ws.End()
 		} else {
-			accepted = pr.refinePass(cands)
+			accepted = pr.refinePass(cands, ps)
 		}
+		ps.AttrInt("windows", int64(len(cands)))
+		ps.AttrInt("accepted", int64(accepted))
+		ps.End()
 		res.Accepted += accepted
 		if accepted == 0 {
 			break

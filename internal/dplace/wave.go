@@ -47,6 +47,7 @@ import (
 	"repro/internal/kernstats"
 	"repro/internal/maze"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/spatial"
 )
@@ -146,7 +147,9 @@ func (pr *parRefiner) release() {
 // refinePass refines one pass's candidate list in waves and returns the
 // number of accepted windows. The accepted set, the resulting block
 // positions, and every acceptance decision match the serial scan.
-func (pr *parRefiner) refinePass(cands []int) int {
+// Each wave gets a span under parent (the pass span) annotated with its
+// window and lane counts; a nil parent costs nothing.
+func (pr *parRefiner) refinePass(cands []int, parent *obs.Span) int {
 	pr.cands = cands
 	pr.head = 0
 	accepted := 0
@@ -160,6 +163,9 @@ func (pr *parRefiner) refinePass(cands []int) int {
 		kernstats.DPWaves.Add(1)
 		kernstats.DPWaveWindows.Add(int64(len(pr.wave)))
 		kernstats.DPWaveLanes.Add(int64(lanes))
+		ws := parent.Child("dplace.wave")
+		ws.AttrInt("windows", int64(len(pr.wave)))
+		ws.AttrInt("lanes", int64(lanes))
 
 		pr.next.Store(0)
 		pr.grant.Run(lanes, pr.runFn)
@@ -179,6 +185,7 @@ func (pr *parRefiner) refinePass(cands []int) int {
 				l.applyMove(group, res.cells)
 			}
 		}
+		ws.End()
 	}
 	return accepted
 }

@@ -5,6 +5,17 @@
 // the zero-allocation scratch pools are actually being reused (a pool
 // that never reuses under steady load indicates a leak or misuse).
 //
+// Since the obs layer landed, kernstats is a thin naming shim over the
+// obs metrics registry: every Counter here is an obs.Counter (rendered
+// on /metricsz as qgdp_<name>_total), and every Kernel additionally
+// feeds a qgdp_kernel_seconds{kernel=...} histogram. /statsz and
+// /metricsz are therefore two views of one registry — the map-shaped
+// snapshot for humans and scripts, the Prometheus exposition for
+// scrapers. Kernel timings deliberately do NOT feed qgdp_stage_seconds:
+// that family is reserved for span Ends, so stage sums reconcile with
+// request wall time instead of double-counting kernels nested inside
+// spans.
+//
 // Counters are recorded at whole-kernel granularity (one Observe per
 // Place/Route/CancelNegativeCycles call), so the atomics are far off the
 // inner loops and cost nothing measurable.
@@ -13,12 +24,19 @@ package kernstats
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// kernelVec is the per-kernel latency histogram family on /metricsz.
+// Distinct from qgdp_stage_seconds (span durations): kernels run nested
+// inside spans, so merging the families would double-count time.
+var kernelVec = obs.NewHistVec("qgdp_kernel_seconds", "kernel", obs.DefBuckets)
 
 // Kernel aggregates one hot kernel's counters.
 type Kernel struct {
 	name   string
-	calls  atomic.Int64
+	hist   *obs.Histogram
 	ns     atomic.Int64
 	reuses atomic.Int64
 	allocs atomic.Int64
@@ -35,15 +53,18 @@ var (
 var kernels []*Kernel
 
 func register(name string) *Kernel {
-	k := &Kernel{name: name}
+	k := &Kernel{name: name, hist: kernelVec.With(name)}
 	kernels = append(kernels, k)
 	return k
 }
 
-// Observe records one kernel invocation and its duration.
+// Observe records one kernel invocation and its duration. The
+// histogram handle is cached at registration and Observe is
+// allocation-free, so this stays legal on paths under the zero-alloc
+// CI guards.
 func (k *Kernel) Observe(d time.Duration) {
-	k.calls.Add(1)
 	k.ns.Add(d.Nanoseconds())
+	k.hist.Observe(d.Seconds())
 }
 
 // ScratchReuse records that a call ran on recycled scratch buffers.
@@ -61,14 +82,12 @@ type Snapshot struct {
 	ScratchAllocs int64   `json:"scratch_allocs"`
 }
 
-// Counter is a cheap named atomic used for event counts that are not
-// whole-kernel timings: detailed-placement wave sizes, scheduling
-// conflicts, parallel-lane usage. Counters appear on /statsz next to
-// the kernel snapshots.
-type Counter struct {
-	name string
-	v    atomic.Int64
-}
+// Counter is a named atomic registered in the obs metrics registry,
+// used for event counts that are not whole-kernel timings:
+// detailed-placement wave sizes, scheduling conflicts, parallel-lane
+// usage. Counters appear on /statsz next to the kernel snapshots and
+// on /metricsz as qgdp_<name>_total.
+type Counter = obs.Counter
 
 // The detailed-placement wave counters. A wave is one conflict-free
 // batch of candidate windows refined concurrently; deferred counts
@@ -121,6 +140,9 @@ var StoreGCRaces = registerCounter("store.gc_races")
 // The cluster counters (see internal/cluster and the service forwarding
 // layer). owned counts requests this replica served as ring owner;
 // forwarded counts requests proxied to the owning replica;
+// forward_received counts requests that arrived carrying the one-hop
+// forward header (so cluster-wide, sum(forwarded) reconciles with
+// sum(forward_received) when no fan-out is in flight);
 // fallback_local counts requests computed locally because the owner was
 // unreachable; store_short_circuit counts non-owned requests answered
 // straight from the shared store without crossing the network. A
@@ -130,6 +152,7 @@ var StoreGCRaces = registerCounter("store.gc_races")
 var (
 	ClusterOwned          = registerCounter("cluster.owned")
 	ClusterForwarded      = registerCounter("cluster.forwarded")
+	ClusterForwardRecv    = registerCounter("cluster.forward_received")
 	ClusterFallback       = registerCounter("cluster.fallback_local")
 	ClusterShortCircuit   = registerCounter("cluster.store_short_circuit")
 	ClusterForwardErrors  = registerCounter("cluster.forward_errors")
@@ -139,27 +162,22 @@ var (
 
 var counters []*Counter
 
-// registerCounter creates and registers a named counter. Registration
-// happens only at package init (like register for kernels), so the
-// global slice needs no locking against concurrent Counters() readers.
+// registerCounter creates a counter in the obs registry and tracks it
+// for the map-shaped Counters() view. Registration happens only at
+// package init (like register for kernels), so the global slice needs
+// no locking against concurrent Counters() readers.
 func registerCounter(name string) *Counter {
-	c := &Counter{name: name}
+	c := obs.NewCounter(name)
 	counters = append(counters, c)
 	return c
 }
-
-// Add increments the counter by d.
-func (c *Counter) Add(d int64) { c.v.Add(d) }
-
-// Load returns the counter's current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Counters returns the current value of every registered counter,
 // keyed by name.
 func Counters() map[string]int64 {
 	out := make(map[string]int64, len(counters))
 	for _, c := range counters {
-		out[c.name] = c.v.Load()
+		out[c.Name()] = c.Load()
 	}
 	return out
 }
@@ -169,7 +187,7 @@ func All() map[string]Snapshot {
 	out := make(map[string]Snapshot, len(kernels))
 	for _, k := range kernels {
 		s := Snapshot{
-			Calls:         k.calls.Load(),
+			Calls:         k.hist.Count(),
 			ScratchReuses: k.reuses.Load(),
 			ScratchAllocs: k.allocs.Load(),
 		}

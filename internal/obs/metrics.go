@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the fixed latency bucket upper bounds (seconds) shared
+// by every histogram in the registry. The range spans sub-millisecond
+// kernel calls (maze route segments) up to the 30s end of a cold Eagle
+// pipeline; fixed buckets keep Observe allocation-free and make
+// cross-stage and cross-replica histograms directly addable.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30,
+}
+
+// registry is the process-wide metric set rendered by WritePrometheus.
+// Registration happens at package init (kernstats) or first use (stage
+// histograms); render order is sorted, so scrapes diff cleanly.
+type registry struct {
+	mu       sync.RWMutex
+	counters []*Counter
+	gauges   []*Gauge
+	vecs     []*HistVec
+}
+
+var reg registry
+
+// Counter is a monotonically increasing metric. The dotted name (e.g.
+// "store.mem_hits") is kept for map-shaped views like /statsz; the
+// Prometheus rendering is qgdp_<name, dots→underscores>_total.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers and returns a counter. Call once per name
+// (package init); duplicate names would render duplicate series.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	reg.mu.Lock()
+	reg.counters = append(reg.counters, c)
+	reg.mu.Unlock()
+	return c
+}
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the dotted registration name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a set-or-adjust metric rendered as qgdp_<name>.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge registers and returns a gauge.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	reg.mu.Lock()
+	reg.gauges = append(reg.gauges, g)
+	reg.mu.Unlock()
+	return g
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Name returns the dotted registration name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free
+// and allocation-free: a linear scan over ~17 bucket bounds plus three
+// atomic updates, cheap enough to sit on kernel hot paths under the
+// zero-alloc CI guards.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // cumulative at render, per-bucket here; len = len(bounds)+1 (last = +Inf)
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values (seconds).
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistVec is a histogram family keyed by one label (stage, kernel).
+// Children are created on first use and live forever — label values are
+// stage names, a small closed set.
+type HistVec struct {
+	name   string
+	label  string
+	bounds []float64
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistVec registers a labelled histogram family. name is the full
+// Prometheus family name (e.g. "qgdp_stage_seconds").
+func NewHistVec(name, label string, bounds []float64) *HistVec {
+	v := &HistVec{name: name, label: label, bounds: bounds, m: map[string]*Histogram{}}
+	reg.mu.Lock()
+	reg.vecs = append(reg.vecs, v)
+	reg.mu.Unlock()
+	return v
+}
+
+// With returns the child histogram for the label value, creating it on
+// first use. Callers on hot paths should cache the returned handle.
+func (v *HistVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	if h, ok = v.m[value]; !ok {
+		h = newHistogram(v.bounds)
+		v.m[value] = h
+	}
+	v.mu.Unlock()
+	return h
+}
+
+// stageVec is the one histogram family every Span.End feeds:
+// qgdp_stage_seconds{stage="<span name>"}.
+var stageVec = NewHistVec("qgdp_stage_seconds", "stage", DefBuckets)
+
+// Stage returns the latency histogram for a pipeline stage (span name).
+func Stage(name string) *Histogram { return stageVec.With(name) }
+
+// PromName converts a dotted metric name to its Prometheus base name:
+// "store.mem_hits" → "qgdp_store_mem_hits". Counters additionally get a
+// _total suffix at render.
+func PromName(dotted string) string {
+	var b strings.Builder
+	b.Grow(len("qgdp_") + len(dotted))
+	b.WriteString("qgdp_")
+	for _, r := range dotted {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// EscapeLabel escapes a label value for the text exposition format.
+func EscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, families and label values sorted, so successive
+// scrapes of an idle process are byte-identical.
+func WritePrometheus(w io.Writer) {
+	reg.mu.RLock()
+	counters := append([]*Counter(nil), reg.counters...)
+	gauges := append([]*Gauge(nil), reg.gauges...)
+	vecs := append([]*HistVec(nil), reg.vecs...)
+	reg.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	for _, c := range counters {
+		name := PromName(c.name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Load())
+	}
+
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	for _, g := range gauges {
+		name := PromName(g.name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Load())
+	}
+
+	sort.Slice(vecs, func(i, j int) bool { return vecs[i].name < vecs[j].name })
+	for _, v := range vecs {
+		v.write(w)
+	}
+}
+
+func (v *HistVec) write(w io.Writer) {
+	v.mu.RLock()
+	values := make([]string, 0, len(v.m))
+	for val := range v.m {
+		values = append(values, val)
+	}
+	children := make([]*Histogram, len(values))
+	sort.Strings(values)
+	for i, val := range values {
+		children[i] = v.m[val]
+	}
+	v.mu.RUnlock()
+	if len(values) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", v.name)
+	for i, val := range values {
+		h := children[i]
+		lv := EscapeLabel(val)
+		var cum int64
+		for bi, bound := range h.bounds {
+			cum += h.buckets[bi].Load()
+			fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n", v.name, v.label, lv, formatFloat(bound), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", v.name, v.label, lv, cum)
+		fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %s\n", v.name, v.label, lv, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", v.name, v.label, lv, h.Count())
+	}
+}
+
+// StageSums snapshots total observed seconds per stage — the input to
+// the "histograms sum to wall time" acceptance check and the /tracez
+// stage index.
+func StageSums() map[string]float64 {
+	stageVec.mu.RLock()
+	defer stageVec.mu.RUnlock()
+	out := make(map[string]float64, len(stageVec.m))
+	for name, h := range stageVec.m {
+		out[name] = h.Sum()
+	}
+	return out
+}

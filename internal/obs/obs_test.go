@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr, root := New("request")
+	a := root.Child("gp")
+	a.Attr("device", "grid")
+	a.End()
+	b := root.Child("dp")
+	w1 := b.Child("wave")
+	w1.AttrInt("windows", 3)
+	w1.End()
+	w2 := b.Child("wave")
+	w2.End()
+	b.End()
+	td := tr.Finish()
+
+	if td.Root == nil || td.Root.Name != "request" {
+		t.Fatalf("root = %+v", td.Root)
+	}
+	if len(td.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(td.Root.Children))
+	}
+	dp := td.Root.Children[1]
+	if dp.Name != "dp" || len(dp.Children) != 2 {
+		t.Fatalf("dp node = %+v", dp)
+	}
+	if dp.Children[0].Attrs["windows"] != "3" {
+		t.Fatalf("wave attrs = %v", dp.Children[0].Attrs)
+	}
+	if !td.HasStage("wave") || td.HasStage("missing") {
+		t.Fatal("HasStage misbehaves")
+	}
+	if td.Spans != 5 {
+		t.Fatalf("spans = %d, want 5", td.Spans)
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Attr("k", "v")
+	s.AttrInt("k", 1)
+	s.AttrBool("k", true)
+	s.Graft(&SpanNode{Name: "x"})
+	if c := s.Child("sub"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	if tr := s.Trace(); tr != nil {
+		t.Fatalf("nil.Trace = %v, want nil", tr)
+	}
+	ctx := WithSpan(context.Background(), nil)
+	if got := SpanFrom(ctx); got != nil {
+		t.Fatalf("SpanFrom = %v, want nil", got)
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	_, root := New("r")
+	ctx := WithSpan(context.Background(), root)
+	if got := SpanFrom(ctx); got != root {
+		t.Fatalf("SpanFrom = %v, want %v", got, root)
+	}
+}
+
+func TestSpanCapDropsNotPanics(t *testing.T) {
+	tr, root := New("r")
+	var last *Span
+	for i := 0; i < maxSpans+10; i++ {
+		if s := root.Child("s"); s != nil {
+			last = s
+		}
+	}
+	last.End()
+	td := tr.Finish()
+	if td.Spans != maxSpans {
+		t.Fatalf("spans = %d, want %d", td.Spans, maxSpans)
+	}
+	if td.Dropped != 11 {
+		t.Fatalf("dropped = %d, want 11", td.Dropped)
+	}
+}
+
+func TestGraftRebasesRemoteTree(t *testing.T) {
+	tr, root := New("local")
+	fw := root.Child("cluster.forward")
+	remote := &SpanNode{
+		Name:    "remote-request",
+		StartMs: 0,
+		DurMs:   40,
+		Children: []*SpanNode{
+			{Name: "gplace.place", StartMs: 5, DurMs: 30, Attrs: map[string]string{"device": "grid"}},
+		},
+	}
+	fw.Graft(remote)
+	fw.End()
+	td := tr.Finish()
+
+	var fwNode *SpanNode
+	for _, c := range td.Root.Children {
+		if c.Name == "cluster.forward" {
+			fwNode = c
+		}
+	}
+	if fwNode == nil || len(fwNode.Children) != 1 {
+		t.Fatalf("forward node = %+v", fwNode)
+	}
+	rem := fwNode.Children[0]
+	if rem.Name != "remote-request" || len(rem.Children) != 1 {
+		t.Fatalf("grafted remote = %+v", rem)
+	}
+	// Remote offsets are rebased onto the forward span's start.
+	if rem.StartMs < fwNode.StartMs-0.001 {
+		t.Fatalf("remote start %v before forward start %v", rem.StartMs, fwNode.StartMs)
+	}
+	gp := rem.Children[0]
+	if gp.StartMs < rem.StartMs+4.9 {
+		t.Fatalf("child offset not preserved: %v vs %v", gp.StartMs, rem.StartMs)
+	}
+	if gp.Attrs["device"] != "grid" {
+		t.Fatalf("grafted attrs = %v", gp.Attrs)
+	}
+	if !td.HasStage("gplace.place") {
+		t.Fatal("stitched tree missing remote stage")
+	}
+}
+
+func TestAdoptKeepsID(t *testing.T) {
+	tr, _ := Adopt("t1234", "remote", "cluster.forward")
+	td := tr.Finish()
+	if td.ID != "t1234" || td.RemoteParent != "cluster.forward" {
+		t.Fatalf("adopted trace = %+v", td)
+	}
+	tr2, _ := Adopt("", "fresh", "")
+	if tr2.ID() == "" {
+		t.Fatal("empty id not replaced")
+	}
+}
+
+func TestTopSpans(t *testing.T) {
+	td := &TraceData{Root: &SpanNode{
+		Name: "r",
+		Children: []*SpanNode{
+			{Name: "a", DurMs: 5},
+			{Name: "b", DurMs: 50, Children: []*SpanNode{{Name: "c", DurMs: 45}}},
+			{Name: "d", DurMs: 20},
+		},
+	}}
+	top := td.Top(2)
+	if len(top) != 2 || top[0].Name != "b" || top[1].Name != "c" {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestEndIsIdempotentAndFeedsStageHistogram(t *testing.T) {
+	h := Stage("test.idempotent")
+	before := h.Count()
+	_, root := New("r")
+	s := root.Child("test.idempotent")
+	s.End()
+	s.End()
+	if got := h.Count() - before; got != 1 {
+		t.Fatalf("stage observations = %d, want 1", got)
+	}
+}
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	v := NewHistVec("qgdp_test_seconds", "stage", DefBuckets)
+	h := v.With("alpha")
+	h.Observe(0.0002)
+	h.Observe(0.003)
+	h.Observe(100) // beyond last bound -> +Inf bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 100.003 || s > 100.004 {
+		t.Fatalf("sum = %v", s)
+	}
+	var buf bytes.Buffer
+	v.write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE qgdp_test_seconds histogram",
+		`qgdp_test_seconds_bucket{stage="alpha",le="0.00025"} 1`,
+		`qgdp_test_seconds_bucket{stage="alpha",le="+Inf"} 3`,
+		`qgdp_test_seconds_count{stage="alpha"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: le=30 holds everything under 30s.
+	if !strings.Contains(out, `qgdp_test_seconds_bucket{stage="alpha",le="30"} 2`) {
+		t.Fatalf("cumulative buckets wrong:\n%s", out)
+	}
+}
+
+func TestWritePrometheusSortedAndParsable(t *testing.T) {
+	c := NewCounter("test.render_counter")
+	c.Add(7)
+	g := NewGauge("test.render_gauge")
+	g.Set(-3)
+	Stage("test.render_stage").Observe(0.5)
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE qgdp_test_render_counter_total counter\nqgdp_test_render_counter_total 7\n") {
+		t.Fatalf("counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE qgdp_test_render_gauge gauge\nqgdp_test_render_gauge -3\n") {
+		t.Fatalf("gauge missing:\n%s", out)
+	}
+	if !strings.Contains(out, `qgdp_stage_seconds_bucket{stage="test.render_stage",le="0.5"} 1`) {
+		t.Fatalf("stage histogram missing:\n%s", out)
+	}
+	// Every line must be a comment or "name{labels} value" — a cheap
+	// validity check of the exposition format.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	// Rendering twice with no activity in between is byte-identical.
+	var buf2 bytes.Buffer
+	WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("successive renders differ")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	mk := func(id string, dur float64, at time.Time) *TraceData {
+		return &TraceData{ID: id, DurMs: dur, Start: at, Root: &SpanNode{Name: "r", DurMs: dur}}
+	}
+	t0 := time.Now()
+	r.Record(mk("a", 10, t0))
+	r.Record(mk("b", 50, t0.Add(time.Second)))
+	r.Record(mk("c", 30, t0.Add(2*time.Second)))
+	r.Record(mk("d", 20, t0.Add(3*time.Second)))
+	if r.Len() != 3 || r.Seen() != 4 {
+		t.Fatalf("len=%d seen=%d", r.Len(), r.Seen())
+	}
+	if r.Get("a") != nil {
+		t.Fatal("oldest entry not evicted")
+	}
+	if got := r.Get("c"); got == nil || got.DurMs != 30 {
+		t.Fatalf("Get(c) = %+v", got)
+	}
+
+	slow := r.List(true, "", 0, 0)
+	if len(slow) != 3 || slow[0].ID != "b" {
+		t.Fatalf("slowest-first = %+v", ids(slow))
+	}
+	recent := r.List(false, "", 0, 2)
+	if len(recent) != 2 || recent[0].ID != "d" || recent[1].ID != "c" {
+		t.Fatalf("newest-first = %+v", ids(recent))
+	}
+	if got := r.List(true, "", 25, 0); len(got) != 2 {
+		t.Fatalf("minMs filter = %+v", ids(got))
+	}
+	if got := r.List(true, "r", 0, 0); len(got) != 3 {
+		t.Fatalf("stage filter = %+v", ids(got))
+	}
+	if got := r.List(true, "nope", 0, 0); len(got) != 0 {
+		t.Fatalf("stage filter (miss) = %+v", ids(got))
+	}
+}
+
+func ids(tds []*TraceData) []string {
+	out := make([]string, len(tds))
+	for i, td := range tds {
+		out[i] = td.ID
+	}
+	return out
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr, root := New("r")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				s := root.Child("lane")
+				s.AttrInt("i", int64(i))
+				s.End()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	td := tr.Finish()
+	if td.Spans+td.Dropped != 8*200+1 {
+		t.Fatalf("spans=%d dropped=%d", td.Spans, td.Dropped)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultRingSize is the recent-trace ring capacity when the caller
+// passes none.
+const DefaultRingSize = 128
+
+// Recorder keeps a bounded ring of finished request traces for
+// /tracez. Recording overwrites the oldest entry; the ring holds
+// snapshots (TraceData), so retained traces cost no locks on the live
+// request path.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []*TraceData
+	next int
+	seen int64
+}
+
+// NewRecorder returns a ring holding up to n traces (DefaultRingSize
+// when n <= 0).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Recorder{buf: make([]*TraceData, 0, n)}
+}
+
+// Record adds a finished trace, evicting the oldest when full. Nil
+// traces are ignored.
+func (r *Recorder) Record(td *TraceData) {
+	if td == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, td)
+	} else {
+		r.buf[r.next] = td
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.seen++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Seen returns the total number of traces ever recorded (retained or
+// evicted).
+func (r *Recorder) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Get returns the retained trace with the given ID. When the same ID
+// was recorded more than once (a replica records both its local half
+// and the stitched whole under one ID), the newest recording wins.
+func (r *Recorder) Get(id string) *TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var found *TraceData
+	for _, td := range r.buf {
+		if td.ID == id {
+			if found == nil || td.Start.After(found.Start) {
+				found = td
+			}
+		}
+	}
+	return found
+}
+
+// List returns retained traces filtered and ordered for /tracez:
+// slowest-first when bySlowest, else newest-first; stage != "" keeps
+// only traces containing a span of that name; minMs drops faster
+// traces; n bounds the result (0 = all).
+func (r *Recorder) List(bySlowest bool, stage string, minMs float64, n int) []*TraceData {
+	r.mu.Lock()
+	out := make([]*TraceData, 0, len(r.buf))
+	out = append(out, r.buf...)
+	r.mu.Unlock()
+
+	filtered := out[:0]
+	for _, td := range out {
+		if td.DurMs < minMs {
+			continue
+		}
+		if stage != "" && !td.HasStage(stage) {
+			continue
+		}
+		filtered = append(filtered, td)
+	}
+	out = filtered
+	if bySlowest {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].DurMs > out[j].DurMs })
+	} else {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

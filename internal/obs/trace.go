@@ -1,0 +1,358 @@
+// Package obs is the zero-dependency observability substrate of the
+// serving stack: request-scoped span traces, a bounded ring of recent
+// traces, and a typed metrics registry (counters, gauges, fixed-bucket
+// histograms) rendered in Prometheus text exposition format.
+//
+// Tracing model: a Trace is one request's tree of timed spans. Spans
+// are opened with Child and closed with End; every operation on a nil
+// *Span is a no-op, so instrumented code paths cost nothing when no
+// trace rides the request (the bench and experiment drivers pass none).
+// Span handles are carried two ways: through context (service layer) and
+// through params structs tagged `json:"-"` (kernels that take no
+// context). Ending a span also feeds the process-wide
+// qgdp_stage_seconds histogram, so per-stage latency distributions fall
+// out of the same instrumentation that builds the trees.
+//
+// Cross-replica stitching: a forwarded request carries the trace ID in
+// a header; the remote replica Adopts the ID, records its own half, and
+// returns its span tree to the caller, which Grafts it under the
+// network-hop span — one stitched tree, recorded under one ID in both
+// replicas' rings.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds one trace's span count; beyond it Child returns nil
+// (all further instrumentation no-ops) and the drop is reported in the
+// snapshot. A runaway refinement cannot balloon the trace ring.
+const maxSpans = 4096
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	K, V string
+}
+
+// spanRec is the internal record of one span, guarded by Trace.mu.
+type spanRec struct {
+	name   string
+	parent int32
+	start  time.Duration // offset from trace start
+	dur    time.Duration
+	ended  bool
+	attrs  []Attr
+}
+
+// Trace is one request's span tree. All methods are safe for
+// concurrent use (lanes of a parallel kernel may annotate spans
+// concurrently).
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	name    string
+	start   time.Time
+	spans   []spanRec
+	dropped int
+	// remoteParent names the span in the upstream replica's trace this
+	// trace hangs under (set by Adopt on forwarded requests).
+	remoteParent string
+}
+
+// Span is a handle on one span of a trace. The zero of the type is not
+// useful; a nil *Span is — every method no-ops, so instrumentation
+// sites never branch on "is tracing on".
+type Span struct {
+	tr  *Trace
+	idx int32
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("obs: trace id entropy: %v", err))
+	}
+	return "t" + hex.EncodeToString(b[:])
+}
+
+// New starts a trace with a fresh ID and returns it with its root span.
+// The root span is ended by Finish.
+func New(name string) (*Trace, *Span) {
+	return Adopt(newID(), name, "")
+}
+
+// Adopt starts a trace under an existing ID — the propagation entry
+// point for forwarded requests. remoteParent records which span of the
+// upstream trace this one hangs under (informational; the upstream
+// does the actual grafting).
+func Adopt(id, name, remoteParent string) (*Trace, *Span) {
+	if id == "" {
+		id = newID()
+	}
+	t := &Trace{id: id, name: name, start: time.Now(), remoteParent: remoteParent}
+	t.spans = append(t.spans, spanRec{name: name, parent: -1})
+	return t, &Span{tr: t, idx: 0}
+}
+
+// ID returns the trace's identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Name returns the root span's name.
+func (t *Trace) Name() string { return t.name }
+
+// Trace returns the span's trace, nil for a nil span.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Child opens a sub-span. Returns nil (all ops no-op) on a nil
+// receiver or when the trace's span budget is exhausted.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	idx := int32(len(t.spans))
+	t.spans = append(t.spans, spanRec{name: name, parent: s.idx, start: time.Since(t.start)})
+	t.mu.Unlock()
+	return &Span{tr: t, idx: idx}
+}
+
+// End closes the span and feeds its duration to the per-stage latency
+// histogram. Repeat Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	rec := &t.spans[s.idx]
+	if rec.ended {
+		t.mu.Unlock()
+		return
+	}
+	rec.ended = true
+	rec.dur = time.Since(t.start) - rec.start
+	name, dur := rec.name, rec.dur
+	t.mu.Unlock()
+	Stage(name).Observe(dur.Seconds())
+}
+
+// Attr annotates the span.
+func (s *Span) Attr(k, v string) {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	rec := &t.spans[s.idx]
+	rec.attrs = append(rec.attrs, Attr{k, v})
+	t.mu.Unlock()
+}
+
+// AttrInt annotates the span with an integer value.
+func (s *Span) AttrInt(k string, v int64) {
+	s.Attr(k, strconv.FormatInt(v, 10))
+}
+
+// AttrBool annotates the span with a boolean value.
+func (s *Span) AttrBool(k string, v bool) {
+	s.Attr(k, strconv.FormatBool(v))
+}
+
+// Graft attaches a remote span tree (a forwarded request's half,
+// deserialized from the peer's response) under this span. Remote
+// offsets are rebased so the remote root starts where this span
+// started — clock skew between replicas never produces negative
+// offsets. Grafted spans do not re-observe the stage histogram (the
+// remote already counted them).
+func (s *Span) Graft(node *SpanNode) {
+	if s == nil || node == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	base := t.spans[s.idx].start
+	t.graftLocked(s.idx, node, base-time.Duration(node.StartMs*float64(time.Millisecond)))
+	t.mu.Unlock()
+}
+
+func (t *Trace) graftLocked(parent int32, n *SpanNode, shift time.Duration) {
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return
+	}
+	rec := spanRec{
+		name:   n.Name,
+		parent: parent,
+		start:  time.Duration(n.StartMs*float64(time.Millisecond)) + shift,
+		dur:    time.Duration(n.DurMs * float64(time.Millisecond)),
+		ended:  true,
+	}
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec.attrs = append(rec.attrs, Attr{k, n.Attrs[k]})
+		}
+	}
+	idx := int32(len(t.spans))
+	t.spans = append(t.spans, rec)
+	for _, c := range n.Children {
+		t.graftLocked(idx, c, shift)
+	}
+}
+
+// SpanNode is the exported, nested form of one span — the shape
+// serialized into ?debug=trace responses and /tracez.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	StartMs  float64           `json:"start_ms"`
+	DurMs    float64           `json:"dur_ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// SpanSummary is one row of a trace's slowest-spans digest (slow-request
+// log, /tracez listings).
+type SpanSummary struct {
+	Name  string  `json:"name"`
+	DurMs float64 `json:"dur_ms"`
+}
+
+// TraceData is a point-in-time snapshot of a whole trace.
+type TraceData struct {
+	ID           string    `json:"id"`
+	Name         string    `json:"name"`
+	Start        time.Time `json:"start"`
+	DurMs        float64   `json:"dur_ms"`
+	Spans        int       `json:"spans"`
+	Dropped      int       `json:"dropped_spans,omitempty"`
+	RemoteParent string    `json:"remote_parent,omitempty"`
+	Root         *SpanNode `json:"root"`
+}
+
+// Finish ends the root span and returns the final snapshot.
+func (t *Trace) Finish() *TraceData {
+	(&Span{tr: t, idx: 0}).End()
+	return t.Snapshot()
+}
+
+// Snapshot builds the span tree as of now; spans still open report
+// their duration so far. Safe to call at any time, including while
+// other goroutines are still recording.
+func (t *Trace) Snapshot() *TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Since(t.start)
+	nodes := make([]*SpanNode, len(t.spans))
+	for i := range t.spans {
+		rec := &t.spans[i]
+		n := &SpanNode{
+			Name:    rec.name,
+			StartMs: float64(rec.start) / float64(time.Millisecond),
+		}
+		dur := rec.dur
+		if !rec.ended {
+			dur = elapsed - rec.start
+		}
+		n.DurMs = float64(dur) / float64(time.Millisecond)
+		if len(rec.attrs) > 0 {
+			n.Attrs = make(map[string]string, len(rec.attrs))
+			for _, a := range rec.attrs {
+				n.Attrs[a.K] = a.V
+			}
+		}
+		nodes[i] = n
+		if rec.parent >= 0 {
+			p := nodes[rec.parent]
+			p.Children = append(p.Children, n)
+		}
+	}
+	td := &TraceData{
+		ID:           t.id,
+		Name:         t.name,
+		Start:        t.start,
+		Spans:        len(t.spans),
+		Dropped:      t.dropped,
+		RemoteParent: t.remoteParent,
+		Root:         nodes[0],
+	}
+	td.DurMs = nodes[0].DurMs
+	return td
+}
+
+// Top returns the n longest non-root spans, longest first.
+func (td *TraceData) Top(n int) []SpanSummary {
+	var all []SpanSummary
+	var walk func(s *SpanNode, root bool)
+	walk = func(s *SpanNode, root bool) {
+		if !root {
+			all = append(all, SpanSummary{Name: s.Name, DurMs: s.DurMs})
+		}
+		for _, c := range s.Children {
+			walk(c, false)
+		}
+	}
+	if td.Root != nil {
+		walk(td.Root, true)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurMs > all[j].DurMs })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// HasStage reports whether any span in the tree has the given name.
+func (td *TraceData) HasStage(name string) bool {
+	var walk func(s *SpanNode) bool
+	walk = func(s *SpanNode) bool {
+		if s.Name == name {
+			return true
+		}
+		for _, c := range s.Children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return td.Root != nil && walk(td.Root)
+}
+
+type ctxKey struct{}
+
+// WithSpan returns a context carrying the span; a nil span returns ctx
+// unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, nil when there is none.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

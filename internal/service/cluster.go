@@ -1,10 +1,13 @@
 package service
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // This file is the cluster-mode HTTP glue: ring-routed request
@@ -33,6 +36,7 @@ func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, 
 	cl := e.cluster
 	if r.Header.Get(cluster.ForwardHeader) != "" {
 		cl.CountOwned()
+		cl.CountForwardReceived()
 		local(w, r)
 		return
 	}
@@ -59,26 +63,66 @@ func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, 
 // replicas falls out). Returns false on transport failure, feeding the
 // failure detector so repeatedly unreachable owners go suspect → dead
 // and later requests re-route without paying the dial timeout.
+//
+// The hop is traced: a cluster.forward span covers the round trip, and
+// cluster.TraceHeader carries this trace's ID across so the owner
+// records its half under the same ID. For ?debug=trace responses the
+// remote span tree comes back inline and is grafted under the hop span,
+// and the body's trace fields are rewritten to the stitched local view —
+// the client sees one tree spanning both replicas.
 func forwardRequest(cl *cluster.Cluster, owner string, w http.ResponseWriter, r *http.Request) bool {
 	u := *r.URL
 	u.Scheme = "http"
 	u.Host = owner
+	fw := obs.SpanFrom(r.Context()).Child("cluster.forward")
+	fw.Attr("peer", owner)
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
 	if err != nil {
 		cl.CountForwardError()
+		fw.Attr("error", err.Error())
+		fw.End()
 		return false
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(cluster.ForwardHeader, cl.Self())
+	if ref := traceRef(fw, "cluster.forward"); ref != "" {
+		req.Header.Set(cluster.TraceHeader, ref)
+	}
 	resp, err := cl.Client().Do(req)
 	if err != nil {
 		cl.CountForwardError()
 		cl.MarkFailure(owner, err)
+		fw.Attr("error", err.Error())
+		fw.End()
 		return false
 	}
 	defer resp.Body.Close()
 	cl.MarkAlive(owner)
 	cl.CountForwarded()
+	if r.URL.Query().Get("debug") == "trace" && resp.StatusCode == http.StatusOK &&
+		strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		body, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			// Nothing was written yet; let the caller fall back to
+			// local compute.
+			cl.CountForwardError()
+			fw.Attr("error", rerr.Error())
+			fw.End()
+			return false
+		}
+		body = stitchForwardedTrace(obs.SpanFrom(r.Context()), fw, body)
+		for k, vs := range resp.Header {
+			if k == "Content-Length" { // body was rewritten
+				continue
+			}
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return true
+	}
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
@@ -86,7 +130,44 @@ func forwardRequest(cl *cluster.Cluster, owner string, w http.ResponseWriter, r 
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	fw.End()
 	return true
+}
+
+// stitchForwardedTrace grafts the remote span tree embedded in a
+// forwarded ?debug=trace response body under the hop span fw, ends the
+// hop, and rewrites the body's trace fields to this replica's (now
+// stitched) tree. Any parse failure returns the body untouched — the
+// remote half is still a valid trace on its own.
+func stitchForwardedTrace(sp, fw *obs.Span, body []byte) []byte {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		fw.End()
+		return body
+	}
+	if raw, ok := m["trace"]; ok {
+		var node obs.SpanNode
+		if err := json.Unmarshal(raw, &node); err == nil {
+			fw.Graft(&node)
+		}
+	}
+	fw.End()
+	tr := sp.Trace()
+	if tr == nil {
+		return body
+	}
+	snap := tr.Snapshot()
+	if b, err := json.Marshal(snap.Root); err == nil {
+		m["trace"] = b
+	}
+	if b, err := json.Marshal(snap.ID); err == nil {
+		m["trace_id"] = b
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return body
+	}
+	return out
 }
 
 // routedLayoutHandler wraps the local /v1/layout handler with ring

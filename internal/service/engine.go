@@ -32,6 +32,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/kernstats"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/store"
 	"repro/internal/topology"
@@ -81,6 +84,15 @@ type Options struct {
 	// Jobs().Resume() re-runs — unfinished batches instead of returning
 	// 404. qgdp-serve points it at <cache-dir>/jobs.
 	JobsDir string
+	// TraceRing caps the in-memory ring of recent request traces served
+	// on GET /tracez (default obs.DefaultRingSize).
+	TraceRing int
+	// SlowRequestThreshold, when positive, logs one structured JSON
+	// line (with the request's three slowest spans) for every traced
+	// request slower than it.
+	SlowRequestThreshold time.Duration
+	// SlowLogWriter receives the slow-request lines (default stderr).
+	SlowLogWriter io.Writer
 }
 
 // Engine is a concurrent layout/fidelity computation service over the
@@ -99,6 +111,13 @@ type Engine struct {
 	gpFlight, layFlight, fidFlight flightGroup
 
 	jobs *Jobs
+
+	// rec retains recent request traces for /tracez; slowThresh/slowW
+	// drive the structured slow-request log.
+	rec        *obs.Recorder
+	slowThresh time.Duration
+	slowMu     sync.Mutex
+	slowW      io.Writer
 
 	stats stats
 
@@ -123,11 +142,17 @@ func New(opts Options) *Engine {
 	if opts.Store == nil {
 		opts.Store = store.NewMemory(opts.CacheSize)
 	}
+	if opts.SlowLogWriter == nil {
+		opts.SlowLogWriter = os.Stderr
+	}
 	e := &Engine{
-		sem:      make(chan struct{}, opts.Workers),
-		budget:   budget,
-		cluster:  opts.Cluster,
-		layStore: opts.Store,
+		sem:        make(chan struct{}, opts.Workers),
+		budget:     budget,
+		cluster:    opts.Cluster,
+		layStore:   opts.Store,
+		rec:        obs.NewRecorder(opts.TraceRing),
+		slowThresh: opts.SlowRequestThreshold,
+		slowW:      opts.SlowLogWriter,
 		gpCache:  store.NewLRU(opts.CacheSize, nil),
 		fidCache: store.NewLRU(opts.CacheSize, nil),
 		prepareFn: func(dev *topology.Device, cfg core.Config) *netlist.Netlist {
@@ -160,6 +185,88 @@ func (e *Engine) Jobs() *Jobs { return e.jobs }
 
 // Cluster returns the sharding layer, nil in single-process mode.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Recorder returns the recent-trace ring behind GET /tracez.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
+
+// recordTrace files a finished trace into the ring and emits the
+// slow-request log line when the request exceeded the threshold.
+func (e *Engine) recordTrace(path string, td *obs.TraceData) {
+	if td == nil {
+		return
+	}
+	e.rec.Record(td)
+	if e.slowThresh <= 0 || td.DurMs < float64(e.slowThresh)/float64(time.Millisecond) {
+		return
+	}
+	line, err := json.Marshal(struct {
+		Ts       time.Time         `json:"ts"`
+		Msg      string            `json:"msg"`
+		Path     string            `json:"path"`
+		DurMs    float64           `json:"dur_ms"`
+		TraceID  string            `json:"trace_id"`
+		TopSpans []obs.SpanSummary `json:"top_spans"`
+	}{td.Start, "slow request", path, td.DurMs, td.ID, td.Top(3)})
+	if err != nil {
+		return
+	}
+	e.slowMu.Lock()
+	fmt.Fprintf(e.slowW, "%s\n", line)
+	e.slowMu.Unlock()
+}
+
+// HealthStore is the store section of the /healthz readiness payload.
+type HealthStore struct {
+	DiskHealthy bool  `json:"disk_healthy"`
+	WriteErrors int64 `json:"write_errors"`
+	DiskFiles   int64 `json:"disk_files"`
+}
+
+// HealthCluster is the cluster section of the /healthz readiness
+// payload. PeersTotal includes this replica.
+type HealthCluster struct {
+	PeersUp    int `json:"peers_up"`
+	PeersTotal int `json:"peers_total"`
+}
+
+// HealthView is the /healthz body: the original liveness contract
+// (status "ok") extended with readiness detail.
+type HealthView struct {
+	Status  string         `json:"status"`
+	Store   HealthStore    `json:"store"`
+	Cluster *HealthCluster `json:"cluster,omitempty"`
+}
+
+// Health reports readiness: ok=false (HTTP 503) when the disk tier is
+// erroring, since a replica that cannot spill loses restart durability
+// and shared-store short-circuiting. Down peers are reported but do
+// not gate readiness — a partitioned replica still serves its share.
+func (e *Engine) Health() (HealthView, bool) {
+	ss := e.layStore.Stats()
+	hv := HealthView{
+		Status: "ok",
+		Store: HealthStore{
+			DiskHealthy: ss.DiskHealthy,
+			WriteErrors: ss.WriteErrors,
+			DiskFiles:   ss.DiskFiles,
+		},
+	}
+	if e.cluster != nil {
+		cs := e.cluster.Stats()
+		hc := &HealthCluster{PeersUp: 1, PeersTotal: len(cs.PeerUp) + 1}
+		for _, up := range cs.PeerUp {
+			if up {
+				hc.PeersUp++
+			}
+		}
+		hv.Cluster = hc
+	}
+	if !ss.DiskHealthy {
+		hv.Status = "degraded"
+		return hv, false
+	}
+	return hv, true
+}
 
 // stats holds the engine counters behind /statsz.
 type stats struct {
@@ -374,13 +481,17 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 		e.stats.latencyCount.Add(1)
 	}()
 
+	sp := obs.SpanFrom(ctx)
 	key := layoutKey(req)
-	if lay, ok := e.layStore.Get(key); ok {
+	if lay, ok := e.storeGet(key, sp); ok {
 		e.stats.layoutHits.Add(1)
+		sp.AttrBool("cache_hit", true)
 		return LayoutResult{Layout: lay, CacheHit: true}, nil
 	}
 
+	qs := sp.Child("queue.wait")
 	release, err := e.acquire(ctx)
+	qs.End()
 	if err != nil {
 		return LayoutResult{}, err
 	}
@@ -392,6 +503,7 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	// miss above.
 	if lay, ok := e.layStore.Peek(key); ok {
 		e.stats.layoutHits.Add(1)
+		sp.AttrBool("cache_hit", true)
 		return LayoutResult{Layout: lay, CacheHit: true}, nil
 	}
 	e.stats.layoutMiss.Add(1)
@@ -402,8 +514,22 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	}
 	if shared {
 		e.stats.sharedFlights.Add(1)
+		sp.AttrBool("shared", true)
 	}
 	return LayoutResult{Layout: lay, Shared: shared}, nil
+}
+
+// storeGet is a Get with per-tier spans when the store supports them
+// (and a plain wrapper span otherwise). A nil span costs nothing.
+func (e *Engine) storeGet(key string, sp *obs.Span) (*core.Layout, bool) {
+	if ts, ok := e.layStore.(store.Traced); ok {
+		return ts.GetTraced(key, sp)
+	}
+	gs := sp.Child("store.get")
+	lay, ok := e.layStore.Get(key)
+	gs.AttrBool("hit", ok)
+	gs.End()
+	return lay, ok
 }
 
 // layoutFlightDo coalesces concurrent identical layout computations.
@@ -415,7 +541,9 @@ func (e *Engine) layoutFlightDo(ctx context.Context, key string, req LayoutReque
 			if err != nil {
 				return nil, err
 			}
+			ps := obs.SpanFrom(ctx).Child("store.put")
 			e.layStore.Put(key, lay)
+			ps.End()
 			return lay, nil
 		})
 		if retryShared(ctx, err, shared) {
@@ -441,7 +569,12 @@ func (e *Engine) computeLayout(ctx context.Context, req LayoutRequest) (*core.La
 	e.stats.inFlight.Add(1)
 	defer e.stats.inFlight.Add(-1)
 	e.stats.computed.Add(1)
-	return e.legalizeFn(ctx, gp, req.Strategy, e.withBudget(req.Config))
+	cfg := e.withBudget(req.Config)
+	// Pipeline stages hang their spans under the (leader) request's
+	// span; followers coalesced into this flight share the tree via the
+	// recorded trace, not their own.
+	cfg.Obs = obs.SpanFrom(ctx)
+	return e.legalizeFn(ctx, gp, req.Strategy, cfg)
 }
 
 // gpFor returns the (immutable) global-placement solution for the
@@ -469,7 +602,9 @@ func (e *Engine) gpFor(ctx context.Context, req LayoutRequest) (*netlist.Netlist
 			e.stats.inFlight.Add(1)
 			defer e.stats.inFlight.Add(-1)
 			e.stats.computed.Add(1)
-			gp := e.prepareFn(dev, e.withBudget(req.Config))
+			cfg := e.withBudget(req.Config)
+			cfg.Obs = obs.SpanFrom(ctx)
+			gp := e.prepareFn(dev, cfg)
 			e.gpCache.Add(key, gp)
 			return gp, nil
 		})
@@ -493,13 +628,17 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 		e.stats.latencyCount.Add(1)
 	}()
 
+	sp := obs.SpanFrom(ctx)
 	key := fidelityKey(req)
 	if v, ok := e.fidCache.Get(key); ok {
 		e.stats.fidHits.Add(1)
+		sp.AttrBool("cache_hit", true)
 		return FidelityResult{Fidelity: v.(float64), CacheHit: true}, nil
 	}
 
+	qs := sp.Child("queue.wait")
 	release, err := e.acquire(ctx)
+	qs.End()
 	if err != nil {
 		return FidelityResult{}, err
 	}
@@ -523,7 +662,9 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 			e.stats.inFlight.Add(1)
 			defer e.stats.inFlight.Add(-1)
 			e.stats.computed.Add(1)
-			f, err := e.fidelityFn(ctx, lay.Netlist, req.Benchmark, req.Config)
+			fcfg := req.Config
+			fcfg.Obs = obs.SpanFrom(ctx)
+			f, err := e.fidelityFn(ctx, lay.Netlist, req.Benchmark, fcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -550,7 +691,7 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 // and this resolution belongs to a fidelity request counted elsewhere.
 func (e *Engine) layoutForNested(ctx context.Context, req LayoutRequest) (*core.Layout, error) {
 	key := layoutKey(req)
-	if lay, ok := e.layStore.Get(key); ok {
+	if lay, ok := e.storeGet(key, obs.SpanFrom(ctx)); ok {
 		return lay, nil
 	}
 	lay, err, _ := e.layoutFlightDo(ctx, key, req)
@@ -565,7 +706,9 @@ func (e *Engine) Analyze(ctx context.Context, req LayoutRequest) (metrics.Report
 	if err != nil {
 		return metrics.Report{}, nil, err
 	}
-	return core.Analyze(res.Layout.Netlist, e.withBudget(req.Config)), res.Layout, nil
+	cfg := e.withBudget(req.Config)
+	cfg.Obs = obs.SpanFrom(ctx)
+	return core.Analyze(res.Layout.Netlist, cfg), res.Layout, nil
 }
 
 // SweepItem is one topology × strategy result of a Sweep stream.

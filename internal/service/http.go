@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -13,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/layoutio"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/qbench"
 	"repro/internal/topology"
 )
@@ -26,8 +29,10 @@ import (
 //	POST /v1/jobs                                             submit a batch of layout requests, returns a job ID
 //	GET  /v1/jobs                                             summaries of retained jobs
 //	GET  /v1/jobs/{id}                                        job status + per-item partial results
-//	GET  /healthz                                             liveness
+//	GET  /healthz                                             liveness + readiness detail (503 when the disk tier errors)
 //	GET  /statsz                                              engine counters
+//	GET  /metricsz                                            Prometheus text exposition of the obs registry
+//	GET  /tracez                                              recent request traces (slowest-first; ?id= for one tree)
 //	GET  /clusterz                                            cluster mode: membership + health (heartbeat target)
 //	GET  /clusterz/route?topology=...                         cluster mode: ring verdict for one request
 //
@@ -36,6 +41,11 @@ import (
 // key proxies it to the owner (one hop, X-QGDP-Forwarded guarded)
 // unless the result is already in the local/shared store, and computes
 // locally when the owner is unreachable.
+//
+// Every /v1/layout and /v1/fidelity request runs under a trace whose
+// spans cover the queue wait, store tiers, pipeline stages, and (in
+// cluster mode) the forward hop; ?debug=trace inlines the span tree in
+// the response, and the trace lands in the /tracez ring either way.
 func NewHandler(e *Engine) http.Handler {
 	layout := func(w http.ResponseWriter, r *http.Request) { handleLayout(e, w, r) }
 	fidelity := func(w http.ResponseWriter, r *http.Request) { handleFidelity(e, w, r) }
@@ -46,6 +56,11 @@ func NewHandler(e *Engine) http.Handler {
 		mux.Handle("GET /clusterz", e.cluster.Handler())
 		mux.HandleFunc("GET /clusterz/route", func(w http.ResponseWriter, r *http.Request) { handleClusterRoute(e, w, r) })
 	}
+	// The trace middleware sits outside the routing wrapper so a
+	// forwarded request's hop span (and the remote tree grafted under
+	// it) lands in this replica's trace.
+	layout = tracedHandler(e, "/v1/layout", layout)
+	fidelity = tracedHandler(e, "/v1/fidelity", fidelity)
 	mux.HandleFunc("GET /v1/layout", layout)
 	mux.HandleFunc("GET /v1/fidelity", fidelity)
 	mux.HandleFunc("GET /v1/strategies", handleStrategies)
@@ -63,12 +78,182 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, view)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		hv, ok := e.Health()
+		status := http.StatusOK
+		if !ok {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, hv)
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, _ *http.Request) {
+		handleMetricsz(e, w)
+	})
+	mux.HandleFunc("GET /tracez", func(w http.ResponseWriter, r *http.Request) {
+		handleTracez(e, w, r)
+	})
 	return mux
+}
+
+// tracedHandler runs h under a request trace: a fresh one normally, an
+// adopted one when the request carries cluster.TraceHeader (a forward
+// hop or job fan-out from another replica — both halves then share one
+// trace ID). The finished trace lands in the /tracez ring and, when it
+// crossed the slow threshold, in the slow-request log.
+func tracedHandler(e *Engine, name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var (
+			tr   *obs.Trace
+			root *obs.Span
+		)
+		if ref := r.Header.Get(cluster.TraceHeader); ref != "" {
+			id, parent, _ := strings.Cut(ref, ";")
+			tr, root = obs.Adopt(id, name, parent)
+		} else {
+			tr, root = obs.New(name)
+		}
+		h(w, r.WithContext(obs.WithSpan(r.Context(), root)))
+		e.recordTrace(name, tr.Finish())
+	}
+}
+
+// traceRef formats the cluster.TraceHeader value for an outgoing hop:
+// the trace ID plus the span the remote half hangs under.
+func traceRef(s *obs.Span, parent string) string {
+	tr := s.Trace()
+	if tr == nil {
+		return ""
+	}
+	return tr.ID() + ";" + parent
+}
+
+// handleMetricsz renders the obs registry (kernstats counters, stage
+// and kernel histograms) plus the engine-scoped series derived from
+// Stats() in Prometheus text exposition format.
+func handleMetricsz(e *Engine, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	obs.WritePrometheus(&buf)
+	writeEngineMetrics(&buf, e)
+	w.Write(buf.Bytes())
+}
+
+// writeEngineMetrics emits the per-engine series (the obs registry is
+// process-wide; these come from this engine's Stats snapshot).
+func writeEngineMetrics(w io.Writer, e *Engine) {
+	s := e.Stats()
+	counter := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	counter("qgdp_engine_requests_total", s.Requests)
+	counter("qgdp_engine_layout_hits_total", s.LayoutHits)
+	counter("qgdp_engine_layout_misses_total", s.LayoutMisses)
+	counter("qgdp_engine_gp_hits_total", s.GPHits)
+	counter("qgdp_engine_gp_misses_total", s.GPMisses)
+	counter("qgdp_engine_fidelity_hits_total", s.FidelityHits)
+	counter("qgdp_engine_fidelity_misses_total", s.FidelityMisses)
+	counter("qgdp_engine_computed_total", s.Computed)
+	counter("qgdp_engine_shared_flights_total", s.SharedFlights)
+	gauge("qgdp_engine_in_flight", s.InFlight)
+	gauge("qgdp_parallel_capacity", int64(s.Parallel.Capacity))
+	gauge("qgdp_parallel_tokens_in_use", int64(s.Parallel.TokensInUse))
+	counter("qgdp_parallel_tokens_granted_total", int64(s.Parallel.TokensGranted))
+	counter("qgdp_parallel_tokens_denied_total", int64(s.Parallel.TokensDenied))
+	counter("qgdp_parallel_pool_tasks_total", int64(s.Parallel.PoolTasks))
+	gauge("qgdp_store_mem_entries", s.Store.MemEntries)
+	gauge("qgdp_store_disk_files", s.Store.DiskFiles)
+	gauge("qgdp_store_disk_bytes", s.Store.DiskBytes)
+	gauge("qgdp_store_disk_healthy", boolGauge(s.Store.DiskHealthy))
+	gauge("qgdp_jobs_retained", int64(s.Jobs.Retained))
+	gauge("qgdp_traces_retained", int64(e.rec.Len()))
+	if s.Cluster != nil {
+		gauge("qgdp_cluster_replication", int64(s.Cluster.Replication))
+		peers := make([]string, 0, len(s.Cluster.PeerUp))
+		for p := range s.Cluster.PeerUp {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		fmt.Fprintf(w, "# TYPE qgdp_cluster_peer_up gauge\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "qgdp_cluster_peer_up{peer=\"%s\"} %d\n",
+				obs.EscapeLabel(p), boolGauge(s.Cluster.PeerUp[p]))
+		}
+	}
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// traceSummary is one row of the /tracez listing.
+type traceSummary struct {
+	ID    string            `json:"id"`
+	Name  string            `json:"name"`
+	Start string            `json:"start"`
+	DurMs float64           `json:"dur_ms"`
+	Spans int               `json:"spans"`
+	Top   []obs.SpanSummary `json:"top"`
+}
+
+// handleTracez serves the recent-trace ring: ?id= returns one full span
+// tree; otherwise a filtered listing (?sort=recent|slow, ?stage=,
+// ?min_ms=, ?limit=), slowest-first by default.
+func handleTracez(e *Engine, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		td := e.rec.Get(id)
+		if td == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, td)
+		return
+	}
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	var minMs float64
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", v))
+			return
+		}
+		minMs = f
+	}
+	bySlowest := q.Get("sort") != "recent"
+	list := e.rec.List(bySlowest, q.Get("stage"), minMs, limit)
+	out := make([]traceSummary, 0, len(list))
+	for _, td := range list {
+		out = append(out, traceSummary{
+			ID:    td.ID,
+			Name:  td.Name,
+			Start: td.Start.UTC().Format("2006-01-02T15:04:05.000Z"),
+			DurMs: td.DurMs,
+			Spans: td.Spans,
+			Top:   td.Top(3),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recorded": e.rec.Seen(),
+		"retained": e.rec.Len(),
+		"count":    len(out),
+		"traces":   out,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -194,6 +379,12 @@ type layoutResponse struct {
 	ResonatorMs float64         `json:"te_ms"`
 	DPMs        float64         `json:"dp_ms"`
 	Layout      json.RawMessage `json:"layout"`
+	// TraceID/Trace are present only with ?debug=trace: the request's
+	// span tree as of response time (the root span is still open). On a
+	// forwarded request the tree is the remote replica's half; the
+	// caller grafts it under its hop span before relaying.
+	TraceID string        `json:"trace_id,omitempty"`
+	Trace   *obs.SpanNode `json:"trace,omitempty"`
 }
 
 func handleLayout(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -217,18 +408,28 @@ func handleLayout(e *Engine, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, layoutResponse{
+	cfg := e.withBudget(req.Config)
+	cfg.Obs = obs.SpanFrom(r.Context())
+	resp := layoutResponse{
 		Topology:    req.Topology,
 		Strategy:    req.Strategy,
 		Seed:        req.Config.GP.Seed,
 		CacheHit:    res.CacheHit,
 		Shared:      res.Shared,
-		Report:      core.Analyze(res.Layout.Netlist, e.withBudget(req.Config)),
+		Report:      core.Analyze(res.Layout.Netlist, cfg),
 		QubitMs:     float64(res.Layout.QubitTime.Nanoseconds()) / 1e6,
 		ResonatorMs: float64(res.Layout.ResonatorTime.Nanoseconds()) / 1e6,
 		DPMs:        float64(res.Layout.DPTime.Nanoseconds()) / 1e6,
 		Layout:      json.RawMessage(buf.Bytes()),
-	})
+	}
+	if r.URL.Query().Get("debug") == "trace" {
+		if sp := obs.SpanFrom(r.Context()); sp != nil {
+			snap := sp.Trace().Snapshot()
+			resp.TraceID = snap.ID
+			resp.Trace = snap.Root
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func handleFidelity(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -389,7 +590,18 @@ func handleJobSubmit(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	submit := e.Jobs().Submit
 	if r.Header.Get(cluster.ForwardHeader) != "" {
-		submit = e.Jobs().SubmitLocal
+		ref := r.Header.Get(cluster.TraceHeader)
+		submit = func(reqs []LayoutRequest) (JobView, error) {
+			return e.Jobs().SubmitForwarded(reqs, ref)
+		}
+		if e.cluster != nil {
+			// The submitter counts one forward per item (forwardGroup);
+			// mirror that here so forwarded == forward_received
+			// reconciles cluster-wide once sub-jobs drain.
+			for range reqs {
+				e.cluster.CountForwardReceived()
+			}
+		}
 	}
 	view, err := submit(reqs)
 	if err != nil {

@@ -40,10 +40,18 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 
 func TestHealthz(t *testing.T) {
 	srv, _ := testServer(t)
-	var body map[string]string
+	var body struct {
+		Status string `json:"status"`
+		Store  struct {
+			DiskHealthy bool `json:"disk_healthy"`
+		} `json:"store"`
+	}
 	resp := getJSON(t, srv.URL+"/healthz", &body)
-	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
-		t.Errorf("healthz: status %d body %v", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK || body.Status != "ok" {
+		t.Errorf("healthz: status %d body %+v", resp.StatusCode, body)
+	}
+	if !body.Store.DiskHealthy {
+		t.Errorf("healthz: store should report healthy: %+v", body)
 	}
 }
 

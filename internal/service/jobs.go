@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kernstats"
+	"repro/internal/obs"
 )
 
 // Jobs is the async batch-computation subsystem: a submitted job is a
@@ -115,6 +116,11 @@ type JobView struct {
 	Done    int       `json:"done"`
 	Failed  int       `json:"failed"`
 	Items   []JobItem `json:"items,omitempty"`
+	// TraceID names the job's trace in /tracez; Trace is the full span
+	// tree, present only on an item-bearing view of a finished job (a
+	// forwarding replica grafts it under its own fan-out span).
+	TraceID string        `json:"trace_id,omitempty"`
+	Trace   *obs.SpanNode `json:"trace,omitempty"`
 }
 
 // JobsStats is the /statsz view of the subsystem.
@@ -149,6 +155,13 @@ type job struct {
 	// scheduled marks jobs whose unfinished items have runners (set by
 	// submit and Resume), so a double Resume never double-schedules.
 	scheduled bool
+
+	// tr/root trace the job's lifetime: every item and every remote
+	// fan-out hangs under root, and the trace is recorded in the
+	// engine's ring when the last item finishes. Jobs rebuilt from
+	// manifests have no trace (nil is a no-op throughout).
+	tr   *obs.Trace
+	root *obs.Span
 
 	// gen counts manifest-relevant mutations (guarded by Jobs.mu);
 	// genWritten is the newest generation on disk (guarded by
@@ -204,17 +217,25 @@ func newJobID() string {
 // submitter's context — a client may disconnect and poll later. In
 // cluster mode the batch is partitioned by ring owner (see Jobs).
 func (js *Jobs) Submit(reqs []LayoutRequest) (JobView, error) {
-	return js.submit(reqs, false)
+	return js.submit(reqs, false, "")
 }
 
 // SubmitLocal is Submit without cluster partitioning: every item runs
 // on this replica. It is the hop guard for forwarded sub-jobs — the
 // owner of a group must never forward it onward.
 func (js *Jobs) SubmitLocal(reqs []LayoutRequest) (JobView, error) {
-	return js.submit(reqs, true)
+	return js.submit(reqs, true, "")
 }
 
-func (js *Jobs) submit(reqs []LayoutRequest, localOnly bool) (JobView, error) {
+// SubmitForwarded is SubmitLocal for a hop-guarded sub-job carrying the
+// submitter's trace reference (cluster.TraceHeader value): the sub-job
+// adopts the parent's trace ID, so when the submitter grafts the
+// finished sub-job's tree the stitched trace spans both replicas.
+func (js *Jobs) SubmitForwarded(reqs []LayoutRequest, ref string) (JobView, error) {
+	return js.submit(reqs, true, ref)
+}
+
+func (js *Jobs) submit(reqs []LayoutRequest, localOnly bool, ref string) (JobView, error) {
 	if len(reqs) == 0 {
 		return JobView{}, fmt.Errorf("empty job: no requests")
 	}
@@ -223,6 +244,13 @@ func (js *Jobs) submit(reqs []LayoutRequest, localOnly bool) (JobView, error) {
 	}
 
 	j := &job{id: newJobID(), created: time.Now(), reqs: reqs, items: make([]JobItem, len(reqs)), scheduled: true}
+	if ref != "" {
+		id, parent, _ := strings.Cut(ref, ";")
+		j.tr, j.root = obs.Adopt(id, "job", parent)
+	} else {
+		j.tr, j.root = obs.New("job")
+	}
+	j.root.AttrInt("items", int64(len(reqs)))
 	for i, r := range reqs {
 		j.items[i] = JobItem{
 			Topology: r.Topology, Strategy: r.Strategy, Seed: r.Config.GP.Seed,
@@ -333,7 +361,12 @@ func (js *Jobs) runItem(j *job, i int) {
 	}
 	j.items[i].Status = JobItemRunning
 	js.mu.Unlock()
-	res, err := js.e.Layout(js.ctx, j.reqs[i])
+	sp := j.root.Child("job.item")
+	sp.Attr("topology", j.reqs[i].Topology)
+	sp.AttrInt("seed", j.reqs[i].Config.GP.Seed)
+	res, err := js.e.Layout(obs.WithSpan(js.ctx, sp), j.reqs[i])
+	sp.AttrBool("cache_hit", res.CacheHit)
+	sp.End()
 	js.finishItem(j, i, res, err)
 }
 
@@ -404,6 +437,11 @@ func (js *Jobs) finishWith(j *job, i int, apply func(it *JobItem)) {
 	kernstats.JobQueueDepth.Add(-1)
 	if finished {
 		kernstats.JobsCompleted.Add(1)
+		if j.tr != nil {
+			// Exactly one item closes the job, so the trace is finished
+			// (and ring-recorded) exactly once.
+			js.e.recordTrace("/v1/jobs", j.tr.Finish())
+		}
 	}
 	js.persistManifest(j, gen, snap)
 }
@@ -415,8 +453,13 @@ func (js *Jobs) finishWith(j *job, i int, apply func(it *JobItem)) {
 func (js *Jobs) forwardGroup(j *job, owner string, idxs []int) {
 	defer js.wg.Done()
 	cl := js.e.cluster
-	items, err := js.runRemoteGroup(owner, j, idxs)
+	fw := j.root.Child("jobs.forward")
+	fw.Attr("peer", owner)
+	fw.AttrInt("items", int64(len(idxs)))
+	items, remoteTree, err := js.runRemoteGroup(owner, j, idxs, fw)
 	if err != nil {
+		fw.Attr("error", err.Error())
+		fw.End()
 		cl.CountForwardError()
 		cl.MarkFailure(owner, err)
 		// Hand the group back to the local path with the usual runner
@@ -440,6 +483,10 @@ func (js *Jobs) forwardGroup(j *job, owner string, idxs []int) {
 		launch()
 		return
 	}
+	if remoteTree != nil {
+		fw.Graft(remoteTree)
+	}
+	fw.End()
 	cl.MarkAlive(owner)
 	for k, i := range idxs {
 		cl.CountForwarded()
@@ -448,8 +495,11 @@ func (js *Jobs) forwardGroup(j *job, owner string, idxs []int) {
 }
 
 // runRemoteGroup submits idxs of j to owner as a sub-job and polls it
-// to completion, returning the remote items in idxs order.
-func (js *Jobs) runRemoteGroup(owner string, j *job, idxs []int) ([]JobItem, error) {
+// to completion, returning the remote items in idxs order plus the
+// remote job's span tree (nil if the peer predates tracing). The submit
+// carries fw's trace reference so the sub-job records under the same
+// trace ID.
+func (js *Jobs) runRemoteGroup(owner string, j *job, idxs []int, fw *obs.Span) ([]JobItem, *obs.SpanNode, error) {
 	type specItem struct {
 		Topology string       `json:"topology"`
 		Strategy string       `json:"strategy"`
@@ -465,7 +515,7 @@ func (js *Jobs) runRemoteGroup(owner string, j *job, idxs []int) ([]JobItem, err
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	js.mu.Lock()
@@ -477,32 +527,33 @@ func (js *Jobs) runRemoteGroup(owner string, j *job, idxs []int) ([]JobItem, err
 	}
 	js.mu.Unlock()
 
-	view, err := js.remoteJobCall(http.MethodPost, owner, "/v1/jobs", payload)
+	view, err := js.remoteJobCall(http.MethodPost, owner, "/v1/jobs", payload, traceRef(fw, "jobs.forward"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if view.Total != len(idxs) {
-		return nil, fmt.Errorf("sub-job registered %d items, sent %d", view.Total, len(idxs))
+		return nil, nil, fmt.Errorf("sub-job registered %d items, sent %d", view.Total, len(idxs))
 	}
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
 	for view.Status != JobDone {
 		select {
 		case <-js.ctx.Done():
-			return nil, js.ctx.Err()
+			return nil, nil, js.ctx.Err()
 		case <-ticker.C:
 		}
-		view, err = js.remoteJobCall(http.MethodGet, owner, "/v1/jobs/"+view.ID, nil)
+		view, err = js.remoteJobCall(http.MethodGet, owner, "/v1/jobs/"+view.ID, nil, "")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return view.Items, nil
+	return view.Items, view.Trace, nil
 }
 
 // remoteJobCall performs one jobs-API request against a peer replica,
-// hop-guarded so the peer serves it locally.
-func (js *Jobs) remoteJobCall(method, owner, path string, payload []byte) (JobView, error) {
+// hop-guarded so the peer serves it locally. A non-empty ref rides
+// along as cluster.TraceHeader.
+func (js *Jobs) remoteJobCall(method, owner, path string, payload []byte, ref string) (JobView, error) {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -512,6 +563,9 @@ func (js *Jobs) remoteJobCall(method, owner, path string, payload []byte) (JobVi
 		return JobView{}, err
 	}
 	req.Header.Set(cluster.ForwardHeader, js.e.cluster.Self())
+	if ref != "" {
+		req.Header.Set(cluster.TraceHeader, ref)
+	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -593,6 +647,12 @@ func (js *Jobs) snapshotLocked(j *job, withItems bool) JobView {
 	}
 	if withItems {
 		v.Items = append([]JobItem(nil), j.items...)
+	}
+	if j.tr != nil {
+		v.TraceID = j.tr.ID()
+		if withItems && v.Status == JobDone {
+			v.Trace = j.tr.Snapshot().Root
+		}
 	}
 	return v
 }

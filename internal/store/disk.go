@@ -64,6 +64,10 @@ type Disk struct {
 	spills, gcEvictions    atomic.Int64
 	corrupt, writeFailures atomic.Int64
 	gcRaces                atomic.Int64
+	// healthy tracks the last spill's I/O outcome: false after a failed
+	// tmp-write/rename, true again on the next success. It is the
+	// readiness bit surfaced through Stats.DiskHealthy and /healthz.
+	healthy atomic.Bool
 }
 
 // diskEntry is the on-disk envelope: the layout netlist as layoutio
@@ -88,6 +92,7 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 		return nil, fmt.Errorf("store: open disk tier: %w", err)
 	}
 	d := &Disk{dir: dir, max: opts.MaxBytes, files: map[string]int64{}}
+	d.healthy.Store(true)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: scan disk tier: %w", err)
@@ -214,8 +219,10 @@ func (d *Disk) put(key string, lay *core.Layout) {
 	}
 	if err := d.writeAtomic(name, data); err != nil {
 		d.writeFailures.Add(1)
+		d.healthy.Store(false)
 		return
 	}
+	d.healthy.Store(true)
 
 	d.mu.Lock()
 	if old, ok := d.files[name]; ok {
@@ -361,6 +368,7 @@ func (d *Disk) Stats() Stats {
 		WriteErrors:    d.writeFailures.Load(),
 		DiskFiles:      files,
 		DiskBytes:      size,
+		DiskHealthy:    d.healthy.Load(),
 	}
 }
 

@@ -72,10 +72,11 @@ func (m *Memory) Put(key string, lay *core.Layout) {
 // Stats implements Store.
 func (m *Memory) Stats() Stats {
 	return Stats{
-		MemHits:    m.hits.Load(),
-		Misses:     m.misses.Load(),
-		Puts:       m.puts.Load(),
-		MemEntries: int64(m.lru.Len()),
+		MemHits:     m.hits.Load(),
+		Misses:      m.misses.Load(),
+		Puts:        m.puts.Load(),
+		MemEntries:  int64(m.lru.Len()),
+		DiskHealthy: true, // no disk tier to fail
 	}
 }
 

@@ -23,6 +23,7 @@ package store
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Store is a layout cache. Implementations are safe for concurrent use.
@@ -42,6 +43,15 @@ type Store interface {
 	Stats() Stats
 	// Close releases resources. Get/Put after Close are undefined.
 	Close() error
+}
+
+// Traced is an optional Store capability: a lookup that records one
+// span per tier probed under the given parent, so a request trace
+// shows whether its layout came from memory, disk (with promotion), or
+// missed entirely. Semantics match Get (misses are counted); a nil
+// parent degrades to plain Get.
+type Traced interface {
+	GetTraced(key string, parent *obs.Span) (*core.Layout, bool)
 }
 
 // Stats is a point-in-time view of a store's counters. Tier fields not
@@ -73,4 +83,8 @@ type Stats struct {
 	MemEntries  int64 `json:"mem_entries"`
 	DiskFiles   int64 `json:"disk_files"`
 	DiskBytes   int64 `json:"disk_bytes"`
+	// DiskHealthy is the readiness signal for /healthz: false after a
+	// disk-tier I/O error (tmp-file create/write/rename), true again
+	// once a later spill succeeds. Tiers without a disk stay true.
+	DiskHealthy bool `json:"disk_healthy"`
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernstats"
+	"repro/internal/obs"
 )
 
 // Tiered composes the memory LRU over the persistent disk tier:
@@ -64,6 +65,42 @@ func (t *Tiered) Get(key string) (*core.Layout, bool) {
 	return nil, false
 }
 
+// GetTraced implements Traced: Get semantics with one span per tier
+// probed, so a request trace shows exactly where its layout came from.
+// The memory span is opened only around the LRU probe; the disk span
+// covers the file read, decode, and (on a hit) the promotion back into
+// memory.
+func (t *Tiered) GetTraced(key string, parent *obs.Span) (*core.Layout, bool) {
+	if parent == nil {
+		return t.Get(key)
+	}
+	ms := parent.Child("store.mem")
+	lay, ok := t.mem.get(key)
+	ms.AttrBool("hit", ok)
+	ms.End()
+	if ok {
+		t.memHits.Add(1)
+		kernstats.StoreMemHits.Add(1)
+		return lay, true
+	}
+	ds := parent.Child("store.disk")
+	lay, ok = t.disk.get(key)
+	ds.AttrBool("hit", ok)
+	if ok {
+		t.diskHits.Add(1)
+		t.promotions.Add(1)
+		kernstats.StoreDiskHits.Add(1)
+		ds.AttrBool("promoted", true)
+		t.mem.put(key, lay)
+		ds.End()
+		return lay, true
+	}
+	ds.End()
+	t.misses.Add(1)
+	kernstats.StoreMisses.Add(1)
+	return nil, false
+}
+
 // Put implements Store.
 func (t *Tiered) Put(key string, lay *core.Layout) {
 	t.puts.Add(1)
@@ -90,6 +127,7 @@ func (t *Tiered) Stats() Stats {
 		MemEntries:     int64(t.mem.lru.Len()),
 		DiskFiles:      ds.DiskFiles,
 		DiskBytes:      ds.DiskBytes,
+		DiskHealthy:    ds.DiskHealthy,
 	}
 }
 

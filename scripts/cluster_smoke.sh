@@ -97,6 +97,51 @@ if [ "$COMPUTED_NONZERO" -ne 1 ]; then
 fi
 grep -q '"cluster"' "$WORK/stats0.json" || { echo "FAIL: /statsz lacks cluster section"; exit 1; }
 
+echo "== /statsz key order is stable across scrapes"
+curl -sf "http://$HOST:${PORTS[0]}/statsz" -o "$WORK/stats0b.json"
+keys() { grep -o '"[a-zA-Z0-9_.:-]*":' "$1"; }
+if ! diff <(keys "$WORK/stats0.json") <(keys "$WORK/stats0b.json") >/dev/null; then
+  echo "FAIL: /statsz key order churned between scrapes"
+  diff <(keys "$WORK/stats0.json") <(keys "$WORK/stats0b.json") | head
+  exit 1
+fi
+
+echo "== fresh key via a non-owner: one stitched cross-replica trace"
+Q3="topology=Grid&strategy=qGDP-LG&seed=123&mappings=1"
+curl -sf "http://$HOST:${PORTS[0]}/clusterz/route?$Q3" -o "$WORK/route3.json"
+OWNER3=$(sed -n 's/.*"route": "\([^"]*\)".*/\1/p' "$WORK/route3.json")
+NONOWNER=""
+for i in 0 1 2; do
+  if [ "$HOST:${PORTS[$i]}" != "$OWNER3" ]; then
+    NONOWNER=$HOST:${PORTS[$i]}
+    break
+  fi
+done
+curl -sf "http://$NONOWNER/v1/layout?$Q3&debug=trace" -o "$WORK/trace.json"
+grep -q '"trace_id"' "$WORK/trace.json" || { echo "FAIL: debug=trace returned no trace_id"; exit 1; }
+grep -q '"cluster.forward"' "$WORK/trace.json" \
+  || { echo "FAIL: forwarded trace lacks the cluster.forward hop span"; exit 1; }
+grep -q '"qlegal.legalize"' "$WORK/trace.json" \
+  || { echo "FAIL: stitched trace lacks the owner's pipeline spans"; exit 1; }
+
+echo "== /metricsz: valid exposition, forward counters reconcile cluster-wide"
+SENT=0; RECV=0
+for i in 0 1 2; do
+  curl -sf "http://$HOST:${PORTS[$i]}/metricsz" -o "$WORK/metrics$i.txt"
+  grep -q '^# TYPE qgdp_stage_seconds histogram$' "$WORK/metrics$i.txt" \
+    || { echo "FAIL: replica $i /metricsz lacks the stage histogram"; exit 1; }
+  grep -q '^qgdp_engine_requests_total [0-9]' "$WORK/metrics$i.txt" \
+    || { echo "FAIL: replica $i /metricsz lacks engine counters"; exit 1; }
+  F=$(sed -n 's/^qgdp_cluster_forwarded_total \([0-9]*\)$/\1/p' "$WORK/metrics$i.txt")
+  R=$(sed -n 's/^qgdp_cluster_forward_received_total \([0-9]*\)$/\1/p' "$WORK/metrics$i.txt")
+  SENT=$((SENT + ${F:-0})); RECV=$((RECV + ${R:-0}))
+done
+if [ "$SENT" -lt 1 ] || [ "$SENT" -ne "$RECV" ]; then
+  echo "FAIL: cluster-wide forwarded=$SENT forward_received=$RECV, want equal and >= 1"
+  grep 'qgdp_cluster_forward' "$WORK"/metrics?.txt
+  exit 1
+fi
+
 echo "== kill the owner of a fresh key; surviving replica must still answer"
 curl -sf "http://$HOST:${PORTS[0]}/clusterz/route?$Q2" -o "$WORK/route.json"
 OWNER=$(sed -n 's/.*"route": "\([^"]*\)".*/\1/p' "$WORK/route.json")
