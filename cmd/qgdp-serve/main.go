@@ -41,6 +41,17 @@
 // Observability knobs: -slow-log sets the latency threshold above which
 // a request's trace is logged as one structured JSON line (0 disables);
 // -debug-addr serves net/http/pprof on a second, private listener.
+//
+// Resilience knobs: -max-queue bounds how many requests may wait for a
+// worker slot (excess sheds with 503 + Retry-After); -quota-rps gives
+// each tenant (X-QGDP-Tenant header) a token-bucket rate quota (excess
+// sheds with 429); -default-deadline bounds requests that carry no
+// X-QGDP-Deadline header (blown deadlines return 504, client
+// disconnects 408); -forward-timeout bounds each cluster forward
+// attempt (a failed attempt retries once against the next ring owner,
+// and repeated failures open a per-peer circuit breaker, visible on
+// /clusterz). -fault-spec/-fault-seed enable the deterministic fault
+// injector for chaos testing — never active unless set.
 package main
 
 import (
@@ -60,6 +71,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -78,6 +90,14 @@ func main() {
 	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
 	slowLog := flag.Duration("slow-log", 0, "log a structured trace line for requests slower than this (0: disabled)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty: disabled)")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a worker slot before shedding with 503 (0: unbounded)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "shed with 503 when the estimated queue wait exceeds this (0: disabled)")
+	quotaRPS := flag.Float64("quota-rps", 0, "per-tenant request rate quota (token bucket; 0: unlimited)")
+	quotaBurst := flag.Int("quota-burst", 0, "per-tenant token-bucket capacity (default max(1, 2*quota-rps))")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline applied to requests without an X-QGDP-Deadline header (0: none)")
+	forwardTimeout := flag.Duration("forward-timeout", 0, "per-attempt bound on cluster forwards (0: derived from -heartbeat)")
+	faultSpec := flag.String("fault-spec", "", "fault-injection schedule, e.g. 'peer.forward=latency:2s,times=3' (empty: disabled)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
 
 	if err := run(options{
@@ -86,6 +106,10 @@ func main() {
 		peers: *peers, advertise: *advertise, replication: *replication,
 		heartbeat: *heartbeat, pr: *pr,
 		slowLog: *slowLog, debugAddr: *debugAddr,
+		maxQueue: *maxQueue, maxQueueWait: *maxQueueWait,
+		quotaRPS: *quotaRPS, quotaBurst: *quotaBurst,
+		defaultDeadline: *defaultDeadline, forwardTimeout: *forwardTimeout,
+		faultSpec: *faultSpec, faultSeed: *faultSeed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
 		os.Exit(1)
@@ -103,6 +127,14 @@ type options struct {
 	pr                 int
 	slowLog            time.Duration
 	debugAddr          string
+	maxQueue           int
+	maxQueueWait       time.Duration
+	quotaRPS           float64
+	quotaBurst         int
+	defaultDeadline    time.Duration
+	forwardTimeout     time.Duration
+	faultSpec          string
+	faultSeed          int64
 }
 
 // advertiseAddr resolves the address peers dial this replica at: the
@@ -119,6 +151,14 @@ func advertiseAddr(advertise, addr string) string {
 }
 
 func run(o options) error {
+	faults, err := faultinject.Parse(o.faultSpec, o.faultSeed)
+	if err != nil {
+		return fmt.Errorf("-fault-spec: %w", err)
+	}
+	if faults != nil {
+		log.Printf("qgdp-serve FAULT INJECTION ACTIVE: %s (seed %d)", o.faultSpec, o.faultSeed)
+	}
+
 	var layStore store.Store
 	jobsDir := ""
 	if o.cacheDir != "" {
@@ -146,6 +186,8 @@ func run(o options) error {
 			Peers:             peerList,
 			Replication:       o.replication,
 			HeartbeatInterval: o.heartbeat,
+			ForwardTimeout:    o.forwardTimeout,
+			Faults:            faults,
 		})
 		if err != nil {
 			return err
@@ -158,6 +200,12 @@ func run(o options) error {
 		Workers: o.workers, CacheSize: o.cacheSize, ParallelBudget: o.lanes,
 		Store: layStore, Cluster: cl, JobsDir: jobsDir,
 		SlowRequestThreshold: o.slowLog,
+		MaxQueue:             o.maxQueue,
+		MaxQueueWait:         o.maxQueueWait,
+		QuotaRPS:             o.quotaRPS,
+		QuotaBurst:           o.quotaBurst,
+		DefaultDeadline:      o.defaultDeadline,
+		Faults:               faults,
 	})
 	defer eng.Close()
 	if n := eng.Jobs().Resume(); n > 0 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/kernstats"
 )
 
@@ -66,7 +68,46 @@ type Config struct {
 	// ProbeTimeout bounds one heartbeat probe (default half the
 	// interval, at most 2s).
 	ProbeTimeout time.Duration
+	// ForwardTimeout bounds one forward attempt to a peer (connection,
+	// remote compute, and response), derived like ProbeTimeout but
+	// sized for layout computes rather than health checks: default 30x
+	// the heartbeat interval, clamped to [5s, 60s]. The forwarding
+	// layer retries the next ring owner (or falls back locally) when an
+	// attempt times out, so a slow peer costs one bounded attempt, not
+	// the whole request budget.
+	ForwardTimeout time.Duration
+	// RetryBackoff is the base delay before a retry attempt against the
+	// next ring owner; the actual sleep is jittered in [base/2, 3base/2)
+	// so synchronized clients do not retry in lockstep. Default 50ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive forward failures open a
+	// peer's circuit breaker (default 3). While open, forward attempts
+	// to that peer are skipped without paying a timeout; after
+	// BreakerCooldown one trial request probes the peer (half-open) and
+	// its outcome closes or re-opens the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// allowing the half-open trial (default 5s).
+	BreakerCooldown time.Duration
+	// Faults, when non-nil, injects the configured fault schedule at
+	// the cluster's instrumented sites (heartbeat probes; the service
+	// layer shares it for forward hops). nil is fully inert.
+	Faults *faultinject.Injector
 }
+
+// BreakerState is a peer's forwarding circuit-breaker position.
+type BreakerState string
+
+const (
+	// BreakerClosed: forwards flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: recent consecutive failures; forwards are rejected
+	// without paying a timeout until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: cooldown elapsed, one trial forward is in
+	// flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen BreakerState = "half-open"
+)
 
 // peerState is one remote peer's detector state, guarded by Cluster.mu.
 type peerState struct {
@@ -74,6 +115,31 @@ type peerState struct {
 	failures int       // consecutive probe failures
 	lastSeen time.Time // last successful probe or inbound heartbeat
 	lastErr  string
+
+	// The forwarding circuit breaker. Distinct from the probe-driven
+	// detector above: the detector tracks liveness on the heartbeat
+	// path, the breaker tracks the forwarding path specifically — a
+	// peer can answer 200 on /clusterz while its worker pool is wedged.
+	breakFails int       // consecutive forward failures
+	breakUntil time.Time // while in the future: breaker is open
+	breakTrial bool      // half-open trial in flight
+}
+
+// breakerStateLocked derives the peer's breaker position at time now.
+// A non-zero breakUntil in the past means the cooldown elapsed but no
+// trial has been admitted yet — reported half-open, since the next
+// AllowForward call will start the trial.
+func (p *peerState) breakerStateLocked(now time.Time) BreakerState {
+	switch {
+	case p.breakTrial:
+		return BreakerHalfOpen
+	case p.breakUntil.IsZero():
+		return BreakerClosed
+	case now.Before(p.breakUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
 }
 
 // Cluster is this replica's membership + health view plus the ring
@@ -87,8 +153,9 @@ type Cluster struct {
 
 	// client is the HTTP client the service layer forwards through:
 	// fast connection establishment failure (dead peer detection at the
-	// forwarding layer), no overall timeout (layout computes are slow;
-	// the caller's request context bounds the wait).
+	// forwarding layer) and a ForwardTimeout backstop; each attempt is
+	// additionally bounded by its per-request context, so a wedged peer
+	// costs one attempt timeout, never the whole request budget.
 	client *http.Client
 	probe  *http.Client
 
@@ -99,6 +166,7 @@ type Cluster struct {
 	owned, forwarded, fallback, shortCircuit atomic.Int64
 	forwardRecv                              atomic.Int64
 	forwardErrs, hbSent, hbRecv              atomic.Int64
+	retries, breakerOpens, breakerRejects    atomic.Int64
 }
 
 // New validates cfg and builds the cluster view. The heartbeat loop
@@ -128,6 +196,24 @@ func New(cfg Config) (*Cluster, error) {
 			cfg.ProbeTimeout = time.Second
 		}
 	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * cfg.HeartbeatInterval
+		if cfg.ForwardTimeout < 5*time.Second {
+			cfg.ForwardTimeout = 5 * time.Second
+		}
+		if cfg.ForwardTimeout > time.Minute {
+			cfg.ForwardTimeout = time.Minute
+		}
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	ring := NewRing(cfg.Peers)
 	selfListed := false
 	for _, p := range ring.Peers() {
@@ -146,10 +232,16 @@ func New(cfg Config) (*Cluster, error) {
 		ring:  ring,
 		peers: map[string]*peerState{},
 		stop:  make(chan struct{}),
-		client: &http.Client{Transport: &http.Transport{
-			DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
-			MaxIdleConnsPerHost: 16,
-		}},
+		client: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+				MaxIdleConnsPerHost: 16,
+			},
+			// Backstop only: each forward attempt is primarily bounded
+			// by its per-request context (ForwardTimeout, or the
+			// caller's remaining deadline budget, whichever is sooner).
+			Timeout: cfg.ForwardTimeout,
+		},
 	}
 	c.probe = &http.Client{Timeout: cfg.ProbeTimeout}
 	for _, p := range ring.Peers() {
@@ -171,6 +263,101 @@ func (c *Cluster) Replication() int { return c.cfg.Replication }
 
 // Client returns the HTTP client the forwarding proxy should use.
 func (c *Cluster) Client() *http.Client { return c.client }
+
+// ForwardTimeout returns the per-attempt forward bound.
+func (c *Cluster) ForwardTimeout() time.Duration { return c.cfg.ForwardTimeout }
+
+// RetryBackoff returns the base (pre-jitter) retry delay.
+func (c *Cluster) RetryBackoff() time.Duration { return c.cfg.RetryBackoff }
+
+// Faults returns the fault-injection schedule shared with the service
+// forwarding layer (nil in production).
+func (c *Cluster) Faults() *faultinject.Injector { return c.cfg.Faults }
+
+// AllowForward reports whether the forwarding layer may attempt addr:
+// false while the peer's breaker is open (counted as a breaker
+// rejection — the caller moves on without paying a timeout). When an
+// open breaker's cooldown has elapsed, the first caller is admitted as
+// the half-open trial; concurrent callers keep being rejected until
+// the trial resolves via MarkForwardSuccess/MarkForwardFailure.
+func (c *Cluster) AllowForward(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[addr]
+	if !ok {
+		return true
+	}
+	now := time.Now()
+	switch {
+	case p.breakTrial, now.Before(p.breakUntil):
+		c.breakerRejects.Add(1)
+		kernstats.ClusterBreakerRejected.Add(1)
+		return false
+	case !p.breakUntil.IsZero():
+		// Open breaker whose cooldown elapsed: this caller becomes the
+		// half-open trial; concurrent callers keep being rejected until
+		// the trial resolves.
+		p.breakTrial = true
+		p.breakUntil = time.Time{}
+		return true
+	default:
+		return true
+	}
+}
+
+// MarkForwardSuccess records a successful forward to addr: the breaker
+// closes (trial succeeded, or counters reset) and the failure detector
+// marks the peer alive.
+func (c *Cluster) MarkForwardSuccess(addr string) {
+	c.mu.Lock()
+	if p, ok := c.peers[addr]; ok {
+		p.breakFails = 0
+		p.breakTrial = false
+		p.breakUntil = time.Time{}
+	}
+	c.mu.Unlock()
+	c.MarkAlive(addr)
+}
+
+// MarkForwardFailure records a failed forward attempt to addr: it
+// advances the failure detector (alive → suspect → dead) and the
+// breaker's consecutive-failure count; crossing BreakerThreshold — or
+// failing the half-open trial — opens the breaker for the cooldown.
+func (c *Cluster) MarkForwardFailure(addr string, err error) {
+	c.mu.Lock()
+	if p, ok := c.peers[addr]; ok {
+		p.breakFails++
+		wasClosed := !p.breakTrial && p.breakUntil.IsZero()
+		if p.breakFails >= c.cfg.BreakerThreshold || p.breakTrial {
+			p.breakUntil = time.Now().Add(c.cfg.BreakerCooldown)
+			p.breakTrial = false
+			if wasClosed {
+				c.breakerOpens.Add(1)
+				kernstats.ClusterBreakerOpened.Add(1)
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.MarkFailure(addr, err)
+}
+
+// CountForwardRetry records a second forward attempt against the next
+// ring owner after a failed first attempt.
+func (c *Cluster) CountForwardRetry() {
+	c.retries.Add(1)
+	kernstats.ClusterForwardRetries.Add(1)
+}
+
+// BreakerState returns addr's current breaker position (closed for
+// unknown peers and Self, which are never forwarded to).
+func (c *Cluster) BreakerState(addr string) BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[addr]; ok {
+		return p.breakerStateLocked(time.Now())
+	}
+	return BreakerClosed
+}
 
 // Start launches the heartbeat loop: one prober goroutine per remote
 // peer, each on its own ticker, so one unresponsive peer never delays
@@ -206,7 +393,21 @@ func (c *Cluster) probeLoop(addr string) {
 func (c *Cluster) probeOnce(addr string) {
 	c.hbSent.Add(1)
 	kernstats.ClusterHeartbeatsSent.Add(1)
-	resp, err := c.probe.Get("http://" + addr + "/clusterz?from=" + c.cfg.Self)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	// An injected probe fault (latency past the timeout, an error, or a
+	// drop) counts as a failed probe — exactly how a wedged peer looks.
+	if err := c.cfg.Faults.Fire(ctx, faultinject.SiteHeartbeatProbe); err != nil {
+		c.MarkFailure(addr, err)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/clusterz?from="+c.cfg.Self, http.NoBody)
+	if err != nil {
+		c.MarkFailure(addr, err)
+		return
+	}
+	resp, err := c.probe.Do(req)
 	if err != nil {
 		c.MarkFailure(addr, err)
 		return
@@ -333,6 +534,9 @@ type PeerStatus struct {
 	Failures int       `json:"failures"`
 	LastSeen time.Time `json:"last_seen"`
 	LastErr  string    `json:"last_err,omitempty"`
+	// Breaker is the forwarding circuit breaker's position — tracked
+	// separately from State, which the heartbeat path drives.
+	Breaker BreakerState `json:"breaker"`
 }
 
 // Stats is the cluster section of /statsz (and the body of /clusterz).
@@ -350,6 +554,15 @@ type Stats struct {
 	ForwardErrors      int64 `json:"forward_errors"`
 	HeartbeatsSent     int64 `json:"heartbeats_sent"`
 	HeartbeatsReceived int64 `json:"heartbeats_received"`
+	// ForwardRetries counts second attempts against the next ring
+	// owner; BreakerOpened counts closed→open transitions;
+	// BreakerRejected counts forward attempts skipped while a breaker
+	// was open. OpenBreakers is the number of peers currently not
+	// closed (open or awaiting/running the half-open trial).
+	ForwardRetries  int64 `json:"forward_retries"`
+	BreakerOpened   int64 `json:"breaker_opened"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	OpenBreakers    int   `json:"open_breakers"`
 	// PeerUp maps every remote peer to whether routing currently
 	// considers it usable (not dead).
 	PeerUp map[string]bool `json:"peer_up"`
@@ -369,14 +582,22 @@ func (c *Cluster) Stats() Stats {
 		ForwardErrors:      c.forwardErrs.Load(),
 		HeartbeatsSent:     c.hbSent.Load(),
 		HeartbeatsReceived: c.hbRecv.Load(),
+		ForwardRetries:     c.retries.Load(),
+		BreakerOpened:      c.breakerOpens.Load(),
+		BreakerRejected:    c.breakerRejects.Load(),
 		PeerUp:             map[string]bool{},
 	}
+	now := time.Now()
 	c.mu.Lock()
 	for addr, p := range c.peers {
 		s.PeerUp[addr] = p.state != StateDead
+		bs := p.breakerStateLocked(now)
+		if bs != BreakerClosed {
+			s.OpenBreakers++
+		}
 		s.Peers = append(s.Peers, PeerStatus{
 			Addr: addr, State: p.state, Failures: p.failures,
-			LastSeen: p.lastSeen, LastErr: p.lastErr,
+			LastSeen: p.lastSeen, LastErr: p.lastErr, Breaker: bs,
 		})
 	}
 	c.mu.Unlock()

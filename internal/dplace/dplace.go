@@ -30,6 +30,7 @@
 package dplace
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -67,6 +68,12 @@ type Params struct {
 	// by core.Legalize from the request trace); nil disables tracing.
 	// Excluded from hashing like Par/Lanes.
 	Obs *obs.Span `json:"-"`
+	// Cancel, when non-nil and closed, aborts refinement at the next
+	// wave boundary: Refine returns context.Canceled and the netlist
+	// is left mid-refinement (the caller must discard it). A blown
+	// request deadline therefore costs at most one wave of work.
+	// Stamped per call like Par; excluded from request hashing.
+	Cancel <-chan struct{} `json:"-"`
 }
 
 // DefaultParams mirrors the evaluation setup.
@@ -112,6 +119,9 @@ func Refine(n *netlist.Netlist, p Params) (Result, error) {
 
 	var res Result
 	for pass := 0; pass < p.MaxPasses; pass++ {
+		if cancelled(p.Cancel) {
+			return res, context.Canceled
+		}
 		res.Passes = pass + 1
 		ps := p.Obs.Child("dplace.pass")
 		cands := r.candidates()
@@ -123,13 +133,25 @@ func Refine(n *netlist.Netlist, p Params) (Result, error) {
 			ws.AttrInt("windows", int64(len(cands)))
 			ws.AttrInt("lanes", 1)
 			for _, e := range cands {
+				// The serial scan treats each window as its own wave,
+				// so cancellation aborts within one window's work.
+				if cancelled(p.Cancel) {
+					ws.End()
+					ps.End()
+					return res, context.Canceled
+				}
 				if r.refineWindow(e) {
 					accepted++
 				}
 			}
 			ws.End()
 		} else {
-			accepted = pr.refinePass(cands, ps)
+			var err error
+			accepted, err = pr.refinePass(cands, ps)
+			if err != nil {
+				ps.End()
+				return res, err
+			}
 		}
 		ps.AttrInt("windows", int64(len(cands)))
 		ps.AttrInt("accepted", int64(accepted))
@@ -140,6 +162,16 @@ func Refine(n *netlist.Netlist, p Params) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// cancelled reports whether the cancel channel is closed (nil: never).
+func cancelled(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // refiner carries the persistent state of one Refine run: the

@@ -39,6 +39,7 @@
 package dplace
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -148,12 +149,18 @@ func (pr *parRefiner) release() {
 // number of accepted windows. The accepted set, the resulting block
 // positions, and every acceptance decision match the serial scan.
 // Each wave gets a span under parent (the pass span) annotated with its
-// window and lane counts; a nil parent costs nothing.
-func (pr *parRefiner) refinePass(cands []int, parent *obs.Span) int {
+// window and lane counts; a nil parent costs nothing. Cancellation is
+// honored at wave boundaries: every committed wave matches the serial
+// scan, and an aborted pass returns context.Canceled after at most one
+// in-flight wave completes.
+func (pr *parRefiner) refinePass(cands []int, parent *obs.Span) (int, error) {
 	pr.cands = cands
 	pr.head = 0
 	accepted := 0
 	for pr.head < len(pr.cands) {
+		if cancelled(pr.master.p.Cancel) {
+			return accepted, context.Canceled
+		}
 		pr.buildWave()
 		lanes := pr.grant.Lanes()
 		if lanes > len(pr.wave) {
@@ -187,7 +194,7 @@ func (pr *parRefiner) refinePass(cands []int, parent *obs.Span) int {
 		}
 		ws.End()
 	}
-	return accepted
+	return accepted, nil
 }
 
 // buildWave admits the longest prefix of the remaining candidates whose

@@ -1,0 +1,310 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// harness for the serving tier. An Injector holds a schedule of rules,
+// each bound to a named site — a code location that calls Fire before
+// doing real work (taking a worker slot, writing a layout spill,
+// forwarding to a peer, probing a heartbeat target). When a rule
+// matches, Fire injects the configured fault: added latency, an
+// injected error, or a drop (block until the caller's context gives
+// up, simulating a blackholed peer).
+//
+// Determinism: whether the N-th call at a site faults is a pure
+// function of (seed, site, N), independent of timing and concurrency —
+// two runs of the same workload against the same spec inject the same
+// faults. That is what lets the chaos smoke assert byte-identical
+// answers under injected failure.
+//
+// Inertness: a nil *Injector is fully functional and free — Fire on a
+// nil receiver is a single comparison and return. Production builds
+// pass nil unless -fault-spec is set, so the zero-alloc kernel guards
+// and cached-path latency are untouched.
+//
+// Spec grammar (the -fault-spec flag), clauses joined by ';':
+//
+//	<site>=<action>[:<duration>][,p=<prob>][,times=<n>][,after=<n>]
+//
+//	worker.slot=latency:50ms            delay every slot acquisition 50ms
+//	peer.forward=error,p=0.5            fail half of all forward attempts
+//	peer.forward=drop,times=3           blackhole the first 3 forwards
+//	store.write=error,after=10          spills fail from the 11th on
+//
+// Actions: "latency" (requires a duration), "error", "drop" (optional
+// duration cap; otherwise bounded by the caller's context, with a 30s
+// backstop so a context that cannot expire never leaks a goroutine
+// forever).
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The well-known sites wired through the serving stack. Sites are
+// free-form strings — these constants just keep call sites and specs
+// in agreement.
+const (
+	// SiteWorkerSlot fires when a request tries to take an engine
+	// worker slot (before queueing).
+	SiteWorkerSlot = "worker.slot"
+	// SiteStoreWrite fires before a computed layout is written to the
+	// layout store; an injected error skips the write (a failed spill).
+	SiteStoreWrite = "store.write"
+	// SitePeerForward fires before a cluster forward attempt (the
+	// synchronous request proxy).
+	SitePeerForward = "peer.forward"
+	// SiteJobsForward fires before a ring-partitioned job group is
+	// submitted to its owning replica.
+	SiteJobsForward = "jobs.forward"
+	// SiteHeartbeatProbe fires before a heartbeat probe request.
+	SiteHeartbeatProbe = "heartbeat.probe"
+)
+
+// Action is what a matched rule does to the call.
+type Action int
+
+const (
+	// Latency sleeps for the rule's duration (or until ctx expires)
+	// and lets the call proceed.
+	Latency Action = iota
+	// Error fails the call immediately with an *InjectedError.
+	Error
+	// Drop blocks until the caller's context expires (or the rule's
+	// duration, when set; 30s backstop otherwise), then fails the call.
+	Drop
+)
+
+func (a Action) String() string {
+	switch a {
+	case Latency:
+		return "latency"
+	case Error:
+		return "error"
+	case Drop:
+		return "drop"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// InjectedError marks a failure as injected, so tests and logs can
+// tell synthetic faults from real ones.
+type InjectedError struct {
+	Site   string
+	Action Action
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s", e.Action, e.Site)
+}
+
+// dropBackstop bounds a Drop whose context never expires, so a
+// blackholed heartbeat probe cannot leak its goroutine forever.
+const dropBackstop = 30 * time.Second
+
+// Rule is one clause of a fault schedule.
+type Rule struct {
+	Site     string
+	Action   Action
+	Duration time.Duration // latency amount, or drop cap (0: ctx-bounded)
+	// P is the per-call activation probability in [0, 1] (default 1).
+	// The decision for call N is a pure function of (seed, site, N).
+	P float64
+	// Times caps total activations (0: unlimited).
+	Times int64
+	// After skips the first After calls at the site.
+	After int64
+
+	calls atomic.Int64 // calls seen at this rule's site
+	fired atomic.Int64 // activations so far
+	seed  uint64
+}
+
+// Injector is an immutable-after-Parse fault schedule. All methods are
+// safe for concurrent use; all methods on a nil receiver are inert.
+type Injector struct {
+	rules map[string][]*Rule
+	spec  string
+}
+
+// Parse builds an Injector from a spec string (see the package
+// comment for the grammar). An empty spec returns nil — the inert
+// injector.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{rules: map[string][]*Rule{}, spec: spec}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r, err := parseClause(clause)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+		r.seed = mix(uint64(seed) ^ hashSite(r.Site))
+		in.rules[r.Site] = append(in.rules[r.Site], r)
+	}
+	if len(in.rules) == 0 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+// MustParse is Parse for hard-coded test specs.
+func MustParse(spec string, seed int64) *Injector {
+	in, err := Parse(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func parseClause(clause string) (*Rule, error) {
+	site, rest, ok := strings.Cut(clause, "=")
+	site = strings.TrimSpace(site)
+	if !ok || site == "" || rest == "" {
+		return nil, fmt.Errorf("want <site>=<action>[...]")
+	}
+	parts := strings.Split(rest, ",")
+	r := &Rule{Site: site, P: 1}
+	action := strings.TrimSpace(parts[0])
+	if name, arg, ok := strings.Cut(action, ":"); ok {
+		d, err := time.ParseDuration(strings.TrimSpace(arg))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad duration %q", arg)
+		}
+		r.Duration = d
+		action = name
+	}
+	switch strings.TrimSpace(action) {
+	case "latency":
+		if r.Duration <= 0 {
+			return nil, fmt.Errorf("latency needs a duration (latency:50ms)")
+		}
+		r.Action = Latency
+	case "error":
+		r.Action = Error
+	case "drop":
+		r.Action = Drop
+	default:
+		return nil, fmt.Errorf("unknown action %q (want latency, error, or drop)", action)
+	}
+	for _, mod := range parts[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(mod), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad modifier %q", mod)
+		}
+		switch k {
+		case "p":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("bad probability %q", v)
+			}
+			r.P = p
+		case "times":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad times %q", v)
+			}
+			r.Times = n
+		case "after":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad after %q", v)
+			}
+			r.After = n
+		default:
+			return nil, fmt.Errorf("unknown modifier %q", k)
+		}
+	}
+	return r, nil
+}
+
+// Spec returns the spec the injector was parsed from ("" for nil).
+func (in *Injector) Spec() string {
+	if in == nil {
+		return ""
+	}
+	return in.spec
+}
+
+// Fire evaluates the schedule at site for one call. It returns nil
+// when no rule activates; otherwise it applies the fault: Latency
+// sleeps then returns nil, Error and Drop return an *InjectedError
+// (Drop after blocking). A nil receiver always returns nil.
+func (in *Injector) Fire(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	rules := in.rules[site]
+	if len(rules) == 0 {
+		return nil
+	}
+	for _, r := range rules {
+		n := r.calls.Add(1) - 1
+		if n < r.After {
+			continue
+		}
+		if r.P < 1 && !decide(r.seed, n, r.P) {
+			continue
+		}
+		if r.Times > 0 && r.fired.Add(1) > r.Times {
+			continue
+		}
+		switch r.Action {
+		case Latency:
+			select {
+			case <-time.After(r.Duration):
+			case <-ctx.Done():
+			}
+		case Error:
+			return &InjectedError{Site: site, Action: Error}
+		case Drop:
+			cap := r.Duration
+			if cap <= 0 {
+				cap = dropBackstop
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(cap):
+			}
+			return &InjectedError{Site: site, Action: Drop}
+		}
+	}
+	return nil
+}
+
+// decide reports whether call n activates under probability p — a pure
+// function of (seed, n, p), so concurrent interleavings cannot change
+// which calls fault.
+func decide(seed uint64, n int64, p float64) bool {
+	h := mix(seed + uint64(n)*0x9E3779B97F4A7C15)
+	return float64(h>>11)/(1<<53) < p
+}
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashSite is FNV-1a over the site name, mixing distinct sites into
+// distinct rule seeds.
+func hashSite(site string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 0x100000001B3
+	}
+	return h
+}

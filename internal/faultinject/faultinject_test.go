@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(context.Background(), SiteWorkerSlot); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Spec() != "" {
+		t.Fatalf("nil injector spec = %q", in.Spec())
+	}
+}
+
+func TestParseEmptySpecIsNil(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";;"} {
+		in, err := Parse(spec, 1)
+		if err != nil || in != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"noequals",
+		"site=",
+		"site=latency", // latency needs a duration
+		"site=latency:notadur",
+		"site=explode",
+		"site=error,p=1.5",
+		"site=error,times=-1",
+		"site=error,after=x",
+		"site=error,weird",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestErrorRuleFires(t *testing.T) {
+	in := MustParse("peer.forward=error", 7)
+	err := in.Fire(context.Background(), SitePeerForward)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != SitePeerForward || ie.Action != Error {
+		t.Fatalf("Fire = %v, want injected error at %s", err, SitePeerForward)
+	}
+	// Other sites are untouched.
+	if err := in.Fire(context.Background(), SiteStoreWrite); err != nil {
+		t.Fatalf("unmatched site fired: %v", err)
+	}
+}
+
+func TestTimesAndAfter(t *testing.T) {
+	in := MustParse("s=error,after=2,times=3", 1)
+	var fired int
+	for i := 0; i < 10; i++ {
+		if in.Fire(context.Background(), "s") != nil {
+			fired++
+			if i < 2 {
+				t.Fatalf("call %d fired despite after=2", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (times=3)", fired)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	in := MustParse("s=latency:30ms", 1)
+	start := time.Now()
+	if err := in.Fire(context.Background(), "s"); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency injection slept %v, want >= 30ms", d)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	in := MustParse("s=latency:10s", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	in.Fire(ctx, "s")
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("latency ignored context cancellation (%v)", d)
+	}
+}
+
+func TestDropBlocksUntilContext(t *testing.T) {
+	in := MustParse("s=drop", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx, "s")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Action != Drop {
+		t.Fatalf("drop returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond || d > time.Second {
+		t.Fatalf("drop blocked %v, want ~ctx deadline", d)
+	}
+}
+
+func TestDropDurationCap(t *testing.T) {
+	in := MustParse("s=drop:25ms", 1)
+	start := time.Now()
+	if err := in.Fire(context.Background(), "s"); err == nil {
+		t.Fatal("capped drop returned nil")
+	}
+	if d := time.Since(start); d < 20*time.Millisecond || d > time.Second {
+		t.Fatalf("capped drop blocked %v, want ~25ms", d)
+	}
+}
+
+// TestProbabilityDeterministic: the activation pattern for p<1 is a
+// pure function of (seed, site, call index) — two injectors parsed
+// from the same spec and seed agree call for call, and a different
+// seed yields a different (but internally consistent) pattern.
+func TestProbabilityDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := MustParse("s=error,p=0.5", seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(context.Background(), "s") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 50 || fired > 150 {
+		t.Fatalf("p=0.5 fired %d/200, implausible", fired)
+	}
+	c := pattern(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+func TestMultipleRulesPerSite(t *testing.T) {
+	// Latency then error on the same site: the call is delayed AND
+	// fails.
+	in := MustParse("s=latency:20ms;s=error", 1)
+	start := time.Now()
+	err := in.Fire(context.Background(), "s")
+	if err == nil {
+		t.Fatal("error rule did not fire")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("latency rule did not fire before error rule")
+	}
+}

@@ -71,6 +71,11 @@ type Params struct {
 	// produced layout, only how many workers compute it, so it is
 	// excluded from request hashing.
 	Par *parallel.Budget `json:"-"`
+	// Cancel, when non-nil and closed, aborts placement at the next
+	// iteration boundary, leaving the netlist in a partial state the
+	// caller must discard (the serving layer never caches a cancelled
+	// run). Stamped per call like Par; excluded from request hashing.
+	Cancel <-chan struct{} `json:"-"`
 }
 
 // DefaultParams are the settings used by the evaluation pipeline.
@@ -194,6 +199,14 @@ func Place(n *netlist.Netlist, p Params) {
 	}
 
 	for iter := 0; iter < p.Iterations; iter++ {
+		select {
+		case <-p.Cancel:
+			// Abandon mid-flight: the positions are partial and the
+			// caller discards them. Checked once per iteration, so a
+			// blown deadline costs at most one more force round.
+			return
+		default:
+		}
 		for i := range forces {
 			forces[i] = geom.Pt{}
 		}

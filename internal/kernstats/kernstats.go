@@ -131,6 +131,25 @@ var (
 	JobsPersistErrors = registerCounter("jobs.persist_errors")
 )
 
+// The admission/QoS counters (see internal/service's admission layer).
+// shed_queue counts requests rejected because the bounded queue (or its
+// estimated wait) was over the configured limit; shed_quota counts
+// requests rejected by a per-tenant token bucket; shed_fair_share
+// counts requests rejected because one tenant held more than its fair
+// share of the queue while others waited. deadline_rejected counts
+// requests that arrived with an already-expired deadline (zero
+// placement work done); deadline_blown counts requests whose deadline
+// expired mid-computation (mapped to 504); client_cancelled counts
+// requests abandoned by the client (mapped to 408).
+var (
+	ShedQueue        = registerCounter("service.shed_queue")
+	ShedQuota        = registerCounter("service.shed_quota")
+	ShedFairShare    = registerCounter("service.shed_fair_share")
+	DeadlineRejected = registerCounter("service.deadline_rejected")
+	DeadlineBlown    = registerCounter("service.deadline_blown")
+	ClientCancelled  = registerCounter("service.client_cancelled")
+)
+
 // StoreGCRaces counts benign filesystem races between replicas sharing
 // one cache directory: a delete or read that found the file already
 // gone because another process GC'd it first. A nonzero value under a
@@ -158,6 +177,18 @@ var (
 	ClusterForwardErrors  = registerCounter("cluster.forward_errors")
 	ClusterHeartbeatsSent = registerCounter("cluster.heartbeats_sent")
 	ClusterHeartbeatsRecv = registerCounter("cluster.heartbeats_received")
+)
+
+// The cluster resilience counters. forward_retries counts second
+// forward attempts against the next ring owner after a failed first
+// attempt; breaker_opened counts closed→open circuit-breaker
+// transitions; breaker_rejected counts forward attempts skipped
+// because the peer's breaker was open (the request went to the next
+// owner or local fallback without paying a timeout).
+var (
+	ClusterForwardRetries  = registerCounter("cluster.forward_retries")
+	ClusterBreakerOpened   = registerCounter("cluster.breaker_opened")
+	ClusterBreakerRejected = registerCounter("cluster.breaker_rejected")
 )
 
 var counters []*Counter

@@ -1,0 +1,316 @@
+// Admission control: the QoS front-end that decides which requests may
+// wait for a worker slot at all.
+//
+// Under overload, an unbounded queue converts excess offered load into
+// unbounded latency — every request eventually times out, but only
+// after holding memory and a goroutine for the full queue traversal.
+// The admission layer sheds that excess at arrival instead, in three
+// stages:
+//
+//  1. Per-tenant token buckets (QuotaRPS/QuotaBurst) cap each tenant's
+//     request rate before any engine work happens. Over-quota requests
+//     get 429 with a Retry-After derived from the bucket's refill rate.
+//  2. A bounded queue (MaxQueue) in front of the worker pool caps how
+//     many admitted requests may wait for a slot. A full queue — or an
+//     estimated wait beyond MaxQueueWait, derived from the live mean
+//     compute latency — sheds with 503 and a Retry-After estimating
+//     when the backlog will have drained.
+//  3. Fair-share queueing: while several tenants are waiting, no tenant
+//     may hold more than its equal share of the queue. The overflowing
+//     tenant gets 429 without displacing anyone already queued.
+//
+// Cache hits never queue, so they bypass stages 2-3 (and stay as cheap
+// as before); forwarded cluster hops bypass stage 1 (the entry replica
+// already charged the tenant's bucket). Shedding is disabled entirely
+// when neither MaxQueue nor QuotaRPS is configured — the engine then
+// behaves exactly as it did before this layer existed.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantHeader names the requesting tenant for quota accounting and
+// fair-share queueing. Absent means the shared "default" tenant.
+const TenantHeader = "X-QGDP-Tenant"
+
+// DeadlineHeader carries the request's total latency budget: either a
+// Go duration ("750ms") or an absolute unix-milliseconds timestamp.
+// Forwarded hops always rewrite it to the remaining duration, so clock
+// skew between replicas never inflates a budget.
+const DeadlineHeader = "X-QGDP-Deadline"
+
+// DefaultTenant is the bucket requests without a TenantHeader share.
+const DefaultTenant = "default"
+
+// ShedError is a request rejected by admission control. It maps to an
+// HTTP status (429 for per-tenant limits, 503 for global overload) and
+// carries the Retry-After hint computed from live queue state.
+type ShedError struct {
+	Status     int
+	RetryAfter time.Duration
+	Reason     string
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("request shed: %s (retry after %s)", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// tenantKey carries the admission tenant through a request context.
+// Only contexts that passed the QoS front-end carry it: background work
+// (job items, cluster sub-jobs, sweeps) has no tenant and bypasses
+// admission entirely.
+type tenantKey struct{}
+
+// withTenant marks ctx as an admission-controlled request from tenant.
+func withTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// tenantFrom returns the admission tenant, or "" for background work.
+func tenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// bucket is one tenant's token bucket. Tokens accrue continuously at
+// the configured rate up to the burst capacity; each admitted request
+// spends one.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// shedWindow tracks admit/shed outcomes over a sliding one-minute
+// window (six 10-second slots) so /healthz can report a recent shed
+// rate instead of a lifetime average that never recovers.
+type shedWindow struct {
+	mu    sync.Mutex
+	base  int64 // unix-10s epoch of slot[0]
+	slots [6]struct{ admits, sheds int64 }
+}
+
+func (w *shedWindow) advanceLocked(now time.Time) {
+	epoch := now.Unix() / 10
+	if w.base == 0 {
+		w.base = epoch
+		return
+	}
+	for w.base < epoch {
+		w.base++
+		copy(w.slots[:], w.slots[1:])
+		w.slots[len(w.slots)-1] = struct{ admits, sheds int64 }{}
+	}
+}
+
+func (w *shedWindow) record(now time.Time, shed bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advanceLocked(now)
+	s := &w.slots[len(w.slots)-1]
+	if shed {
+		s.sheds++
+	} else {
+		s.admits++
+	}
+}
+
+// rate returns sheds/(admits+sheds) over the window, 0 when idle.
+func (w *shedWindow) rate(now time.Time) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advanceLocked(now)
+	var admits, sheds int64
+	for _, s := range w.slots {
+		admits += s.admits
+		sheds += s.sheds
+	}
+	if admits+sheds == 0 {
+		return 0
+	}
+	return float64(sheds) / float64(admits+sheds)
+}
+
+// admission is the engine's QoS state. nil disables every check.
+type admission struct {
+	maxQueue int
+	maxWait  time.Duration
+	quota    float64
+	burst    float64
+	now      func() time.Time // test hook
+
+	mu          sync.Mutex
+	buckets     map[string]*bucket
+	queued      map[string]int
+	queuedTotal int
+
+	shed   atomic.Int64
+	window shedWindow
+}
+
+// newAdmission builds the QoS state, or nil when nothing is bounded.
+func newAdmission(maxQueue int, maxWait time.Duration, quotaRPS float64, quotaBurst int) *admission {
+	if maxQueue <= 0 && maxWait <= 0 && quotaRPS <= 0 {
+		return nil
+	}
+	burst := float64(quotaBurst)
+	if burst < 1 {
+		burst = math.Max(1, 2*quotaRPS)
+	}
+	return &admission{
+		maxQueue: maxQueue,
+		maxWait:  maxWait,
+		quota:    quotaRPS,
+		burst:    burst,
+		now:      time.Now,
+		buckets:  make(map[string]*bucket),
+		queued:   make(map[string]int),
+	}
+}
+
+// allowQuota charges one request to the tenant's token bucket. When the
+// bucket is empty it returns the time until the next token accrues.
+func (a *admission) allowQuota(tenant string) (bool, time.Duration) {
+	if a == nil || a.quota <= 0 {
+		return true, 0
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens = math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.quota)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		a.window.record(now, false)
+		return true, 0
+	}
+	a.recordShedLocked(now)
+	wait := time.Duration((1 - b.tokens) / a.quota * float64(time.Second))
+	return false, wait
+}
+
+// enqueue reserves a queue slot for tenant, returning leave() to call
+// once the request stops waiting (slot acquired, cancelled, or failed).
+// estWait is the caller's live estimate of the time a newly queued
+// request will wait for a worker slot.
+func (a *admission) enqueue(tenant string, estWait time.Duration) (leave func(), shed *ShedError) {
+	if a == nil || (a.maxQueue <= 0 && a.maxWait <= 0) {
+		return func() {}, nil
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.maxQueue > 0 && a.queuedTotal >= a.maxQueue {
+		a.recordShedLocked(now)
+		return nil, &ShedError{
+			Status:     503,
+			RetryAfter: retryAfterFor(estWait),
+			Reason:     fmt.Sprintf("queue full (%d waiting)", a.queuedTotal),
+		}
+	}
+	if a.maxWait > 0 && estWait > a.maxWait {
+		a.recordShedLocked(now)
+		return nil, &ShedError{
+			Status:     503,
+			RetryAfter: retryAfterFor(estWait),
+			Reason:     fmt.Sprintf("estimated queue wait %s over limit %s", estWait.Round(time.Millisecond), a.maxWait),
+		}
+	}
+	if a.maxQueue > 0 {
+		// Fair share: while other tenants wait, no tenant may hold more
+		// than an equal split of the queue. Tenants counted are those
+		// currently waiting plus this one.
+		active := len(a.queued)
+		if a.queued[tenant] == 0 {
+			active++
+		}
+		share := a.maxQueue / active
+		if share < 1 {
+			share = 1
+		}
+		if active > 1 && a.queued[tenant] >= share {
+			a.recordShedLocked(now)
+			return nil, &ShedError{
+				Status:     429,
+				RetryAfter: retryAfterFor(estWait),
+				Reason:     fmt.Sprintf("tenant %q over fair share (%d of %d queue slots)", tenant, a.queued[tenant], a.maxQueue),
+			}
+		}
+	}
+	a.queued[tenant]++
+	a.queuedTotal++
+	a.window.record(now, false)
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.queued[tenant]--
+		if a.queued[tenant] <= 0 {
+			delete(a.queued, tenant)
+		}
+		a.queuedTotal--
+	}, nil
+}
+
+func (a *admission) recordShedLocked(now time.Time) {
+	a.shed.Add(1)
+	a.window.record(now, true)
+}
+
+// recordShed counts a shed decided outside the admission lock (an
+// already-expired deadline rejected by the front-end).
+func (a *admission) recordShed() {
+	if a == nil {
+		return
+	}
+	a.shed.Add(1)
+	a.window.record(a.now(), true)
+}
+
+// queueDepth returns the current number of waiting requests.
+func (a *admission) queueDepth() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queuedTotal
+}
+
+// shedRate returns the one-minute shed fraction for /healthz.
+func (a *admission) shedRate() float64 {
+	if a == nil {
+		return 0
+	}
+	return a.window.rate(a.now())
+}
+
+// retryAfterFor rounds a wait estimate up to a whole-second Retry-After
+// hint, at least one second so clients never busy-loop.
+func retryAfterFor(estWait time.Duration) time.Duration {
+	if estWait < time.Second {
+		return time.Second
+	}
+	return estWait.Round(time.Second)
+}
+
+// AdmissionStats is the /statsz view of the QoS front-end, present only
+// when admission control is configured.
+type AdmissionStats struct {
+	Queued     int     `json:"queued"`
+	MaxQueue   int     `json:"max_queue"`
+	Shed       int64   `json:"shed"`
+	ShedRate1m float64 `json:"shed_rate_1m"`
+	// EstWaitMs is the live estimate a newly queued request would wait
+	// for a worker slot — the same number Retry-After hints derive from.
+	EstWaitMs float64 `json:"est_wait_ms"`
+}

@@ -1,12 +1,16 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -25,9 +29,20 @@ import (
 //  3. Store short-circuit: a non-owned key already present in the local
 //     store (e.g. replicas share one disk tier) is served locally —
 //     disk hits never cross the network.
-//  4. Forward: proxy to the first live owner, byte-for-byte.
-//  5. Fallback: if the owner is unreachable, compute locally rather
-//     than fail — availability beats sharding discipline.
+//  4. Forward: proxy to the first live owner whose circuit breaker is
+//     not open, byte-for-byte, each attempt bounded by the cluster's
+//     ForwardTimeout (and the request's remaining deadline budget,
+//     forwarded as a header). A failed attempt retries once against
+//     the next ring owner after a jittered backoff.
+//  5. Fallback: if every usable owner fails (or the retry budget is
+//     spent), compute locally rather than fail — availability beats
+//     sharding discipline.
+
+// forwardAttempts caps how many peers one request may try before
+// falling back locally: the first live owner plus one retry. Combined
+// with the per-attempt timeout, a request's worst-case detour is
+// 2*ForwardTimeout + one backoff — never an unbounded walk of the ring.
+const forwardAttempts = 2
 
 // serveRouted implements the routing policy for one request identified
 // by key. cached peeks for a locally available result; local serves the
@@ -40,22 +55,60 @@ func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, 
 		local(w, r)
 		return
 	}
-	addr, self := cl.Route(key)
-	if self {
-		cl.CountOwned()
-		local(w, r)
-		return
-	}
-	if cached() {
-		cl.CountShortCircuit()
-		local(w, r)
-		return
-	}
-	if forwardRequest(cl, addr, w, r) {
-		return
+	attempts := 0
+	for _, owner := range cl.Ring().Owners(key, cl.Replication()) {
+		if owner == cl.Self() {
+			cl.CountOwned()
+			local(w, r)
+			return
+		}
+		if cl.PeerState(owner) == cluster.StateDead {
+			continue
+		}
+		if cached() {
+			cl.CountShortCircuit()
+			local(w, r)
+			return
+		}
+		// An open breaker skips the peer without paying a timeout; the
+		// next owner (or local fallback) takes the request instead.
+		if !cl.AllowForward(owner) {
+			continue
+		}
+		if attempts > 0 {
+			cl.CountForwardRetry()
+			if !backoffJittered(r.Context(), cl.RetryBackoff()) {
+				break // client gone or deadline blown mid-backoff
+			}
+		}
+		attempts++
+		if forwardRequest(cl, owner, w, r) {
+			return
+		}
+		if attempts >= forwardAttempts || r.Context().Err() != nil {
+			break
+		}
 	}
 	cl.CountFallback()
 	local(w, r)
+}
+
+// backoffJittered sleeps for base/2 + rand(base) — full-jitter spread
+// around the configured backoff — honoring ctx. Returns false when ctx
+// expired first.
+func backoffJittered(ctx context.Context, base time.Duration) bool {
+	if base <= 0 {
+		return ctx.Err() == nil
+	}
+	d := base/2 + time.Duration(rand.Int63n(int64(base)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // forwardRequest proxies r to owner, relaying status, headers, and body
@@ -76,7 +129,32 @@ func forwardRequest(cl *cluster.Cluster, owner string, w http.ResponseWriter, r 
 	u.Host = owner
 	fw := obs.SpanFrom(r.Context()).Child("cluster.forward")
 	fw.Attr("peer", owner)
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	// Each attempt is bounded by ForwardTimeout on top of whatever
+	// remains of the caller's deadline, so a wedged owner costs one
+	// bounded attempt and the retry/fallback still has budget left.
+	ctx := r.Context()
+	if t := cl.ForwardTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	fail := func(err error) bool {
+		cl.CountForwardError()
+		cl.MarkForwardFailure(owner, err)
+		fw.Attr("error", err.Error())
+		fw.End()
+		return false
+	}
+	if err := cl.Faults().Fire(ctx, faultinject.SitePeerForward); err != nil {
+		return fail(err)
+	}
+	// GET bodies are empty; sending NoBody keeps the request trivially
+	// replayable on the retry attempt.
+	body := r.Body
+	if r.Method == http.MethodGet {
+		body = http.NoBody
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u.String(), body)
 	if err != nil {
 		cl.CountForwardError()
 		fw.Attr("error", err.Error())
@@ -85,19 +163,21 @@ func forwardRequest(cl *cluster.Cluster, owner string, w http.ResponseWriter, r 
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(cluster.ForwardHeader, cl.Self())
+	// Propagate the remaining deadline budget as a duration, never an
+	// absolute time — replica clock skew must not inflate (or deflate)
+	// the budget. The receiving front-end re-applies it.
+	if dl, ok := r.Context().Deadline(); ok {
+		req.Header.Set(DeadlineHeader, time.Until(dl).String())
+	}
 	if ref := traceRef(fw, "cluster.forward"); ref != "" {
 		req.Header.Set(cluster.TraceHeader, ref)
 	}
 	resp, err := cl.Client().Do(req)
 	if err != nil {
-		cl.CountForwardError()
-		cl.MarkFailure(owner, err)
-		fw.Attr("error", err.Error())
-		fw.End()
-		return false
+		return fail(err)
 	}
 	defer resp.Body.Close()
-	cl.MarkAlive(owner)
+	cl.MarkForwardSuccess(owner)
 	cl.CountForwarded()
 	if r.URL.Query().Get("debug") == "trace" && resp.StatusCode == http.StatusOK &&
 		strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/kernstats"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
@@ -93,6 +94,29 @@ type Options struct {
 	SlowRequestThreshold time.Duration
 	// SlowLogWriter receives the slow-request lines (default stderr).
 	SlowLogWriter io.Writer
+	// MaxQueue bounds how many admitted requests may wait for a worker
+	// slot; a full queue sheds with 503 + Retry-After. 0 means
+	// unbounded (the pre-admission behavior). Only synchronous requests
+	// that passed the QoS front-end count — background job items never
+	// queue here.
+	MaxQueue int
+	// MaxQueueWait sheds (503) when the estimated wait for a worker
+	// slot — live mean compute latency times queue depth over workers —
+	// exceeds it. 0 disables the estimate check.
+	MaxQueueWait time.Duration
+	// QuotaRPS is the per-tenant steady-state request rate (token
+	// bucket, refilled continuously). 0 means no per-tenant quota.
+	QuotaRPS float64
+	// QuotaBurst is the token-bucket capacity (default max(1,
+	// 2*QuotaRPS)).
+	QuotaBurst int
+	// DefaultDeadline bounds requests that carry no DeadlineHeader.
+	// 0 means no implicit deadline.
+	DefaultDeadline time.Duration
+	// Faults, when non-nil, injects the configured fault schedule at
+	// the engine's instrumented sites (worker-slot acquisition, store
+	// writes). nil — the default — keeps every site a no-op nil-check.
+	Faults *faultinject.Injector
 }
 
 // Engine is a concurrent layout/fidelity computation service over the
@@ -101,6 +125,14 @@ type Engine struct {
 	sem     chan struct{}
 	budget  *parallel.Budget
 	cluster *cluster.Cluster
+	workers int
+
+	// adm is the QoS front-end (nil when unconfigured); faults the
+	// fault-injection schedule (nil in production); defaultDeadline the
+	// implicit per-request budget.
+	adm             *admission
+	faults          *faultinject.Injector
+	defaultDeadline time.Duration
 
 	// layStore holds finished layouts (possibly persistently); the GP
 	// and fidelity caches are engine-local LRUs — GP solutions are an
@@ -146,15 +178,19 @@ func New(opts Options) *Engine {
 		opts.SlowLogWriter = os.Stderr
 	}
 	e := &Engine{
-		sem:        make(chan struct{}, opts.Workers),
-		budget:     budget,
-		cluster:    opts.Cluster,
-		layStore:   opts.Store,
-		rec:        obs.NewRecorder(opts.TraceRing),
-		slowThresh: opts.SlowRequestThreshold,
-		slowW:      opts.SlowLogWriter,
-		gpCache:  store.NewLRU(opts.CacheSize, nil),
-		fidCache: store.NewLRU(opts.CacheSize, nil),
+		sem:             make(chan struct{}, opts.Workers),
+		budget:          budget,
+		cluster:         opts.Cluster,
+		workers:         opts.Workers,
+		adm:             newAdmission(opts.MaxQueue, opts.MaxQueueWait, opts.QuotaRPS, opts.QuotaBurst),
+		faults:          opts.Faults,
+		defaultDeadline: opts.DefaultDeadline,
+		layStore:        opts.Store,
+		rec:             obs.NewRecorder(opts.TraceRing),
+		slowThresh:      opts.SlowRequestThreshold,
+		slowW:           opts.SlowLogWriter,
+		gpCache:         store.NewLRU(opts.CacheSize, nil),
+		fidCache:        store.NewLRU(opts.CacheSize, nil),
 		prepareFn: func(dev *topology.Device, cfg core.Config) *netlist.Netlist {
 			return core.Prepare(dev, cfg)
 		},
@@ -223,18 +259,30 @@ type HealthStore struct {
 }
 
 // HealthCluster is the cluster section of the /healthz readiness
-// payload. PeersTotal includes this replica.
+// payload. PeersTotal includes this replica; OpenBreakers counts peers
+// whose forwarding circuit breaker is currently open.
 type HealthCluster struct {
-	PeersUp    int `json:"peers_up"`
-	PeersTotal int `json:"peers_total"`
+	PeersUp      int `json:"peers_up"`
+	PeersTotal   int `json:"peers_total"`
+	OpenBreakers int `json:"open_breakers"`
+}
+
+// HealthAdmission is the QoS section of the /healthz readiness payload,
+// present when admission control is configured. ShedRate1m is the shed
+// fraction over the last minute — a load balancer can use it to steer
+// traffic away from an overloaded replica before it starts failing.
+type HealthAdmission struct {
+	Queued     int     `json:"queued"`
+	ShedRate1m float64 `json:"shed_rate_1m"`
 }
 
 // HealthView is the /healthz body: the original liveness contract
 // (status "ok") extended with readiness detail.
 type HealthView struct {
-	Status  string         `json:"status"`
-	Store   HealthStore    `json:"store"`
-	Cluster *HealthCluster `json:"cluster,omitempty"`
+	Status    string           `json:"status"`
+	Store     HealthStore      `json:"store"`
+	Admission *HealthAdmission `json:"admission,omitempty"`
+	Cluster   *HealthCluster   `json:"cluster,omitempty"`
 }
 
 // Health reports readiness: ok=false (HTTP 503) when the disk tier is
@@ -251,9 +299,19 @@ func (e *Engine) Health() (HealthView, bool) {
 			DiskFiles:   ss.DiskFiles,
 		},
 	}
+	if e.adm != nil {
+		hv.Admission = &HealthAdmission{
+			Queued:     e.adm.queueDepth(),
+			ShedRate1m: e.adm.shedRate(),
+		}
+	}
 	if e.cluster != nil {
 		cs := e.cluster.Stats()
-		hc := &HealthCluster{PeersUp: 1, PeersTotal: len(cs.PeerUp) + 1}
+		hc := &HealthCluster{
+			PeersUp:      1,
+			PeersTotal:   len(cs.PeerUp) + 1,
+			OpenBreakers: cs.OpenBreakers,
+		}
 		for _, up := range cs.PeerUp {
 			if up {
 				hc.PeersUp++
@@ -278,6 +336,11 @@ type stats struct {
 	sharedFlights           atomic.Int64 // requests that joined an in-flight computation
 	inFlight                atomic.Int64 // computations currently executing
 	latencyNs, latencyCount atomic.Int64
+	// computeNs/computeCount track only cache-miss computations (the
+	// work a queued request is actually waiting behind), feeding the
+	// admission layer's queue-wait estimate. latencyNs above averages
+	// over hits too, which would underestimate the backlog badly.
+	computeNs, computeCount atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time view of the engine counters.
@@ -317,6 +380,10 @@ type StatsSnapshot struct {
 	// Jobs snapshots the async batch-job subsystem, including the
 	// current queue depth.
 	Jobs JobsStats `json:"jobs"`
+	// Admission, present only when the QoS front-end is configured,
+	// reports the bounded queue's live state; the per-reason shed
+	// counts (service.shed_*) live in Counters.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Cluster, present only in cluster mode, reports this replica's
 	// routing outcomes (owned/forwarded/fallback_local/short_circuit)
 	// and per-peer liveness (peer_up) so load imbalance across the ring
@@ -345,6 +412,15 @@ func (e *Engine) Stats() StatsSnapshot {
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.MeanLatencyMs = float64(e.stats.latencyNs.Load()) / float64(n) / 1e6
+	}
+	if e.adm != nil {
+		s.Admission = &AdmissionStats{
+			Queued:     e.adm.queueDepth(),
+			MaxQueue:   e.adm.maxQueue,
+			Shed:       e.adm.shed.Load(),
+			ShedRate1m: e.adm.shedRate(),
+			EstWaitMs:  float64(e.estQueueWait().Nanoseconds()) / 1e6,
+		}
 	}
 	if e.cluster != nil {
 		cs := e.cluster.Stats()
@@ -442,6 +518,19 @@ func (e *Engine) withBudget(cfg core.Config) core.Config {
 	return cfg
 }
 
+// withCancel threads the request context's cancellation into the
+// placement kernels: gplace checks it per force-directed iteration,
+// dplace per serial window and per wave. Like Par/Obs, the Cancel
+// fields carry json:"-" and never reach cache keys; an aborted
+// computation surfaces context.Canceled before any partial result can
+// be cached (Legalize errors skip the store Put, and gpFor re-checks
+// ctx before caching a GP solution).
+func (e *Engine) withCancel(ctx context.Context, cfg core.Config) core.Config {
+	cfg.GP.Cancel = ctx.Done()
+	cfg.DP.Cancel = ctx.Done()
+	return cfg
+}
+
 // ParallelStats snapshots the engine's parallelism budget (the shared
 // process-wide budget when none was configured).
 func (e *Engine) ParallelStats() parallel.Stats {
@@ -460,13 +549,53 @@ func retryShared(ctx context.Context, err error, shared bool) bool {
 }
 
 // acquire takes a worker slot, honoring cancellation while queued.
+// Requests that passed the QoS front-end (tenant in ctx) first pass
+// queue admission: a full or over-slow bounded queue sheds them with a
+// *ShedError before they start waiting, and fair-share accounting
+// bounds any one tenant's queue occupancy while others wait. The
+// reserved queue slot is always returned — on success, cancellation,
+// or shed — so admission can never strand capacity.
 func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	if err := e.faults.Fire(ctx, faultinject.SiteWorkerSlot); err != nil {
+		return nil, err
+	}
+	if tenant := tenantFrom(ctx); tenant != "" && e.adm != nil {
+		leave, shed := e.adm.enqueue(tenant, e.estQueueWait())
+		if shed != nil {
+			countShed(shed)
+			return nil, shed
+		}
+		defer leave()
+	}
 	select {
 	case e.sem <- struct{}{}:
 		return func() { <-e.sem }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// countShed files a shed verdict under its per-reason counter.
+func countShed(shed *ShedError) {
+	if shed.Status == 429 {
+		kernstats.ShedFairShare.Add(1)
+	} else {
+		kernstats.ShedQueue.Add(1)
+	}
+}
+
+// estQueueWait estimates how long a newly queued request will wait for
+// a worker slot: the live mean compute latency times the number of
+// requests ahead of it, spread over the pool. Zero until the first
+// computation finishes — an idle engine never sheds on the estimate.
+func (e *Engine) estQueueWait() time.Duration {
+	n := e.stats.computeCount.Load()
+	if n == 0 {
+		return 0
+	}
+	mean := time.Duration(e.stats.computeNs.Load() / n)
+	waiting := int64(e.adm.queueDepth()) + e.stats.inFlight.Load()
+	return mean * time.Duration(waiting) / time.Duration(e.workers)
 }
 
 // Layout returns the legalized layout for the request, computing it at
@@ -541,6 +670,11 @@ func (e *Engine) layoutFlightDo(ctx context.Context, key string, req LayoutReque
 			if err != nil {
 				return nil, err
 			}
+			if e.faults.Fire(ctx, faultinject.SiteStoreWrite) != nil {
+				// Injected write failure: the layout is still served,
+				// it just is not remembered — exactly a disk-tier error.
+				return lay, nil
+			}
 			ps := obs.SpanFrom(ctx).Child("store.put")
 			e.layStore.Put(key, lay)
 			ps.End()
@@ -569,7 +703,12 @@ func (e *Engine) computeLayout(ctx context.Context, req LayoutRequest) (*core.La
 	e.stats.inFlight.Add(1)
 	defer e.stats.inFlight.Add(-1)
 	e.stats.computed.Add(1)
-	cfg := e.withBudget(req.Config)
+	start := time.Now()
+	defer func() {
+		e.stats.computeNs.Add(time.Since(start).Nanoseconds())
+		e.stats.computeCount.Add(1)
+	}()
+	cfg := e.withCancel(ctx, e.withBudget(req.Config))
 	// Pipeline stages hang their spans under the (leader) request's
 	// span; followers coalesced into this flight share the tree via the
 	// recorded trace, not their own.
@@ -602,9 +741,15 @@ func (e *Engine) gpFor(ctx context.Context, req LayoutRequest) (*netlist.Netlist
 			e.stats.inFlight.Add(1)
 			defer e.stats.inFlight.Add(-1)
 			e.stats.computed.Add(1)
-			cfg := e.withBudget(req.Config)
+			cfg := e.withCancel(ctx, e.withBudget(req.Config))
 			cfg.Obs = obs.SpanFrom(ctx)
 			gp := e.prepareFn(dev, cfg)
+			// A cancellation mid-placement leaves gp partially iterated
+			// (gplace returns early without error). Never cache it — the
+			// next request must recompute from scratch.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			e.gpCache.Add(key, gp)
 			return gp, nil
 		})
@@ -662,6 +807,11 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 			e.stats.inFlight.Add(1)
 			defer e.stats.inFlight.Add(-1)
 			e.stats.computed.Add(1)
+			cstart := time.Now()
+			defer func() {
+				e.stats.computeNs.Add(time.Since(cstart).Nanoseconds())
+				e.stats.computeCount.Add(1)
+			}()
 			fcfg := req.Config
 			fcfg.Obs = obs.SpanFrom(ctx)
 			f, err := e.fidelityFn(ctx, lay.Netlist, req.Benchmark, fcfg)

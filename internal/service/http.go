@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kernstats"
 	"repro/internal/layoutio"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -58,9 +61,12 @@ func NewHandler(e *Engine) http.Handler {
 	}
 	// The trace middleware sits outside the routing wrapper so a
 	// forwarded request's hop span (and the remote tree grafted under
-	// it) lands in this replica's trace.
-	layout = tracedHandler(e, "/v1/layout", layout)
-	fidelity = tracedHandler(e, "/v1/fidelity", fidelity)
+	// it) lands in this replica's trace. The QoS front-end sits
+	// outermost: shed and expired-on-arrival requests never allocate a
+	// trace or touch the engine, and the deadline context it installs
+	// bounds everything below, forward hop included.
+	layout = qosHandler(e, tracedHandler(e, "/v1/layout", layout))
+	fidelity = qosHandler(e, tracedHandler(e, "/v1/fidelity", fidelity))
 	mux.HandleFunc("GET /v1/layout", layout)
 	mux.HandleFunc("GET /v1/fidelity", fidelity)
 	mux.HandleFunc("GET /v1/strategies", handleStrategies)
@@ -95,6 +101,73 @@ func NewHandler(e *Engine) http.Handler {
 		handleTracez(e, w, r)
 	})
 	return mux
+}
+
+// qosHandler is the QoS front-end around the synchronous request
+// handlers: it resolves the tenant (TenantHeader, shared "default"
+// bucket otherwise), charges the tenant's token bucket — except on
+// forwarded hops, which the entry replica already charged — and
+// installs the request's deadline (DeadlineHeader, or the engine's
+// default) as a context timeout. Requests whose deadline has already
+// expired are rejected with 504 before any placement work happens.
+func qosHandler(e *Engine, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.Header.Get(TenantHeader)
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		if r.Header.Get(cluster.ForwardHeader) == "" {
+			if ok, wait := e.adm.allowQuota(tenant); !ok {
+				kernstats.ShedQuota.Add(1)
+				writeShed(w, &ShedError{
+					Status:     http.StatusTooManyRequests,
+					RetryAfter: retryAfterFor(wait),
+					Reason:     fmt.Sprintf("tenant %q over quota", tenant),
+				})
+				return
+			}
+		}
+		ctx := withTenant(r.Context(), tenant)
+		budget, has, err := parseDeadline(r.Header.Get(DeadlineHeader), time.Now())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !has && e.defaultDeadline > 0 {
+			budget, has = e.defaultDeadline, true
+		}
+		if has {
+			if budget <= 0 {
+				kernstats.DeadlineRejected.Add(1)
+				e.adm.recordShed()
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Errorf("deadline expired %s before arrival", (-budget).Round(time.Millisecond)))
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// parseDeadline interprets a DeadlineHeader value: a Go duration
+// ("750ms") is a budget from now; a bare integer is an absolute unix
+// timestamp in milliseconds. The returned budget is the remaining
+// time — zero or negative means already expired.
+func parseDeadline(v string, now time.Time) (time.Duration, bool, error) {
+	if v == "" {
+		return 0, false, nil
+	}
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.UnixMilli(ms).Sub(now), true, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s %q: %w", DeadlineHeader, v, err)
+	}
+	return d, true, nil
 }
 
 // tracedHandler runs h under a request trace: a fresh one normally, an
@@ -171,6 +244,11 @@ func writeEngineMetrics(w io.Writer, e *Engine) {
 	gauge("qgdp_store_disk_healthy", boolGauge(s.Store.DiskHealthy))
 	gauge("qgdp_jobs_retained", int64(s.Jobs.Retained))
 	gauge("qgdp_traces_retained", int64(e.rec.Len()))
+	if s.Admission != nil {
+		gauge("qgdp_admission_queued", int64(s.Admission.Queued))
+		gauge("qgdp_admission_max_queue", int64(s.Admission.MaxQueue))
+		fmt.Fprintf(w, "# TYPE qgdp_admission_shed_rate_1m gauge\nqgdp_admission_shed_rate_1m %g\n", s.Admission.ShedRate1m)
+	}
 	if s.Cluster != nil {
 		gauge("qgdp_cluster_replication", int64(s.Cluster.Replication))
 		peers := make([]string, 0, len(s.Cluster.PeerUp))
@@ -183,6 +261,16 @@ func writeEngineMetrics(w io.Writer, e *Engine) {
 			fmt.Fprintf(w, "qgdp_cluster_peer_up{peer=\"%s\"} %d\n",
 				obs.EscapeLabel(p), boolGauge(s.Cluster.PeerUp[p]))
 		}
+		breaker := make(map[string]cluster.BreakerState, len(s.Cluster.Peers))
+		for _, ps := range s.Cluster.Peers {
+			breaker[ps.Addr] = ps.Breaker
+		}
+		fmt.Fprintf(w, "# TYPE qgdp_cluster_breaker_open gauge\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "qgdp_cluster_breaker_open{peer=\"%s\"} %d\n",
+				obs.EscapeLabel(p), boolGauge(breaker[p] != cluster.BreakerClosed))
+		}
+		gauge("qgdp_cluster_open_breakers", int64(s.Cluster.OpenBreakers))
 	}
 }
 
@@ -395,7 +483,7 @@ func handleLayout(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Layout(r.Context(), req)
 	if err != nil {
-		writeError(w, statusFor(r.Context(), err), err)
+		writeRequestError(r.Context(), w, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "svg" {
@@ -449,7 +537,7 @@ func handleFidelity(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Fidelity(r.Context(), FidelityRequest{LayoutRequest: lreq, Benchmark: bench})
 	if err != nil {
-		writeError(w, statusFor(r.Context(), err), err)
+		writeRequestError(r.Context(), w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -624,12 +712,38 @@ func splitList(s string) []string {
 	return out
 }
 
-// statusFor maps an engine error to an HTTP status: client-cancelled
-// requests report 499-style 408, everything else is a server error.
-func statusFor(ctx context.Context, err error) int {
-	if ctx.Err() != nil {
-		return http.StatusRequestTimeout
+// writeShed writes an admission rejection: the ShedError's status plus
+// a whole-seconds Retry-After header computed from live queue state.
+func writeShed(w http.ResponseWriter, shed *ShedError) {
+	secs := int64(shed.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
-	_ = err
-	return http.StatusInternalServerError
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, shed.Status, shed)
+}
+
+// writeRequestError maps an engine error to its HTTP response,
+// distinguishing the three ways a request dies early: shed by
+// admission (429/503 + Retry-After), deadline blown mid-computation
+// (504), and abandoned by the client (408). The deadline check reads
+// the request context, not the error chain — a cancelled flight leader
+// surfaces plain context.Canceled to followers whose own deadline
+// expired, and the caller's verdict is what its context says.
+func writeRequestError(ctx context.Context, w http.ResponseWriter, err error) {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		writeShed(w, shed)
+		return
+	}
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		kernstats.DeadlineBlown.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err)
+	case ctx.Err() != nil:
+		kernstats.ClientCancelled.Add(1)
+		writeError(w, http.StatusRequestTimeout, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }

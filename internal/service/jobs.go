@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/kernstats"
 	"repro/internal/obs"
 )
@@ -456,12 +457,22 @@ func (js *Jobs) forwardGroup(j *job, owner string, idxs []int) {
 	fw := j.root.Child("jobs.forward")
 	fw.Attr("peer", owner)
 	fw.AttrInt("items", int64(len(idxs)))
-	items, remoteTree, err := js.runRemoteGroup(owner, j, idxs, fw)
+	var items []JobItem
+	var remoteTree *obs.SpanNode
+	// An open breaker sends the group straight to local fallback — the
+	// sub-job submit would only burn a timeout against a failing peer.
+	allowed := cl.AllowForward(owner)
+	err := fmt.Errorf("circuit breaker open for %s", owner)
+	if allowed {
+		items, remoteTree, err = js.runRemoteGroup(owner, j, idxs, fw)
+	}
 	if err != nil {
 		fw.Attr("error", err.Error())
 		fw.End()
 		cl.CountForwardError()
-		cl.MarkFailure(owner, err)
+		if allowed {
+			cl.MarkForwardFailure(owner, err)
+		}
 		// Hand the group back to the local path with the usual runner
 		// fan-out (a big orphaned group must not drain serially). The
 		// remote attempt marked the items running-via-owner, which
@@ -487,7 +498,7 @@ func (js *Jobs) forwardGroup(j *job, owner string, idxs []int) {
 		fw.Graft(remoteTree)
 	}
 	fw.End()
-	cl.MarkAlive(owner)
+	cl.MarkForwardSuccess(owner)
 	for k, i := range idxs {
 		cl.CountForwarded()
 		js.finishRemoteItem(j, i, owner, items[k])
@@ -515,6 +526,9 @@ func (js *Jobs) runRemoteGroup(owner string, j *job, idxs []int, fw *obs.Span) (
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := js.e.faults.Fire(js.ctx, faultinject.SiteJobsForward); err != nil {
 		return nil, nil, err
 	}
 
@@ -558,7 +572,17 @@ func (js *Jobs) remoteJobCall(method, owner, path string, payload []byte, ref st
 	if payload != nil {
 		body = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(js.ctx, method, "http://"+owner+path, body)
+	// Each call (submit or poll) is individually bounded: the remote
+	// job's compute time is spent between polls, not inside one, so a
+	// peer that wedges mid-conversation fails fast and the group falls
+	// back locally instead of hanging the parent job.
+	ctx := js.ctx
+	if t := js.e.cluster.ForwardTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+owner+path, body)
 	if err != nil {
 		return JobView{}, err
 	}

@@ -145,8 +145,8 @@ func TestForwardedTraceStitched(t *testing.T) {
 	req := reqOwnedBy(t, other.cl, owner.addr)
 
 	var body struct {
-		TraceID string        `json:"trace_id"`
-		Trace   *obs.SpanNode `json:"trace"`
+		TraceID string          `json:"trace_id"`
+		Trace   *obs.SpanNode   `json:"trace"`
 		Layout  json.RawMessage `json:"layout"`
 	}
 	resp := getJSON(t, layoutURL(other.srv.URL, req)+"&debug=trace", &body)
@@ -448,10 +448,10 @@ func TestSlowRequestLog(t *testing.T) {
 		t.Fatal("no slow-request line logged")
 	}
 	var entry struct {
-		Msg      string `json:"msg"`
-		Path     string `json:"path"`
+		Msg      string  `json:"msg"`
+		Path     string  `json:"path"`
 		DurMs    float64 `json:"dur_ms"`
-		TraceID  string `json:"trace_id"`
+		TraceID  string  `json:"trace_id"`
 		TopSpans []struct {
 			Name  string  `json:"name"`
 			DurMs float64 `json:"dur_ms"`

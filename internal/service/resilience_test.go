@@ -1,0 +1,369 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/netlist"
+)
+
+// gatedEngine is a stub engine whose legalize stage blocks until the
+// returned gate is closed (or the request context dies), so tests can
+// hold worker slots occupied and observe queueing behavior.
+func gatedEngine(t *testing.T, opts Options) (*Engine, *stubCounts, chan struct{}, chan struct{}) {
+	t.Helper()
+	e, c := stubEngine(opts)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 64)
+	base := e.legalizeFn
+	e.legalizeFn = func(ctx context.Context, gp *netlist.Netlist, s core.Strategy, cfg core.Config) (*core.Layout, error) {
+		started <- struct{}{}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return base(ctx, gp, s, cfg)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, c, gate, started
+}
+
+func seededLayoutURL(base string, seed int64) string {
+	return fmt.Sprintf("%s/v1/layout?topology=Grid&strategy=qGDP-LG&seed=%d", base, seed)
+}
+
+// TestQueueFullShedsWithRetryAfter: with one worker busy and the queue
+// at capacity, the next request is shed with 503 + Retry-After — and
+// once the backlog drains, the pool serves again (no stranded slot).
+func TestQueueFullShedsWithRetryAfter(t *testing.T) {
+	e, _, gate, started := gatedEngine(t, Options{Workers: 1, MaxQueue: 1})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	results := make(chan int, 2)
+	get := func(seed int64) {
+		resp, err := http.Get(seededLayoutURL(srv.URL, seed))
+		if err != nil {
+			results <- -1
+			return
+		}
+		resp.Body.Close()
+		results <- resp.StatusCode
+	}
+
+	// Seed 1 occupies the single worker slot (blocked in legalize).
+	go get(1)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached legalize")
+	}
+
+	// Seed 2 is admitted and waits in the queue for the slot.
+	go get(2)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.adm.queueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Seed 3 finds the queue full and must be shed immediately.
+	resp, err := http.Get(seededLayoutURL(srv.URL, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full request: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("queue-full request: Retry-After = %q, want at least 1s", ra)
+	}
+
+	// Drain: both admitted requests complete, and the slot is free for
+	// new work — a shed must never leak a queue slot or a worker slot.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d, want 200", code)
+		}
+	}
+	resp, err = http.Get(seededLayoutURL(srv.URL, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain request: status %d, want 200", resp.StatusCode)
+	}
+	if d := e.adm.queueDepth(); d != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", d)
+	}
+}
+
+// TestQuotaShedsWith429: a tenant over its token-bucket rate is shed
+// with 429, while an unrelated tenant's bucket is untouched.
+func TestQuotaShedsWith429(t *testing.T) {
+	e, _ := stubEngine(Options{Workers: 2, QuotaRPS: 0.001, QuotaBurst: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	get := func(tenant string, seed int64) *http.Response {
+		req, _ := http.NewRequest(http.MethodGet, seededLayoutURL(srv.URL, seed), nil)
+		req.Header.Set(TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get("acme", 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first acme request: status %d, want 200", resp.StatusCode)
+	}
+	resp := get("acme", 2)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota acme request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-quota response missing Retry-After")
+	}
+	if resp := get("globex", 3); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: status %d, want 200 (buckets must be per-tenant)", resp.StatusCode)
+	}
+}
+
+// TestExpiredDeadlineDoesZeroWork: a request whose deadline already
+// passed is rejected 504 at the front door without touching the
+// placement pipeline.
+func TestExpiredDeadlineDoesZeroWork(t *testing.T) {
+	e, c := stubEngine(Options{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	for _, hdr := range []string{
+		"-5ms", // negative budget
+		fmt.Sprintf("%d", time.Now().Add(-time.Second).UnixMilli()), // absolute, past
+	} {
+		req, _ := http.NewRequest(http.MethodGet, seededLayoutURL(srv.URL, 1), nil)
+		req.Header.Set(DeadlineHeader, hdr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("deadline %q: status %d, want 504", hdr, resp.StatusCode)
+		}
+	}
+	if p, l := c.prepares.Load(), c.legalizes.Load(); p != 0 || l != 0 {
+		t.Fatalf("expired deadline did placement work: prepares=%d legalizes=%d, want 0", p, l)
+	}
+}
+
+// TestDeadlineBlownMidComputeReturns504: a deadline that expires while
+// the pipeline runs aborts the computation and maps to 504.
+func TestDeadlineBlownMidComputeReturns504(t *testing.T) {
+	e, _, _, _ := gatedEngine(t, Options{Workers: 2}) // gate never closes; ctx must win
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, seededLayoutURL(srv.URL, 1), nil)
+	req.Header.Set(DeadlineHeader, "50ms")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("blown deadline: status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestClientCancelReturns408: a client that disconnects mid-compute is
+// recorded as 408, not as a server-side timeout.
+func TestClientCancelReturns408(t *testing.T) {
+	e, _, _, started := gatedEngine(t, Options{Workers: 2})
+	h := NewHandler(e)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, seededLayoutURL("http://replica", 1), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached legalize")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never returned after client cancel")
+	}
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("client cancel: status %d, want 408", rec.Code)
+	}
+}
+
+// TestForwardFaultOpensBreakerAndFallsBack: with every forward attempt
+// to the owner failing (injected peer.forward errors), a non-owning
+// replica still serves each request via local fallback, and after
+// BreakerThreshold consecutive failures the owner's circuit breaker
+// opens — visible in cluster stats.
+func TestForwardFaultOpensBreakerAndFallsBack(t *testing.T) {
+	handlers := make([]*swapHandler, 2)
+	addrs := make([]string, 2)
+	for i := range handlers {
+		handlers[i] = &swapHandler{}
+		srv := httptest.NewServer(handlers[i])
+		t.Cleanup(srv.Close)
+		addrs[i] = strings.TrimPrefix(srv.URL, "http://")
+	}
+
+	engines := make([]*Engine, 2)
+	clusters := make([]*cluster.Cluster, 2)
+	for i := range engines {
+		cfg := cluster.Config{Self: addrs[i], Peers: addrs, Replication: 2, BreakerThreshold: 3}
+		if i == 0 {
+			// Only the proxying side's forward path is faulted.
+			cfg.Faults = faultinject.MustParse("peer.forward=error", 1)
+		}
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, _ := jobStubEngine(Options{Workers: 2, Cluster: cl})
+		t.Cleanup(func() { eng.Close() })
+		engines[i], clusters[i] = eng, cl
+		handlers[i].set(NewHandler(eng))
+	}
+
+	owned := reqOwnedBy(t, clusters[0], addrs[1])
+	urlFor := func(seed int64) string {
+		return fmt.Sprintf("http://%s/v1/layout?topology=%s&strategy=%s&seed=%d",
+			addrs[0], owned.Topology, owned.Strategy, seed)
+	}
+
+	// Three requests to the faulty owner: each forward attempt fails,
+	// each is answered locally anyway, and the third opens the breaker.
+	// Distinct seeds keep every request a fresh cache miss, but they must
+	// all route to the faulted peer.
+	seed, sent := owned.Config.GP.Seed, 0
+	for sent < 3 {
+		cfg := core.DefaultConfig()
+		cfg.GP.Seed = seed
+		req := LayoutRequest{Topology: owned.Topology, Strategy: owned.Strategy, Config: cfg}
+		if addr, _ := clusters[0].Route(layoutKey(req)); addr != addrs[1] {
+			seed++
+			continue
+		}
+		resp, err := http.Get(urlFor(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d during forward faults: status %d, want 200 via fallback", sent, resp.StatusCode)
+		}
+		seed++
+		sent++
+	}
+
+	if st := clusters[0].BreakerState(addrs[1]); st != cluster.BreakerOpen {
+		t.Fatalf("breaker state for %s = %q, want open after %d forward failures", addrs[1], st, 3)
+	}
+	stats := clusters[0].Stats()
+	if stats.BreakerOpened < 1 {
+		t.Fatalf("stats.BreakerOpened = %d, want >= 1", stats.BreakerOpened)
+	}
+	if stats.OpenBreakers != 1 {
+		t.Fatalf("stats.OpenBreakers = %d, want 1", stats.OpenBreakers)
+	}
+	if stats.ForwardErrors < 3 {
+		t.Fatalf("stats.ForwardErrors = %d, want >= 3", stats.ForwardErrors)
+	}
+}
+
+// TestForwardRetryRoutesAroundSlowPeer: the first forward attempt dies
+// (injected error), the retry is counted, and because the only other
+// ring owner is the replica itself, the request completes locally —
+// bounded by one attempt + one backoff, never an unbounded ring walk.
+func TestForwardRetryCounted(t *testing.T) {
+	handlers := make([]*swapHandler, 3)
+	addrs := make([]string, 3)
+	for i := range handlers {
+		handlers[i] = &swapHandler{}
+		srv := httptest.NewServer(handlers[i])
+		t.Cleanup(srv.Close)
+		addrs[i] = strings.TrimPrefix(srv.URL, "http://")
+	}
+	engines := make([]*Engine, 3)
+	clusters := make([]*cluster.Cluster, 3)
+	for i := range engines {
+		cfg := cluster.Config{
+			Self: addrs[i], Peers: addrs, Replication: 3,
+			RetryBackoff: time.Millisecond,
+		}
+		if i == 0 {
+			// First faulted attempt per request; the retry succeeds.
+			cfg.Faults = faultinject.MustParse("peer.forward=error,times=1", 1)
+		}
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, _ := jobStubEngine(Options{Workers: 2, Cluster: cl})
+		t.Cleanup(func() { eng.Close() })
+		engines[i], clusters[i] = eng, cl
+		handlers[i].set(NewHandler(eng))
+	}
+
+	// A key where replica 0 is the LAST ring owner: both preferred
+	// owners are remote, so the faulted first attempt retries against
+	// the second remote owner rather than short-circuiting to self.
+	var req LayoutRequest
+	for seed := int64(0); ; seed++ {
+		if seed >= 100000 {
+			t.Fatal("no seed with two remote preferred owners")
+		}
+		cfg := core.DefaultConfig()
+		cfg.GP.Seed = seed
+		r := LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg}
+		owners := clusters[0].Ring().Owners(layoutKey(r), 3)
+		if len(owners) == 3 && owners[0] != addrs[0] && owners[1] != addrs[0] {
+			req = r
+			break
+		}
+	}
+	resp, err := http.Get(layoutURL("http://"+addrs[0], req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (retry or fallback must absorb the fault)", resp.StatusCode)
+	}
+	stats := clusters[0].Stats()
+	if stats.ForwardRetries < 1 {
+		t.Fatalf("stats.ForwardRetries = %d, want >= 1", stats.ForwardRetries)
+	}
+}

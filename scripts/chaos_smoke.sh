@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Chaos smoke for the resilience layer: boot a 3-replica cluster with
+# deterministic fault injection active on one replica's forwarding path
+# and assert that (1) requests for non-owned keys still complete — fast,
+# bounded by the per-attempt forward timeout, never by the injected
+# latency — with byte-identical layouts via local fallback, (2) repeated
+# forward failures open the per-peer circuit breaker, visible on
+# /clusterz and /metricsz, and (3) the admission layer sheds over-quota
+# requests with 429 + Retry-After and rejects already-expired deadlines
+# with 504 before any placement work. Needs only a Go toolchain, curl,
+# and POSIX tools; run from the repo root. Budget: well under 2 minutes.
+set -euo pipefail
+
+HOST=127.0.0.1
+PORTS=(18251 18252 18253)
+REF_ADDR=$HOST:18250
+QOS_ADDR=$HOST:18254
+WORK=$(mktemp -d)
+BIN="$WORK/qgdp-serve"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_healthy() { # addr
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $1 did not become healthy" >&2
+  exit 1
+}
+
+# cache_hit/shared and the *_ms wall-clock timings legitimately differ
+# between independent computes; the layout and report must not.
+norm() { grep -v '"cache_hit"\|"shared"\|_ms"' "$1"; }
+
+go build -o "$BIN" ./cmd/qgdp-serve
+
+PEERS="$HOST:${PORTS[0]},$HOST:${PORTS[1]},$HOST:${PORTS[2]}"
+
+echo "== reference: single-process server, no faults"
+"$BIN" -addr "$REF_ADDR" &
+PIDS+=($!)
+wait_healthy "$REF_ADDR"
+
+echo "== boot 3 replicas; replica 0 injects 10s latency into every forward attempt"
+for i in 0 1 2; do
+  ADDR=$HOST:${PORTS[$i]}
+  FAULTS=()
+  if [ "$i" = 0 ]; then
+    FAULTS=(-fault-spec 'peer.forward=latency:10s' -fault-seed 1)
+  fi
+  "$BIN" -addr "$ADDR" -advertise "$ADDR" -peers "$PEERS" -replication 2 \
+    -heartbeat 300ms -forward-timeout 300ms "${FAULTS[@]}" &
+  PIDS+=($!)
+done
+for i in 0 1 2; do
+  wait_healthy "$HOST:${PORTS[$i]}"
+done
+
+echo "== find 4 keys owned by one remote peer (as seen from replica 0)"
+OWNER=""
+SEEDS=()
+for seed in $(seq 1 200); do
+  Q="topology=Grid&strategy=qGDP-LG&seed=$seed&mappings=1"
+  curl -sf "http://$HOST:${PORTS[0]}/clusterz/route?$Q" -o "$WORK/route.json"
+  R=$(sed -n 's/.*"route": "\([^"]*\)".*/\1/p' "$WORK/route.json")
+  if [ "$R" = "$HOST:${PORTS[0]}" ] || [ -z "$R" ]; then
+    continue
+  fi
+  if [ -z "$OWNER" ]; then
+    OWNER=$R
+  fi
+  if [ "$R" = "$OWNER" ]; then
+    SEEDS+=("$seed")
+    [ "${#SEEDS[@]}" -ge 4 ] && break
+  fi
+done
+[ "${#SEEDS[@]}" -ge 4 ] || { echo "FAIL: could not find 4 seeds owned by one remote peer"; exit 1; }
+echo "   owner=$OWNER seeds=${SEEDS[*]}"
+
+echo "== non-owned keys complete via fallback despite the slow-peer fault"
+START=$(date +%s)
+for seed in "${SEEDS[@]}"; do
+  Q="topology=Grid&strategy=qGDP-LG&seed=$seed&mappings=1"
+  curl -sf "http://$REF_ADDR/v1/layout?$Q" -o "$WORK/ref$seed.json"
+  curl -sf --max-time 30 "http://$HOST:${PORTS[0]}/v1/layout?$Q" -o "$WORK/got$seed.json" \
+    || { echo "FAIL: request for seed $seed failed under forward faults"; exit 1; }
+  if ! diff <(norm "$WORK/ref$seed.json") <(norm "$WORK/got$seed.json") >/dev/null; then
+    echo "FAIL: fallback layout for seed $seed differs from the no-fault reference"
+    diff <(norm "$WORK/ref$seed.json") <(norm "$WORK/got$seed.json") | head
+    exit 1
+  fi
+done
+ELAPSED=$(($(date +%s) - START))
+# 4 requests, each at most ~2 faulted attempts x 300ms + backoff +
+# local compute. The injected latency is 10s per attempt: finishing
+# in single-digit seconds proves the per-attempt timeout bounds it.
+if [ "$ELAPSED" -ge 20 ]; then
+  echo "FAIL: 4 fallback requests took ${ELAPSED}s — forward attempts are not time-bounded"
+  exit 1
+fi
+echo "   4 requests in ${ELAPSED}s (injected latency was 10s per attempt)"
+
+echo "== repeated forward failures opened the owner's circuit breaker"
+curl -sf "http://$HOST:${PORTS[0]}/clusterz" -o "$WORK/clusterz.json"
+grep -q '"breaker": "open"' "$WORK/clusterz.json" \
+  || { echo "FAIL: /clusterz shows no open breaker"; cat "$WORK/clusterz.json"; exit 1; }
+curl -sf "http://$HOST:${PORTS[0]}/metricsz" -o "$WORK/metrics.txt"
+grep -q '^qgdp_cluster_open_breakers [1-9]' "$WORK/metrics.txt" \
+  || { echo "FAIL: /metricsz qgdp_cluster_open_breakers is zero"; exit 1; }
+OPENED=$(sed -n 's/^qgdp_cluster_breaker_opened_total \([0-9]*\)$/\1/p' "$WORK/metrics.txt")
+[ "${OPENED:-0}" -ge 1 ] || { echo "FAIL: breaker_opened_total=${OPENED:-0}, want >= 1"; exit 1; }
+curl -sf "http://$HOST:${PORTS[0]}/healthz" -o "$WORK/health.json"
+grep -q '"open_breakers": [1-9]' "$WORK/health.json" \
+  || { echo "FAIL: /healthz does not surface open breaker count"; cat "$WORK/health.json"; exit 1; }
+
+echo "== admission: over-quota tenant shed with 429 + Retry-After"
+"$BIN" -addr "$QOS_ADDR" -quota-rps 0.01 -quota-burst 1 -max-queue 4 &
+PIDS+=($!)
+wait_healthy "$QOS_ADDR"
+QQ="topology=Grid&strategy=qGDP-LG&seed=1&mappings=1"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-QGDP-Tenant: chaos' "http://$QOS_ADDR/v1/layout?$QQ")
+[ "$CODE" = 200 ] || { echo "FAIL: first in-quota request got $CODE, want 200"; exit 1; }
+curl -s -D "$WORK/shed.hdr" -o /dev/null -H 'X-QGDP-Tenant: chaos' "http://$QOS_ADDR/v1/layout?$QQ&seed=2"
+grep -q '^HTTP/[0-9.]* 429' "$WORK/shed.hdr" \
+  || { echo "FAIL: over-quota request not shed with 429"; cat "$WORK/shed.hdr"; exit 1; }
+grep -qi '^Retry-After: [0-9]' "$WORK/shed.hdr" \
+  || { echo "FAIL: 429 response lacks Retry-After"; cat "$WORK/shed.hdr"; exit 1; }
+
+echo "== admission: already-expired deadline rejected 504 with zero work"
+BEFORE=$(curl -sf "http://$QOS_ADDR/statsz" | grep -o '"computed": [0-9]*' | head -1)
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-QGDP-Deadline: -5ms' "http://$QOS_ADDR/v1/layout?$QQ&seed=3")
+[ "$CODE" = 504 ] || { echo "FAIL: expired deadline got $CODE, want 504"; exit 1; }
+AFTER=$(curl -sf "http://$QOS_ADDR/statsz" | grep -o '"computed": [0-9]*' | head -1)
+[ "$BEFORE" = "$AFTER" ] || { echo "FAIL: expired deadline still ran placement ($BEFORE -> $AFTER)"; exit 1; }
+
+echo "PASS: faults bounded by timeouts, byte-identical fallbacks, breaker opened, overload shed with Retry-After, dead-on-arrival deadlines did zero work"
