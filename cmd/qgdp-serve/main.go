@@ -14,15 +14,24 @@
 // re-running placement. Job manifests persist under <cache-dir>/jobs,
 // so unfinished batches are reported and resumed after a restart.
 //
-// With -peers set, N replicas form a consistent-hash serving tier: each
+// With -peers (a static roster) or -join (seed addresses of a running
+// cluster), N replicas form a consistent-hash serving tier: each
 // request key has a deterministic owner on a rendezvous ring, non-owners
-// proxy to the owner (unless the shared store already has the result),
-// and batch jobs partition their items by owner. Example 3-replica
-// cluster over one shared cache directory:
+// proxy to the owner (unless the local store already has the result),
+// and batch jobs partition their items by owner. Membership is dynamic:
+// heartbeats carry gossip digests, so a replica started with only
+// -join learns the full ring from one live seed, and computed layouts
+// are pushed to the other ring owners (/v1/replicate) so the cluster
+// survives losing a replica without recomputing or sharing a disk.
+// Example: a 3-replica disk-less cluster grown from one seed:
 //
-//	qgdp-serve -addr :8080 -advertise h1:8080 -peers h1:8080,h2:8080,h3:8080 -cache-dir /shared/qgdp
-//	qgdp-serve -addr :8080 -advertise h2:8080 -peers h1:8080,h2:8080,h3:8080 -cache-dir /shared/qgdp
-//	qgdp-serve -addr :8080 -advertise h3:8080 -peers h1:8080,h2:8080,h3:8080 -cache-dir /shared/qgdp
+//	qgdp-serve -addr :8080 -advertise h1:8080 -peers h1:8080
+//	qgdp-serve -addr :8080 -advertise h2:8080 -join h1:8080
+//	qgdp-serve -addr :8080 -advertise h3:8080 -join h1:8080
+//
+// On SIGTERM/SIGINT a replica drains gracefully (bounded by
+// -drain-timeout): it announces its leave to the cluster, finishes
+// in-flight requests, and flushes pending replication before exiting.
 //
 // Endpoints:
 //
@@ -84,9 +93,12 @@ func main() {
 	cacheDiskMB := flag.Int("cache-disk-mb", 512, "size bound of the disk tier in MiB (0: unbounded)")
 	lanes := flag.Int("lanes", 0, "engine-wide parallelism budget for intra-job kernels (default GOMAXPROCS)")
 	peers := flag.String("peers", "", "comma-separated replica addresses forming the cluster, this one included (empty: single process)")
+	join := flag.String("join", "", "comma-separated seed addresses of an existing cluster to join (membership then gossips in)")
 	advertise := flag.String("advertise", "", "address peers reach this replica at (default: -addr, host 127.0.0.1 if unset)")
 	replication := flag.Int("replication", 2, "owners per key on the cluster ring (failover depth)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound: announce leave, finish in-flight requests, flush replication")
+	antiEntropy := flag.Duration("anti-entropy", 30*time.Second, "interval between cross-replica layout repair sweeps (0: disabled)")
 	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
 	slowLog := flag.Duration("slow-log", 0, "log a structured trace line for requests slower than this (0: disabled)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty: disabled)")
@@ -103,8 +115,8 @@ func main() {
 	if err := run(options{
 		addr: *addr, workers: *workers, cacheSize: *cacheSize,
 		cacheDir: *cacheDir, cacheDiskMB: *cacheDiskMB, lanes: *lanes,
-		peers: *peers, advertise: *advertise, replication: *replication,
-		heartbeat: *heartbeat, pr: *pr,
+		peers: *peers, join: *join, advertise: *advertise, replication: *replication,
+		heartbeat: *heartbeat, drainTimeout: *drainTimeout, antiEntropy: *antiEntropy, pr: *pr,
 		slowLog: *slowLog, debugAddr: *debugAddr,
 		maxQueue: *maxQueue, maxQueueWait: *maxQueueWait,
 		quotaRPS: *quotaRPS, quotaBurst: *quotaBurst,
@@ -121,9 +133,12 @@ type options struct {
 	workers, cacheSize int
 	cacheDir           string
 	cacheDiskMB, lanes int
-	peers, advertise   string
+	peers, join        string
+	advertise          string
 	replication        int
 	heartbeat          time.Duration
+	drainTimeout       time.Duration
+	antiEntropy        time.Duration
 	pr                 int
 	slowLog            time.Duration
 	debugAddr          string
@@ -172,18 +187,22 @@ func run(o options) error {
 	}
 
 	var cl *cluster.Cluster
-	if o.peers != "" {
+	if o.peers != "" || o.join != "" {
 		self := advertiseAddr(o.advertise, o.addr)
-		var peerList []string
-		for _, p := range strings.Split(o.peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peerList = append(peerList, p)
+		splitAddrs := func(s string) []string {
+			var out []string
+			for _, p := range strings.Split(s, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					out = append(out, p)
+				}
 			}
+			return out
 		}
 		var err error
 		cl, err = cluster.New(cluster.Config{
 			Self:              self,
-			Peers:             peerList,
+			Peers:             splitAddrs(o.peers),
+			Seeds:             splitAddrs(o.join),
 			Replication:       o.replication,
 			HeartbeatInterval: o.heartbeat,
 			ForwardTimeout:    o.forwardTimeout,
@@ -205,6 +224,7 @@ func run(o options) error {
 		QuotaRPS:             o.quotaRPS,
 		QuotaBurst:           o.quotaBurst,
 		DefaultDeadline:      o.defaultDeadline,
+		AntiEntropyInterval:  o.antiEntropy,
 		Faults:               faults,
 	})
 	defer eng.Close()
@@ -253,11 +273,22 @@ func run(o options) error {
 	case <-ctx.Done():
 	}
 
+	// Graceful drain, bounded by -drain-timeout end to end: announce the
+	// leave first (peers immediately stop routing new keys here), then
+	// stop accepting and finish in-flight requests, then flush the
+	// replication queues so layouts this replica computed last survive
+	// it. Job manifests are durable on write, and the deferred Close
+	// flushes the stores.
 	log.Print("qgdp-serve shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	if cl != nil {
+		cl.Leave(drainCtx)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	eng.Drain(drainCtx)
+	log.Print("qgdp-serve drained")
 	return nil
 }

@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,7 +32,8 @@ const ForwardHeader = "X-QGDP-Forwarded"
 // span tree under its hop span — yielding a single stitched tree.
 const TraceHeader = "X-QGDP-Trace"
 
-// State is a peer's health as seen by this replica's failure detector.
+// State is a member's health as seen by this replica's failure
+// detector and the membership gossip.
 type State string
 
 const (
@@ -41,26 +45,61 @@ const (
 	// — but one more failure at the forwarding layer falls back locally.
 	StateSuspect State = "suspect"
 	// StateDead: at least DeadAfter consecutive failures. Dead peers are
-	// skipped by Route until a probe or inbound heartbeat revives them.
+	// skipped by Route until a probe or inbound heartbeat revives them;
+	// they stay on the ring (their keys fail over, and a revived peer
+	// gets its ownership back) until pruned after PruneAfter.
 	StateDead State = "dead"
+	// StateLeft: the peer announced a graceful departure. Left members
+	// leave the ring immediately, are gossiped as tombstones so the
+	// whole cluster converges, and are pruned after PruneAfter. Only a
+	// higher incarnation (a restarted process) re-admits the address.
+	StateLeft State = "left"
 )
+
+// stateRank orders states by "badness" for same-incarnation gossip
+// merges: a claim may only worsen what we believe, never improve it —
+// improvements require a higher incarnation or direct contact.
+func stateRank(s State) int {
+	switch s {
+	case StateSuspect:
+		return 1
+	case StateDead:
+		return 2
+	case StateLeft:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// routable reports whether the routing layer may send keys to a member
+// in state s.
+func routable(s State) bool { return s != StateDead && s != StateLeft }
 
 // Config configures a replica's view of the cluster.
 type Config struct {
 	// Self is the address peers reach this replica at (the -advertise
-	// flag). It must appear in Peers — New rejects a config whose ring
-	// would differ from the other replicas'.
+	// flag).
 	Self string
-	// Peers is the static membership: every replica's advertise address,
-	// including Self. All replicas must agree on this set (order
-	// irrelevant) for ownership to be consistent.
+	// Peers is the static bootstrap membership: replica advertise
+	// addresses, Self included. When set, it must list Self — a config
+	// that silently built a different ring than the other replicas'
+	// would duplicate computes. Membership is dynamic after boot:
+	// digests carried on heartbeats add and remove members.
 	Peers []string
+	// Seeds are join targets: addresses of existing replicas (the -join
+	// flag). Unlike Peers, Self must not be listed and the set need not
+	// be complete — one reachable seed is enough, the rest of the
+	// membership arrives in its first digest.
+	Seeds []string
 	// Replication is how many owners each key has on the ring (default
 	// 2, clamped to the ring size). The first live owner serves the key;
 	// the rest are failover candidates, so a single replica death
 	// re-routes instead of falling back to compute-everywhere.
 	Replication int
-	// HeartbeatInterval is the probe period (default 1s).
+	// HeartbeatInterval is the probe period (default 1s). Each probe
+	// carries this replica's membership digest, so it is also the
+	// gossip period.
 	HeartbeatInterval time.Duration
 	// SuspectAfter / DeadAfter are the consecutive-failure thresholds
 	// (defaults 1 and 3).
@@ -89,9 +128,19 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker rejects before
 	// allowing the half-open trial (default 5s).
 	BreakerCooldown time.Duration
+	// PruneAfter is how long a dead or left member is kept (off the
+	// routing path, gossiped so the cluster agrees) before being
+	// forgotten entirely and dropped from the ring. Default 60x the
+	// heartbeat interval, clamped to [30s, 10m].
+	PruneAfter time.Duration
+	// LaneUtil, when non-nil, supplies this replica's parallel-lane
+	// utilization in [0,1]; it rides along in digests so peers can see
+	// load, not just liveness. nil reports 0.
+	LaneUtil func() float64
 	// Faults, when non-nil, injects the configured fault schedule at
 	// the cluster's instrumented sites (heartbeat probes; the service
-	// layer shares it for forward hops). nil is fully inert.
+	// layer shares it for forward hops and replication pushes). nil is
+	// fully inert.
 	Faults *faultinject.Injector
 }
 
@@ -109,12 +158,16 @@ const (
 	BreakerHalfOpen BreakerState = "half-open"
 )
 
-// peerState is one remote peer's detector state, guarded by Cluster.mu.
-type peerState struct {
-	state    State
-	failures int       // consecutive probe failures
-	lastSeen time.Time // last successful probe or inbound heartbeat
-	lastErr  string
+// memberState is one remote member's detector + gossip state, guarded
+// by Cluster.mu.
+type memberState struct {
+	state       State
+	incarnation uint64    // highest incarnation seen for this address
+	failures    int       // consecutive probe failures
+	lastSeen    time.Time // last successful probe or inbound heartbeat
+	changed     time.Time // last state transition (prune timer)
+	lastErr     string
+	laneUtil    float64 // peer-reported lane utilization in [0,1]
 
 	// The forwarding circuit breaker. Distinct from the probe-driven
 	// detector above: the detector tracks liveness on the heartbeat
@@ -129,7 +182,7 @@ type peerState struct {
 // A non-zero breakUntil in the past means the cooldown elapsed but no
 // trial has been admitted yet — reported half-open, since the next
 // AllowForward call will start the trial.
-func (p *peerState) breakerStateLocked(now time.Time) BreakerState {
+func (p *memberState) breakerStateLocked(now time.Time) BreakerState {
 	switch {
 	case p.breakTrial:
 		return BreakerHalfOpen
@@ -143,13 +196,25 @@ func (p *peerState) breakerStateLocked(now time.Time) BreakerState {
 }
 
 // Cluster is this replica's membership + health view plus the ring
-// routing over it. All methods are safe for concurrent use.
+// routing over it. Membership is dynamic: the ring is rebuilt (and
+// atomically swapped) whenever gossip adds, removes, or tombstones a
+// member. All methods are safe for concurrent use.
 type Cluster struct {
 	cfg  Config
-	ring *Ring
+	ring atomic.Pointer[Ring]
 
-	mu    sync.Mutex
-	peers map[string]*peerState // remote peers only (Self excluded)
+	// selfInc is this replica's incarnation: initialized from the boot
+	// clock so a restarted process always outranks its previous life,
+	// and bumped to refute stale suspect/dead claims about us.
+	selfInc atomic.Uint64
+
+	mu       sync.Mutex
+	members  map[string]*memberState // remote members only (Self excluded)
+	probers  map[string]chan struct{} // per-member prober stop channels
+	laneUtil func() float64
+	started  bool
+	closed   bool
+	leaving  bool
 
 	// client is the HTTP client the service layer forwards through:
 	// fast connection establishment failure (dead peer detection at the
@@ -167,6 +232,7 @@ type Cluster struct {
 	forwardRecv                              atomic.Int64
 	forwardErrs, hbSent, hbRecv              atomic.Int64
 	retries, breakerOpens, breakerRejects    atomic.Int64
+	joins, leaves, refutes                   atomic.Int64
 }
 
 // New validates cfg and builds the cluster view. The heartbeat loop
@@ -214,24 +280,39 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
-	ring := NewRing(cfg.Peers)
-	selfListed := false
-	for _, p := range ring.Peers() {
-		if p == cfg.Self {
-			selfListed = true
-			break
+	if cfg.PruneAfter <= 0 {
+		cfg.PruneAfter = 60 * cfg.HeartbeatInterval
+		if cfg.PruneAfter < 30*time.Second {
+			cfg.PruneAfter = 30 * time.Second
+		}
+		if cfg.PruneAfter > 10*time.Minute {
+			cfg.PruneAfter = 10 * time.Minute
 		}
 	}
-	if !selfListed {
-		// Appending Self silently would build a ring the other replicas
-		// do not have — two "owners" per key, duplicated computes.
-		return nil, fmt.Errorf("cluster: self %q not in peers %v — every replica must list the full membership, itself included", cfg.Self, ring.Peers())
+	if len(cfg.Peers) > 0 {
+		selfListed := false
+		for _, p := range NewRing(cfg.Peers).Peers() {
+			if p == cfg.Self {
+				selfListed = true
+				break
+			}
+		}
+		if !selfListed {
+			// Appending Self silently would build a ring the other
+			// replicas do not have — two "owners" per key, duplicated
+			// computes. (Join via Seeds instead: joins are gossiped, so
+			// every replica adds the newcomer.)
+			return nil, fmt.Errorf("cluster: self %q not in peers %v — list the full membership (itself included) or use a join seed", cfg.Self, cfg.Peers)
+		}
+	} else if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("cluster: no peers and no join seeds")
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		ring:  ring,
-		peers: map[string]*peerState{},
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		members:  map[string]*memberState{},
+		probers:  map[string]chan struct{}{},
+		laneUtil: cfg.LaneUtil,
+		stop:     make(chan struct{}),
 		client: &http.Client{
 			Transport: &http.Transport{
 				DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
@@ -244,19 +325,28 @@ func New(cfg Config) (*Cluster, error) {
 		},
 	}
 	c.probe = &http.Client{Timeout: cfg.ProbeTimeout}
-	for _, p := range ring.Peers() {
-		if p != cfg.Self {
-			c.peers[p] = &peerState{state: StateAlive, lastSeen: time.Now()}
+	// The boot clock makes a restarted process's incarnation outrank
+	// every claim gossiped about its previous life.
+	c.selfInc.Store(uint64(time.Now().UnixNano()))
+	now := time.Now()
+	for _, p := range append(append([]string{}, cfg.Peers...), cfg.Seeds...) {
+		if p != cfg.Self && p != "" {
+			c.members[p] = &memberState{state: StateAlive, lastSeen: now, changed: now}
 		}
 	}
+	c.rebuildRing()
 	return c, nil
 }
 
 // Self returns this replica's advertise address.
 func (c *Cluster) Self() string { return c.cfg.Self }
 
-// Ring returns the (immutable) ownership ring.
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Incarnation returns this replica's current incarnation number.
+func (c *Cluster) Incarnation() uint64 { return c.selfInc.Load() }
+
+// Ring returns the current ownership ring (an immutable snapshot; the
+// pointer is swapped when membership changes).
+func (c *Cluster) Ring() *Ring { return c.ring.Load() }
 
 // Replication returns the configured owners-per-key.
 func (c *Cluster) Replication() int { return c.cfg.Replication }
@@ -274,6 +364,14 @@ func (c *Cluster) RetryBackoff() time.Duration { return c.cfg.RetryBackoff }
 // forwarding layer (nil in production).
 func (c *Cluster) Faults() *faultinject.Injector { return c.cfg.Faults }
 
+// SetLaneUtil installs the lane-utilization sampler carried in
+// digests (the engine wires its parallel budget in after construction).
+func (c *Cluster) SetLaneUtil(f func() float64) {
+	c.mu.Lock()
+	c.laneUtil = f
+	c.mu.Unlock()
+}
+
 // AllowForward reports whether the forwarding layer may attempt addr:
 // false while the peer's breaker is open (counted as a breaker
 // rejection — the caller moves on without paying a timeout). When an
@@ -283,7 +381,7 @@ func (c *Cluster) Faults() *faultinject.Injector { return c.cfg.Faults }
 func (c *Cluster) AllowForward(addr string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.peers[addr]
+	p, ok := c.members[addr]
 	if !ok {
 		return true
 	}
@@ -310,7 +408,7 @@ func (c *Cluster) AllowForward(addr string) bool {
 // marks the peer alive.
 func (c *Cluster) MarkForwardSuccess(addr string) {
 	c.mu.Lock()
-	if p, ok := c.peers[addr]; ok {
+	if p, ok := c.members[addr]; ok {
 		p.breakFails = 0
 		p.breakTrial = false
 		p.breakUntil = time.Time{}
@@ -325,7 +423,7 @@ func (c *Cluster) MarkForwardSuccess(addr string) {
 // failing the half-open trial — opens the breaker for the cooldown.
 func (c *Cluster) MarkForwardFailure(addr string, err error) {
 	c.mu.Lock()
-	if p, ok := c.peers[addr]; ok {
+	if p, ok := c.members[addr]; ok {
 		p.breakFails++
 		wasClosed := !p.breakTrial && p.breakUntil.IsZero()
 		if p.breakFails >= c.cfg.BreakerThreshold || p.breakTrial {
@@ -353,43 +451,97 @@ func (c *Cluster) CountForwardRetry() {
 func (c *Cluster) BreakerState(addr string) BreakerState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if p, ok := c.peers[addr]; ok {
+	if p, ok := c.members[addr]; ok {
 		return p.breakerStateLocked(time.Now())
 	}
 	return BreakerClosed
 }
 
 // Start launches the heartbeat loop: one prober goroutine per remote
-// peer, each on its own ticker, so one unresponsive peer never delays
-// detection of another.
+// member, each on its own jittered ticker, so one unresponsive peer
+// never delays detection of another — plus the tombstone prune loop.
+// Members added later (seed digests, join heartbeats) get probers as
+// they are discovered.
 func (c *Cluster) Start() {
-	for addr := range c.peers {
-		c.wg.Add(1)
-		go c.probeLoop(addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started || c.closed {
+		return
 	}
+	c.started = true
+	for addr := range c.members {
+		c.startProberLocked(addr)
+	}
+	c.wg.Add(1)
+	go c.pruneLoop()
 }
 
 // Close stops the heartbeat loop and idle connections.
 func (c *Cluster) Close() {
-	c.once.Do(func() { close(c.stop) })
+	c.once.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		close(c.stop)
+	})
 	c.wg.Wait()
 	c.client.CloseIdleConnections()
 }
 
-func (c *Cluster) probeLoop(addr string) {
+// startProberLocked launches addr's prober goroutine if probing is
+// running and none exists. Callers hold c.mu.
+func (c *Cluster) startProberLocked(addr string) {
+	if !c.started || c.closed || c.leaving {
+		return
+	}
+	if _, ok := c.probers[addr]; ok {
+		return
+	}
+	stop := make(chan struct{})
+	c.probers[addr] = stop
+	c.wg.Add(1)
+	go c.probeLoop(addr, stop)
+}
+
+// stopProberLocked stops addr's prober, if any. Callers hold c.mu.
+func (c *Cluster) stopProberLocked(addr string) {
+	if stop, ok := c.probers[addr]; ok {
+		close(stop)
+		delete(c.probers, addr)
+	}
+}
+
+func (c *Cluster) probeLoop(addr string, stopCh chan struct{}) {
 	defer c.wg.Done()
+	// Phase-jitter the first probe across the full interval: a fleet
+	// (re)started together must not hit every /clusterz in lockstep.
+	jitter := time.NewTimer(time.Duration(rand.Int63n(int64(c.cfg.HeartbeatInterval) + 1)))
+	defer jitter.Stop()
+	select {
+	case <-c.stop:
+		return
+	case <-stopCh:
+		return
+	case <-jitter.C:
+	}
 	t := time.NewTicker(c.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
+		c.probeOnce(addr)
 		select {
 		case <-c.stop:
 			return
+		case <-stopCh:
+			return
 		case <-t.C:
-			c.probeOnce(addr)
 		}
 	}
 }
 
+// probeOnce sends one heartbeat to addr: a POST of this replica's
+// membership digest, answered with the peer's digest, which is merged.
+// Any 200 marks the peer alive even if its body is not a digest — the
+// probe doubles as a plain liveness check.
 func (c *Cluster) probeOnce(addr string) {
 	c.hbSent.Add(1)
 	kernstats.ClusterHeartbeatsSent.Add(1)
@@ -401,48 +553,64 @@ func (c *Cluster) probeOnce(addr string) {
 		c.MarkFailure(addr, err)
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		"http://"+addr+"/clusterz?from="+c.cfg.Self, http.NoBody)
+	body, err := json.Marshal(c.Digest())
 	if err != nil {
 		c.MarkFailure(addr, err)
 		return
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/clusterz?from="+url.QueryEscape(c.cfg.Self), bytes.NewReader(body))
+	if err != nil {
+		c.MarkFailure(addr, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.probe.Do(req)
 	if err != nil {
 		c.MarkFailure(addr, err)
 		return
 	}
-	// Drain before closing so the transport can keep the connection
-	// alive — heartbeats run forever and must not churn sockets.
-	io.Copy(io.Discard, resp.Body)
+	// Read fully before closing so the transport can keep the
+	// connection alive — heartbeats run forever and must not churn
+	// sockets.
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxDigestBytes))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		c.MarkFailure(addr, fmt.Errorf("heartbeat status %d", resp.StatusCode))
 		return
 	}
 	c.MarkAlive(addr)
-}
-
-// MarkAlive resets a peer to alive (successful probe, inbound
-// heartbeat, or successful forward).
-func (c *Cluster) MarkAlive(addr string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.peers[addr]; ok {
-		p.state = StateAlive
-		p.failures = 0
-		p.lastSeen = time.Now()
-		p.lastErr = ""
+	var d Digest
+	if json.Unmarshal(data, &d) == nil {
+		c.Merge(d.Members)
 	}
 }
 
-// MarkFailure records one failed interaction with a peer (probe or
+// MarkAlive resets a member to alive (successful probe, inbound
+// heartbeat, or successful forward). Left members are not revived by
+// mere contact: re-admission requires the higher incarnation of a
+// restarted process, or the address would flap back in from a stale
+// heartbeat racing its own leave announcement.
+func (c *Cluster) MarkAlive(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.members[addr]
+	if !ok || p.state == StateLeft {
+		return
+	}
+	c.setStateLocked(addr, p, StateAlive)
+	p.failures = 0
+	p.lastSeen = time.Now()
+	p.lastErr = ""
+}
+
+// MarkFailure records one failed interaction with a member (probe or
 // forward) and advances its state along alive → suspect → dead.
 func (c *Cluster) MarkFailure(addr string, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.peers[addr]
-	if !ok {
+	p, ok := c.members[addr]
+	if !ok || p.state == StateLeft {
 		return
 	}
 	p.failures++
@@ -451,9 +619,9 @@ func (c *Cluster) MarkFailure(addr string, err error) {
 	}
 	switch {
 	case p.failures >= c.cfg.DeadAfter:
-		p.state = StateDead
+		c.setStateLocked(addr, p, StateDead)
 	case p.failures >= c.cfg.SuspectAfter:
-		p.state = StateSuspect
+		c.setStateLocked(addr, p, StateSuspect)
 	}
 }
 
@@ -464,22 +632,22 @@ func (c *Cluster) PeerState(addr string) State {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if p, ok := c.peers[addr]; ok {
+	if p, ok := c.members[addr]; ok {
 		return p.state
 	}
 	return StateDead
 }
 
-// Route returns where key should be served: the first non-dead peer in
+// Route returns where key should be served: the first routable peer in
 // its rendezvous owner order. self reports whether that is this
 // replica — either because it owns the key outright or because every
 // owner is dead and the caller must fall back to local compute.
 func (c *Cluster) Route(key string) (addr string, self bool) {
-	for _, owner := range c.ring.Owners(key, c.cfg.Replication) {
+	for _, owner := range c.Ring().Owners(key, c.cfg.Replication) {
 		if owner == c.cfg.Self {
 			return owner, true
 		}
-		if c.PeerState(owner) != StateDead {
+		if routable(c.PeerState(owner)) {
 			return owner, false
 		}
 	}
@@ -489,7 +657,7 @@ func (c *Cluster) Route(key string) (addr string, self bool) {
 // Owns reports whether this replica is in key's replica set at all
 // (owner or failover candidate).
 func (c *Cluster) Owns(key string) bool {
-	for _, owner := range c.ring.Owners(key, c.cfg.Replication) {
+	for _, owner := range c.Ring().Owners(key, c.cfg.Replication) {
 		if owner == c.cfg.Self {
 			return true
 		}
@@ -526,14 +694,18 @@ func (c *Cluster) CountShortCircuit() { c.shortCircuit.Add(1); kernstats.Cluster
 // falls back locally or to the next owner).
 func (c *Cluster) CountForwardError() { c.forwardErrs.Add(1); kernstats.ClusterForwardErrors.Add(1) }
 
-// PeerStatus is one remote peer's row in the /clusterz and /statsz
+// PeerStatus is one remote member's row in the /clusterz and /statsz
 // views.
 type PeerStatus struct {
-	Addr     string    `json:"addr"`
-	State    State     `json:"state"`
-	Failures int       `json:"failures"`
-	LastSeen time.Time `json:"last_seen"`
-	LastErr  string    `json:"last_err,omitempty"`
+	Addr        string    `json:"addr"`
+	State       State     `json:"state"`
+	Incarnation uint64    `json:"incarnation"`
+	Failures    int       `json:"failures"`
+	LastSeen    time.Time `json:"last_seen"`
+	LastErr     string    `json:"last_err,omitempty"`
+	// LaneUtil is the peer's self-reported parallel-lane utilization
+	// from its last digest.
+	LaneUtil float64 `json:"lane_util"`
 	// Breaker is the forwarding circuit breaker's position — tracked
 	// separately from State, which the heartbeat path drives.
 	Breaker BreakerState `json:"breaker"`
@@ -563,13 +735,25 @@ type Stats struct {
 	BreakerOpened   int64 `json:"breaker_opened"`
 	BreakerRejected int64 `json:"breaker_rejected"`
 	OpenBreakers    int   `json:"open_breakers"`
-	// PeerUp maps every remote peer to whether routing currently
-	// considers it usable (not dead).
+	// The membership view. Incarnation is this replica's own; Members
+	// counts known non-left members including Self; MembersAlive counts
+	// the alive subset; RingSize is the current ring length (Members
+	// plus dead-but-unpruned addresses). MembersJoined/Left/Refutations
+	// count membership events since boot.
+	Incarnation  uint64 `json:"incarnation"`
+	Members      int    `json:"members"`
+	MembersAlive int    `json:"members_alive"`
+	RingSize     int    `json:"ring_size"`
+	MembersJoined int64 `json:"members_joined"`
+	MembersLeft   int64 `json:"members_left"`
+	Refutations   int64 `json:"refutations"`
+	// PeerUp maps every remote member to whether routing currently
+	// considers it usable (not dead, not left).
 	PeerUp map[string]bool `json:"peer_up"`
 	Peers  []PeerStatus    `json:"peers"`
 }
 
-// Stats snapshots the cluster counters and per-peer detector state.
+// Stats snapshots the cluster counters and per-member detector state.
 func (c *Cluster) Stats() Stats {
 	s := Stats{
 		Self:               c.cfg.Self,
@@ -585,19 +769,32 @@ func (c *Cluster) Stats() Stats {
 		ForwardRetries:     c.retries.Load(),
 		BreakerOpened:      c.breakerOpens.Load(),
 		BreakerRejected:    c.breakerRejects.Load(),
+		Incarnation:        c.selfInc.Load(),
+		MembersJoined:      c.joins.Load(),
+		MembersLeft:        c.leaves.Load(),
+		Refutations:        c.refutes.Load(),
+		RingSize:           c.Ring().Len(),
 		PeerUp:             map[string]bool{},
 	}
 	now := time.Now()
 	c.mu.Lock()
-	for addr, p := range c.peers {
-		s.PeerUp[addr] = p.state != StateDead
+	s.Members, s.MembersAlive = 1, 1 // Self
+	for addr, p := range c.members {
+		if p.state != StateLeft {
+			s.Members++
+			if p.state == StateAlive {
+				s.MembersAlive++
+			}
+		}
+		s.PeerUp[addr] = routable(p.state)
 		bs := p.breakerStateLocked(now)
 		if bs != BreakerClosed {
 			s.OpenBreakers++
 		}
 		s.Peers = append(s.Peers, PeerStatus{
-			Addr: addr, State: p.state, Failures: p.failures,
-			LastSeen: p.lastSeen, LastErr: p.lastErr, Breaker: bs,
+			Addr: addr, State: p.state, Incarnation: p.incarnation,
+			Failures: p.failures, LastSeen: p.lastSeen, LastErr: p.lastErr,
+			LaneUtil: p.laneUtil, Breaker: bs,
 		})
 	}
 	c.mu.Unlock()
@@ -605,15 +802,39 @@ func (c *Cluster) Stats() Stats {
 	return s
 }
 
-// Handler serves GET /clusterz: the membership/health view, doubling as
-// the heartbeat probe target. A ?from=addr query marks the calling peer
-// alive (a peer that can reach us is certainly up), so detection works
-// even when probes are asymmetric.
+// Handler serves /clusterz. GET is the membership/health view; a
+// ?from=addr query marks the calling peer alive (a peer that can reach
+// us is certainly up) and admits unknown callers as joiners, so
+// detection and discovery work even when probes are asymmetric. POST is
+// the gossip exchange: the body is the sender's digest, the response is
+// ours — one round trip merges both views.
 func (c *Cluster) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if from := r.URL.Query().Get("from"); from != "" {
+		from := r.URL.Query().Get("from")
+		if r.Method == http.MethodPost {
 			c.hbRecv.Add(1)
 			kernstats.ClusterHeartbeatsRecv.Add(1)
+			var d Digest
+			if err := json.NewDecoder(io.LimitReader(r.Body, maxDigestBytes)).Decode(&d); err != nil {
+				http.Error(w, "bad digest: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if d.From == "" {
+				d.From = from
+			}
+			if d.From != "" {
+				c.Observe(d.From)
+				c.MarkAlive(d.From)
+			}
+			c.Merge(d.Members)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(c.Digest())
+			return
+		}
+		if from != "" {
+			c.hbRecv.Add(1)
+			kernstats.ClusterHeartbeatsRecv.Add(1)
+			c.Observe(from)
 			c.MarkAlive(from)
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,343 @@
+package cluster
+
+// Dynamic membership: the gossip layer over the heartbeat plumbing.
+//
+// Every heartbeat probe POSTs this replica's Digest — its view of
+// every member's (address, incarnation, state, lane utilization) — and
+// merges the Digest the peer answers with, so one round trip
+// reconciles both views. A new replica therefore needs only one
+// reachable seed: its first probe brings back the full membership, and
+// the seed's next digests gossip the newcomer to everyone else.
+//
+// Incarnation numbers make the merge monotone and resolve flapping:
+//
+//   - A claim at a higher incarnation than ours wins wholesale — it is
+//     the address's own, newer, word (typically a restarted process,
+//     whose incarnation comes from the boot clock).
+//   - A claim at the same incarnation may only worsen a member's state
+//     (alive < suspect < dead < left), and only when we lack recent
+//     direct evidence — a peer we heard from moments ago is not dead
+//     because someone else's probes are failing.
+//   - A claim that WE are suspect/dead/left at our current incarnation
+//     is refuted by bumping our incarnation past it; the next digest
+//     round overrides the rumor everywhere.
+//
+// Graceful leaves (Leave) gossip a "left" tombstone: the member drops
+// off the ring immediately — its keys rebalance once, < 2/N of the
+// keyspace by the rendezvous bound — instead of lingering through
+// failure detection. Crash leaves are detected by the prober as usual
+// (dead members keep their ring slots until PruneAfter, so a bounced
+// replica reclaims its keys without a rebalance).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kernstats"
+)
+
+// maxDigestBytes bounds a digest body (requests and responses): even a
+// thousand-member cluster fits in well under 1 MiB.
+const maxDigestBytes = 1 << 20
+
+// MemberInfo is one member's row in a gossip digest.
+type MemberInfo struct {
+	Addr        string  `json:"addr"`
+	Incarnation uint64  `json:"incarnation"`
+	State       State   `json:"state"`
+	LaneUtil    float64 `json:"lane_util,omitempty"`
+}
+
+// Digest is the gossip payload carried on heartbeats: the sender's
+// full membership view, itself included.
+type Digest struct {
+	From    string       `json:"from"`
+	Members []MemberInfo `json:"members"`
+}
+
+// Digest snapshots this replica's membership view for gossip.
+func (c *Cluster) Digest() Digest {
+	c.mu.Lock()
+	lu := c.laneUtil
+	leaving := c.leaving
+	c.mu.Unlock()
+	var util float64
+	if lu != nil {
+		util = lu() // outside c.mu: the sampler reads engine state
+	}
+	selfState := StateAlive
+	if leaving {
+		selfState = StateLeft
+	}
+	c.mu.Lock()
+	ms := make([]MemberInfo, 0, len(c.members)+1)
+	ms = append(ms, MemberInfo{Addr: c.cfg.Self, Incarnation: c.selfInc.Load(), State: selfState, LaneUtil: util})
+	for addr, m := range c.members {
+		ms = append(ms, MemberInfo{Addr: addr, Incarnation: m.incarnation, State: m.state, LaneUtil: m.laneUtil})
+	}
+	c.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Addr < ms[j].Addr })
+	return Digest{From: c.cfg.Self, Members: ms}
+}
+
+// Observe admits addr as an alive member if it is unknown: discovery
+// from an inbound heartbeat. This is the receiving half of the join
+// flow — a joiner that can reach any one member is admitted there and
+// gossiped to everyone else.
+func (c *Cluster) Observe(addr string) {
+	if addr == "" || addr == c.cfg.Self {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[addr]; ok {
+		return
+	}
+	now := time.Now()
+	c.members[addr] = &memberState{state: StateAlive, lastSeen: now, changed: now}
+	c.joins.Add(1)
+	kernstats.ClusterMembersJoined.Add(1)
+	c.startProberLocked(addr)
+	c.rebuildRingLocked()
+}
+
+// Merge folds a received digest into this replica's view, applying the
+// incarnation rules documented at the top of the file.
+func (c *Cluster) Merge(infos []MemberInfo) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, in := range infos {
+		if in.Addr == "" {
+			continue
+		}
+		st := in.State
+		if st == "" {
+			st = StateAlive
+		}
+		if in.Addr == c.cfg.Self {
+			c.refuteLocked(in.Incarnation, st)
+			continue
+		}
+		m, ok := c.members[in.Addr]
+		if !ok {
+			// Unknown member: adopt the gossiped row as-is. A live state
+			// is a join (prober starts, ring grows); a left tombstone is
+			// recorded too, so the departure cannot flap back in through
+			// a third replica's stale digest.
+			m = &memberState{state: st, incarnation: in.Incarnation, lastSeen: now, changed: now, laneUtil: in.LaneUtil}
+			c.members[in.Addr] = m
+			if st == StateLeft {
+				c.leaves.Add(1)
+				kernstats.ClusterMembersLeft.Add(1)
+			} else {
+				c.joins.Add(1)
+				kernstats.ClusterMembersJoined.Add(1)
+				c.startProberLocked(in.Addr)
+			}
+			c.rebuildRingLocked()
+			continue
+		}
+		switch {
+		case in.Incarnation > m.incarnation:
+			m.incarnation = in.Incarnation
+			m.laneUtil = in.LaneUtil
+			if st == StateAlive {
+				m.failures = 0
+				m.lastErr = ""
+				m.lastSeen = now
+			}
+			c.setStateLocked(in.Addr, m, st)
+		case in.Incarnation == m.incarnation:
+			if st == StateAlive {
+				m.laneUtil = in.LaneUtil
+			}
+			if stateRank(st) > stateRank(m.state) {
+				// Rumor may only worsen our view when we lack recent
+				// direct evidence; a graceful leave is the member's own
+				// word relayed, so it is always authoritative.
+				if st == StateLeft || now.Sub(m.lastSeen) > c.directEvidenceWindow() {
+					c.setStateLocked(in.Addr, m, st)
+				}
+			}
+		}
+	}
+}
+
+// refuteLocked handles a gossiped claim about this replica itself: a
+// non-alive state at an incarnation as new as ours is refuted by
+// bumping past it, so the next digest round overrides the rumor. A
+// replica that really is leaving does not refute its own tombstone.
+func (c *Cluster) refuteLocked(incarnation uint64, st State) {
+	if st == StateAlive || c.leaving {
+		return
+	}
+	for {
+		cur := c.selfInc.Load()
+		if incarnation < cur {
+			return
+		}
+		if c.selfInc.CompareAndSwap(cur, incarnation+1) {
+			c.refutes.Add(1)
+			kernstats.ClusterRefutations.Add(1)
+			return
+		}
+	}
+}
+
+// setStateLocked transitions a member to state s, maintaining the
+// prune timer, membership counters, prober lifecycle, and — when the
+// transition changes ring membership (to or from left) — the ring.
+// Callers hold c.mu.
+func (c *Cluster) setStateLocked(addr string, m *memberState, s State) {
+	if m.state == s {
+		return
+	}
+	wasLeft := m.state == StateLeft
+	m.state = s
+	m.changed = time.Now()
+	if s == StateLeft {
+		c.leaves.Add(1)
+		kernstats.ClusterMembersLeft.Add(1)
+		c.stopProberLocked(addr)
+		c.rebuildRingLocked()
+		return
+	}
+	if wasLeft {
+		// A higher incarnation re-admitted a departed address (the
+		// process restarted): it rejoins the ring and gets probed again.
+		c.joins.Add(1)
+		kernstats.ClusterMembersJoined.Add(1)
+		c.startProberLocked(addr)
+		c.rebuildRingLocked()
+	}
+}
+
+// rebuildRing recomputes the ring outside a held lock.
+func (c *Cluster) rebuildRing() {
+	c.mu.Lock()
+	c.rebuildRingLocked()
+	c.mu.Unlock()
+}
+
+// rebuildRingLocked recomputes the ownership ring from the current
+// membership: Self plus every non-left member. Dead members keep their
+// slots until pruned — their keys fail over via Route, and a bounced
+// replica reclaims its ownership with zero rebalance. Callers hold
+// c.mu.
+func (c *Cluster) rebuildRingLocked() {
+	peers := make([]string, 0, len(c.members)+1)
+	peers = append(peers, c.cfg.Self)
+	for addr, m := range c.members {
+		if m.state != StateLeft {
+			peers = append(peers, addr)
+		}
+	}
+	c.ring.Store(NewRing(peers))
+}
+
+// directEvidenceWindow is how recently we must have heard from a
+// member directly for rumors about it to be ignored: the time the
+// prober itself would need to declare it dead.
+func (c *Cluster) directEvidenceWindow() time.Duration {
+	return time.Duration(c.cfg.DeadAfter) * c.cfg.HeartbeatInterval
+}
+
+// pruneLoop forgets dead and left members whose last transition is
+// older than PruneAfter: tombstones have gossiped long enough, and a
+// dead member that never came back finally yields its ring slots.
+func (c *Cluster) pruneLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.pruneOnce(time.Now())
+		}
+	}
+}
+
+func (c *Cluster) pruneOnce(now time.Time) {
+	c.mu.Lock()
+	changed := false
+	for addr, m := range c.members {
+		if (m.state == StateDead || m.state == StateLeft) && now.Sub(m.changed) > c.cfg.PruneAfter {
+			delete(c.members, addr)
+			c.stopProberLocked(addr)
+			changed = true
+		}
+	}
+	if changed {
+		c.rebuildRingLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Leaving reports whether Leave has been called.
+func (c *Cluster) Leaving() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaving
+}
+
+// Leave announces a graceful departure: this replica tombstones itself
+// and pushes its final digest to every routable member, so the cluster
+// drops it from the ring immediately instead of waiting out failure
+// detection. Probing stops (we no longer vote on anyone's liveness);
+// Close must still be called to stop the remaining loops. Bounded by
+// ctx; unreachable members learn of the leave through gossip.
+func (c *Cluster) Leave(ctx context.Context) {
+	c.mu.Lock()
+	if c.leaving {
+		c.mu.Unlock()
+		return
+	}
+	c.leaving = true
+	var targets []string
+	for addr, m := range c.members {
+		if routable(m.state) {
+			targets = append(targets, addr)
+		}
+	}
+	for addr := range c.probers {
+		c.stopProberLocked(addr)
+	}
+	c.mu.Unlock()
+
+	body, err := json.Marshal(c.Digest())
+	if err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, addr := range targets {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(rctx, http.MethodPost,
+				"http://"+addr+"/clusterz?from="+url.QueryEscape(c.cfg.Self), bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := c.probe.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(addr)
+	}
+	wg.Wait()
+}

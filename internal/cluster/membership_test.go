@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDigestShape: a digest lists self (with incarnation and lane
+// utilization) plus every member, sorted by address.
+func TestDigestShape(t *testing.T) {
+	c := testCluster(t, "b:1", []string{"a:1", "b:1", "c:1"}, Config{})
+	c.SetLaneUtil(func() float64 { return 0.25 })
+	d := c.Digest()
+	if d.From != "b:1" {
+		t.Errorf("digest from = %q", d.From)
+	}
+	if len(d.Members) != 3 {
+		t.Fatalf("digest members = %+v, want 3 rows", d.Members)
+	}
+	for i, want := range []string{"a:1", "b:1", "c:1"} {
+		if d.Members[i].Addr != want {
+			t.Errorf("member[%d] = %q, want %q (sorted)", i, d.Members[i].Addr, want)
+		}
+	}
+	self := d.Members[1]
+	if self.Incarnation != c.Incarnation() || self.State != StateAlive || self.LaneUtil != 0.25 {
+		t.Errorf("self row = %+v", self)
+	}
+}
+
+// TestMergeAdoptsUnknownMembers: gossiped rows for addresses we have
+// never heard of join the membership — alive rows join the ring, left
+// tombstones are recorded (so a departure cannot flap back in through
+// a stale third-party digest) but stay off it.
+func TestMergeAdoptsUnknownMembers(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1"}, Config{})
+	if c.Ring().Len() != 2 {
+		t.Fatalf("seed ring size = %d", c.Ring().Len())
+	}
+	c.Merge([]MemberInfo{
+		{Addr: "c:1", Incarnation: 7, State: StateAlive},
+		{Addr: "d:1", Incarnation: 3, State: StateLeft},
+	})
+	if got := c.PeerState("c:1"); got != StateAlive {
+		t.Errorf("gossiped joiner state = %s", got)
+	}
+	if c.Ring().Len() != 3 {
+		t.Errorf("ring size after gossip join = %d, want 3 (left tombstone excluded)", c.Ring().Len())
+	}
+	s := c.Stats()
+	if s.MembersJoined < 1 || s.MembersLeft < 1 {
+		t.Errorf("joined=%d left=%d, want both >= 1", s.MembersJoined, s.MembersLeft)
+	}
+	// The tombstone holds at its incarnation: an alive rumor at the same
+	// incarnation must not resurrect d.
+	c.Merge([]MemberInfo{{Addr: "d:1", Incarnation: 3, State: StateAlive}})
+	if c.Ring().Len() != 3 {
+		t.Error("same-incarnation alive rumor resurrected a left member")
+	}
+	// A higher incarnation is the address's own newer word: a restarted
+	// process re-admits itself.
+	c.Merge([]MemberInfo{{Addr: "d:1", Incarnation: 4, State: StateAlive}})
+	if c.Ring().Len() != 4 {
+		t.Error("restarted (higher-incarnation) member did not rejoin the ring")
+	}
+}
+
+// TestMergeRumorNeedsStaleDirectEvidence: a same-incarnation "dead"
+// rumor about a member we heard from moments ago is ignored; once our
+// own evidence is older than the detector window the rumor applies.
+func TestMergeRumorNeedsStaleDirectEvidence(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1"}, Config{
+		HeartbeatInterval: 10 * time.Millisecond, DeadAfter: 3,
+	})
+	c.Merge([]MemberInfo{{Addr: "b:1", State: StateDead}})
+	if got := c.PeerState("b:1"); got != StateAlive {
+		t.Fatalf("fresh member demoted by rumor: %s", got)
+	}
+	c.mu.Lock()
+	c.members["b:1"].lastSeen = time.Now().Add(-time.Second) // well past 3×10ms
+	c.mu.Unlock()
+	c.Merge([]MemberInfo{{Addr: "b:1", State: StateDead}})
+	if got := c.PeerState("b:1"); got != StateDead {
+		t.Fatalf("stale-evidence rumor ignored: %s", got)
+	}
+	// Dead members keep their ring slot until pruned, so a bounce
+	// reclaims ownership with zero rebalance.
+	if c.Ring().Len() != 2 {
+		t.Errorf("dead member dropped from ring early: size %d", c.Ring().Len())
+	}
+}
+
+// TestRefutation: a gossiped claim that WE are dead at our current
+// incarnation is refuted by bumping past it.
+func TestRefutation(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1"}, Config{})
+	before := c.Incarnation()
+	c.Merge([]MemberInfo{{Addr: "a:1", Incarnation: before, State: StateDead}})
+	if got := c.Incarnation(); got <= before {
+		t.Fatalf("incarnation %d not bumped past refuted claim at %d", got, before)
+	}
+	if n := c.Stats().Refutations; n != 1 {
+		t.Errorf("refutations = %d, want 1", n)
+	}
+	// Alive claims about us and claims at stale incarnations change nothing.
+	cur := c.Incarnation()
+	c.Merge([]MemberInfo{
+		{Addr: "a:1", Incarnation: cur, State: StateAlive},
+		{Addr: "a:1", Incarnation: cur - 1, State: StateLeft},
+	})
+	if got := c.Incarnation(); got != cur {
+		t.Errorf("incarnation moved to %d on non-refutable claims", got)
+	}
+}
+
+// TestPruneForgetsTombstones: dead and left members older than
+// PruneAfter are forgotten; a dead member's ring slot is finally
+// released (its keys rebalance once, by the < 2/N bound).
+func TestPruneForgetsTombstones(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1", "c:1"}, Config{
+		DeadAfter: 2, PruneAfter: 50 * time.Millisecond,
+	})
+	c.MarkFailure("b:1", nil)
+	c.MarkFailure("b:1", nil) // dead, still on ring
+	if c.Ring().Len() != 3 {
+		t.Fatalf("ring size with dead member = %d, want 3", c.Ring().Len())
+	}
+	c.pruneOnce(time.Now()) // too fresh to prune
+	if c.Ring().Len() != 3 {
+		t.Fatal("prune removed a fresh tombstone")
+	}
+	c.pruneOnce(time.Now().Add(time.Second))
+	if c.Ring().Len() != 2 {
+		t.Errorf("ring size after prune = %d, want 2", c.Ring().Len())
+	}
+	if got := c.PeerState("b:1"); got != StateDead {
+		t.Errorf("pruned (unknown) member state = %s, want dead", got)
+	}
+}
+
+// TestGracefulLeave: Leave pushes a left tombstone to live members —
+// the receiver drops the leaver from its ring immediately, without
+// waiting out failure detection, and ignores its later heartbeats.
+func TestGracefulLeave(t *testing.T) {
+	b := testCluster(t, "b:1", []string{"b:1"}, Config{})
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+	bAddr := strings.TrimPrefix(srv.URL, "http://")
+
+	a := testCluster(t, "a:1", []string{"a:1", bAddr}, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	a.Leave(ctx)
+
+	if !a.Leaving() {
+		t.Error("Leaving() = false after Leave")
+	}
+	if got := b.PeerState("a:1"); got != StateLeft {
+		t.Fatalf("receiver's view of leaver = %s, want left", got)
+	}
+	for _, p := range b.Ring().Peers() {
+		if p == "a:1" {
+			t.Fatal("leaver still on receiver's ring")
+		}
+	}
+	// A left member marking itself alive through the passive-revival
+	// path must not flap back in; only a higher incarnation re-admits.
+	b.MarkAlive("a:1")
+	if got := b.PeerState("a:1"); got != StateLeft {
+		t.Errorf("left member revived by inbound heartbeat: %s", got)
+	}
+}
+
+// TestJoinViaSeed: a replica started with only one seed address learns
+// the full membership through digest exchange, and existing replicas
+// learn the joiner transitively — no replica ever lists it in config.
+func TestJoinViaSeed(t *testing.T) {
+	fast := Config{HeartbeatInterval: 10 * time.Millisecond, SuspectAfter: 1, DeadAfter: 3}
+
+	// a boots solo; b joins via a; c joins via a. b must still learn c
+	// (and vice versa) purely through a's digests.
+	var a, b, c *Cluster
+	aAddr := serveLater(t, &a)
+	a = testCluster(t, aAddr, []string{aAddr}, fast)
+	a.Start()
+
+	join := func(cp **Cluster) {
+		t.Helper()
+		self := serveLater(t, cp)
+		cfg := fast
+		cfg.Self, cfg.Seeds = self, []string{aAddr}
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*cp = cl
+		t.Cleanup(cl.Close)
+		cl.Start()
+	}
+	join(&b)
+	join(&c)
+
+	deadline := time.Now().Add(5 * time.Second)
+	converged := func() bool {
+		for _, cl := range []*Cluster{a, b, c} {
+			if cl.Ring().Len() != 3 {
+				return false
+			}
+			s := cl.Stats()
+			if s.MembersAlive != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	for !converged() {
+		if time.Now().After(deadline) {
+			t.Fatalf("membership never converged: rings %d/%d/%d, alive %d/%d/%d",
+				a.Ring().Len(), b.Ring().Len(), c.Ring().Len(),
+				a.Stats().MembersAlive, b.Stats().MembersAlive, c.Stats().MembersAlive)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// All three agree on every key's owner.
+	for _, k := range keys(200) {
+		oa, ob, oc := a.Ring().Owner(k), b.Ring().Owner(k), c.Ring().Owner(k)
+		if oa != ob || ob != oc {
+			t.Fatalf("key %s: owner disagreement %s/%s/%s", k, oa, ob, oc)
+		}
+	}
+}
+
+// serveLater serves the Handler of a cluster assigned to *cp after the
+// server (and thus its address) exists — breaking the chicken-and-egg
+// between a self address and the test listener providing it.
+func serveLater(t *testing.T, cp **Cluster) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c := *cp; c != nil {
+			c.Handler().ServeHTTP(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestBreakerHalfOpenSingleTrial: when an open breaker's cooldown
+// elapses, exactly one of N concurrent forwards is admitted as the
+// half-open trial; the rest stay rejected until the trial resolves.
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1"}, Config{
+		BreakerThreshold: 1, BreakerCooldown: 20 * time.Millisecond,
+	})
+	c.MarkForwardFailure("b:1", nil)
+	if st := c.BreakerState("b:1"); st != BreakerOpen {
+		t.Fatalf("breaker = %s, want open", st)
+	}
+	if c.AllowForward("b:1") {
+		t.Fatal("open breaker admitted a forward before cooldown")
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	var admitted atomic64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.AllowForward("b:1") {
+				admitted.add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent trials, want exactly 1", got)
+	}
+	if st := c.BreakerState("b:1"); st != BreakerHalfOpen {
+		t.Fatalf("breaker = %s during trial, want half-open", st)
+	}
+	// Failing the trial re-opens; nobody gets in until the next cooldown.
+	c.MarkForwardFailure("b:1", nil)
+	if st := c.BreakerState("b:1"); st != BreakerOpen {
+		t.Fatalf("breaker = %s after failed trial, want open", st)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !c.AllowForward("b:1") {
+		t.Fatal("post-cooldown trial not admitted")
+	}
+	c.MarkForwardSuccess("b:1")
+	if st := c.BreakerState("b:1"); st != BreakerClosed {
+		t.Fatalf("breaker = %s after successful trial, want closed", st)
+	}
+	for i := 0; i < 4; i++ {
+		if !c.AllowForward("b:1") {
+			t.Fatal("closed breaker rejected a forward")
+		}
+	}
+}
+
+// atomic64 is a tiny counter for test goroutines (avoids importing
+// sync/atomic's full types in assertions).
+type atomic64 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic64) add(d int) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+// TestChurnReplay: replay randomized join/leave sequences against the
+// membership layer and assert the rendezvous bound end to end — every
+// single membership change moves strictly fewer than 2/N of keys, and
+// only keys whose primary was involved in the change.
+func TestChurnReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ks := keys(2000)
+
+	c := testCluster(t, "10.0.0.1:1", []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1"}, Config{})
+	next := 4
+	live := map[string]uint64{"10.0.0.2:1": 1, "10.0.0.3:1": 1} // addr -> incarnation
+
+	for step := 0; step < 40; step++ {
+		before := c.Ring()
+		joined, left := "", ""
+		if len(live) < 2 || rng.Intn(2) == 0 {
+			// Join: gossip a brand-new member in.
+			joined = newAddr(&next)
+			live[joined] = 1
+			c.Merge([]MemberInfo{{Addr: joined, Incarnation: 1, State: StateAlive}})
+		} else {
+			// Leave: gossip a graceful tombstone for a random live member.
+			for addr := range live {
+				left = addr
+				break
+			}
+			c.Merge([]MemberInfo{{Addr: left, Incarnation: live[left], State: StateLeft}})
+			delete(live, left)
+		}
+		after := c.Ring()
+
+		wantLen := 1 + len(live)
+		if after.Len() != wantLen {
+			t.Fatalf("step %d: ring size %d, want %d", step, after.Len(), wantLen)
+		}
+		moved := 0
+		for _, k := range ks {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if joined != "" && oa != joined {
+				t.Fatalf("step %d (join %s): key %s moved %s -> %s, not to the joiner", step, joined, k, ob, oa)
+			}
+			if left != "" && ob != left {
+				t.Fatalf("step %d (leave %s): key %s moved %s -> %s but its owner stayed", step, left, k, ob, oa)
+			}
+		}
+		n := before.Len()
+		if after.Len() > n {
+			n = after.Len()
+		}
+		if bound := 2 * len(ks) / n; moved >= bound {
+			t.Fatalf("step %d: moved %d/%d keys across %d-member ring, want < %d (2/N)",
+				step, moved, len(ks), n, bound)
+		}
+	}
+}
+
+func newAddr(next *int) string {
+	addr := "10.0.0." + itoa(*next) + ":1"
+	*next++
+	return addr
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -7,14 +7,18 @@
 //     same owner without coordination, and membership changes move only
 //     the keys the joining/leaving peer gains/loses (~1/N of the
 //     keyspace) — no global reshuffle.
-//   - Cluster: static membership (the -peers list) plus a failure
-//     detector fed by JSON heartbeats over the replicas' existing HTTP
-//     mux (/clusterz). Peers move alive → suspect → dead on consecutive
-//     probe failures and snap back to alive on any success or inbound
-//     heartbeat; routing skips dead peers, so requests re-route while an
-//     owner is down and return when it recovers.
-//   - the /clusterz handler: probe target and human-readable membership
-//     view in one endpoint.
+//   - Cluster: dynamic membership plus a failure detector, both fed by
+//     JSON heartbeats over the replicas' existing HTTP mux (/clusterz).
+//     Membership bootstraps from a static -peers list or a single -join
+//     seed; every heartbeat carries a gossip digest (see membership.go)
+//     that adds joiners, spreads graceful-leave tombstones, and
+//     reconciles views via incarnation numbers. Peers move alive →
+//     suspect → dead on consecutive probe failures and snap back to
+//     alive on any success or inbound heartbeat; routing skips dead
+//     peers, so requests re-route while an owner is down and return
+//     when it recovers.
+//   - the /clusterz handler: gossip exchange (POST), probe target, and
+//     human-readable membership view (GET) in one endpoint.
 //
 // The forwarding proxy that rides on this (replica A answering a key
 // owned by replica B by proxying the HTTP request) lives in

@@ -60,6 +60,14 @@ const (
 	SiteJobsForward = "jobs.forward"
 	// SiteHeartbeatProbe fires before a heartbeat probe request.
 	SiteHeartbeatProbe = "heartbeat.probe"
+	// SiteStoreRead fires before a layout-store read on the serving
+	// path; an injected error is served as a miss (the layout is
+	// recomputed — the rehydration path under a failing disk).
+	SiteStoreRead = "store.read"
+	// SitePeerReplicate fires before a replication push to a co-owner
+	// (the asynchronous /v1/replicate stream); a failed push stays on
+	// the retry queue.
+	SitePeerReplicate = "peer.replicate"
 )
 
 // Action is what a matched rule does to the call.

@@ -191,6 +191,37 @@ var (
 	ClusterBreakerRejected = registerCounter("cluster.breaker_rejected")
 )
 
+// The dynamic-membership counters. members_joined counts peers added to
+// this replica's view (seed contact, digest gossip, or an unknown
+// sender's heartbeat); members_left counts graceful departures learned
+// via gossip; refutations counts incarnation bumps made because a peer
+// claimed this replica suspect/dead at our current incarnation.
+var (
+	ClusterMembersJoined = registerCounter("cluster.members_joined")
+	ClusterMembersLeft   = registerCounter("cluster.members_left")
+	ClusterRefutations   = registerCounter("cluster.refutations")
+)
+
+// The replication counters (see the service replication layer).
+// sent/received count envelope pushes on the wire (sender/receiver
+// side); duplicate counts envelopes the receiver already had; errors
+// counts failed push or diff attempts (the envelope stays queued);
+// dropped counts envelopes abandoned after exhausting retries or
+// overflowing a peer's queue; hinted counts envelopes enqueued for a
+// peer known to be down (hinted handoff — delivered on revival);
+// anti_entropy_rounds counts sweep passes and repaired counts holes
+// they found and re-pushed.
+var (
+	ReplicationSent        = registerCounter("replication.sent")
+	ReplicationReceived    = registerCounter("replication.received")
+	ReplicationDuplicates  = registerCounter("replication.duplicate")
+	ReplicationErrors      = registerCounter("replication.errors")
+	ReplicationDropped     = registerCounter("replication.dropped")
+	ReplicationHinted      = registerCounter("replication.hinted")
+	ReplicationAntiEntropy = registerCounter("replication.anti_entropy_rounds")
+	ReplicationRepaired    = registerCounter("replication.repaired")
+)
+
 var counters []*Counter
 
 // registerCounter creates a counter in the obs registry and tracks it

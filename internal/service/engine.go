@@ -113,9 +113,19 @@ type Options struct {
 	// DefaultDeadline bounds requests that carry no DeadlineHeader.
 	// 0 means no implicit deadline.
 	DefaultDeadline time.Duration
+	// ReplicationRetryInterval is how often the replication queue
+	// retries undelivered envelopes (failed pushes, hinted handoff for
+	// down peers). Default 1s. Cluster mode only.
+	ReplicationRetryInterval time.Duration
+	// AntiEntropyInterval is the period of the anti-entropy sweep: this
+	// replica offers the keys it holds to their current ring owners and
+	// re-pushes whatever they are missing. 0 disables the sweep (pushes
+	// and hinted handoff still run). Cluster mode only.
+	AntiEntropyInterval time.Duration
 	// Faults, when non-nil, injects the configured fault schedule at
 	// the engine's instrumented sites (worker-slot acquisition, store
-	// writes). nil — the default — keeps every site a no-op nil-check.
+	// reads/writes, replication pushes). nil — the default — keeps
+	// every site a no-op nil-check.
 	Faults *faultinject.Injector
 }
 
@@ -143,6 +153,11 @@ type Engine struct {
 	gpFlight, layFlight, fidFlight flightGroup
 
 	jobs *Jobs
+
+	// rep streams computed layouts to the other ring owners (push
+	// replication + hinted handoff + anti-entropy); nil outside cluster
+	// mode.
+	rep *replicator
 
 	// rec retains recent request traces for /tracez; slowThresh/slowW
 	// drive the structured slow-request log.
@@ -202,6 +217,18 @@ func New(opts Options) *Engine {
 		},
 	}
 	e.jobs = newJobs(e, opts.JobsDir)
+	if e.cluster != nil {
+		// Heartbeat digests carry this replica's lane utilization so
+		// peers see load, not just liveness.
+		e.cluster.SetLaneUtil(func() float64 {
+			s := e.budget.Stats()
+			if s.Capacity <= 0 {
+				return 0
+			}
+			return float64(s.TokensInUse) / float64(s.Capacity)
+		})
+		e.rep = newReplicator(e, opts.ReplicationRetryInterval, opts.AntiEntropyInterval)
+	}
 	return e
 }
 
@@ -210,10 +237,25 @@ func New(opts Options) *Engine {
 // layouts stay durable.
 func (e *Engine) Close() error {
 	e.jobs.close()
+	if e.rep != nil {
+		e.rep.close()
+	}
 	if e.cluster != nil {
 		e.cluster.Close()
 	}
 	return e.layStore.Close()
+}
+
+// Drain flushes what a graceful shutdown can still deliver: pending
+// replication envelopes are pushed to every reachable peer until the
+// queue empties or ctx expires. Hints held for peers that are still
+// down die with the process — the anti-entropy sweep on the surviving
+// owners repairs those holes. Callers drain after the HTTP server has
+// stopped accepting (so no new envelopes arrive) and before Close.
+func (e *Engine) Drain(ctx context.Context) {
+	if e.rep != nil {
+		e.rep.drain(ctx)
+	}
 }
 
 // Jobs returns the engine's async batch-job subsystem.
@@ -389,6 +431,11 @@ type StatsSnapshot struct {
 	// and per-peer liveness (peer_up) so load imbalance across the ring
 	// is observable next to the budget stats.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Replication, present only in cluster mode, reports the push
+	// replication pipeline: envelopes sent/received, duplicates
+	// suppressed, the pending (retry + hinted handoff) queue depth, and
+	// anti-entropy repairs.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -425,6 +472,10 @@ func (e *Engine) Stats() StatsSnapshot {
 	if e.cluster != nil {
 		cs := e.cluster.Stats()
 		s.Cluster = &cs
+	}
+	if e.rep != nil {
+		rs := e.rep.stats()
+		s.Replication = &rs
 	}
 	return s
 }
@@ -612,7 +663,7 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 
 	sp := obs.SpanFrom(ctx)
 	key := layoutKey(req)
-	if lay, ok := e.storeGet(key, sp); ok {
+	if lay, ok := e.storeGet(ctx, key, sp); ok {
 		e.stats.layoutHits.Add(1)
 		sp.AttrBool("cache_hit", true)
 		return LayoutResult{Layout: lay, CacheHit: true}, nil
@@ -629,8 +680,9 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	// The store may have filled while this request queued for a slot;
 	// engine hit/miss is decided only now so each request counts exactly
 	// once. Peek, not Get — the store already counted this request's
-	// miss above.
-	if lay, ok := e.layStore.Peek(key); ok {
+	// miss above. This read is a store.read fault site too: an injected
+	// failure degrades it to the same recompute path.
+	if lay, ok := e.storePeek(ctx, key); ok {
 		e.stats.layoutHits.Add(1)
 		sp.AttrBool("cache_hit", true)
 		return LayoutResult{Layout: lay, CacheHit: true}, nil
@@ -649,8 +701,13 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 }
 
 // storeGet is a Get with per-tier spans when the store supports them
-// (and a plain wrapper span otherwise). A nil span costs nothing.
-func (e *Engine) storeGet(key string, sp *obs.Span) (*core.Layout, bool) {
+// (and a plain wrapper span otherwise). A nil span costs nothing. An
+// injected store.read fault is served as a miss: the layout is
+// recomputed, exactly how a failing disk tier degrades.
+func (e *Engine) storeGet(ctx context.Context, key string, sp *obs.Span) (*core.Layout, bool) {
+	if e.faults.Fire(ctx, faultinject.SiteStoreRead) != nil {
+		return nil, false
+	}
 	if ts, ok := e.layStore.(store.Traced); ok {
 		return ts.GetTraced(key, sp)
 	}
@@ -659,6 +716,14 @@ func (e *Engine) storeGet(key string, sp *obs.Span) (*core.Layout, bool) {
 	gs.AttrBool("hit", ok)
 	gs.End()
 	return lay, ok
+}
+
+// storePeek is Peek behind the same store.read fault site as storeGet.
+func (e *Engine) storePeek(ctx context.Context, key string) (*core.Layout, bool) {
+	if e.faults.Fire(ctx, faultinject.SiteStoreRead) != nil {
+		return nil, false
+	}
+	return e.layStore.Peek(key)
 }
 
 // layoutFlightDo coalesces concurrent identical layout computations.
@@ -678,6 +743,11 @@ func (e *Engine) layoutFlightDo(ctx context.Context, key string, req LayoutReque
 			ps := obs.SpanFrom(ctx).Child("store.put")
 			e.layStore.Put(key, lay)
 			ps.End()
+			// Stream the envelope to the other ring owners (async, retried)
+			// so disk-less peers can serve this key without recompute.
+			if e.rep != nil {
+				e.rep.replicate(key, lay)
+			}
 			return lay, nil
 		})
 		if retryShared(ctx, err, shared) {
@@ -841,7 +911,7 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 // and this resolution belongs to a fidelity request counted elsewhere.
 func (e *Engine) layoutForNested(ctx context.Context, req LayoutRequest) (*core.Layout, error) {
 	key := layoutKey(req)
-	if lay, ok := e.storeGet(key, obs.SpanFrom(ctx)); ok {
+	if lay, ok := e.storeGet(ctx, key, obs.SpanFrom(ctx)); ok {
 		return lay, nil
 	}
 	lay, err, _ := e.layoutFlightDo(ctx, key, req)

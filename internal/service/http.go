@@ -36,8 +36,11 @@ import (
 //	GET  /statsz                                              engine counters
 //	GET  /metricsz                                            Prometheus text exposition of the obs registry
 //	GET  /tracez                                              recent request traces (slowest-first; ?id= for one tree)
-//	GET  /clusterz                                            cluster mode: membership + health (heartbeat target)
+//	GET  /clusterz                                            cluster mode: membership + health view
+//	POST /clusterz                                            cluster mode: gossip digest exchange (heartbeat target)
 //	GET  /clusterz/route?topology=...                         cluster mode: ring verdict for one request
+//	POST /v1/replicate                                        cluster mode: pushed layout envelope from a co-owner
+//	POST /v1/replicate/diff                                   cluster mode: anti-entropy key exchange
 //
 // In cluster mode (Options.Cluster set), /v1/layout, /v1/fidelity, and
 // job items are ring-routed: a replica that does not own the request
@@ -57,7 +60,10 @@ func NewHandler(e *Engine) http.Handler {
 		layout = routedLayoutHandler(e, layout)
 		fidelity = routedFidelityHandler(e, fidelity)
 		mux.Handle("GET /clusterz", e.cluster.Handler())
+		mux.Handle("POST /clusterz", e.cluster.Handler())
 		mux.HandleFunc("GET /clusterz/route", func(w http.ResponseWriter, r *http.Request) { handleClusterRoute(e, w, r) })
+		mux.HandleFunc("POST /v1/replicate", func(w http.ResponseWriter, r *http.Request) { handleReplicate(e, w, r) })
+		mux.HandleFunc("POST /v1/replicate/diff", func(w http.ResponseWriter, r *http.Request) { handleReplicateDiff(e, w, r) })
 	}
 	// The trace middleware sits outside the routing wrapper so a
 	// forwarded request's hop span (and the remote tree grafted under
@@ -271,6 +277,11 @@ func writeEngineMetrics(w io.Writer, e *Engine) {
 				obs.EscapeLabel(p), boolGauge(breaker[p] != cluster.BreakerClosed))
 		}
 		gauge("qgdp_cluster_open_breakers", int64(s.Cluster.OpenBreakers))
+		gauge("qgdp_cluster_members", int64(s.Cluster.Members))
+		gauge("qgdp_cluster_members_alive", int64(s.Cluster.MembersAlive))
+	}
+	if s.Replication != nil {
+		gauge("qgdp_replication_pending", int64(s.Replication.Pending))
 	}
 }
 

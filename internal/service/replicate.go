@@ -1,0 +1,530 @@
+package service
+
+// Cross-replica layout replication: the piece that makes a disk-less
+// cluster survive losing a replica without recomputing anything.
+//
+// When this replica computes a layout it owns, the replicator streams
+// the store envelope (the same versioned JSON the disk tier writes) to
+// the other Replication-1 ring owners via POST /v1/replicate —
+// asynchronously, bounded by the cluster's ForwardTimeout, respecting
+// each peer's circuit breaker. Three mechanisms cover the failure
+// modes:
+//
+//   - Retry queue: a failed push stays queued (bounded per peer) and is
+//     retried every ReplicationRetryInterval until delivered or its
+//     attempt budget is exhausted.
+//   - Hinted handoff: envelopes for a peer the failure detector calls
+//     dead are held (not burned against the attempt budget) and
+//     delivered when the peer revives.
+//   - Anti-entropy: every AntiEntropyInterval, this replica offers the
+//     layout keys it holds to their current ring owners (POST
+//     /v1/replicate/diff, a key-list exchange) and re-pushes whatever
+//     they are missing — repairing holes left by drops, restarts, and
+//     ring rebalances after membership churn.
+//
+// The receiver side (handleReplicate) is duplicate-suppressing and
+// validating: an envelope that does not decode, or whose key is not a
+// layout key, is rejected; one already in the store is acknowledged
+// without a write.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/kernstats"
+	"repro/internal/store"
+)
+
+const (
+	// maxEnvelopeBytes bounds one replicated envelope (request body of
+	// /v1/replicate). Production layouts serialize to well under this.
+	maxEnvelopeBytes = 64 << 20
+	// repMaxPerPeer bounds the per-peer queue (retries + hints); the
+	// oldest envelope is dropped on overflow — anti-entropy repairs it
+	// later.
+	repMaxPerPeer = 512
+	// repMaxTries is the attempt budget per envelope against a live
+	// peer. Attempts while the peer is dead are hints and do not count.
+	repMaxTries = 8
+	// repDiffMaxKeys bounds one anti-entropy key exchange per peer per
+	// sweep; a store larger than this converges over several sweeps.
+	repDiffMaxKeys = 2048
+)
+
+// repTask is one queued envelope for one peer.
+type repTask struct {
+	key   string
+	data  []byte
+	tries int
+}
+
+// replicator owns the per-peer replication queues and the loops that
+// drain them.
+type replicator struct {
+	e          *Engine
+	retryEvery time.Duration
+	aeEvery    time.Duration
+
+	mu      sync.Mutex
+	queues  map[string][]repTask
+	pending int
+
+	wake     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	sent, received, duplicates atomic.Int64
+	errors, dropped, hinted    atomic.Int64
+	aeRounds, repaired         atomic.Int64
+}
+
+// ReplicationStats is the replication section of /statsz.
+type ReplicationStats struct {
+	// Sent/Received count envelopes delivered on the wire (sender and
+	// receiver side); Duplicates counts envelopes the receiver already
+	// had (benign — both owners computed, or a retry crossed an ack).
+	Sent       int64 `json:"sent"`
+	Received   int64 `json:"received"`
+	Duplicates int64 `json:"duplicates"`
+	// Errors counts failed push/diff attempts (the envelope stays
+	// queued); Dropped counts envelopes abandoned (attempt budget or
+	// queue overflow); Hinted counts envelopes enqueued for a peer
+	// known to be down at the time (delivered on revival).
+	Errors  int64 `json:"errors"`
+	Dropped int64 `json:"dropped"`
+	Hinted  int64 `json:"hinted"`
+	// Pending is the live queue depth across all peers.
+	Pending int `json:"pending"`
+	// AntiEntropyRounds counts sweep passes; Repaired counts holes they
+	// found and re-pushed.
+	AntiEntropyRounds int64 `json:"anti_entropy_rounds"`
+	Repaired          int64 `json:"repaired"`
+}
+
+func newReplicator(e *Engine, retryEvery, aeEvery time.Duration) *replicator {
+	if retryEvery <= 0 {
+		retryEvery = time.Second
+	}
+	rp := &replicator{
+		e:          e,
+		retryEvery: retryEvery,
+		aeEvery:    aeEvery,
+		queues:     map[string][]repTask{},
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go rp.loop()
+	return rp
+}
+
+func (rp *replicator) close() {
+	rp.stopOnce.Do(func() { close(rp.stop) })
+	<-rp.done
+}
+
+func (rp *replicator) stats() ReplicationStats {
+	rp.mu.Lock()
+	pending := rp.pending
+	rp.mu.Unlock()
+	return ReplicationStats{
+		Sent:              rp.sent.Load(),
+		Received:          rp.received.Load(),
+		Duplicates:        rp.duplicates.Load(),
+		Errors:            rp.errors.Load(),
+		Dropped:           rp.dropped.Load(),
+		Hinted:            rp.hinted.Load(),
+		Pending:           pending,
+		AntiEntropyRounds: rp.aeRounds.Load(),
+		Repaired:          rp.repaired.Load(),
+	}
+}
+
+// replicate enqueues a freshly computed layout for every other ring
+// owner of its key. Called on the compute path, so it only encodes
+// (once) and queues; the network happens on the replicator goroutine.
+func (rp *replicator) replicate(key string, lay *core.Layout) {
+	cl := rp.e.cluster
+	var data []byte
+	for _, owner := range cl.Ring().Owners(key, cl.Replication()) {
+		if owner == cl.Self() {
+			continue
+		}
+		if data == nil {
+			var err error
+			if data, err = store.EncodeEnvelope(key, lay); err != nil {
+				rp.errors.Add(1)
+				kernstats.ReplicationErrors.Add(1)
+				return
+			}
+		}
+		if !routableState(cl.PeerState(owner)) {
+			// Hinted handoff: the owner is down right now; hold the
+			// envelope and deliver it when the detector revives the peer.
+			rp.hinted.Add(1)
+			kernstats.ReplicationHinted.Add(1)
+		}
+		rp.enqueue(owner, repTask{key: key, data: data})
+	}
+}
+
+func routableState(s cluster.State) bool {
+	return s != cluster.StateDead && s != cluster.StateLeft
+}
+
+// enqueue adds a task to addr's queue (dropping the oldest on
+// overflow) and nudges the drain loop.
+func (rp *replicator) enqueue(addr string, t repTask) {
+	rp.mu.Lock()
+	q := rp.queues[addr]
+	if len(q) >= repMaxPerPeer {
+		q = q[1:]
+		rp.pending--
+		rp.dropped.Add(1)
+		kernstats.ReplicationDropped.Add(1)
+	}
+	rp.queues[addr] = append(q, t)
+	rp.pending++
+	rp.mu.Unlock()
+	select {
+	case rp.wake <- struct{}{}:
+	default:
+	}
+}
+
+// requeueFront puts a failed task back at the head of addr's queue so
+// delivery order is preserved across retries.
+func (rp *replicator) requeueFront(addr string, t repTask) {
+	rp.mu.Lock()
+	rp.queues[addr] = append([]repTask{t}, rp.queues[addr]...)
+	rp.pending++
+	rp.mu.Unlock()
+}
+
+func (rp *replicator) loop() {
+	defer close(rp.done)
+	retry := time.NewTicker(rp.retryEvery)
+	defer retry.Stop()
+	var aeC <-chan time.Time
+	if rp.aeEvery > 0 {
+		ae := time.NewTicker(rp.aeEvery)
+		defer ae.Stop()
+		aeC = ae.C
+	}
+	for {
+		select {
+		case <-rp.stop:
+			return
+		case <-rp.wake:
+			rp.flush(context.Background())
+		case <-retry.C:
+			rp.flush(context.Background())
+		case <-aeC:
+			rp.antiEntropy(context.Background())
+		}
+	}
+}
+
+// flush drains every peer's queue as far as it will go this round:
+// queues for dead/left peers are held (hinted handoff), open breakers
+// are respected, and the first failed send stops that peer's drain
+// until the next round.
+func (rp *replicator) flush(ctx context.Context) {
+	cl := rp.e.cluster
+	rp.mu.Lock()
+	addrs := make([]string, 0, len(rp.queues))
+	for addr, q := range rp.queues {
+		if len(q) > 0 {
+			addrs = append(addrs, addr)
+		}
+	}
+	rp.mu.Unlock()
+	for _, addr := range addrs {
+		if !routableState(cl.PeerState(addr)) {
+			continue // hold as hints until the peer revives
+		}
+		if cl.BreakerState(addr) == cluster.BreakerOpen {
+			continue // breaker open: do not pay a timeout
+		}
+		for {
+			rp.mu.Lock()
+			q := rp.queues[addr]
+			if len(q) == 0 {
+				delete(rp.queues, addr)
+				rp.mu.Unlock()
+				break
+			}
+			t := q[0]
+			rp.queues[addr] = q[1:]
+			rp.pending--
+			rp.mu.Unlock()
+			if rp.send(ctx, addr, t) {
+				continue
+			}
+			t.tries++
+			if t.tries >= repMaxTries {
+				rp.dropped.Add(1)
+				kernstats.ReplicationDropped.Add(1)
+			} else {
+				rp.requeueFront(addr, t)
+			}
+			break
+		}
+	}
+}
+
+// send pushes one envelope to addr's /v1/replicate, feeding the
+// failure detector (not the forward breaker — replication observes the
+// breaker read-only so its background successes and failures never
+// reset or trip the request path's consecutive-failure accounting, and
+// never consume the half-open trial slot).
+func (rp *replicator) send(ctx context.Context, addr string, t repTask) bool {
+	cl := rp.e.cluster
+	ctx, cancel := context.WithTimeout(ctx, cl.ForwardTimeout())
+	defer cancel()
+	if err := rp.e.faults.Fire(ctx, faultinject.SitePeerReplicate); err != nil {
+		rp.errors.Add(1)
+		kernstats.ReplicationErrors.Add(1)
+		cl.MarkFailure(addr, err)
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/v1/replicate", bytes.NewReader(t.data))
+	if err != nil {
+		rp.errors.Add(1)
+		kernstats.ReplicationErrors.Add(1)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cl.Client().Do(req)
+	if err != nil {
+		rp.errors.Add(1)
+		kernstats.ReplicationErrors.Add(1)
+		cl.MarkFailure(addr, err)
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		rp.errors.Add(1)
+		kernstats.ReplicationErrors.Add(1)
+		cl.MarkFailure(addr, fmt.Errorf("replicate status %d", resp.StatusCode))
+		return false
+	}
+	cl.MarkAlive(addr)
+	rp.sent.Add(1)
+	kernstats.ReplicationSent.Add(1)
+	return true
+}
+
+// antiEntropy runs one sweep: offer every held layout key to its
+// current ring owners, learn what they are missing, and queue repairs.
+// Offering from holder to owner (rather than owner to co-owner) also
+// heals rebalances — a replica that stopped owning a key after churn
+// still hands it to whoever owns it now.
+func (rp *replicator) antiEntropy(ctx context.Context) {
+	enum, ok := rp.e.layStore.(store.Enumerable)
+	if !ok {
+		return
+	}
+	cl := rp.e.cluster
+	rp.aeRounds.Add(1)
+	kernstats.ReplicationAntiEntropy.Add(1)
+	ring := cl.Ring()
+	byPeer := map[string][]string{}
+	for _, key := range enum.Keys() {
+		if !strings.HasPrefix(key, "layout:") {
+			continue
+		}
+		for _, owner := range ring.Owners(key, cl.Replication()) {
+			if owner == cl.Self() || !routableState(cl.PeerState(owner)) {
+				continue
+			}
+			if len(byPeer[owner]) < repDiffMaxKeys {
+				byPeer[owner] = append(byPeer[owner], key)
+			}
+		}
+	}
+	for addr, keys := range byPeer {
+		if cl.BreakerState(addr) == cluster.BreakerOpen {
+			continue
+		}
+		missing, err := rp.diff(ctx, addr, keys)
+		if err != nil {
+			rp.errors.Add(1)
+			kernstats.ReplicationErrors.Add(1)
+			cl.MarkFailure(addr, err)
+			continue
+		}
+		cl.MarkAlive(addr)
+		for _, key := range missing {
+			lay, ok := rp.e.layStore.Peek(key)
+			if !ok {
+				continue // GC'd since enumeration
+			}
+			data, err := store.EncodeEnvelope(key, lay)
+			if err != nil {
+				continue
+			}
+			rp.repaired.Add(1)
+			kernstats.ReplicationRepaired.Add(1)
+			rp.enqueue(addr, repTask{key: key, data: data})
+		}
+	}
+	rp.flush(ctx)
+}
+
+// diff asks addr which of keys it is missing.
+func (rp *replicator) diff(ctx context.Context, addr string, keys []string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, rp.e.cluster.ForwardTimeout())
+	defer cancel()
+	body, err := json.Marshal(replicateDiffRequest{Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/v1/replicate/diff", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rp.e.cluster.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replicate diff status %d", resp.StatusCode)
+	}
+	var out replicateDiffResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxEnvelopeBytes)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Missing, nil
+}
+
+// drain flushes until the queues are empty, progress stops (only
+// unreachable peers remain), or ctx expires — the graceful-shutdown
+// path.
+func (rp *replicator) drain(ctx context.Context) {
+	lastPending := -1
+	for {
+		rp.flush(ctx)
+		rp.mu.Lock()
+		pending := rp.pending
+		rp.mu.Unlock()
+		if pending == 0 || pending == lastPending {
+			return
+		}
+		lastPending = pending
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// storeHas is the duplicate check behind /v1/replicate and the diff
+// handler: exact and accounting-free when the store is Enumerable
+// (every store in this repo is), Peek otherwise.
+func storeHas(st store.Store, key string) bool {
+	if e, ok := st.(store.Enumerable); ok {
+		return e.Has(key)
+	}
+	_, ok := st.Peek(key)
+	return ok
+}
+
+// handleReplicate serves POST /v1/replicate: a pushed layout envelope
+// from a co-owner. Invalid envelopes are 400s; an injected store.write
+// fault is a 503 so the sender retries; duplicates are acknowledged
+// without a write. Replication is receiver-terminal — a received
+// envelope is never re-replicated, so pushes cannot echo.
+func handleReplicate(e *Engine, w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unreadable body: %w", err))
+		return
+	}
+	if len(data) > maxEnvelopeBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("envelope too large"))
+		return
+	}
+	key, lay, err := store.DecodeEnvelope(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad envelope: %w", err))
+		return
+	}
+	if !strings.HasPrefix(key, "layout:") {
+		writeError(w, http.StatusBadRequest, errors.New("not a layout key"))
+		return
+	}
+	if storeHas(e.layStore, key) {
+		if e.rep != nil {
+			e.rep.duplicates.Add(1)
+		}
+		kernstats.ReplicationDuplicates.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err := e.faults.Fire(r.Context(), faultinject.SiteStoreWrite); err != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("store write failed"))
+		return
+	}
+	e.layStore.Put(key, lay)
+	if e.rep != nil {
+		e.rep.received.Add(1)
+	}
+	kernstats.ReplicationReceived.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type replicateDiffRequest struct {
+	Keys []string `json:"keys"`
+}
+
+type replicateDiffResponse struct {
+	Missing []string `json:"missing"`
+}
+
+// handleReplicateDiff serves POST /v1/replicate/diff: the anti-entropy
+// key exchange. The caller offers keys it holds; the response lists
+// the subset this replica is missing and wants pushed.
+func handleReplicateDiff(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var in replicateDiffRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxEnvelopeBytes)).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad diff request: %w", err))
+		return
+	}
+	if len(in.Keys) > repDiffMaxKeys {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("too many keys (max %d)", repDiffMaxKeys))
+		return
+	}
+	out := replicateDiffResponse{Missing: []string{}}
+	for _, key := range in.Keys {
+		if !strings.HasPrefix(key, "layout:") {
+			continue
+		}
+		if !storeHas(e.layStore, key) {
+			out.Missing = append(out.Missing, key)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+// testReplicasRep boots n stub-engine replicas with private memory
+// stores (no shared disk — the deployment replication exists for) and
+// a fast replication retry loop. mutate, when non-nil, adjusts each
+// replica's engine options before construction.
+func testReplicasRep(t *testing.T, n int, mutate func(o *Options)) []*replica {
+	t.Helper()
+	reps := make([]*replica, n)
+	addrs := make([]string, n)
+	for i := range reps {
+		sh := &swapHandler{}
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		reps[i] = &replica{addr: strings.TrimPrefix(srv.URL, "http://"), srv: srv}
+		addrs[i] = reps[i].addr
+	}
+	for i, rep := range reps {
+		cl, err := cluster.New(cluster.Config{Self: rep.addr, Peers: addrs, Replication: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			Workers: 2, Cluster: cl, Store: store.NewMemory(64),
+			ReplicationRetryInterval: 20 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(&opts)
+		}
+		eng, counts := jobStubEngine(opts)
+		t.Cleanup(func() { eng.Close() })
+		rep.eng, rep.counts, rep.cl = eng, counts, cl
+		reps[i].srv.Config.Handler.(*swapHandler).set(NewHandler(eng))
+	}
+	return reps
+}
+
+func storeHasKey(e *Engine, key string) bool { return storeHas(e.layStore, key) }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func replicaByAddr(t *testing.T, reps []*replica, addr string) *replica {
+	t.Helper()
+	for _, r := range reps {
+		if r.addr == addr {
+			return r
+		}
+	}
+	t.Fatalf("no replica at %s", addr)
+	return nil
+}
+
+// TestReplicationPushesToCoOwners: a computed layout is streamed to the
+// key's other ring owner — and only to owners — so a later request at
+// the co-owner is a local store hit (byte-identical, zero recompute)
+// even though the replicas share no disk.
+func TestReplicationPushesToCoOwners(t *testing.T) {
+	reps := testReplicasRep(t, 3, nil)
+	owner := reps[0]
+	req := reqOwnedBy(t, owner.cl, owner.addr)
+	key := layoutKey(req)
+	owners := owner.cl.Ring().Owners(key, 2)
+	co := replicaByAddr(t, reps, owners[1])
+	var outsider *replica
+	for _, r := range reps {
+		if r.addr != owners[0] && r.addr != owners[1] {
+			outsider = r
+		}
+	}
+
+	var ownerBody struct {
+		Layout json.RawMessage `json:"layout"`
+	}
+	resp := getJSON(t, layoutURL(owner.srv.URL, req), &ownerBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := owner.counts.legalizes.Load(); got != 1 {
+		t.Fatalf("owner legalized %d times, want 1", got)
+	}
+
+	waitFor(t, "co-owner to receive the replicated layout", func() bool {
+		return storeHasKey(co.eng, key)
+	})
+	if rs := owner.eng.Stats().Replication; rs == nil || rs.Sent < 1 {
+		t.Errorf("owner replication stats = %+v, want sent >= 1", rs)
+	}
+	if rs := co.eng.Stats().Replication; rs == nil || rs.Received < 1 {
+		t.Errorf("co-owner replication stats = %+v, want received >= 1", rs)
+	}
+	if storeHasKey(outsider.eng, key) {
+		t.Error("replication leaked to a non-owner replica")
+	}
+
+	// The co-owner now serves the key from its own store: no recompute,
+	// no forward, byte-identical layout.
+	var coBody struct {
+		CacheHit bool            `json:"cache_hit"`
+		Layout   json.RawMessage `json:"layout"`
+	}
+	resp = getJSON(t, layoutURL(co.srv.URL, req), &coBody)
+	if resp.StatusCode != http.StatusOK || !coBody.CacheHit {
+		t.Fatalf("co-owner response: status %d cache_hit %v", resp.StatusCode, coBody.CacheHit)
+	}
+	if got := co.counts.legalizes.Load(); got != 0 {
+		t.Errorf("co-owner recomputed a replicated key (%d legalizes)", got)
+	}
+	if s := co.cl.Stats(); s.Forwarded != 0 {
+		t.Errorf("co-owner forwarded %d requests, want 0 (local store hit)", s.Forwarded)
+	}
+	if !bytes.Equal(ownerBody.Layout, coBody.Layout) {
+		t.Error("replicated layout is not byte-identical to the computed one")
+	}
+}
+
+// TestReplicationHintedHandoff: an envelope for a peer the detector
+// calls dead is held — not dropped, not burned against the retry
+// budget — and delivered once the peer revives.
+func TestReplicationHintedHandoff(t *testing.T) {
+	reps := testReplicasRep(t, 2, nil)
+	a, b := reps[0], reps[1]
+	for i := 0; i < 3; i++ { // default DeadAfter
+		a.cl.MarkFailure(b.addr, nil)
+	}
+	if got := a.cl.PeerState(b.addr); got != cluster.StateDead {
+		t.Fatalf("peer state = %s, want dead", got)
+	}
+
+	req := reqOwnedBy(t, a.cl, a.addr)
+	key := layoutKey(req)
+	resp := getJSON(t, layoutURL(a.srv.URL, req), nil)
+	resp.Body.Close()
+
+	waitFor(t, "hinted envelope to be recorded", func() bool {
+		rs := a.eng.Stats().Replication
+		return rs != nil && rs.Hinted >= 1 && rs.Pending >= 1
+	})
+	if storeHasKey(b.eng, key) {
+		t.Fatal("envelope delivered to a dead peer")
+	}
+
+	// Revival (an inbound heartbeat in production) releases the hint.
+	a.cl.MarkAlive(b.addr)
+	waitFor(t, "hinted envelope to be delivered on revival", func() bool {
+		return storeHasKey(b.eng, key)
+	})
+	if got := b.counts.legalizes.Load(); got != 0 {
+		t.Errorf("revived peer recomputed (%d legalizes) instead of receiving the hint", got)
+	}
+}
+
+// TestAntiEntropyRepairs: a layout present on one replica but missing
+// from a co-owner (here: seeded directly, as after a dropped push or a
+// ring rebalance) is found by the periodic key-digest exchange and
+// re-pushed.
+func TestAntiEntropyRepairs(t *testing.T) {
+	reps := testReplicasRep(t, 2, func(o *Options) {
+		o.AntiEntropyInterval = 25 * time.Millisecond
+	})
+	a, b := reps[0], reps[1]
+
+	cfg := core.DefaultConfig()
+	cfg.GP.Seed = 77
+	key := layoutKey(LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg})
+	a.eng.layStore.Put(key, fakeLayout(core.QGDPLG, 77))
+
+	waitFor(t, "anti-entropy to repair the missing replica", func() bool {
+		return storeHasKey(b.eng, key)
+	})
+	rs := a.eng.Stats().Replication
+	if rs == nil || rs.AntiEntropyRounds < 1 || rs.Repaired < 1 {
+		t.Errorf("replication stats = %+v, want anti-entropy rounds and repairs >= 1", rs)
+	}
+	if got := b.counts.legalizes.Load(); got != 0 {
+		t.Errorf("repair caused a recompute (%d legalizes)", got)
+	}
+}
+
+// TestReplicateHandlerValidates: the push endpoint rejects garbage and
+// non-layout keys, stores valid envelopes exactly once, and
+// acknowledges duplicates without a second write.
+func TestReplicateHandlerValidates(t *testing.T) {
+	reps := testReplicasRep(t, 2, nil)
+	a := reps[0]
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(a.srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("/v1/replicate", []byte("not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage envelope: status %d, want 400", resp.StatusCode)
+	}
+	gpEnv, err := store.EncodeEnvelope("gp:deadbeef", fakeLayout(core.QGDPLG, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post("/v1/replicate", gpEnv); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-layout key: status %d, want 400", resp.StatusCode)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.GP.Seed = 5
+	key := layoutKey(LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg})
+	env, err := store.EncodeEnvelope(key, fakeLayout(core.QGDPLG, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post("/v1/replicate", env); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid envelope: status %d, want 204", resp.StatusCode)
+	}
+	if !storeHasKey(a.eng, key) {
+		t.Fatal("accepted envelope not in store")
+	}
+	if resp := post("/v1/replicate", env); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("duplicate envelope: status %d, want 204", resp.StatusCode)
+	}
+	rs := a.eng.Stats().Replication
+	if rs.Received != 1 || rs.Duplicates != 1 {
+		t.Errorf("received=%d duplicates=%d, want 1/1", rs.Received, rs.Duplicates)
+	}
+
+	// The diff endpoint reports exactly the layout keys we lack.
+	absent := "layout:" + strings.Repeat("0", 64)
+	body, _ := json.Marshal(replicateDiffRequest{Keys: []string{key, absent, "gp:deadbeef"}})
+	resp, err := http.Post(a.srv.URL+"/v1/replicate/diff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out replicateDiffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Missing) != 1 || out.Missing[0] != absent {
+		t.Errorf("diff missing = %v, want [%s]", out.Missing, absent)
+	}
+}
+
+// TestReplicationFaultStaysQueued: injected peer.replicate faults fail
+// the push (counted, requeued) without losing the envelope — it lands
+// once the schedule stops firing.
+func TestReplicationFaultStaysQueued(t *testing.T) {
+	reps := testReplicasRep(t, 2, func(o *Options) {
+		o.Faults = faultinject.MustParse("peer.replicate=error,times=2", 1)
+	})
+	a, b := reps[0], reps[1]
+
+	req := reqOwnedBy(t, a.cl, a.addr)
+	key := layoutKey(req)
+	resp := getJSON(t, layoutURL(a.srv.URL, req), nil)
+	resp.Body.Close()
+
+	waitFor(t, "replication to survive injected faults", func() bool {
+		return storeHasKey(b.eng, key)
+	})
+	rs := a.eng.Stats().Replication
+	if rs.Errors < 1 {
+		t.Errorf("replication errors = %d, want >= 1 (injected)", rs.Errors)
+	}
+	if rs.Dropped != 0 {
+		t.Errorf("replication dropped = %d, want 0 (faults retry, not drop)", rs.Dropped)
+	}
+}
+
+// TestStoreReadFaultServedAsMiss: an injected store.read error is
+// served as a cache miss — the engine recomputes and answers 200, it
+// never surfaces a 5xx for a cache-layer failure.
+func TestStoreReadFaultServedAsMiss(t *testing.T) {
+	eng, counts := jobStubEngine(Options{
+		Workers: 2, Store: store.NewMemory(64),
+		Faults: faultinject.MustParse("store.read=error", 1),
+	})
+	t.Cleanup(func() { eng.Close() })
+	srv := httptest.NewServer(NewHandler(eng))
+	t.Cleanup(srv.Close)
+
+	cfg := core.DefaultConfig()
+	req := LayoutRequest{Topology: "Grid", Strategy: core.QGDPLG, Config: cfg}
+	for i := 1; i <= 2; i++ {
+		resp := getJSON(t, layoutURL(srv.URL, req), nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d with store.read faulted: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+	// Every read faulted, so the second request recomputed: the failure
+	// mode is wasted work, never an error.
+	if got := counts.legalizes.Load(); got != 2 {
+		t.Errorf("legalizes = %d, want 2 (each faulted read degrades to recompute)", got)
+	}
+}

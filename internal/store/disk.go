@@ -1,10 +1,8 @@
 package store
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -18,14 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernstats"
-	"repro/internal/layoutio"
-	"repro/internal/qlegal"
 )
-
-// envelopeVersion guards the disk-entry envelope (key, timings, netlist
-// wrapper). The netlist payload inside is additionally guarded by
-// layoutio.SchemaVersion; a mismatch at either level discards the entry.
-const envelopeVersion = 1
 
 // DiskOptions configures a Disk tier.
 type DiskOptions struct {
@@ -54,6 +45,12 @@ type Disk struct {
 
 	mu    sync.Mutex
 	files map[string]int64 // base name -> size
+	// keys maps base name -> canonical request key for the entries whose
+	// key this process has seen (every put, every successful get). The
+	// file name is a one-way hash of the key, so this reverse map is what
+	// Keys() enumerates for anti-entropy; entries inherited from a
+	// previous process surface here once read.
+	keys map[string]string
 	// order lists file names oldest-written first, so GC evicts in O(1)
 	// per file. It may hold stale names (corrupt-removed entries, rare
 	// duplicate-put races); gc skips anything no longer in files.
@@ -70,20 +67,6 @@ type Disk struct {
 	healthy atomic.Bool
 }
 
-// diskEntry is the on-disk envelope: the layout netlist as layoutio
-// JSON plus the layout metadata that must survive a restart (timings
-// feed the API's tq_ms/te_ms fields; the qubit-legalization result
-// feeds displacement reporting).
-type diskEntry struct {
-	Version     int             `json:"version"`
-	Key         string          `json:"key"`
-	QubitNs     int64           `json:"tq_ns"`
-	ResonatorNs int64           `json:"te_ns"`
-	DPNs        int64           `json:"dp_ns"`
-	QubitResult qlegal.Result   `json:"qubit_result"`
-	Netlist     json.RawMessage `json:"netlist"`
-}
-
 // OpenDisk opens (creating if needed) a disk tier rooted at dir,
 // scanning existing entries so a fresh process inherits the previous
 // one's cache. Leftover temp files from a crashed writer are removed.
@@ -91,7 +74,7 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open disk tier: %w", err)
 	}
-	d := &Disk{dir: dir, max: opts.MaxBytes, files: map[string]int64{}}
+	d := &Disk{dir: dir, max: opts.MaxBytes, files: map[string]int64{}, keys: map[string]string{}}
 	d.healthy.Store(true)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -161,31 +144,23 @@ func (d *Disk) get(key string) (*core.Layout, bool) {
 		d.remove(name)
 		return nil, false
 	}
+	d.mu.Lock()
+	if _, tracked := d.files[name]; tracked {
+		d.keys[name] = key // an inherited entry's key is now known
+	}
+	d.mu.Unlock()
 	return lay, true
 }
 
 func decodeEntry(data []byte, key string) (*core.Layout, error) {
-	var ent diskEntry
-	if err := json.Unmarshal(data, &ent); err != nil {
-		return nil, err
-	}
-	if ent.Version != envelopeVersion {
-		return nil, fmt.Errorf("store: envelope version %d (want %d)", ent.Version, envelopeVersion)
-	}
-	if ent.Key != key {
-		return nil, fmt.Errorf("store: entry key mismatch")
-	}
-	n, err := layoutio.ReadJSON(bytes.NewReader(ent.Netlist))
+	gotKey, lay, err := DecodeEnvelope(data)
 	if err != nil {
 		return nil, err
 	}
-	return &core.Layout{
-		Netlist:       n,
-		QubitTime:     time.Duration(ent.QubitNs),
-		ResonatorTime: time.Duration(ent.ResonatorNs),
-		DPTime:        time.Duration(ent.DPNs),
-		QubitResult:   ent.QubitResult,
-	}, nil
+	if gotKey != key {
+		return nil, fmt.Errorf("store: entry key mismatch")
+	}
+	return lay, nil
 }
 
 // put spills the layout unless it is already on disk (entries are
@@ -199,20 +174,7 @@ func (d *Disk) put(key string, lay *core.Layout) {
 		return
 	}
 
-	var nb bytes.Buffer
-	if err := layoutio.WriteJSON(&nb, lay.Netlist); err != nil {
-		d.writeFailures.Add(1)
-		return
-	}
-	data, err := json.Marshal(diskEntry{
-		Version:     envelopeVersion,
-		Key:         key,
-		QubitNs:     lay.QubitTime.Nanoseconds(),
-		ResonatorNs: lay.ResonatorTime.Nanoseconds(),
-		DPNs:        lay.DPTime.Nanoseconds(),
-		QubitResult: lay.QubitResult,
-		Netlist:     json.RawMessage(nb.Bytes()),
-	})
+	data, err := EncodeEnvelope(key, lay)
 	if err != nil {
 		d.writeFailures.Add(1)
 		return
@@ -231,6 +193,7 @@ func (d *Disk) put(key string, lay *core.Layout) {
 		d.size -= old
 	}
 	d.files[name] = int64(len(data))
+	d.keys[name] = key
 	d.order = append(d.order, name)
 	d.size += int64(len(data))
 	d.mu.Unlock()
@@ -269,6 +232,7 @@ func (d *Disk) remove(name string) {
 	if size, ok := d.files[name]; ok {
 		d.size -= size
 		delete(d.files, name)
+		delete(d.keys, name)
 	}
 	d.mu.Unlock()
 	d.removeFile(name)
@@ -282,6 +246,7 @@ func (d *Disk) noteVanished(name string) {
 	if tracked {
 		d.size -= size
 		delete(d.files, name)
+		delete(d.keys, name)
 	}
 	d.mu.Unlock()
 	if tracked {
@@ -320,6 +285,7 @@ func (d *Disk) gc() {
 		}
 		d.size -= size
 		delete(d.files, name)
+		delete(d.keys, name)
 		d.removeFile(name)
 		d.gcEvictions.Add(1)
 		kernstats.StoreGCEvict.Add(1)
@@ -350,6 +316,30 @@ func (d *Disk) Get(key string) (*core.Layout, bool) {
 func (d *Disk) Put(key string, lay *core.Layout) {
 	d.puts.Add(1)
 	d.put(key, lay)
+}
+
+// Keys implements Enumerable: the canonical keys of the entries whose
+// key this process has seen. Entries inherited from a previous process
+// are invisible here until first read — the file name is a one-way
+// hash — so anti-entropy over an inherited directory is best-effort
+// until the working set has been touched.
+func (d *Disk) Keys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.keys))
+	for _, key := range d.keys {
+		out = append(out, key)
+	}
+	return out
+}
+
+// Has implements Enumerable: an exact existence check (the entry's
+// file is tracked) with no hit accounting and no disk read.
+func (d *Disk) Has(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[fileName(key)]
+	return ok
 }
 
 // Stats implements Store.

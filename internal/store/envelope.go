@@ -1,0 +1,85 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layoutio"
+	"repro/internal/qlegal"
+)
+
+// The layout envelope: the versioned JSON wrapper that carries a
+// computed layout outside the process — one file per entry on the disk
+// tier, and the body of a cross-replica /v1/replicate push. Keeping
+// one codec for both means a replicated entry is byte-identical to the
+// spill the owner wrote locally, so disk-less fleets and shared-dir
+// fleets serve the same bytes.
+
+// envelopeVersion guards the envelope (key, timings, netlist wrapper).
+// The netlist payload inside is additionally guarded by
+// layoutio.SchemaVersion; a mismatch at either level discards the
+// entry.
+const envelopeVersion = 1
+
+// diskEntry is the envelope schema: the layout netlist as layoutio
+// JSON plus the layout metadata that must survive a restart (timings
+// feed the API's tq_ms/te_ms fields; the qubit-legalization result
+// feeds displacement reporting).
+type diskEntry struct {
+	Version     int             `json:"version"`
+	Key         string          `json:"key"`
+	QubitNs     int64           `json:"tq_ns"`
+	ResonatorNs int64           `json:"te_ns"`
+	DPNs        int64           `json:"dp_ns"`
+	QubitResult qlegal.Result   `json:"qubit_result"`
+	Netlist     json.RawMessage `json:"netlist"`
+}
+
+// EncodeEnvelope serializes a layout into the versioned envelope under
+// its canonical request key.
+func EncodeEnvelope(key string, lay *core.Layout) ([]byte, error) {
+	var nb bytes.Buffer
+	if err := layoutio.WriteJSON(&nb, lay.Netlist); err != nil {
+		return nil, err
+	}
+	return json.Marshal(diskEntry{
+		Version:     envelopeVersion,
+		Key:         key,
+		QubitNs:     lay.QubitTime.Nanoseconds(),
+		ResonatorNs: lay.ResonatorTime.Nanoseconds(),
+		DPNs:        lay.DPTime.Nanoseconds(),
+		QubitResult: lay.QubitResult,
+		Netlist:     json.RawMessage(nb.Bytes()),
+	})
+}
+
+// DecodeEnvelope parses an envelope, returning the key it was encoded
+// under and the rehydrated layout. Version mismatches at either the
+// envelope or the netlist schema level are errors — the caller treats
+// the entry as corrupt/stale, never serves it.
+func DecodeEnvelope(data []byte) (string, *core.Layout, error) {
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return "", nil, err
+	}
+	if ent.Version != envelopeVersion {
+		return "", nil, fmt.Errorf("store: envelope version %d (want %d)", ent.Version, envelopeVersion)
+	}
+	if ent.Key == "" {
+		return "", nil, fmt.Errorf("store: envelope missing key")
+	}
+	n, err := layoutio.ReadJSON(bytes.NewReader(ent.Netlist))
+	if err != nil {
+		return "", nil, err
+	}
+	return ent.Key, &core.Layout{
+		Netlist:       n,
+		QubitTime:     time.Duration(ent.QubitNs),
+		ResonatorTime: time.Duration(ent.ResonatorNs),
+		DPTime:        time.Duration(ent.DPNs),
+		QubitResult:   ent.QubitResult,
+	}, nil
+}

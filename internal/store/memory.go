@@ -69,6 +69,13 @@ func (m *Memory) Put(key string, lay *core.Layout) {
 	m.put(key, lay)
 }
 
+// Keys implements Enumerable.
+func (m *Memory) Keys() []string { return m.lru.Keys() }
+
+// Has implements Enumerable: an existence check that bumps neither
+// recency nor hit counters.
+func (m *Memory) Has(key string) bool { return m.lru.Contains(key) }
+
 // Stats implements Store.
 func (m *Memory) Stats() Stats {
 	return Stats{

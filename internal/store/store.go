@@ -54,6 +54,17 @@ type Traced interface {
 	GetTraced(key string, parent *obs.Span) (*core.Layout, bool)
 }
 
+// Enumerable is an optional Store capability used by cross-replica
+// replication: key enumeration (for the anti-entropy sweep) and
+// existence checks (for duplicate suppression on /v1/replicate),
+// neither of which touches hit/miss accounting or recency. Keys may be
+// best-effort on persistent tiers — entries inherited from a previous
+// process surface only once read — while Has is always exact.
+type Enumerable interface {
+	Keys() []string
+	Has(key string) bool
+}
+
 // Stats is a point-in-time view of a store's counters. Tier fields not
 // applicable to an implementation stay zero (a pure Memory store never
 // reports disk hits).

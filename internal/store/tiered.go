@@ -108,6 +108,26 @@ func (t *Tiered) Put(key string, lay *core.Layout) {
 	t.mem.put(key, lay)
 }
 
+// Keys implements Enumerable: the union of both tiers' known keys
+// (memory entries not yet spilled, plus every disk entry whose key
+// this process has seen).
+func (t *Tiered) Keys() []string {
+	keys := t.disk.Keys()
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, k := range t.mem.Keys() {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Has implements Enumerable.
+func (t *Tiered) Has(key string) bool { return t.mem.Has(key) || t.disk.Has(key) }
+
 // Stats implements Store, merging tier-level counters: hit/miss/put
 // accounting from the combinator, spill/GC/corruption accounting from
 // the disk tier it drives.

@@ -1,0 +1,280 @@
+#!/usr/bin/env bash
+# Integration smoke for dynamic membership + cross-replica replication:
+# a 3-replica cluster with NO shared disk, grown from one seed with
+# -join, must (1) serve byte-identical layouts with exactly one
+# placement compute cluster-wide, (2) survive a replica being killed
+# mid-run with zero recompute of replicated keys, (3) admit a fresh
+# -join replica and reconverge membership on /clusterz, and (4) drain
+# gracefully on SIGTERM (peers see a "left" tombstone, not a death).
+# A second phase repeats the kill-the-owner check with injected
+# peer.replicate faults: pushes fail, stay queued, and still deliver.
+# Needs only a Go toolchain, curl, and POSIX tools; run from repo root.
+set -euo pipefail
+
+HOST=127.0.0.1
+REF_ADDR=$HOST:18340
+WORK=$(mktemp -d)
+BIN="$WORK/qgdp-serve"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_healthy() { # addr
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $1 did not become healthy" >&2
+  exit 1
+}
+
+wait_converged() { # addr want_alive
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$1/clusterz" 2>/dev/null | grep -q "\"members_alive\": $2"; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $1 never converged to $2 alive members" >&2
+  curl -sf "http://$1/clusterz" >&2 || true
+  exit 1
+}
+
+# Wait until a replica's replication queues are empty (pushes landed).
+wait_drained() { # addr
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$1/statsz" 2>/dev/null | grep -q '"pending": 0'; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $1 replication queue never drained" >&2
+  curl -sf "http://$1/statsz" >&2 || true
+  exit 1
+}
+
+computed() { # addr
+  curl -sf "http://$1/statsz" | sed -n 's/.*"computed": \([0-9]*\).*/\1/p' | head -1
+}
+
+ae_rounds() { # addr
+  R=$(curl -sf "http://$1/statsz" | sed -n 's/.*"anti_entropy_rounds": \([0-9]*\).*/\1/p' | head -1)
+  echo "${R:-0}"
+}
+
+# Wait until addr has completed two more anti-entropy rounds than base:
+# at least one full sweep started after whatever membership change the
+# caller just made, so rebalanced keys have been offered to their new
+# owners.
+wait_ae_round() { # addr base
+  for _ in $(seq 1 60); do
+    if [ "$(ae_rounds "$1")" -ge $(($2 + 2)) ]; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $1 anti-entropy never advanced past round $2" >&2
+  exit 1
+}
+
+owner_of() { # addr query -> route address
+  curl -sf "http://$1/clusterz/route?$2" | sed -n 's/.*"route": "\([^"]*\)".*/\1/p'
+}
+
+# cache_hit/shared differ between a cold compute and a replicated-store
+# hit, and *_ms timings are per-process wall clock; the layout itself
+# must match to the byte.
+norm() { grep -v '"cache_hit"\|"shared"\|_ms"' "$1"; }
+
+go build -o "$BIN" ./cmd/qgdp-serve
+
+echo "== reference: single-process server"
+"$BIN" -addr "$REF_ADDR" &
+PIDS+=($!)
+wait_healthy "$REF_ADDR"
+
+REPL_FLAGS=(-replication 2 -heartbeat 200ms -anti-entropy 2s -drain-timeout 5s)
+
+echo "== phase A: grow a 3-replica disk-less cluster from one seed"
+A1=$HOST:18341 A2=$HOST:18342 A3=$HOST:18343
+"$BIN" -addr "$A1" -advertise "$A1" -peers "$A1" "${REPL_FLAGS[@]}" &
+PIDS+=($!); A1_PID=$!
+"$BIN" -addr "$A2" -advertise "$A2" -join "$A1" "${REPL_FLAGS[@]}" &
+PIDS+=($!); A2_PID=$!
+"$BIN" -addr "$A3" -advertise "$A3" -join "$A1" "${REPL_FLAGS[@]}" &
+PIDS+=($!); A3_PID=$!
+for a in "$A1" "$A2" "$A3"; do wait_healthy "$a"; done
+for a in "$A1" "$A2" "$A3"; do wait_converged "$a" 3; done
+echo "   membership converged: 3 alive on every /clusterz"
+
+echo "== load: 6 keys spread across replicas, byte-identical, one compute each"
+ADDRS=("$A1" "$A2" "$A3")
+for seed in 1 2 3 4 5 6; do
+  Q="topology=Grid&strategy=qGDP-LG&seed=$seed&mappings=1"
+  curl -sf "http://$REF_ADDR/v1/layout?$Q" -o "$WORK/ref$seed.json"
+  A=${ADDRS[$(( (seed - 1) % 3 ))]}
+  curl -sf "http://$A/v1/layout?$Q" -o "$WORK/got$seed.json"
+  if ! diff <(norm "$WORK/ref$seed.json") <(norm "$WORK/got$seed.json") >/dev/null; then
+    echo "FAIL: seed $seed differs from single-process output"
+    diff <(norm "$WORK/ref$seed.json") <(norm "$WORK/got$seed.json") | head
+    exit 1
+  fi
+done
+# "computed" counts the GP and legalize stages separately: a cold key
+# costs exactly 2, so 6 fresh keys computed exactly once cluster-wide
+# total 12 — any recompute or duplicated ownership pushes it higher.
+TOTAL=0
+for a in "$A1" "$A2" "$A3"; do TOTAL=$((TOTAL + $(computed "$a"))); done
+if [ "$TOTAL" -ne 12 ]; then
+  echo "FAIL: cluster-wide computed=$TOTAL for 6 keys, want exactly 12 (2 stages x 6)"
+  exit 1
+fi
+
+echo "== replication pushed envelopes (no shared disk involved)"
+for a in "$A1" "$A2" "$A3"; do wait_drained "$a"; done
+SENT=0
+for a in "$A1" "$A2" "$A3"; do
+  S=$(curl -sf "http://$a/statsz" | sed -n 's/.*"sent": \([0-9]*\).*/\1/p' | head -1)
+  SENT=$((SENT + ${S:-0}))
+done
+if [ "$SENT" -lt 1 ]; then
+  echo "FAIL: no replication pushes recorded across the cluster"
+  exit 1
+fi
+curl -sf "http://$A1/metricsz" -o "$WORK/metrics.txt"
+grep -q '^qgdp_cluster_members ' "$WORK/metrics.txt" \
+  || { echo "FAIL: /metricsz lacks qgdp_cluster_members"; exit 1; }
+grep -q '^qgdp_replication_sent_total ' "$WORK/metrics.txt" \
+  || { echo "FAIL: /metricsz lacks replication counters"; exit 1; }
+
+echo "== kill a replica mid-run: replicated keys must not recompute"
+QK="topology=Grid&strategy=qGDP-LG&seed=99&mappings=1"
+curl -sf "http://$REF_ADDR/v1/layout?$QK" -o "$WORK/refk.json"
+OWNER=$(owner_of "$A1" "$QK")
+curl -sf "http://$OWNER/v1/layout?$QK" -o /dev/null
+wait_drained "$OWNER"
+case "$OWNER" in
+  "$A1") kill -9 "$A1_PID" ;;
+  "$A2") kill -9 "$A2_PID" ;;
+  "$A3") kill -9 "$A3_PID" ;;
+esac
+SURVIVORS=()
+for a in "$A1" "$A2" "$A3"; do [ "$a" != "$OWNER" ] && SURVIVORS+=("$a"); done
+sleep 1 # let the failure detector mark the owner dead
+BEFORE=0
+for a in "${SURVIVORS[@]}"; do BEFORE=$((BEFORE + $(computed "$a"))); done
+for a in "${SURVIVORS[@]}"; do
+  curl -sf "http://$a/v1/layout?$QK" -o "$WORK/after_kill.json" \
+    || { echo "FAIL: request failed after owner death"; exit 1; }
+  if ! diff <(norm "$WORK/refk.json") <(norm "$WORK/after_kill.json") >/dev/null; then
+    echo "FAIL: post-kill response differs from single-process output"
+    exit 1
+  fi
+done
+AFTER=0
+for a in "${SURVIVORS[@]}"; do AFTER=$((AFTER + $(computed "$a"))); done
+if [ "$AFTER" -ne "$BEFORE" ]; then
+  echo "FAIL: survivors recomputed a replicated key (computed $BEFORE -> $AFTER)"
+  exit 1
+fi
+echo "   replicated key served with zero recompute after owner death"
+
+echo "== join a fresh replica mid-run via one survivor"
+A4=$HOST:18344
+R0=$(ae_rounds "${SURVIVORS[0]}")
+R1=$(ae_rounds "${SURVIVORS[1]}")
+"$BIN" -addr "$A4" -advertise "$A4" -join "${SURVIVORS[0]}" "${REPL_FLAGS[@]}" &
+PIDS+=($!); A4_PID=$!
+wait_healthy "$A4"
+for a in "${SURVIVORS[@]}" "$A4"; do wait_converged "$a" 3; done
+# The join moves < 2/N of the keyspace to A4; the survivors' next
+# anti-entropy sweep hands those keys over. Wait for a full sweep that
+# started after the join, then every existing key must be served via
+# the joiner with zero recompute — moved keys from its own store, the
+# rest by forward or short-circuit.
+wait_ae_round "${SURVIVORS[0]}" "$R0"
+wait_ae_round "${SURVIVORS[1]}" "$R1"
+for a in "${SURVIVORS[@]}"; do wait_drained "$a"; done
+for seed in 1 2 3 4 5 6; do
+  Q="topology=Grid&strategy=qGDP-LG&seed=$seed&mappings=1"
+  curl -sf "http://$A4/v1/layout?$Q" -o "$WORK/join$seed.json"
+  if ! diff <(norm "$WORK/ref$seed.json") <(norm "$WORK/join$seed.json") >/dev/null; then
+    echo "FAIL: joiner-served seed $seed differs from single-process output"
+    exit 1
+  fi
+done
+curl -sf "http://$A4/v1/layout?$QK" -o "$WORK/via_joiner.json"
+if ! diff <(norm "$WORK/refk.json") <(norm "$WORK/via_joiner.json") >/dev/null; then
+  echo "FAIL: joiner-served response differs from single-process output"
+  exit 1
+fi
+if [ "$(computed "$A4")" -ne 0 ]; then
+  echo "FAIL: fresh joiner recomputed an existing key"
+  exit 1
+fi
+echo "   joiner converged and served all existing keys without recompute"
+
+echo "== graceful drain: SIGTERM gossips a left tombstone, not a death"
+kill -TERM "$A4_PID"
+for _ in $(seq 1 60); do
+  kill -0 "$A4_PID" 2>/dev/null || break
+  sleep 0.5
+done
+if kill -0 "$A4_PID" 2>/dev/null; then
+  echo "FAIL: drained replica did not exit"
+  exit 1
+fi
+if ! curl -sf "http://${SURVIVORS[0]}/clusterz" | grep -q '"left"'; then
+  echo "FAIL: survivor does not show the drained replica as left"
+  curl -sf "http://${SURVIVORS[0]}/clusterz"
+  exit 1
+fi
+
+echo "== phase B: replication under injected peer.replicate faults"
+B1=$HOST:18351 B2=$HOST:18352
+"$BIN" -addr "$B1" -advertise "$B1" -peers "$B1,$B2" "${REPL_FLAGS[@]}" \
+  -fault-spec 'peer.replicate=error,times=5' -fault-seed 1 &
+PIDS+=($!); B1_PID=$!
+"$BIN" -addr "$B2" -advertise "$B2" -peers "$B1,$B2" "${REPL_FLAGS[@]}" &
+PIDS+=($!)
+wait_healthy "$B1"; wait_healthy "$B2"
+
+# Find a key B1 owns so the compute (and faulted push) happens there.
+QF=""
+for seed in $(seq 201 240); do
+  Q="topology=Grid&strategy=qGDP-LG&seed=$seed&mappings=1"
+  if [ "$(owner_of "$B1" "$Q")" = "$B1" ]; then QF="$Q"; break; fi
+done
+[ -n "$QF" ] || { echo "FAIL: no key owned by $B1 in scan"; exit 1; }
+curl -sf "http://$REF_ADDR/v1/layout?$QF" -o "$WORK/reff.json"
+curl -sf "http://$B1/v1/layout?$QF" -o /dev/null
+wait_drained "$B1" # retries must beat the injected failures
+ERRS=$(curl -sf "http://$B1/statsz" | sed -n 's/.*"errors": \([0-9]*\).*/\1/p' | head -1)
+if [ "${ERRS:-0}" -lt 1 ]; then
+  echo "FAIL: fault schedule never fired (replication errors = ${ERRS:-0})"
+  exit 1
+fi
+kill -9 "$B1_PID"
+sleep 1
+BEFORE=$(computed "$B2")
+curl -sf "http://$B2/v1/layout?$QF" -o "$WORK/faulted.json" \
+  || { echo "FAIL: request failed after faulted owner death"; exit 1; }
+if ! diff <(norm "$WORK/reff.json") <(norm "$WORK/faulted.json") >/dev/null; then
+  echo "FAIL: post-fault response differs from single-process output"
+  exit 1
+fi
+if [ "$(computed "$B2")" -ne "$BEFORE" ]; then
+  echo "FAIL: survivor recomputed despite replication (faulted pushes lost)"
+  exit 1
+fi
+echo "   faulted pushes retried to delivery; survivor served with zero recompute"
+
+echo "PASS: disk-less cluster survived kill + join churn with byte-identical layouts, zero recompute of replicated keys, and convergent membership"
