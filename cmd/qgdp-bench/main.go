@@ -96,6 +96,14 @@ func run(exp string, mappings int, topoName string, workers int, jsonPath string
 		}
 		fmt.Println(res.Render())
 	}
+	if want("delta") && exp != "all" {
+		ran = true
+		res, err := runner.DeltaBench(devs, cfg, core.QGDPDP)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
 	// Extensions beyond the paper's figures: the quantified Fig. 1 curve
 	// and the §III-C padding sweep run only when explicitly requested.
 	if want("fig1") && exp != "all" {
@@ -119,7 +127,7 @@ func run(exp string, mappings int, topoName string, workers int, jsonPath string
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (valid: fig8, fig9, table2, table3, fig1, sweep, all)", exp)
+		return fmt.Errorf("unknown experiment %q (valid: fig8, fig9, table2, table3, delta, fig1, sweep, all)", exp)
 	}
 	if jsonPath != "" {
 		// The point recomputes Table II/III through the same engine, so

@@ -97,6 +97,7 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers reach this replica at (default: -addr, host 127.0.0.1 if unset)")
 	replication := flag.Int("replication", 2, "owners per key on the cluster ring (failover depth)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+	gossipFanout := flag.Int("gossip-fanout", 0, "full membership digests per heartbeat window; other probes go lite (0: default 3)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound: announce leave, finish in-flight requests, flush replication")
 	antiEntropy := flag.Duration("anti-entropy", 30*time.Second, "interval between cross-replica layout repair sweeps (0: disabled)")
 	pr := flag.Int("pr", 0, "PR number stamped into /benchz trajectory points")
@@ -116,7 +117,8 @@ func main() {
 		addr: *addr, workers: *workers, cacheSize: *cacheSize,
 		cacheDir: *cacheDir, cacheDiskMB: *cacheDiskMB, lanes: *lanes,
 		peers: *peers, join: *join, advertise: *advertise, replication: *replication,
-		heartbeat: *heartbeat, drainTimeout: *drainTimeout, antiEntropy: *antiEntropy, pr: *pr,
+		heartbeat: *heartbeat, gossipFanout: *gossipFanout,
+		drainTimeout: *drainTimeout, antiEntropy: *antiEntropy, pr: *pr,
 		slowLog: *slowLog, debugAddr: *debugAddr,
 		maxQueue: *maxQueue, maxQueueWait: *maxQueueWait,
 		quotaRPS: *quotaRPS, quotaBurst: *quotaBurst,
@@ -137,6 +139,7 @@ type options struct {
 	advertise          string
 	replication        int
 	heartbeat          time.Duration
+	gossipFanout       int
 	drainTimeout       time.Duration
 	antiEntropy        time.Duration
 	pr                 int
@@ -205,6 +208,7 @@ func run(o options) error {
 			Seeds:             splitAddrs(o.join),
 			Replication:       o.replication,
 			HeartbeatInterval: o.heartbeat,
+			GossipFanout:      o.gossipFanout,
 			ForwardTimeout:    o.forwardTimeout,
 			Faults:            faults,
 		})

@@ -101,6 +101,15 @@ type Config struct {
 	// carries this replica's membership digest, so it is also the
 	// gossip period.
 	HeartbeatInterval time.Duration
+	// GossipFanout caps how many probes per heartbeat window carry the
+	// FULL membership digest (default 3); the rest send a lite self-only
+	// digest and get a lite answer back. Every peer is still probed
+	// every interval — liveness detection is unchanged — but gossip
+	// traffic is O(N·fanout) rows per window instead of O(N²). Because
+	// probe loops are phase-jittered, which peers draw the full digests
+	// rotates across windows, so an N-member view still converges in
+	// O(log N / log fanout) windows.
+	GossipFanout int
 	// SuspectAfter / DeadAfter are the consecutive-failure thresholds
 	// (defaults 1 and 3).
 	SuspectAfter, DeadAfter int
@@ -216,6 +225,13 @@ type Cluster struct {
 	closed   bool
 	leaving  bool
 
+	// Gossip fan-out accounting: gossipSent full digests have been spent
+	// in the heartbeat window that began at gossipWindow. Guarded by its
+	// own mutex — probeOnce must not contend with the membership lock.
+	gossipMu     sync.Mutex
+	gossipWindow time.Time
+	gossipSent   int
+
 	// client is the HTTP client the service layer forwards through:
 	// fast connection establishment failure (dead peer detection at the
 	// forwarding layer) and a ForwardTimeout backstop; each attempt is
@@ -246,6 +262,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.GossipFanout <= 0 {
+		cfg.GossipFanout = 3
 	}
 	if cfg.SuspectAfter <= 0 {
 		cfg.SuspectAfter = 1
@@ -538,10 +557,30 @@ func (c *Cluster) probeLoop(addr string, stopCh chan struct{}) {
 	}
 }
 
+// gossipFullSlot spends one full-digest slot from the current
+// heartbeat window if any remain; a false return means this probe
+// carries the lite self-only digest. Phase-jittered probe loops mean
+// the slots land on a rotating subset of peers each window.
+func (c *Cluster) gossipFullSlot() bool {
+	now := time.Now()
+	c.gossipMu.Lock()
+	defer c.gossipMu.Unlock()
+	if now.Sub(c.gossipWindow) >= c.cfg.HeartbeatInterval {
+		c.gossipWindow = now
+		c.gossipSent = 0
+	}
+	if c.gossipSent < c.cfg.GossipFanout {
+		c.gossipSent++
+		return true
+	}
+	return false
+}
+
 // probeOnce sends one heartbeat to addr: a POST of this replica's
-// membership digest, answered with the peer's digest, which is merged.
-// Any 200 marks the peer alive even if its body is not a digest — the
-// probe doubles as a plain liveness check.
+// membership digest (full for up to GossipFanout peers per window,
+// lite self-only otherwise), answered with the peer's digest, which is
+// merged. Any 200 marks the peer alive even if its body is not a
+// digest — the probe doubles as a plain liveness check.
 func (c *Cluster) probeOnce(addr string) {
 	c.hbSent.Add(1)
 	kernstats.ClusterHeartbeatsSent.Add(1)
@@ -553,13 +592,24 @@ func (c *Cluster) probeOnce(addr string) {
 		c.MarkFailure(addr, err)
 		return
 	}
-	body, err := json.Marshal(c.Digest())
+	u := "http://" + addr + "/clusterz?from=" + url.QueryEscape(c.cfg.Self)
+	var payload Digest
+	if c.gossipFullSlot() {
+		kernstats.ClusterGossipFull.Add(1)
+		payload = c.Digest()
+	} else {
+		// Lite probe: our own row only (liveness + lane utilization),
+		// and ?lite=1 asks the peer to answer in kind.
+		kernstats.ClusterGossipLite.Add(1)
+		payload = Digest{From: c.cfg.Self, Members: []MemberInfo{c.selfInfo()}}
+		u += "&lite=1"
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		c.MarkFailure(addr, err)
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		"http://"+addr+"/clusterz?from="+url.QueryEscape(c.cfg.Self), bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
 		c.MarkFailure(addr, err)
 		return
@@ -828,6 +878,12 @@ func (c *Cluster) Handler() http.Handler {
 			}
 			c.Merge(d.Members)
 			w.Header().Set("Content-Type", "application/json")
+			if r.URL.Query().Get("lite") != "" {
+				// A lite probe gets a lite answer: the exchange stays
+				// O(1) rows in both directions.
+				json.NewEncoder(w).Encode(Digest{From: c.cfg.Self, Members: []MemberInfo{c.selfInfo()}})
+				return
+			}
 			json.NewEncoder(w).Encode(c.Digest())
 			return
 		}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGossipFanoutCap: at most GossipFanout probes per heartbeat window
+// carry the full digest; the rest go lite. A new window refreshes the
+// slots — every peer still exchanges full digests eventually, just not
+// all in one round.
+func TestGossipFanoutCap(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1"}, Config{
+		HeartbeatInterval: time.Hour, // the window must not roll over mid-test
+		GossipFanout:      3,
+	})
+	full := 0
+	for i := 0; i < 10; i++ {
+		if c.gossipFullSlot() {
+			full++
+		}
+	}
+	if full != 3 {
+		t.Errorf("%d full slots in one window, want GossipFanout=3", full)
+	}
+	// Window rollover refreshes the slots.
+	c.gossipMu.Lock()
+	c.gossipWindow = time.Now().Add(-2 * time.Hour)
+	c.gossipMu.Unlock()
+	if !c.gossipFullSlot() {
+		t.Error("no full slot after window rollover")
+	}
+}
+
+func TestGossipFanoutDefault(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1"}, Config{})
+	if c.cfg.GossipFanout != 3 {
+		t.Errorf("default fanout = %d, want 3", c.cfg.GossipFanout)
+	}
+}
+
+// TestGossipLiteExchange: a ?lite=1 probe is merged like any digest but
+// answered with a self-only row — the exchange stays O(1) in both
+// directions — while a plain probe gets the full membership back.
+func TestGossipLiteExchange(t *testing.T) {
+	c := testCluster(t, "a:1", []string{"a:1", "b:1", "c:1"}, Config{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	probe := func(url string) Digest {
+		t.Helper()
+		body := `{"from":"b:1","members":[{"addr":"b:1","state":"alive","incarnation":7}]}`
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var d Digest
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	lite := probe(srv.URL + "/clusterz?from=b:1&lite=1")
+	if len(lite.Members) != 1 || lite.Members[0].Addr != "a:1" {
+		t.Errorf("lite answer = %+v, want self-only", lite.Members)
+	}
+	// The lite probe's row was still merged: b's incarnation advanced.
+	if st := c.PeerState("b:1"); st != StateAlive {
+		t.Errorf("lite probe sender state = %s, want alive", st)
+	}
+
+	full := probe(srv.URL + "/clusterz?from=b:1")
+	if len(full.Members) != 3 {
+		t.Errorf("full answer has %d rows, want 3", len(full.Members))
+	}
+}

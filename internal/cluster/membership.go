@@ -62,8 +62,9 @@ type Digest struct {
 	Members []MemberInfo `json:"members"`
 }
 
-// Digest snapshots this replica's membership view for gossip.
-func (c *Cluster) Digest() Digest {
+// selfInfo is this replica's own digest row — the payload of a lite
+// (fan-out-capped) gossip exchange, and the first row of a full one.
+func (c *Cluster) selfInfo() MemberInfo {
 	c.mu.Lock()
 	lu := c.laneUtil
 	leaving := c.leaving
@@ -76,9 +77,15 @@ func (c *Cluster) Digest() Digest {
 	if leaving {
 		selfState = StateLeft
 	}
+	return MemberInfo{Addr: c.cfg.Self, Incarnation: c.selfInc.Load(), State: selfState, LaneUtil: util}
+}
+
+// Digest snapshots this replica's membership view for gossip.
+func (c *Cluster) Digest() Digest {
+	self := c.selfInfo()
 	c.mu.Lock()
 	ms := make([]MemberInfo, 0, len(c.members)+1)
-	ms = append(ms, MemberInfo{Addr: c.cfg.Self, Incarnation: c.selfInc.Load(), State: selfState, LaneUtil: util})
+	ms = append(ms, self)
 	for addr, m := range c.members {
 		ms = append(ms, MemberInfo{Addr: addr, Incarnation: m.incarnation, State: m.state, LaneUtil: m.laneUtil})
 	}

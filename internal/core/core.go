@@ -116,8 +116,20 @@ type Layout struct {
 
 // Legalize applies a strategy to a clone of the GP solution.
 func Legalize(gp *netlist.Netlist, s Strategy, cfg Config) (*Layout, error) {
-	n := gp.Clone()
-	lay := &Layout{Netlist: n}
+	lay := &Layout{Netlist: gp.Clone()}
+	if err := legalizeInto(lay, s, cfg); err != nil {
+		return nil, err
+	}
+	return lay, nil
+}
+
+// legalizeInto runs the full legalization chain (qubit macro LP, block
+// drag, resonator legalizer, and — for QGDPDP — detailed placement) on
+// lay.Netlist in place, filling the layout's timings and results. Split
+// from Legalize so the delta engine's warm-start path can reuse the
+// chain on a netlist it already owns.
+func legalizeInto(lay *Layout, s Strategy, cfg Config) error {
+	n := lay.Netlist
 
 	qp := qlegal.QuantumParams()
 	if s == AbacusS || s == TetrisS {
@@ -133,7 +145,7 @@ func Legalize(gp *netlist.Netlist, s Strategy, cfg Config) (*Layout, error) {
 	lay.QubitTime = time.Since(start)
 	sp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%s qubit legalization: %w", s, err)
+		return fmt.Errorf("%s qubit legalization: %w", s, err)
 	}
 	lay.QubitResult = qres
 	dragBlocks(n, pre)
@@ -149,12 +161,12 @@ func Legalize(gp *netlist.Netlist, s Strategy, cfg Config) (*Layout, error) {
 		_, err = tetris.Legalize(n)
 	default:
 		sp.End()
-		return nil, fmt.Errorf("unknown strategy %q", s)
+		return fmt.Errorf("unknown strategy %q", s)
 	}
 	lay.ResonatorTime = time.Since(start)
 	sp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%s resonator legalization: %w", s, err)
+		return fmt.Errorf("%s resonator legalization: %w", s, err)
 	}
 
 	if s == QGDPDP {
@@ -164,12 +176,12 @@ func Legalize(gp *netlist.Netlist, s Strategy, cfg Config) (*Layout, error) {
 		start = time.Now()
 		if _, err := dplace.Refine(n, dp); err != nil {
 			sp.End()
-			return nil, fmt.Errorf("detailed placement: %w", err)
+			return fmt.Errorf("detailed placement: %w", err)
 		}
 		lay.DPTime = time.Since(start)
 		sp.End()
 	}
-	return lay, nil
+	return nil
 }
 
 // resonatorLegalizer names the resonator-stage span suffix for a

@@ -100,10 +100,26 @@ type Result struct {
 // positions in place. Qubits never move. The refined layout is
 // independent of how many lanes the parallelism budget grants.
 func Refine(n *netlist.Netlist, p Params) (Result, error) {
+	return refine(n, p, nil)
+}
+
+// RefineRegion is Refine restricted to the dirty regions of a delta
+// repair: only resonators whose cached route bounding box touches a
+// region are admitted as candidate windows. Window groups may still
+// pull in adjacent resonators from outside the regions (a window must
+// see its true neighborhood to reject regressions), so the repair
+// remains exact within each window — the restriction only skips scans
+// of provably-untouched parts of the layout.
+func RefineRegion(n *netlist.Netlist, p Params, regions []geom.Rect) (Result, error) {
+	return refine(n, p, regions)
+}
+
+func refine(n *netlist.Netlist, p Params, regions []geom.Rect) (Result, error) {
 	start := time.Now()
 	defer func() { kernstats.DPRefine.Observe(time.Since(start)) }()
 
 	r := newRefiner(n, p)
+	r.regions = regions
 
 	want := p.Lanes
 	if want <= 0 {
@@ -189,6 +205,13 @@ type refiner struct {
 	routes []geom.Polyline // cached n.Route(e); nil = recompute
 	boxes  []geom.Rect     // bounding boxes of the cached routes
 
+	// regions, when non-nil, restricts the candidate scan to resonators
+	// whose route box touches one of the rects (the delta fast path).
+	// Set only on the master refiner, after construction: wave lanes
+	// never scan candidates, and reset() clears it so a pooled lane
+	// refiner cannot leak a stale filter into a later run.
+	regions []geom.Rect
+
 	inGroup []bool
 
 	// Per-window scratch.
@@ -214,6 +237,7 @@ func (r *refiner) reset(n *netlist.Netlist, p Params) {
 	w := int(math.Round(n.W))
 	h := int(math.Round(n.H))
 	r.n, r.p, r.w, r.h = n, p, w, h
+	r.regions = nil
 	if r.g == nil {
 		r.g = maze.NewGrid(w, h)
 	} else {
@@ -323,6 +347,9 @@ func (r *refiner) candidates() []int {
 	}
 	var cs []cand
 	for e := range n.Resonators {
+		if !r.inRegions(e) {
+			continue
+		}
 		cl := n.ClusterCount(e)
 		if cl > 1 || hot[e] > 0 || crossing[e] > 0 {
 			cs = append(cs, cand{e, cl, hot[e], crossing[e]})
@@ -345,6 +372,20 @@ func (r *refiner) candidates() []int {
 		out[i] = c.e
 	}
 	return out
+}
+
+// inRegions reports whether resonator e passes the region filter (a
+// nil filter admits everything). Callers ensure e's route is cached.
+func (r *refiner) inRegions(e int) bool {
+	if r.regions == nil {
+		return true
+	}
+	for _, reg := range r.regions {
+		if reg.Touches(r.boxes[e]) {
+			return true
+		}
+	}
+	return false
 }
 
 // windowObjective is the Algorithm-2 acceptance triple, restricted to

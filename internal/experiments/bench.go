@@ -31,6 +31,9 @@ type BenchPoint struct {
 	// placement runtimes and quality for the run.
 	Table2 *Table2Result `json:"table2,omitempty"`
 	Table3 *Table3Result `json:"table3,omitempty"`
+	// Delta is the incremental-repair benchmark: single-qubit-dropout
+	// delta vs cold pipeline per topology (qGDP-DP).
+	Delta *DeltaBenchResult `json:"delta,omitempty"`
 
 	// Kernels are the process-wide hot-kernel counters accumulated over
 	// the run (calls, cumulative ms, scratch reuse).
@@ -55,6 +58,13 @@ func (r *Runner) BenchPoint(devs []*topology.Device, cfg core.Config, pr int) (*
 	if err != nil {
 		return nil, err
 	}
+	// The delta benchmark reuses the layouts Table II/III just computed
+	// as its base envelopes, so only the edited-device cold runs and the
+	// repairs themselves add time here.
+	delta, err := r.DeltaBench(devs, cfg, core.QGDPDP)
+	if err != nil {
+		return nil, err
+	}
 	engine := r.eng.Stats()
 	engine.Kernels = nil  // reported once, at the top level
 	engine.Counters = nil // likewise
@@ -66,6 +76,7 @@ func (r *Runner) BenchPoint(devs []*topology.Device, cfg core.Config, pr int) (*
 		NumCPU:    runtime.NumCPU(),
 		Table2:    t2,
 		Table3:    t3,
+		Delta:     delta,
 		Kernels:   kernstats.All(),
 		Counters:  kernstats.Counters(),
 		Engine:    engine,

@@ -1,0 +1,117 @@
+// Delta-vs-cold benchmark: the incremental repair engine's headline
+// number. For each topology, one qubit is dropped out and the edited
+// layout is produced twice — once through the cold pipeline (build,
+// global placement, full legalization) and once through the delta
+// engine repairing the cached base — and the wall-clock ratio is the
+// speedup the BENCH_*.json series tracks (the PR 9 acceptance bar is
+// >= 10x on the Eagle-class dropout).
+
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+// DeltaBenchRow is one topology's delta-vs-cold comparison.
+type DeltaBenchRow struct {
+	Topology string        `json:"topology"`
+	Strategy core.Strategy `json:"strategy"`
+	// Qubit is the dropped qubit (base numbering).
+	Qubit  int     `json:"qubit"`
+	ColdMs float64 `json:"cold_ms"`
+	// DeltaMs is the first (computing) delta request, not a cache hit.
+	DeltaMs float64 `json:"delta_ms"`
+	Speedup float64 `json:"speedup"`
+	// Path is which repair path served the delta (fast/warm/cold).
+	Path string `json:"delta_path"`
+}
+
+// DeltaBenchResult holds the delta-vs-cold rows.
+type DeltaBenchResult struct {
+	Rows []DeltaBenchRow `json:"rows"`
+}
+
+// dropoutEdit picks the lowest-numbered qubit whose removal keeps the
+// device connected (corner/leaf qubits can be articulation-adjacent on
+// sparse topologies) and returns its single-dropout edit list.
+func dropoutEdit(dev *topology.Device) ([]topology.Edit, int, error) {
+	for q := 0; q < dev.Qubits; q++ {
+		edits := []topology.Edit{{Op: topology.EditDisableQubit, Qubit: q}}
+		if _, _, err := topology.ApplyEdits(dev, edits); err == nil {
+			return edits, q, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("delta bench: no removable qubit on %s", dev.Name)
+}
+
+// DeltaBench measures the single-qubit-dropout delta against the cold
+// pipeline for every topology under one strategy. The base layout is
+// computed (or cache-hit) through the engine first, so the delta
+// request exercises the repair path, not a cold fallback.
+func (r *Runner) DeltaBench(devs []*topology.Device, cfg core.Config, s core.Strategy) (*DeltaBenchResult, error) {
+	ctx := context.Background()
+	res := &DeltaBenchResult{}
+	for _, dev := range devs {
+		edits, q, err := dropoutEdit(dev)
+		if err != nil {
+			return nil, err
+		}
+		canonical, err := topology.Canonicalize(dev, edits)
+		if err != nil {
+			return nil, err
+		}
+		req := service.LayoutRequest{Topology: dev.Name, Strategy: s, Config: cfg, Device: dev}
+		if _, err := r.eng.Layout(ctx, req); err != nil {
+			return nil, fmt.Errorf("%s base: %w", dev.Name, err)
+		}
+
+		// Cold reference: the full edited-device pipeline, end to end.
+		start := time.Now()
+		n, err := core.PrepareEdited(dev, cfg, canonical)
+		if err != nil {
+			return nil, fmt.Errorf("%s cold prepare: %w", dev.Name, err)
+		}
+		if _, err := core.Legalize(n, s, cfg); err != nil {
+			return nil, fmt.Errorf("%s cold legalize: %w", dev.Name, err)
+		}
+		coldMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+		start = time.Now()
+		dres, err := r.eng.LayoutDelta(ctx, service.DeltaRequest{LayoutRequest: req, Edits: edits})
+		if err != nil {
+			return nil, fmt.Errorf("%s delta: %w", dev.Name, err)
+		}
+		deltaMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+		row := DeltaBenchRow{
+			Topology: dev.Name, Strategy: s, Qubit: q,
+			ColdMs: coldMs, DeltaMs: deltaMs, Path: dres.Path,
+		}
+		if deltaMs > 0 {
+			row.Speedup = coldMs / deltaMs
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the delta-vs-cold table.
+func (r *DeltaBenchResult) Render() string {
+	headers := []string{"Topology", "Strategy", "Dropout", "Cold", "Delta", "Speedup", "Path"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Topology, string(row.Strategy), fmt.Sprintf("q%d", row.Qubit),
+			report.Ms(row.ColdMs / 1e3), report.Ms(row.DeltaMs / 1e3),
+			fmt.Sprintf("%.1fx", row.Speedup), row.Path,
+		})
+	}
+	return "Delta repair vs cold pipeline (single-qubit dropout)\n" + report.Table(headers, rows)
+}

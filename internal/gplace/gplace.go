@@ -145,11 +145,20 @@ var workerCount = func() int { return runtime.GOMAXPROCS(0) }
 // Place runs global placement, mutating the netlist's qubit and block
 // positions in place. The result intentionally contains overlaps — that
 // is the legalizer's job to resolve.
-func Place(n *netlist.Netlist, p Params) {
+func Place(n *netlist.Netlist, p Params) { place(n, p, true) }
+
+// WarmStart re-runs the force loop from the netlist's CURRENT positions
+// instead of the canonical seed embedding: no symmetry-breaking jitter
+// (an already-placed layout has no symmetry to break, and jitter would
+// gratuitously perturb components far from any edit), typically with a
+// reduced iteration count supplied by the caller. Used by the delta
+// engine when an edit invalidates global structure (e.g. a substrate
+// resize) but the base placement is still a good starting point.
+func WarmStart(n *netlist.Netlist, p Params) { place(n, p, false) }
+
+func place(n *netlist.Netlist, p Params, jitter bool) {
 	start := time.Now()
 	defer func() { kernstats.GPlace.Observe(time.Since(start)) }()
-
-	rng := rand.New(rand.NewSource(p.Seed))
 
 	s := getScratch()
 	defer putScratch(s)
@@ -169,11 +178,14 @@ func Place(n *netlist.Netlist, p Params) {
 	}
 	s.items = items
 
-	// Tiny jitter breaks the exact collinearity of the seeded block
-	// chains so the density force can fold them.
-	for i := range items {
-		items[i].pos.X += (rng.Float64() - 0.5) * 0.3
-		items[i].pos.Y += (rng.Float64() - 0.5) * 0.3
+	if jitter {
+		// Tiny jitter breaks the exact collinearity of the seeded block
+		// chains so the density force can fold them.
+		rng := rand.New(rand.NewSource(p.Seed))
+		for i := range items {
+			items[i].pos.X += (rng.Float64() - 0.5) * 0.3
+			items[i].pos.Y += (rng.Float64() - 0.5) * 0.3
+		}
 	}
 
 	s.buildNets(n, p.UsePseudo)

@@ -222,6 +222,40 @@ var (
 	ReplicationRepaired    = registerCounter("replication.repaired")
 )
 
+// The incremental-delta-engine counters (see internal/service's delta
+// entry point). fast_repairs counts deltas served by the dirty-region
+// fast path (regional re-legalization, no global placement);
+// warm_starts counts deltas that re-ran the force loop from the base
+// positions (structure-invalidating edits like a resize);
+// cold_fallbacks counts deltas that ran the full cold pipeline because
+// no base envelope was reachable or the fast path's safety valve
+// tripped — the acceptance criterion "fell back, correct, counted".
+// base_local/base_remote split where the base envelope came from: this
+// replica's own store tiers versus a ring co-owner over the envelope
+// endpoint.
+var (
+	DeltaFastRepairs   = registerCounter("delta.fast_repairs")
+	DeltaWarmStarts    = registerCounter("delta.warm_starts")
+	DeltaColdFallbacks = registerCounter("delta.cold_fallbacks")
+	DeltaBaseLocal     = registerCounter("delta.base_local")
+	DeltaBaseRemote    = registerCounter("delta.base_remote")
+)
+
+// ClusterReadRepair counts envelopes a replica pulled from the serving
+// owner after a forwarded layout hit it did not have locally — the
+// read-repair path that stops repeat traffic from crossing the network.
+var ClusterReadRepair = registerCounter("cluster.read_repair")
+
+// The gossip fan-out counters. gossip_full counts heartbeat probes that
+// carried the full membership digest (the bounded random subset each
+// round); gossip_lite counts probes that carried only the self row —
+// pure liveness checks that keep detection latency while capping
+// digest traffic at O(N·k) per round.
+var (
+	ClusterGossipFull = registerCounter("cluster.gossip_full")
+	ClusterGossipLite = registerCounter("cluster.gossip_lite")
+)
+
 var counters []*Counter
 
 // registerCounter creates a counter in the obs registry and tracks it

@@ -180,10 +180,36 @@ func cellToCoord(c int64) float64 { return float64(c) + 0.5 }
 // pairwise separation of at least (sizes + spacing) on one axis. It
 // returns the number of violating pairs at the given spacing.
 func Verify(n *netlist.Netlist, spacing float64) int {
+	return verify(n, spacing, nil)
+}
+
+// VerifyRegion is Verify restricted to the dirty regions of a delta
+// repair: only violations where at least one involved qubit's rect
+// touches a region are counted. The delta fast path uses it as a
+// safety valve — qubit positions are inherited from the legal base
+// layout, so any regional violation means the edit disturbed more than
+// the fast path can repair and the engine must fall back to a cold run.
+func VerifyRegion(n *netlist.Netlist, spacing float64, regions []geom.Rect) int {
+	return verify(n, spacing, regions)
+}
+
+func verify(n *netlist.Netlist, spacing float64, regions []geom.Rect) int {
+	inRegion := func(r geom.Rect) bool {
+		if regions == nil {
+			return true
+		}
+		for _, reg := range regions {
+			if reg.Touches(r) {
+				return true
+			}
+		}
+		return false
+	}
 	violations := 0
 	border := n.Border()
 	for i := range n.Qubits {
-		if !border.ContainsRect(n.Qubits[i].Rect()) {
+		ri := n.Qubits[i].Rect()
+		if !border.ContainsRect(ri) && inRegion(ri) {
 			violations++
 		}
 		for j := i + 1; j < len(n.Qubits); j++ {
@@ -191,7 +217,7 @@ func Verify(n *netlist.Netlist, spacing float64) int {
 			need := (qi.Size+qj.Size)/2 + spacing
 			dx := math.Abs(qi.Pos.X - qj.Pos.X)
 			dy := math.Abs(qi.Pos.Y - qj.Pos.Y)
-			if dx < need-geom.Eps && dy < need-geom.Eps {
+			if dx < need-geom.Eps && dy < need-geom.Eps && (inRegion(ri) || inRegion(qj.Rect())) {
 				violations++
 			}
 		}

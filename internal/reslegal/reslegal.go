@@ -79,6 +79,60 @@ func Legalize(n *netlist.Netlist) (Result, error) {
 	return lg.res, nil
 }
 
+// LegalizeRegion repairs an ALMOST-legal placement instead of building
+// one from scratch: the delta engine hands it a base layout whose
+// blocks already sit on legal bins, minus whatever the edit disturbed.
+// Phase A replays every block's current bin into a fresh index in
+// global block-ID order; a block whose bin is out of bounds or already
+// taken (by a qubit footprint or an earlier block) is displaced. Phase
+// B re-places the displaced blocks — those inside a dirty region first,
+// then any stragglers — onto the nearest free bin, again in ID order so
+// the repair is deterministic. Far cheaper than Legalize (no per-
+// resonator adjacency growth), and exact when the edit only FREED
+// space, which is the dropout fast path.
+func LegalizeRegion(n *netlist.Netlist, regions []geom.Rect) (Result, error) {
+	ix := BuildIndex(n)
+	var res Result
+	displaced := make([]int, 0, 8)
+	for id := range n.Blocks {
+		b := &n.Blocks[id]
+		x := int(math.Floor(b.Pos.X))
+		y := int(math.Floor(b.Pos.Y))
+		if !ix.InBounds(x, y) || !ix.Occupy(x, y) {
+			displaced = append(displaced, id)
+		}
+	}
+	for _, id := range displaced {
+		b := &n.Blocks[id]
+		bin, ok := ix.NearestFree(b.Pos.X, b.Pos.Y)
+		if !ok {
+			return res, fmt.Errorf("reslegal: %s: no free bin for displaced block %d", n.Name, id)
+		}
+		newPos := geom.Pt{X: float64(bin.X) + 0.5, Y: float64(bin.Y) + 0.5}
+		res.Displacement += b.Pos.Manhattan(newPos)
+		res.Fallbacks++
+		b.Pos = newPos
+		ix.Occupy(bin.X, bin.Y)
+		// A block pushed outside every dirty window means the edit's
+		// disturbance escaped the computed footprint — the fast path's
+		// frozen-footprint assumption no longer holds.
+		if len(regions) > 0 {
+			inside := false
+			r := n.BlockRect(id)
+			for _, reg := range regions {
+				if reg.Touches(r) {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return res, fmt.Errorf("reslegal: %s: block %d displaced outside the dirty footprint", n.Name, id)
+			}
+		}
+	}
+	return res, nil
+}
+
 // ownerAt returns the resonator owning bin (x, y), or -1. Out-of-range
 // bins are unowned; the hotspot scan probes the 8-neighborhood of
 // border bins.

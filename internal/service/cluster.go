@@ -46,8 +46,9 @@ const forwardAttempts = 2
 
 // serveRouted implements the routing policy for one request identified
 // by key. cached peeks for a locally available result; local serves the
-// request on this replica.
-func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, cached func() bool, local http.HandlerFunc) {
+// request on this replica; forwarded (optional) is invoked with the
+// owner's address after a successful forward — the read-repair hook.
+func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, cached func() bool, local http.HandlerFunc, forwarded func(owner string)) {
 	cl := e.cluster
 	if r.Header.Get(cluster.ForwardHeader) != "" {
 		cl.CountOwned()
@@ -83,6 +84,9 @@ func serveRouted(e *Engine, w http.ResponseWriter, r *http.Request, key string, 
 		}
 		attempts++
 		if forwardRequest(cl, owner, w, r) {
+			if forwarded != nil {
+				forwarded(owner)
+			}
 			return
 		}
 		if attempts >= forwardAttempts || r.Context().Err() != nil {
@@ -149,10 +153,16 @@ func forwardRequest(cl *cluster.Cluster, owner string, w http.ResponseWriter, r 
 		return fail(err)
 	}
 	// GET bodies are empty; sending NoBody keeps the request trivially
-	// replayable on the retry attempt.
+	// replayable on the retry attempt. Routed POSTs (the delta endpoint)
+	// buffer their body up front and install GetBody, so every attempt
+	// replays the full body.
 	body := r.Body
 	if r.Method == http.MethodGet {
 		body = http.NoBody
+	} else if r.GetBody != nil {
+		if b, berr := r.GetBody(); berr == nil {
+			body = b
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, r.Method, u.String(), body)
 	if err != nil {
@@ -252,7 +262,10 @@ func stitchForwardedTrace(sp, fw *obs.Span, body []byte) []byte {
 
 // routedLayoutHandler wraps the local /v1/layout handler with ring
 // routing. Unparseable requests skip routing — the local handler owns
-// the 400.
+// the 400. A successful forward triggers asynchronous read-repair:
+// the owner just computed (or already held) the envelope, so pulling
+// it here turns the next request for the same key into a local
+// short-circuit instead of another network hop.
 func routedLayoutHandler(e *Engine, local http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		req, err := layoutRequestFromQuery(r)
@@ -264,7 +277,9 @@ func routedLayoutHandler(e *Engine, local http.HandlerFunc) http.HandlerFunc {
 		serveRouted(e, w, r, key, func() bool {
 			_, ok := e.layStore.Peek(key)
 			return ok
-		}, local)
+		}, local, func(owner string) {
+			go e.readRepair(owner, key)
+		})
 	}
 }
 
@@ -285,7 +300,7 @@ func routedFidelityHandler(e *Engine, local http.HandlerFunc) http.HandlerFunc {
 		serveRouted(e, w, r, key, func() bool {
 			_, ok := e.fidCache.Get(fidelityKey(FidelityRequest{LayoutRequest: lreq, Benchmark: bench}))
 			return ok
-		}, local)
+		}, local, nil)
 	}
 }
 

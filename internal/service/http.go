@@ -26,6 +26,7 @@ import (
 // NewHandler wires the engine behind the service's HTTP API:
 //
 //	GET  /v1/layout?topology=Falcon&strategy=qGDP-LG&seed=1   layout + report (format=svg for a rendering)
+//	POST /v1/layout/delta                                     incremental layout: base request + edit list
 //	GET  /v1/fidelity?topology=Falcon&strategy=qGDP-LG&bench=bv-4&mappings=50
 //	GET  /v1/strategies                                       strategies, topologies, benchmarks
 //	GET  /v1/sweep?topologies=Grid,Falcon&benchmarks=bv-4     NDJSON stream, one line per topology × strategy
@@ -41,6 +42,7 @@ import (
 //	GET  /clusterz/route?topology=...                         cluster mode: ring verdict for one request
 //	POST /v1/replicate                                        cluster mode: pushed layout envelope from a co-owner
 //	POST /v1/replicate/diff                                   cluster mode: anti-entropy key exchange
+//	GET  /v1/envelope?key=...                                 cluster mode: one layout envelope from the local store
 //
 // In cluster mode (Options.Cluster set), /v1/layout, /v1/fidelity, and
 // job items are ring-routed: a replica that does not own the request
@@ -55,15 +57,18 @@ import (
 func NewHandler(e *Engine) http.Handler {
 	layout := func(w http.ResponseWriter, r *http.Request) { handleLayout(e, w, r) }
 	fidelity := func(w http.ResponseWriter, r *http.Request) { handleFidelity(e, w, r) }
+	delta := func(w http.ResponseWriter, r *http.Request) { handleLayoutDelta(e, w, r) }
 	mux := http.NewServeMux()
 	if e.cluster != nil {
 		layout = routedLayoutHandler(e, layout)
 		fidelity = routedFidelityHandler(e, fidelity)
+		delta = routedDeltaHandler(e, delta)
 		mux.Handle("GET /clusterz", e.cluster.Handler())
 		mux.Handle("POST /clusterz", e.cluster.Handler())
 		mux.HandleFunc("GET /clusterz/route", func(w http.ResponseWriter, r *http.Request) { handleClusterRoute(e, w, r) })
 		mux.HandleFunc("POST /v1/replicate", func(w http.ResponseWriter, r *http.Request) { handleReplicate(e, w, r) })
 		mux.HandleFunc("POST /v1/replicate/diff", func(w http.ResponseWriter, r *http.Request) { handleReplicateDiff(e, w, r) })
+		mux.HandleFunc("GET /v1/envelope", func(w http.ResponseWriter, r *http.Request) { handleEnvelope(e, w, r) })
 	}
 	// The trace middleware sits outside the routing wrapper so a
 	// forwarded request's hop span (and the remote tree grafted under
@@ -73,8 +78,10 @@ func NewHandler(e *Engine) http.Handler {
 	// bounds everything below, forward hop included.
 	layout = qosHandler(e, tracedHandler(e, "/v1/layout", layout))
 	fidelity = qosHandler(e, tracedHandler(e, "/v1/fidelity", fidelity))
+	delta = qosHandler(e, tracedHandler(e, "/v1/layout/delta", delta))
 	mux.HandleFunc("GET /v1/layout", layout)
 	mux.HandleFunc("GET /v1/fidelity", fidelity)
+	mux.HandleFunc("POST /v1/layout/delta", delta)
 	mux.HandleFunc("GET /v1/strategies", handleStrategies)
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleJobSubmit(e, w, r) })

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Integration smoke for the incremental delta engine: start qgdp-serve,
+# compute an Eagle-class base layout, POST a single-qubit-dropout delta,
+# and assert the repair took the fast path with ZERO full-pipeline
+# recompute (gplace.place call count unchanged) and a wall-clock at
+# least 10x faster than the cold base compute. Then restart the server
+# (memory store only, so the base envelope is gone) and assert the same
+# delta still answers correctly through the counted cold fallback.
+# Needs only a Go toolchain, curl, and POSIX tools; run from the repo
+# root.
+set -euo pipefail
+
+ADDR=127.0.0.1:18261
+WORK=$(mktemp -d)
+BIN="$WORK/qgdp-serve"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {
+  "$BIN" -addr "$ADDR" &
+  PID=$!
+  for _ in $(seq 1 60); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: server did not become healthy" >&2
+  exit 1
+}
+
+stop_server() {
+  kill "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
+}
+
+# counter NAME FILE: extract one flat integer counter from a /statsz scrape.
+counter() {
+  sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p" "$2" | head -1
+}
+
+# gplace_calls FILE: the gplace.place kernel's call count.
+gplace_calls() {
+  sed -n '/"gplace.place"/,/}/ s/.*"calls": \([0-9]*\).*/\1/p' "$1" | head -1
+}
+
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
+go build -o "$BIN" ./cmd/qgdp-serve
+
+BASE_URL="http://$ADDR/v1/layout?topology=Eagle&strategy=qGDP-DP&seed=3&mappings=1"
+DELTA_BODY='{"topology":"Eagle","strategy":"qGDP-DP","seed":3,"mappings":1,"edits":[{"op":"disable_qubit","qubit":0}]}'
+post_delta() {
+  curl -sf -X POST "http://$ADDR/v1/layout/delta" \
+    -H 'Content-Type: application/json' -d "$DELTA_BODY" -o "$1"
+}
+
+echo "== base: cold Eagle compute"
+start_server
+T0=$(now_ms)
+curl -sf "$BASE_URL" -o "$WORK/base.json"
+T1=$(now_ms)
+COLD_MS=$((T1 - T0))
+grep -q '"cache_hit": false' "$WORK/base.json" || { echo "FAIL: base request was not a cold compute"; exit 1; }
+
+curl -sf "http://$ADDR/statsz" -o "$WORK/stats_before.json"
+PLACE_BEFORE=$(gplace_calls "$WORK/stats_before.json")
+
+echo "== delta: single-qubit dropout must repair, not recompute"
+T0=$(now_ms)
+post_delta "$WORK/delta.json"
+T1=$(now_ms)
+DELTA_MS=$((T1 - T0))
+grep -q '"delta_path": "fast"' "$WORK/delta.json" || { echo "FAIL: delta did not take the fast repair path"; exit 1; }
+grep -q '"cache_hit": false' "$WORK/delta.json" || { echo "FAIL: first delta claimed a cache hit"; exit 1; }
+
+curl -sf "http://$ADDR/statsz" -o "$WORK/stats_after.json"
+PLACE_AFTER=$(gplace_calls "$WORK/stats_after.json")
+FAST=$(counter 'delta\.fast_repairs' "$WORK/stats_after.json")
+[ "$FAST" -ge 1 ] || { echo "FAIL: delta.fast_repairs = $FAST, want >= 1"; exit 1; }
+[ "$PLACE_AFTER" = "$PLACE_BEFORE" ] || {
+  echo "FAIL: gplace.place ran during the repair ($PLACE_BEFORE -> $PLACE_AFTER): full-pipeline recompute"
+  exit 1
+}
+
+# The acceptance bar: the repair beats the cold pipeline by >= 10x.
+# COLD_MS includes one curl round trip, as does DELTA_MS, so the ratio
+# is conservative for the repair.
+[ "$DELTA_MS" -gt 0 ] || DELTA_MS=1
+SPEEDUP=$((COLD_MS / DELTA_MS))
+echo "   cold ${COLD_MS}ms, delta ${DELTA_MS}ms (${SPEEDUP}x)"
+[ "$SPEEDUP" -ge 10 ] || { echo "FAIL: delta speedup ${SPEEDUP}x < 10x"; exit 1; }
+
+echo "== repeat: identical delta is a cache hit"
+post_delta "$WORK/delta2.json"
+grep -q '"cache_hit": true' "$WORK/delta2.json" || { echo "FAIL: repeated delta recomputed"; exit 1; }
+
+echo "== restart: no base envelope anywhere -> counted cold fallback"
+stop_server
+start_server
+post_delta "$WORK/delta3.json"
+grep -q '"delta_path": "cold"' "$WORK/delta3.json" || { echo "FAIL: baseless delta did not fall back cold"; exit 1; }
+curl -sf "http://$ADDR/statsz" -o "$WORK/stats_cold.json"
+COLDF=$(counter 'delta\.cold_fallbacks' "$WORK/stats_cold.json")
+[ "$COLDF" -ge 1 ] || { echo "FAIL: delta.cold_fallbacks = $COLDF, want >= 1"; exit 1; }
+
+echo "PASS: delta repaired with zero full-pipeline recompute (${SPEEDUP}x vs cold), cached, and fell back cold without a base"
