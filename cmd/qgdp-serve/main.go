@@ -46,10 +46,19 @@
 //	curl 'localhost:8080/tracez'     # recent request traces, slowest first
 //	curl 'localhost:8080/clusterz'   # cluster mode: membership + health
 //	curl 'localhost:8080/benchz'     # live qgdp-bench trajectory point
+//	curl 'localhost:8080/tenantz'    # per-tenant accounting table
+//	curl 'localhost:8080/slolz'      # SLO burn rates per window
+//	curl 'localhost:8080/fleetz'     # cluster-wide merged observability view
+//	curl 'localhost:8080/profilez'   # continuous-profiling ring index
 //
 // Observability knobs: -slow-log sets the latency threshold above which
 // a request's trace is logged as one structured JSON line (0 disables);
-// -debug-addr serves net/http/pprof on a second, private listener.
+// -debug-addr serves net/http/pprof on a second, private listener;
+// -slo declares service objectives (repeatable, e.g.
+// 'latency:p99:250ms:99.9') whose fast-window burn rate degrades
+// /healthz past -slo-burn-alert; -profile-interval enables the
+// continuous CPU+heap profiling ring (bounded by -profile-keep) under
+// <cache-dir>/profiles, indexed and downloadable at /profilez.
 //
 // Resilience knobs: -max-queue bounds how many requests may wait for a
 // worker slot (excess sheds with 503 + Retry-After); -quota-rps gives
@@ -81,6 +90,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -111,6 +121,18 @@ func main() {
 	forwardTimeout := flag.Duration("forward-timeout", 0, "per-attempt bound on cluster forwards (0: derived from -heartbeat)")
 	faultSpec := flag.String("fault-spec", "", "fault-injection schedule, e.g. 'peer.forward=latency:2s,times=3' (empty: disabled)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	var slos []obs.SLOSpec
+	flag.Func("slo", "service objective, kind:qualifier:threshold:target, e.g. 'latency:p99:250ms:99.9' or 'fidelity:min:0.85:99' (repeatable)", func(s string) error {
+		spec, err := obs.ParseSLO(s)
+		if err != nil {
+			return err
+		}
+		slos = append(slos, spec)
+		return nil
+	})
+	sloBurnAlert := flag.Float64("slo-burn-alert", obs.DefaultBurnAlert, "fast-window burn rate above which /healthz degrades")
+	profileInterval := flag.Duration("profile-interval", 0, "continuous profiling capture interval (0: disabled)")
+	profileKeep := flag.Int("profile-keep", 16, "CPU/heap profile pairs kept in the on-disk ring")
 	flag.Parse()
 
 	if err := run(options{
@@ -124,6 +146,8 @@ func main() {
 		quotaRPS: *quotaRPS, quotaBurst: *quotaBurst,
 		defaultDeadline: *defaultDeadline, forwardTimeout: *forwardTimeout,
 		faultSpec: *faultSpec, faultSeed: *faultSeed,
+		slos: slos, sloBurnAlert: *sloBurnAlert,
+		profileInterval: *profileInterval, profileKeep: *profileKeep,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qgdp-serve:", err)
 		os.Exit(1)
@@ -153,6 +177,10 @@ type options struct {
 	forwardTimeout     time.Duration
 	faultSpec          string
 	faultSeed          int64
+	slos               []obs.SLOSpec
+	sloBurnAlert       float64
+	profileInterval    time.Duration
+	profileKeep        int
 }
 
 // advertiseAddr resolves the address peers dial this replica at: the
@@ -219,6 +247,28 @@ func run(o options) error {
 		log.Printf("qgdp-serve cluster replica %s on a %d-peer ring (replication %d)", self, cl.Ring().Len(), cl.Replication())
 	}
 
+	var profiler *obs.Profiler
+	if o.profileInterval > 0 {
+		dir := filepath.Join(os.TempDir(), "qgdp-profiles")
+		if o.cacheDir != "" {
+			dir = filepath.Join(o.cacheDir, "profiles")
+		}
+		var err error
+		profiler, err = obs.StartProfiler(obs.ProfilerOptions{
+			Dir: dir, Interval: o.profileInterval, Keep: o.profileKeep,
+		})
+		if err != nil {
+			return fmt.Errorf("-profile-interval: %w", err)
+		}
+		defer profiler.Close()
+		log.Printf("qgdp-serve continuous profiling every %s into %s (keep %d)", o.profileInterval, dir, profiler.Keep())
+	}
+	if len(o.slos) > 0 {
+		for _, s := range o.slos {
+			log.Printf("qgdp-serve SLO %s (target %g%%, burn alert %g)", s.Raw, s.Target, o.sloBurnAlert)
+		}
+	}
+
 	eng := service.New(service.Options{
 		Workers: o.workers, CacheSize: o.cacheSize, ParallelBudget: o.lanes,
 		Store: layStore, Cluster: cl, JobsDir: jobsDir,
@@ -230,6 +280,9 @@ func run(o options) error {
 		DefaultDeadline:      o.defaultDeadline,
 		AntiEntropyInterval:  o.antiEntropy,
 		Faults:               faults,
+		SLOs:                 o.slos,
+		SLOBurnAlert:         o.sloBurnAlert,
+		Profiler:             profiler,
 	})
 	defer eng.Close()
 	if n := eng.Jobs().Resume(); n > 0 {

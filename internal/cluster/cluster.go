@@ -177,6 +177,9 @@ type memberState struct {
 	changed     time.Time // last state transition (prune timer)
 	lastErr     string
 	laneUtil    float64 // peer-reported lane utilization in [0,1]
+	// health is the member's last gossiped self-reported summary —
+	// served by /fleetz when the member itself is unreachable.
+	health *HealthSummary
 
 	// The forwarding circuit breaker. Distinct from the probe-driven
 	// detector above: the detector tracks liveness on the heartbeat
@@ -218,9 +221,10 @@ type Cluster struct {
 	selfInc atomic.Uint64
 
 	mu       sync.Mutex
-	members  map[string]*memberState // remote members only (Self excluded)
+	members  map[string]*memberState  // remote members only (Self excluded)
 	probers  map[string]chan struct{} // per-member prober stop channels
 	laneUtil func() float64
+	healthFn func() HealthSummary
 	started  bool
 	closed   bool
 	leaving  bool
@@ -389,6 +393,27 @@ func (c *Cluster) SetLaneUtil(f func() float64) {
 	c.mu.Lock()
 	c.laneUtil = f
 	c.mu.Unlock()
+}
+
+// SetHealthSummary installs the health sampler piggybacked on gossip
+// digests (the engine wires it in after construction). Each digest
+// carries a fresh sample; peers keep the newest per member, so every
+// replica holds a bounded-staleness health row for the whole fleet.
+func (c *Cluster) SetHealthSummary(f func() HealthSummary) {
+	c.mu.Lock()
+	c.healthFn = f
+	c.mu.Unlock()
+}
+
+// PeerHealth returns addr's last gossiped health summary (nil if none
+// has been heard yet, or the address is unknown).
+func (c *Cluster) PeerHealth(addr string) *HealthSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.members[addr]; ok {
+		return m.health
+	}
+	return nil
 }
 
 // AllowForward reports whether the forwarding layer may attempt addr:
@@ -759,6 +784,9 @@ type PeerStatus struct {
 	// Breaker is the forwarding circuit breaker's position — tracked
 	// separately from State, which the heartbeat path drives.
 	Breaker BreakerState `json:"breaker"`
+	// Health is the peer's last gossiped self-reported summary (nil
+	// until one arrives).
+	Health *HealthSummary `json:"health,omitempty"`
 }
 
 // Stats is the cluster section of /statsz (and the body of /clusterz).
@@ -790,13 +818,13 @@ type Stats struct {
 	// the alive subset; RingSize is the current ring length (Members
 	// plus dead-but-unpruned addresses). MembersJoined/Left/Refutations
 	// count membership events since boot.
-	Incarnation  uint64 `json:"incarnation"`
-	Members      int    `json:"members"`
-	MembersAlive int    `json:"members_alive"`
-	RingSize     int    `json:"ring_size"`
-	MembersJoined int64 `json:"members_joined"`
-	MembersLeft   int64 `json:"members_left"`
-	Refutations   int64 `json:"refutations"`
+	Incarnation   uint64 `json:"incarnation"`
+	Members       int    `json:"members"`
+	MembersAlive  int    `json:"members_alive"`
+	RingSize      int    `json:"ring_size"`
+	MembersJoined int64  `json:"members_joined"`
+	MembersLeft   int64  `json:"members_left"`
+	Refutations   int64  `json:"refutations"`
 	// PeerUp maps every remote member to whether routing currently
 	// considers it usable (not dead, not left).
 	PeerUp map[string]bool `json:"peer_up"`
@@ -844,7 +872,7 @@ func (c *Cluster) Stats() Stats {
 		s.Peers = append(s.Peers, PeerStatus{
 			Addr: addr, State: p.state, Incarnation: p.incarnation,
 			Failures: p.failures, LastSeen: p.lastSeen, LastErr: p.lastErr,
-			LaneUtil: p.laneUtil, Breaker: bs,
+			LaneUtil: p.laneUtil, Breaker: bs, Health: p.health,
 		})
 	}
 	c.mu.Unlock()

@@ -47,12 +47,26 @@ import (
 // thousand-member cluster fits in well under 1 MiB.
 const maxDigestBytes = 1 << 20
 
+// HealthSummary is a member's compact self-reported health, carried in
+// gossip digests so every replica holds a (possibly stale) summary for
+// every member — the /fleetz fallback row when a peer is unreachable.
+// UnixMs is the member's own sample time; consumers surface staleness
+// from it rather than trusting it for ordering across machines.
+type HealthSummary struct {
+	Healthy     bool    `json:"healthy"`
+	Requests    int64   `json:"requests"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
+	MaxFastBurn float64 `json:"max_fast_burn,omitempty"`
+	UnixMs      int64   `json:"unix_ms"`
+}
+
 // MemberInfo is one member's row in a gossip digest.
 type MemberInfo struct {
-	Addr        string  `json:"addr"`
-	Incarnation uint64  `json:"incarnation"`
-	State       State   `json:"state"`
-	LaneUtil    float64 `json:"lane_util,omitempty"`
+	Addr        string         `json:"addr"`
+	Incarnation uint64         `json:"incarnation"`
+	State       State          `json:"state"`
+	LaneUtil    float64        `json:"lane_util,omitempty"`
+	Health      *HealthSummary `json:"health,omitempty"`
 }
 
 // Digest is the gossip payload carried on heartbeats: the sender's
@@ -67,17 +81,23 @@ type Digest struct {
 func (c *Cluster) selfInfo() MemberInfo {
 	c.mu.Lock()
 	lu := c.laneUtil
+	hf := c.healthFn
 	leaving := c.leaving
 	c.mu.Unlock()
 	var util float64
 	if lu != nil {
 		util = lu() // outside c.mu: the sampler reads engine state
 	}
+	var health *HealthSummary
+	if hf != nil {
+		h := hf() // outside c.mu, same reason
+		health = &h
+	}
 	selfState := StateAlive
 	if leaving {
 		selfState = StateLeft
 	}
-	return MemberInfo{Addr: c.cfg.Self, Incarnation: c.selfInc.Load(), State: selfState, LaneUtil: util}
+	return MemberInfo{Addr: c.cfg.Self, Incarnation: c.selfInc.Load(), State: selfState, LaneUtil: util, Health: health}
 }
 
 // Digest snapshots this replica's membership view for gossip.
@@ -87,7 +107,7 @@ func (c *Cluster) Digest() Digest {
 	ms := make([]MemberInfo, 0, len(c.members)+1)
 	ms = append(ms, self)
 	for addr, m := range c.members {
-		ms = append(ms, MemberInfo{Addr: addr, Incarnation: m.incarnation, State: m.state, LaneUtil: m.laneUtil})
+		ms = append(ms, MemberInfo{Addr: addr, Incarnation: m.incarnation, State: m.state, LaneUtil: m.laneUtil, Health: m.health})
 	}
 	c.mu.Unlock()
 	sort.Slice(ms, func(i, j int) bool { return ms[i].Addr < ms[j].Addr })
@@ -139,7 +159,7 @@ func (c *Cluster) Merge(infos []MemberInfo) {
 			// is a join (prober starts, ring grows); a left tombstone is
 			// recorded too, so the departure cannot flap back in through
 			// a third replica's stale digest.
-			m = &memberState{state: st, incarnation: in.Incarnation, lastSeen: now, changed: now, laneUtil: in.LaneUtil}
+			m = &memberState{state: st, incarnation: in.Incarnation, lastSeen: now, changed: now, laneUtil: in.LaneUtil, health: in.Health}
 			c.members[in.Addr] = m
 			if st == StateLeft {
 				c.leaves.Add(1)
@@ -156,6 +176,7 @@ func (c *Cluster) Merge(infos []MemberInfo) {
 		case in.Incarnation > m.incarnation:
 			m.incarnation = in.Incarnation
 			m.laneUtil = in.LaneUtil
+			m.adoptHealthLocked(in.Health)
 			if st == StateAlive {
 				m.failures = 0
 				m.lastErr = ""
@@ -166,6 +187,7 @@ func (c *Cluster) Merge(infos []MemberInfo) {
 			if st == StateAlive {
 				m.laneUtil = in.LaneUtil
 			}
+			m.adoptHealthLocked(in.Health)
 			if stateRank(st) > stateRank(m.state) {
 				// Rumor may only worsen our view when we lack recent
 				// direct evidence; a graceful leave is the member's own
@@ -175,6 +197,19 @@ func (c *Cluster) Merge(infos []MemberInfo) {
 				}
 			}
 		}
+	}
+}
+
+// adoptHealthLocked keeps the newest health summary seen for a member
+// (by the member's own sample clock — summaries for one member are
+// ordered by one machine's clock, so the comparison is meaningful).
+// Callers hold c.mu.
+func (m *memberState) adoptHealthLocked(h *HealthSummary) {
+	if h == nil {
+		return
+	}
+	if m.health == nil || h.UnixMs >= m.health.UnixMs {
+		m.health = h
 	}
 }
 

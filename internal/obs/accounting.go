@@ -1,0 +1,170 @@
+package obs
+
+// Per-tenant accounting: a lock-free table attributing work to the
+// tenants the admission layer identifies (X-QGDP-Tenant). Every field
+// is an atomic counter, so charging a tenant on the cache-hit fast
+// path costs two atomic adds and zero allocations — Tenant on a known
+// tenant is a sync.Map.Load plus a type assertion, neither of which
+// allocates.
+//
+// The table is bounded: past maxTenants distinct names, new tenants
+// are folded into the "__overflow__" row so a label-cardinality attack
+// (random tenant headers) cannot grow the process without bound.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTenants bounds the distinct tenant rows kept per process.
+const maxTenants = 4096
+
+// OverflowTenant absorbs accounting for tenants beyond maxTenants.
+const OverflowTenant = "__overflow__"
+
+// TenantStats is one tenant's live counters. All methods are nil-safe
+// so callers can charge unconditionally.
+type TenantStats struct {
+	requests      atomic.Int64
+	cacheHits     atomic.Int64
+	sheds         atomic.Int64
+	deadlineBlown atomic.Int64
+	computeNs     atomic.Int64
+	queueWaitNs   atomic.Int64
+}
+
+// Request charges one admitted request.
+func (t *TenantStats) Request() {
+	if t != nil {
+		t.requests.Add(1)
+	}
+}
+
+// CacheHit charges one request served from the layout store.
+func (t *TenantStats) CacheHit() {
+	if t != nil {
+		t.cacheHits.Add(1)
+	}
+}
+
+// Shed charges one shed (quota or queue rejection).
+func (t *TenantStats) Shed() {
+	if t != nil {
+		t.sheds.Add(1)
+	}
+}
+
+// DeadlineBlow charges one request that missed its deadline.
+func (t *TenantStats) DeadlineBlow() {
+	if t != nil {
+		t.deadlineBlown.Add(1)
+	}
+}
+
+// AddCompute charges compute time spent on this tenant's behalf.
+func (t *TenantStats) AddCompute(d time.Duration) {
+	if t != nil {
+		t.computeNs.Add(int64(d))
+	}
+}
+
+// AddQueueWait charges time spent waiting for a worker slot.
+func (t *TenantStats) AddQueueWait(d time.Duration) {
+	if t != nil {
+		t.queueWaitNs.Add(int64(d))
+	}
+}
+
+// Accounting is the per-tenant table. The zero value is NOT usable;
+// construct with NewAccounting. A nil *Accounting is safe: Tenant
+// returns nil and every TenantStats method on nil is a no-op, so the
+// engine can run with accounting disabled at zero cost.
+type Accounting struct {
+	m sync.Map // tenant name -> *TenantStats
+	n atomic.Int64
+}
+
+// NewAccounting returns an empty table.
+func NewAccounting() *Accounting { return &Accounting{} }
+
+// Tenant returns the stats row for name, creating it on first use.
+// Steady state (known tenant) is lock-free and allocation-free.
+func (a *Accounting) Tenant(name string) *TenantStats {
+	if a == nil || name == "" {
+		return nil
+	}
+	if v, ok := a.m.Load(name); ok {
+		return v.(*TenantStats)
+	}
+	if a.n.Load() >= maxTenants && name != OverflowTenant {
+		return a.Tenant(OverflowTenant)
+	}
+	v, loaded := a.m.LoadOrStore(name, &TenantStats{})
+	if !loaded {
+		a.n.Add(1)
+	}
+	return v.(*TenantStats)
+}
+
+// TenantSnapshot is one tenant's accounting row at a point in time.
+// Rows from different replicas are directly addable (MergeTenants).
+type TenantSnapshot struct {
+	Tenant           string  `json:"tenant"`
+	Requests         int64   `json:"requests"`
+	CacheHits        int64   `json:"cache_hits"`
+	Sheds            int64   `json:"sheds"`
+	DeadlineBlown    int64   `json:"deadline_blown"`
+	ComputeSeconds   float64 `json:"compute_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+}
+
+// Snapshot returns every tenant's row, sorted by tenant name so
+// successive scrapes and cross-replica merges are deterministic.
+func (a *Accounting) Snapshot() []TenantSnapshot {
+	if a == nil {
+		return nil
+	}
+	var out []TenantSnapshot
+	a.m.Range(func(k, v any) bool {
+		t := v.(*TenantStats)
+		out = append(out, TenantSnapshot{
+			Tenant:           k.(string),
+			Requests:         t.requests.Load(),
+			CacheHits:        t.cacheHits.Load(),
+			Sheds:            t.sheds.Load(),
+			DeadlineBlown:    t.deadlineBlown.Load(),
+			ComputeSeconds:   float64(t.computeNs.Load()) / 1e9,
+			QueueWaitSeconds: float64(t.queueWaitNs.Load()) / 1e9,
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// MergeTenants folds tenant tables from several replicas into one,
+// summing rows by tenant name. Output is sorted by tenant.
+func MergeTenants(tables ...[]TenantSnapshot) []TenantSnapshot {
+	acc := map[string]TenantSnapshot{}
+	for _, table := range tables {
+		for _, row := range table {
+			m := acc[row.Tenant]
+			m.Tenant = row.Tenant
+			m.Requests += row.Requests
+			m.CacheHits += row.CacheHits
+			m.Sheds += row.Sheds
+			m.DeadlineBlown += row.DeadlineBlown
+			m.ComputeSeconds += row.ComputeSeconds
+			m.QueueWaitSeconds += row.QueueWaitSeconds
+			acc[row.Tenant] = m
+		}
+	}
+	out := make([]TenantSnapshot, 0, len(acc))
+	for _, row := range acc {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -197,6 +197,13 @@ func EscapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
+// EscapeHelp escapes HELP text for the text exposition format (only
+// backslash and newline are special there).
+func EscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -214,13 +221,13 @@ func WritePrometheus(w io.Writer) {
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	for _, c := range counters {
 		name := PromName(c.name) + "_total"
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Load())
+		fmt.Fprintf(w, "# HELP %s Total %s events.\n# TYPE %s counter\n%s %d\n", name, EscapeHelp(c.name), name, name, c.Load())
 	}
 
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	for _, g := range gauges {
 		name := PromName(g.name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Load())
+		fmt.Fprintf(w, "# HELP %s Current %s value.\n# TYPE %s gauge\n%s %d\n", name, EscapeHelp(g.name), name, name, g.Load())
 	}
 
 	sort.Slice(vecs, func(i, j int) bool { return vecs[i].name < vecs[j].name })
@@ -244,7 +251,7 @@ func (v *HistVec) write(w io.Writer) {
 	if len(values) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "# TYPE %s histogram\n", v.name)
+	fmt.Fprintf(w, "# HELP %s Seconds histogram keyed by %s.\n# TYPE %s histogram\n", v.name, EscapeHelp(v.label), v.name)
 	for i, val := range values {
 		h := children[i]
 		lv := EscapeLabel(val)
@@ -258,6 +265,99 @@ func (v *HistVec) write(w io.Writer) {
 		fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %s\n", v.name, v.label, lv, formatFloat(h.Sum()))
 		fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", v.name, v.label, lv, h.Count())
 	}
+}
+
+// HistSnapshot is one histogram's state at a point in time: raw
+// (non-cumulative) bucket counts over the registering family's bounds,
+// plus count and sum. Because every histogram in the registry shares
+// DefBuckets, snapshots from different stages and different replicas
+// are directly addable — the basis of the /fleetz merged view.
+type HistSnapshot struct {
+	Buckets []int64 `json:"buckets"` // len = len(bounds)+1; last is +Inf
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Buckets: make([]int64, len(h.buckets))}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.Count()
+	s.Sum = h.Sum()
+	return s
+}
+
+// Merge returns the element-wise sum of two snapshots. Mismatched
+// bucket layouts (different bound sets) fall back to count/sum only.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	if len(s.Buckets) == 0 {
+		out.Buckets = append([]int64(nil), o.Buckets...)
+		return out
+	}
+	if len(o.Buckets) == 0 || len(o.Buckets) != len(s.Buckets) {
+		out.Buckets = append([]int64(nil), s.Buckets...)
+		return out
+	}
+	out.Buckets = make([]int64, len(s.Buckets))
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the snapshot
+// over the given bucket bounds, returning the upper bound of the
+// bucket containing the quantile (the conservative estimate Prometheus
+// itself would give with le-based buckets). Returns 0 on no data.
+func (s HistSnapshot) Quantile(q float64, bounds []float64) float64 {
+	if s.Count == 0 || len(s.Buckets) != len(bounds)+1 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range bounds {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return b
+		}
+	}
+	// Quantile lands in the +Inf bucket: report the last finite bound
+	// (all we can say is "above it"; callers know the bucket layout).
+	return bounds[len(bounds)-1]
+}
+
+// Snapshots captures every child of the family, keyed by label value.
+func (v *HistVec) Snapshots() map[string]HistSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(v.m))
+	for name, h := range v.m {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// StageSnapshots captures the qgdp_stage_seconds family — the
+// per-stage histograms merged into the /fleetz view.
+func StageSnapshots() map[string]HistSnapshot {
+	return stageVec.Snapshots()
+}
+
+// MergeHistMaps folds label-keyed snapshot maps from several replicas.
+func MergeHistMaps(maps ...map[string]HistSnapshot) map[string]HistSnapshot {
+	out := map[string]HistSnapshot{}
+	for _, m := range maps {
+		for k, s := range m {
+			out[k] = out[k].Merge(s)
+		}
+	}
+	return out
 }
 
 // StageSums snapshots total observed seconds per stage — the input to

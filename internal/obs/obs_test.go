@@ -224,7 +224,7 @@ func TestWritePrometheusSortedAndParsable(t *testing.T) {
 	// Every line must be a comment or "name{labels} value" — a cheap
 	// validity check of the exposition format.
 	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") {
+		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# HELP ") {
 			continue
 		}
 		if strings.Count(line, " ") != 1 {

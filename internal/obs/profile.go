@@ -1,0 +1,265 @@
+package obs
+
+// Continuous profiling ring: periodic CPU + heap profile capture into
+// a bounded on-disk directory, so "why was p99 bad at 14:02" has
+// artifacts after the fact. Off unless an interval is configured;
+// each tick writes cpu-<ts>.pprof (a short CPU profile) and
+// heap-<ts>.pprof, then prunes the oldest files beyond the keep
+// budget. Timestamps in names are UTC and lexically sortable, so
+// pruning and the /profilez index need no metadata.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfilerOptions configures the ring.
+type ProfilerOptions struct {
+	// Dir is the on-disk ring directory (created if missing).
+	Dir string
+	// Interval between captures. Required > 0.
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile runs. Defaults to
+	// min(10s, Interval/2).
+	CPUDuration time.Duration
+	// Keep is how many capture rounds (cpu+heap pairs) to retain.
+	// Defaults to 16.
+	Keep int
+}
+
+// Profiler runs the capture loop. Construct with StartProfiler; a nil
+// Profiler is safe (Entries returns nil, Close is a no-op).
+type Profiler struct {
+	opts     ProfilerOptions
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	captures atomic.Int64
+	errs     atomic.Int64
+	lastErr  atomic.Value // string
+}
+
+// StartProfiler creates the ring directory and launches the loop.
+func StartProfiler(opts ProfilerOptions) (*Profiler, error) {
+	if opts.Interval <= 0 {
+		return nil, fmt.Errorf("profiler: interval must be > 0")
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = opts.Interval / 2
+		if opts.CPUDuration > 10*time.Second {
+			opts.CPUDuration = 10 * time.Second
+		}
+	}
+	if opts.Keep <= 0 {
+		opts.Keep = 16
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	p := &Profiler{opts: opts, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// Dir returns the ring directory ("" on nil).
+func (p *Profiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.opts.Dir
+}
+
+// Interval returns the capture period (0 on nil).
+func (p *Profiler) Interval() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.opts.Interval
+}
+
+// Keep returns the retained round budget (0 on nil).
+func (p *Profiler) Keep() int {
+	if p == nil {
+		return 0
+	}
+	return p.opts.Keep
+}
+
+// Captures returns how many capture rounds have completed.
+func (p *Profiler) Captures() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.captures.Load()
+}
+
+// Errors returns how many captures failed (e.g. CPU profiling already
+// active via -debug-addr pprof).
+func (p *Profiler) Errors() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.errs.Load()
+}
+
+// LastError returns the most recent capture error ("" if none).
+func (p *Profiler) LastError() string {
+	if p == nil {
+		return ""
+	}
+	if s, ok := p.lastErr.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// Close stops the loop and waits for an in-flight capture to finish.
+func (p *Profiler) Close() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+}
+
+func (p *Profiler) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			if err := p.captureOnce(); err != nil {
+				p.errs.Add(1)
+				p.lastErr.Store(err.Error())
+			} else {
+				p.captures.Add(1)
+			}
+			p.prune()
+		}
+	}
+}
+
+// captureOnce writes one cpu-<ts>.pprof and one heap-<ts>.pprof.
+func (p *Profiler) captureOnce() error {
+	ts := time.Now().UTC().Format("20060102T150405.000")
+	cpuPath := filepath.Join(p.opts.Dir, "cpu-"+ts+".pprof")
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is running (e.g. interactive pprof via
+		// -debug-addr); skip this round rather than fight over it.
+		f.Close()
+		os.Remove(cpuPath)
+		return err
+	}
+	select {
+	case <-p.stop:
+	case <-time.After(p.opts.CPUDuration):
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	heapPath := filepath.Join(p.opts.Dir, "heap-"+ts+".pprof")
+	hf, err := os.Create(heapPath)
+	if err != nil {
+		return err
+	}
+	err = pprof.Lookup("heap").WriteTo(hf, 0)
+	if cerr := hf.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// prune deletes the oldest profile files beyond Keep rounds (2 files
+// per round). Lexical order on the timestamped names is chronological.
+func (p *Profiler) prune() {
+	names := p.fileNames()
+	limit := 2 * p.opts.Keep
+	if len(names) <= limit {
+		return
+	}
+	// names is sorted ascending = oldest first.
+	for _, name := range names[:len(names)-limit] {
+		os.Remove(filepath.Join(p.opts.Dir, name))
+	}
+}
+
+func (p *Profiler) fileNames() []string {
+	ents, err := os.ReadDir(p.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		if !strings.HasPrefix(name, "cpu-") && !strings.HasPrefix(name, "heap-") {
+			continue
+		}
+		names = append(names, name)
+	}
+	// Sort by timestamp (suffix after the kind prefix), so cpu/heap
+	// pairs from one round stay adjacent and oldest rounds come first.
+	sort.Slice(names, func(i, j int) bool {
+		ti := names[i][strings.IndexByte(names[i], '-')+1:]
+		tj := names[j][strings.IndexByte(names[j], '-')+1:]
+		if ti != tj {
+			return ti < tj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// ProfileEntry is one artifact in the /profilez index.
+type ProfileEntry struct {
+	Name    string    `json:"name"`
+	Bytes   int64     `json:"bytes"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+// Entries lists the ring's artifacts, newest first.
+func (p *Profiler) Entries() []ProfileEntry {
+	if p == nil {
+		return nil
+	}
+	names := p.fileNames()
+	out := make([]ProfileEntry, 0, len(names))
+	for i := len(names) - 1; i >= 0; i-- {
+		fi, err := os.Stat(filepath.Join(p.opts.Dir, names[i]))
+		if err != nil {
+			continue
+		}
+		out = append(out, ProfileEntry{Name: names[i], Bytes: fi.Size(), ModTime: fi.ModTime()})
+	}
+	return out
+}
+
+// Open returns the artifact file for name after validating that name
+// is a bare ring file name (no path traversal).
+func (p *Profiler) Open(name string) (*os.File, error) {
+	if p == nil {
+		return nil, os.ErrNotExist
+	}
+	if name == "" || name != filepath.Base(name) || !strings.HasSuffix(name, ".pprof") {
+		return nil, os.ErrNotExist
+	}
+	return os.Open(filepath.Join(p.opts.Dir, name))
+}

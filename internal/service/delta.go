@@ -126,6 +126,7 @@ func (e *Engine) LayoutDelta(ctx context.Context, req DeltaRequest) (DeltaResult
 	dkey := deltaKey(baseKey, edits)
 	if lay, ok := e.storeGet(ctx, dkey, sp); ok {
 		e.stats.layoutHits.Add(1)
+		e.tenantAcct(ctx).CacheHit()
 		sp.AttrBool("cache_hit", true)
 		return DeltaResult{Layout: lay, CacheHit: true}, nil
 	}
@@ -140,6 +141,7 @@ func (e *Engine) LayoutDelta(ctx context.Context, req DeltaRequest) (DeltaResult
 
 	if lay, ok := e.storePeek(ctx, dkey); ok {
 		e.stats.layoutHits.Add(1)
+		e.tenantAcct(ctx).CacheHit()
 		sp.AttrBool("cache_hit", true)
 		return DeltaResult{Layout: lay, CacheHit: true}, nil
 	}
@@ -173,9 +175,12 @@ func (e *Engine) computeDelta(ctx context.Context, dev *topology.Device, req Del
 	defer e.stats.inFlight.Add(-1)
 	e.stats.computed.Add(1)
 	start := time.Now()
+	ts := e.tenantAcct(ctx)
 	defer func() {
-		e.stats.computeNs.Add(time.Since(start).Nanoseconds())
+		d := time.Since(start)
+		e.stats.computeNs.Add(d.Nanoseconds())
 		e.stats.computeCount.Add(1)
+		ts.AddCompute(d)
 	}()
 
 	cfg := e.withCancel(ctx, e.withBudget(req.Config))

@@ -117,7 +117,7 @@ func handleLayoutDelta(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.LayoutDelta(r.Context(), req)
 	if err != nil {
-		writeRequestError(r.Context(), w, err)
+		writeRequestError(e, r.Context(), w, err)
 		return
 	}
 	var buf bytes.Buffer

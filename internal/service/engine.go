@@ -127,6 +127,17 @@ type Options struct {
 	// reads/writes, replication pushes). nil — the default — keeps
 	// every site a no-op nil-check.
 	Faults *faultinject.Injector
+	// SLOs are the service objectives tracked over rolling 5m/1h
+	// windows: request-latency thresholds and Eq. 7 fidelity floors
+	// (see obs.ParseSLO for the grammar). Empty disables SLO tracking.
+	SLOs []obs.SLOSpec
+	// SLOBurnAlert is the fast-window burn-rate threshold above which
+	// /healthz reports degraded (default obs.DefaultBurnAlert = 14.4).
+	SLOBurnAlert float64
+	// Profiler, when non-nil, is the continuous profiling ring indexed
+	// by GET /profilez. The engine does not own it — qgdp-serve closes
+	// it on shutdown.
+	Profiler *obs.Profiler
 }
 
 // Engine is a concurrent layout/fidelity computation service over the
@@ -166,6 +177,16 @@ type Engine struct {
 	slowMu     sync.Mutex
 	slowW      io.Writer
 
+	// acct attributes requests, cache hits, compute, queue wait, sheds
+	// and deadline blows to tenants (/tenantz, qgdp_tenant_*); slo
+	// scores latency and fidelity against the configured objectives
+	// (nil when none are configured); profiler is the continuous
+	// profiling ring behind /profilez (nil when off).
+	acct      *obs.Accounting
+	slo       *obs.SLOTracker
+	burnAlert float64
+	profiler  *obs.Profiler
+
 	stats stats
 
 	// Stage hooks, overridable in tests to observe or block mid-job.
@@ -204,6 +225,10 @@ func New(opts Options) *Engine {
 		rec:             obs.NewRecorder(opts.TraceRing),
 		slowThresh:      opts.SlowRequestThreshold,
 		slowW:           opts.SlowLogWriter,
+		acct:            obs.NewAccounting(),
+		slo:             obs.NewSLOTracker(opts.SLOs),
+		burnAlert:       opts.SLOBurnAlert,
+		profiler:        opts.Profiler,
 		gpCache:         store.NewLRU(opts.CacheSize, nil),
 		fidCache:        store.NewLRU(opts.CacheSize, nil),
 		prepareFn: func(dev *topology.Device, cfg core.Config) *netlist.Netlist {
@@ -216,20 +241,51 @@ func New(opts Options) *Engine {
 			return core.AverageFidelity(n, bench, cfg)
 		},
 	}
+	if e.burnAlert <= 0 {
+		e.burnAlert = obs.DefaultBurnAlert
+	}
 	e.jobs = newJobs(e, opts.JobsDir)
 	if e.cluster != nil {
 		// Heartbeat digests carry this replica's lane utilization so
 		// peers see load, not just liveness.
-		e.cluster.SetLaneUtil(func() float64 {
-			s := e.budget.Stats()
-			if s.Capacity <= 0 {
-				return 0
+		e.cluster.SetLaneUtil(e.laneUtil)
+		// Digests also carry a compact health summary (readiness, request
+		// count, shed rate, max fast-window SLO burn) so every replica
+		// holds a bounded-staleness health row for the whole fleet — the
+		// /fleetz fallback for unreachable members.
+		e.cluster.SetHealthSummary(func() cluster.HealthSummary {
+			_, ok := e.Health()
+			var shedRate float64
+			if e.adm != nil {
+				shedRate = e.adm.shedRate()
 			}
-			return float64(s.TokensInUse) / float64(s.Capacity)
+			return cluster.HealthSummary{
+				Healthy:     ok,
+				Requests:    e.stats.requests.Load(),
+				ShedRate:    shedRate,
+				MaxFastBurn: e.slo.MaxFastBurn(),
+				UnixMs:      time.Now().UnixMilli(),
+			}
 		})
 		e.rep = newReplicator(e, opts.ReplicationRetryInterval, opts.AntiEntropyInterval)
 	}
 	return e
+}
+
+// Accounting returns the per-tenant accounting table.
+func (e *Engine) Accounting() *obs.Accounting { return e.acct }
+
+// SLO returns the SLO tracker (nil when no objectives are configured).
+func (e *Engine) SLO() *obs.SLOTracker { return e.slo }
+
+// Profiler returns the continuous profiling ring (nil when off).
+func (e *Engine) Profiler() *obs.Profiler { return e.profiler }
+
+// tenantAcct resolves the request's tenant stats row (nil — a no-op
+// sink — when the request carries no tenant). Allocation-free for
+// known tenants, so it can sit on the cache-hit fast path.
+func (e *Engine) tenantAcct(ctx context.Context) *obs.TenantStats {
+	return e.acct.Tenant(tenantFrom(ctx))
 }
 
 // Close stops accepting new jobs, stops cluster heartbeats, and closes
@@ -267,13 +323,16 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 // Recorder returns the recent-trace ring behind GET /tracez.
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
-// recordTrace files a finished trace into the ring and emits the
-// slow-request log line when the request exceeded the threshold.
-func (e *Engine) recordTrace(path string, td *obs.TraceData) {
+// recordTrace files a finished trace into the ring, scores its wall
+// time against the latency SLOs, and emits the slow-request log line —
+// carrying trace_id and tenant so the line joins against /tracez and
+// /tenantz — when the request exceeded the threshold.
+func (e *Engine) recordTrace(path, tenant string, td *obs.TraceData) {
 	if td == nil {
 		return
 	}
 	e.rec.Record(td)
+	e.slo.ObserveLatency(time.Duration(td.DurMs * float64(time.Millisecond)))
 	if e.slowThresh <= 0 || td.DurMs < float64(e.slowThresh)/float64(time.Millisecond) {
 		return
 	}
@@ -281,10 +340,11 @@ func (e *Engine) recordTrace(path string, td *obs.TraceData) {
 		Ts       time.Time         `json:"ts"`
 		Msg      string            `json:"msg"`
 		Path     string            `json:"path"`
+		Tenant   string            `json:"tenant,omitempty"`
 		DurMs    float64           `json:"dur_ms"`
 		TraceID  string            `json:"trace_id"`
 		TopSpans []obs.SpanSummary `json:"top_spans"`
-	}{td.Start, "slow request", path, td.DurMs, td.ID, td.Top(3)})
+	}{td.Start, "slow request", path, tenant, td.DurMs, td.ID, td.Top(3)})
 	if err != nil {
 		return
 	}
@@ -318,6 +378,17 @@ type HealthAdmission struct {
 	ShedRate1m float64 `json:"shed_rate_1m"`
 }
 
+// HealthSLO is the SLO section of the /healthz readiness payload,
+// present when objectives are configured. Exceeded means some
+// objective's fast-window (5m) burn rate is at or above BurnAlert —
+// the error budget is being spent too fast to sustain — and degrades
+// the replica.
+type HealthSLO struct {
+	MaxFastBurn float64 `json:"max_fast_burn"`
+	BurnAlert   float64 `json:"burn_alert"`
+	Exceeded    bool    `json:"exceeded"`
+}
+
 // HealthView is the /healthz body: the original liveness contract
 // (status "ok") extended with readiness detail.
 type HealthView struct {
@@ -325,6 +396,7 @@ type HealthView struct {
 	Store     HealthStore      `json:"store"`
 	Admission *HealthAdmission `json:"admission,omitempty"`
 	Cluster   *HealthCluster   `json:"cluster,omitempty"`
+	SLO       *HealthSLO       `json:"slo,omitempty"`
 }
 
 // Health reports readiness: ok=false (HTTP 503) when the disk tier is
@@ -361,11 +433,28 @@ func (e *Engine) Health() (HealthView, bool) {
 		}
 		hv.Cluster = hc
 	}
-	if !ss.DiskHealthy {
-		hv.Status = "degraded"
-		return hv, false
+	ok := true
+	if e.slo != nil {
+		hs := &HealthSLO{
+			MaxFastBurn: e.slo.MaxFastBurn(),
+			BurnAlert:   e.burnAlert,
+		}
+		hs.Exceeded = hs.MaxFastBurn >= hs.BurnAlert
+		hv.SLO = hs
+		if hs.Exceeded {
+			// Burning the fast window at alert rate means the replica is
+			// failing its objectives right now: degrade so load balancers
+			// steer away while the budget recovers.
+			ok = false
+		}
 	}
-	return hv, true
+	if !ss.DiskHealthy {
+		ok = false
+	}
+	if !ok {
+		hv.Status = "degraded"
+	}
+	return hv, ok
 }
 
 // stats holds the engine counters behind /statsz.
@@ -436,6 +525,10 @@ type StatsSnapshot struct {
 	// suppressed, the pending (retry + hinted handoff) queue depth, and
 	// anti-entropy repairs.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// SLOs, present when objectives are configured, reports each
+	// objective's rolling-window compliance and burn rate (two rows per
+	// objective: 5m then 1h).
+	SLOs []obs.SLOState `json:"slos,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -477,6 +570,7 @@ func (e *Engine) Stats() StatsSnapshot {
 		rs := e.rep.stats()
 		s.Replication = &rs
 	}
+	s.SLOs = e.slo.Snapshot()
 	return s
 }
 
@@ -614,14 +708,18 @@ func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
 		leave, shed := e.adm.enqueue(tenant, e.estQueueWait())
 		if shed != nil {
 			countShed(shed)
+			e.acct.Tenant(tenant).Shed()
 			return nil, shed
 		}
 		defer leave()
 	}
+	qstart := time.Now()
 	select {
 	case e.sem <- struct{}{}:
+		e.tenantAcct(ctx).AddQueueWait(time.Since(qstart))
 		return func() { <-e.sem }, nil
 	case <-ctx.Done():
+		e.tenantAcct(ctx).AddQueueWait(time.Since(qstart))
 		return nil, ctx.Err()
 	}
 }
@@ -665,6 +763,7 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	key := layoutKey(req)
 	if lay, ok := e.storeGet(ctx, key, sp); ok {
 		e.stats.layoutHits.Add(1)
+		e.tenantAcct(ctx).CacheHit()
 		sp.AttrBool("cache_hit", true)
 		return LayoutResult{Layout: lay, CacheHit: true}, nil
 	}
@@ -684,6 +783,7 @@ func (e *Engine) Layout(ctx context.Context, req LayoutRequest) (LayoutResult, e
 	// failure degrades it to the same recompute path.
 	if lay, ok := e.storePeek(ctx, key); ok {
 		e.stats.layoutHits.Add(1)
+		e.tenantAcct(ctx).CacheHit()
 		sp.AttrBool("cache_hit", true)
 		return LayoutResult{Layout: lay, CacheHit: true}, nil
 	}
@@ -774,9 +874,12 @@ func (e *Engine) computeLayout(ctx context.Context, req LayoutRequest) (*core.La
 	defer e.stats.inFlight.Add(-1)
 	e.stats.computed.Add(1)
 	start := time.Now()
+	ts := e.tenantAcct(ctx)
 	defer func() {
-		e.stats.computeNs.Add(time.Since(start).Nanoseconds())
+		d := time.Since(start)
+		e.stats.computeNs.Add(d.Nanoseconds())
 		e.stats.computeCount.Add(1)
+		ts.AddCompute(d)
 	}()
 	cfg := e.withCancel(ctx, e.withBudget(req.Config))
 	// Pipeline stages hang their spans under the (leader) request's
@@ -847,6 +950,8 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 	key := fidelityKey(req)
 	if v, ok := e.fidCache.Get(key); ok {
 		e.stats.fidHits.Add(1)
+		e.tenantAcct(ctx).CacheHit()
+		e.slo.ObserveFidelity(v.(float64))
 		sp.AttrBool("cache_hit", true)
 		return FidelityResult{Fidelity: v.(float64), CacheHit: true}, nil
 	}
@@ -861,6 +966,8 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 
 	if v, ok := e.fidCache.Get(key); ok {
 		e.stats.fidHits.Add(1)
+		e.tenantAcct(ctx).CacheHit()
+		e.slo.ObserveFidelity(v.(float64))
 		return FidelityResult{Fidelity: v.(float64), CacheHit: true}, nil
 	}
 	e.stats.fidMiss.Add(1)
@@ -878,9 +985,12 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 			defer e.stats.inFlight.Add(-1)
 			e.stats.computed.Add(1)
 			cstart := time.Now()
+			ts := e.tenantAcct(ctx)
 			defer func() {
-				e.stats.computeNs.Add(time.Since(cstart).Nanoseconds())
+				d := time.Since(cstart)
+				e.stats.computeNs.Add(d.Nanoseconds())
 				e.stats.computeCount.Add(1)
+				ts.AddCompute(d)
 			}()
 			fcfg := req.Config
 			fcfg.Obs = obs.SpanFrom(ctx)
@@ -900,6 +1010,7 @@ func (e *Engine) Fidelity(ctx context.Context, req FidelityRequest) (FidelityRes
 		if shared {
 			e.stats.sharedFlights.Add(1)
 		}
+		e.slo.ObserveFidelity(v.(float64))
 		return FidelityResult{Fidelity: v.(float64), Shared: shared}, nil
 	}
 }

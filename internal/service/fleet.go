@@ -1,0 +1,419 @@
+package service
+
+// Fleet aggregation: GET /fleetz on any replica fans out to every live
+// member's compact GET /obs/summary and merges the results into one
+// deterministic fleet view — counters summed, fixed-bucket histograms
+// added, SLO windows folded by (objective, window), tenant tables
+// joined by name. Unreachable members are not dropped: their row falls
+// back to the last health summary gossip piggybacked on heartbeats,
+// annotated with its staleness, so an operator still sees the whole
+// fleet during a partition.
+//
+// The fan-out follows the replication-push discipline: each fetch is
+// ForwardTimeout-bounded, a peer whose forwarding breaker is not
+// closed is never attempted (breaker-read-only — /fleetz observes
+// breaker state but never drives it), and a failed fetch feeds only
+// the failure detector via MarkFailure, never the forward-path breaker
+// counters.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kernstats"
+	"repro/internal/obs"
+)
+
+// maxObsSummaryBytes bounds one /obs/summary response body.
+const maxObsSummaryBytes = 4 << 20
+
+// ObsSummary is one replica's compact observability snapshot: the
+// payload of GET /obs/summary, and the unit /fleetz merges. Every
+// numeric field is addable across replicas.
+type ObsSummary struct {
+	Addr    string `json:"addr"`
+	UnixMs  int64  `json:"unix_ms"`
+	Healthy bool   `json:"healthy"`
+	Status  string `json:"status"`
+	// LaneUtil is the live parallel-lane utilization in [0,1].
+	LaneUtil float64 `json:"lane_util"`
+
+	Requests      int64 `json:"requests"`
+	LayoutHits    int64 `json:"layout_hits"`
+	LayoutMisses  int64 `json:"layout_misses"`
+	Computed      int64 `json:"computed"`
+	SharedFlights int64 `json:"shared_flights"`
+	InFlight      int64 `json:"in_flight"`
+
+	// ShedRate is the 1-minute shed fraction (0 without admission).
+	ShedRate float64 `json:"shed_rate"`
+	// MaxFastBurn is the highest 5m-window SLO burn rate (0 without
+	// SLOs).
+	MaxFastBurn float64 `json:"max_fast_burn"`
+
+	// Forwarded/ForwardReceived are this replica's ring-routing hop
+	// counts; fleet-wide their totals reconcile (every forward sent is
+	// received somewhere).
+	Forwarded       int64 `json:"forwarded"`
+	ForwardReceived int64 `json:"forward_received"`
+
+	// Counters is the process-wide kernstats counter map.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Stages is the qgdp_stage_seconds family: per-stage fixed-bucket
+	// latency histograms, directly addable across replicas.
+	Stages map[string]obs.HistSnapshot `json:"stages,omitempty"`
+	// SLOs and Tenants carry raw counts so the fleet merge can re-derive
+	// burn rates and rates from summed numerators/denominators.
+	SLOs    []obs.SLOState       `json:"slos,omitempty"`
+	Tenants []obs.TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// localObsSummary snapshots this replica.
+func localObsSummary(e *Engine) ObsSummary {
+	hv, ok := e.Health()
+	sum := ObsSummary{
+		Addr:          "local",
+		UnixMs:        time.Now().UnixMilli(),
+		Healthy:       ok,
+		Status:        hv.Status,
+		LaneUtil:      e.laneUtil(),
+		Requests:      e.stats.requests.Load(),
+		LayoutHits:    e.stats.layoutHits.Load(),
+		LayoutMisses:  e.stats.layoutMiss.Load(),
+		Computed:      e.stats.computed.Load(),
+		SharedFlights: e.stats.sharedFlights.Load(),
+		InFlight:      e.stats.inFlight.Load(),
+		MaxFastBurn:   e.slo.MaxFastBurn(),
+		Counters:      kernstats.Counters(),
+		Stages:        obs.StageSnapshots(),
+		SLOs:          e.slo.Snapshot(),
+		Tenants:       e.acct.Snapshot(),
+	}
+	if e.adm != nil {
+		sum.ShedRate = e.adm.shedRate()
+	}
+	if e.cluster != nil {
+		sum.Addr = e.cluster.Self()
+		cs := e.cluster.Stats()
+		sum.Forwarded = cs.Forwarded
+		sum.ForwardReceived = cs.ForwardReceived
+	}
+	return sum
+}
+
+// laneUtil is the engine's live parallel-lane utilization (the same
+// number gossiped in digests).
+func (e *Engine) laneUtil() float64 {
+	s := e.budget.Stats()
+	if s.Capacity <= 0 {
+		return 0
+	}
+	return float64(s.TokensInUse) / float64(s.Capacity)
+}
+
+// FleetMember is one member row in the /fleetz view.
+type FleetMember struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"` // "self", or the gossip state
+	// Source says where the row's numbers came from: "live" (a fresh
+	// /obs/summary fetch, or this replica itself) or "gossip" (the last
+	// piggybacked health summary — the member was dead, breakered, or
+	// the fetch failed). "none" means no summary has ever been heard.
+	Source string `json:"source"`
+	// Stale marks non-live rows; StalenessMs is the age of the gossip
+	// summary they fall back to.
+	Stale       bool    `json:"stale,omitempty"`
+	StalenessMs int64   `json:"staleness_ms,omitempty"`
+	LaneUtil    float64 `json:"lane_util"`
+	Healthy     bool    `json:"healthy"`
+	Requests    int64   `json:"requests"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
+	MaxFastBurn float64 `json:"max_fast_burn,omitempty"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// FleetEngine is the fleet-summed engine section of /fleetz.
+type FleetEngine struct {
+	Requests        int64 `json:"requests"`
+	LayoutHits      int64 `json:"layout_hits"`
+	LayoutMisses    int64 `json:"layout_misses"`
+	Computed        int64 `json:"computed"`
+	SharedFlights   int64 `json:"shared_flights"`
+	InFlight        int64 `json:"in_flight"`
+	Forwarded       int64 `json:"forwarded"`
+	ForwardReceived int64 `json:"forward_received"`
+}
+
+// FleetView is the /fleetz body: one merged observability view of the
+// whole cluster as seen from Self. Members are sorted by address;
+// counters, stages, SLO rows, and tenant rows merge deterministically,
+// so two replicas scraped at the same instant produce the same fleet
+// numbers (modulo in-flight traffic).
+type FleetView struct {
+	Self         string        `json:"self"`
+	UnixMs       int64         `json:"unix_ms"`
+	MembersTotal int           `json:"members_total"`
+	MembersLive  int           `json:"members_live"`
+	MembersStale int           `json:"members_stale"`
+	Members      []FleetMember `json:"members"`
+
+	Engine FleetEngine `json:"engine"`
+	// LatencyP50Ms/P99Ms are fleet-wide request-latency quantile
+	// estimates from the merged "/v1/layout" stage histogram (0 when no
+	// layout traffic has been observed).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	Counters map[string]int64            `json:"counters,omitempty"`
+	Stages   map[string]obs.HistSnapshot `json:"stages,omitempty"`
+	SLOs     []obs.SLOState              `json:"slos,omitempty"`
+	Tenants  []obs.TenantSnapshot        `json:"tenants,omitempty"`
+}
+
+// handleObsSummary serves this replica's compact snapshot.
+func handleObsSummary(e *Engine, w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, localObsSummary(e))
+}
+
+// handleFleetz builds the merged fleet view. Without a cluster it is
+// the self-only view — the same shape, one member.
+func handleFleetz(e *Engine, w http.ResponseWriter, r *http.Request) {
+	self := localObsSummary(e)
+	view := FleetView{Self: self.Addr, UnixMs: time.Now().UnixMilli()}
+	selfRow := FleetMember{
+		Addr: self.Addr, State: "self", Source: "live",
+		LaneUtil: self.LaneUtil, Healthy: self.Healthy,
+		Requests: self.Requests, ShedRate: self.ShedRate, MaxFastBurn: self.MaxFastBurn,
+	}
+	members := []FleetMember{selfRow}
+	summaries := []ObsSummary{self}
+
+	if e.cluster != nil {
+		rows, sums := fetchPeerSummaries(r.Context(), e)
+		members = append(members, rows...)
+		summaries = append(summaries, sums...)
+	}
+
+	sort.Slice(members, func(i, j int) bool { return members[i].Addr < members[j].Addr })
+	view.Members = members
+	view.MembersTotal = len(members)
+	for _, m := range members {
+		if m.Source == "live" {
+			view.MembersLive++
+		}
+		if m.Stale {
+			view.MembersStale++
+		}
+	}
+	mergeSummaries(&view, summaries)
+	writeJSON(w, http.StatusOK, view)
+}
+
+// fetchPeerSummaries fans out to every non-left member, falling back
+// to the gossip-cached health summary when a peer cannot (dead state,
+// open breaker) or does not (fetch error) answer.
+func fetchPeerSummaries(ctx context.Context, e *Engine) ([]FleetMember, []ObsSummary) {
+	c := e.cluster
+	cs := c.Stats()
+	now := time.Now()
+
+	var (
+		mu   sync.Mutex
+		rows []FleetMember
+		sums []ObsSummary
+		wg   sync.WaitGroup
+	)
+	add := func(row FleetMember, sum *ObsSummary) {
+		mu.Lock()
+		rows = append(rows, row)
+		if sum != nil {
+			sums = append(sums, *sum)
+		}
+		mu.Unlock()
+	}
+
+	for _, ps := range cs.Peers {
+		if ps.State == cluster.StateLeft {
+			continue
+		}
+		row := FleetMember{Addr: ps.Addr, State: string(ps.State), LaneUtil: ps.LaneUtil}
+		// A dead peer is not worth a timeout; an open (or half-open)
+		// breaker means the forward path is failing — reading its state
+		// without driving it, skip the fetch exactly like replication
+		// pushes do.
+		if ps.State == cluster.StateDead || ps.Breaker != cluster.BreakerClosed {
+			if ps.Breaker != cluster.BreakerClosed {
+				row.Err = "breaker " + string(ps.Breaker)
+			}
+			add(gossipRow(row, ps.Health, now), nil)
+			continue
+		}
+		wg.Add(1)
+		go func(ps cluster.PeerStatus, row FleetMember) {
+			defer wg.Done()
+			sum, err := fetchObsSummary(ctx, c, ps.Addr)
+			if err != nil {
+				// Feed the failure detector only — never the forwarding
+				// breaker, which belongs to the request path.
+				c.MarkFailure(ps.Addr, err)
+				row.Err = err.Error()
+				add(gossipRow(row, ps.Health, now), nil)
+				return
+			}
+			row.Source = "live"
+			row.Healthy = sum.Healthy
+			row.Requests = sum.Requests
+			row.ShedRate = sum.ShedRate
+			row.MaxFastBurn = sum.MaxFastBurn
+			row.LaneUtil = sum.LaneUtil
+			add(row, sum)
+		}(ps, row)
+	}
+	wg.Wait()
+	return rows, sums
+}
+
+// gossipRow fills a member row from the last gossip-piggybacked health
+// summary (source "none" when no summary has ever been heard).
+func gossipRow(row FleetMember, h *cluster.HealthSummary, now time.Time) FleetMember {
+	row.Stale = true
+	if h == nil {
+		row.Source = "none"
+		return row
+	}
+	row.Source = "gossip"
+	row.Healthy = h.Healthy
+	row.Requests = h.Requests
+	row.ShedRate = h.ShedRate
+	row.MaxFastBurn = h.MaxFastBurn
+	if age := now.UnixMilli() - h.UnixMs; age > 0 {
+		row.StalenessMs = age
+	} else {
+		row.StalenessMs = 1
+	}
+	return row
+}
+
+// fetchObsSummary GETs one peer's /obs/summary, bounded by the
+// cluster's ForwardTimeout.
+func fetchObsSummary(ctx context.Context, c *cluster.Cluster, addr string) (*ObsSummary, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.ForwardTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+addr+"/obs/summary", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs/summary %s: status %d", addr, resp.StatusCode)
+	}
+	var sum ObsSummary
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxObsSummaryBytes)).Decode(&sum); err != nil {
+		return nil, fmt.Errorf("obs/summary %s: %w", addr, err)
+	}
+	return &sum, nil
+}
+
+// mergeSummaries folds the live summaries into the fleet totals.
+// Gossip-only members contribute their member row but no counters —
+// their last-known numbers are shown per-member, not mixed into sums
+// that would then double-count once the member comes back.
+func mergeSummaries(view *FleetView, sums []ObsSummary) {
+	counters := map[string]int64{}
+	stageMaps := make([]map[string]obs.HistSnapshot, 0, len(sums))
+	sloTables := make([][]obs.SLOState, 0, len(sums))
+	tenantTables := make([][]obs.TenantSnapshot, 0, len(sums))
+	for _, s := range sums {
+		view.Engine.Requests += s.Requests
+		view.Engine.LayoutHits += s.LayoutHits
+		view.Engine.LayoutMisses += s.LayoutMisses
+		view.Engine.Computed += s.Computed
+		view.Engine.SharedFlights += s.SharedFlights
+		view.Engine.InFlight += s.InFlight
+		view.Engine.Forwarded += s.Forwarded
+		view.Engine.ForwardReceived += s.ForwardReceived
+		for k, v := range s.Counters {
+			counters[k] += v
+		}
+		if len(s.Stages) > 0 {
+			stageMaps = append(stageMaps, s.Stages)
+		}
+		if len(s.SLOs) > 0 {
+			sloTables = append(sloTables, s.SLOs)
+		}
+		if len(s.Tenants) > 0 {
+			tenantTables = append(tenantTables, s.Tenants)
+		}
+	}
+	if len(counters) > 0 {
+		view.Counters = counters
+	}
+	if len(stageMaps) > 0 {
+		view.Stages = obs.MergeHistMaps(stageMaps...)
+	}
+	view.SLOs = obs.MergeSLOs(sloTables...)
+	view.Tenants = obs.MergeTenants(tenantTables...)
+	if h, ok := view.Stages["/v1/layout"]; ok && h.Count > 0 {
+		view.LatencyP50Ms = h.Quantile(0.50, obs.DefBuckets) * 1e3
+		view.LatencyP99Ms = h.Quantile(0.99, obs.DefBuckets) * 1e3
+	}
+}
+
+// handleTenantz serves the per-tenant accounting table.
+func handleTenantz(e *Engine, w http.ResponseWriter) {
+	rows := e.acct.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants": rows,
+		"count":   len(rows),
+	})
+}
+
+// handleSlolz serves the SLO compliance/burn view.
+func handleSlolz(e *Engine, w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slos":          e.slo.Snapshot(),
+		"max_fast_burn": e.slo.MaxFastBurn(),
+		"burn_alert":    e.burnAlert,
+	})
+}
+
+// handleProfilez serves the continuous-profiling ring index; ?name=
+// downloads one artifact.
+func handleProfilez(e *Engine, w http.ResponseWriter, r *http.Request) {
+	p := e.profiler
+	if name := r.URL.Query().Get("name"); name != "" {
+		f, err := p.Open(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown profile %q", name))
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.Copy(w, f)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":    p != nil,
+		"dir":        p.Dir(),
+		"interval_s": p.Interval().Seconds(),
+		"keep":       p.Keep(),
+		"captures":   p.Captures(),
+		"errors":     p.Errors(),
+		"last_error": p.LastError(),
+		"entries":    p.Entries(),
+	})
+}

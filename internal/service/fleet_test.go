@@ -1,0 +1,559 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// TestFleetzSingleProcess: without a cluster /fleetz is the self-only
+// view — same shape, one live member, engine numbers matching /statsz.
+func TestFleetzSingleProcess(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := getJSON(t, srv.URL+"/v1/layout?topology=Grid&strategy=qGDP-LG&seed=1", nil)
+	resp.Body.Close()
+
+	var view FleetView
+	resp = getJSON(t, srv.URL+"/fleetz", &view)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if view.MembersTotal != 1 || view.MembersLive != 1 || view.MembersStale != 0 {
+		t.Fatalf("members = %d/%d/%d, want 1 live", view.MembersTotal, view.MembersLive, view.MembersStale)
+	}
+	if view.Members[0].State != "self" || view.Members[0].Source != "live" {
+		t.Fatalf("self row = %+v", view.Members[0])
+	}
+	if view.Engine.Requests != 1 {
+		t.Errorf("engine.requests = %d, want 1", view.Engine.Requests)
+	}
+	if view.LatencyP99Ms <= 0 {
+		t.Errorf("latency p99 = %g, want > 0 after a layout", view.LatencyP99Ms)
+	}
+	// The default tenant's row made it into the merged table.
+	if len(view.Tenants) != 1 || view.Tenants[0].Tenant != DefaultTenant || view.Tenants[0].Requests != 1 {
+		t.Errorf("tenants = %+v", view.Tenants)
+	}
+}
+
+// TestFleetzAggregatesCluster: /fleetz scraped on a non-owner replica
+// covers every live member, sums engine counters across the fleet, and
+// reconciles forward accounting (every forward sent is received
+// somewhere).
+func TestFleetzAggregatesCluster(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	owner, other := reps[1], reps[0]
+	req := reqOwnedBy(t, other.cl, owner.addr)
+
+	// One forwarded hop (entry reps[0], compute reps[1]) plus one
+	// tenant-tagged local request on the replica we scrape.
+	resp := getJSON(t, layoutURL(other.srv.URL, req), nil)
+	resp.Body.Close()
+	hr, err := http.NewRequest(http.MethodGet, layoutURL(reps[2].srv.URL, reqOwnedBy(t, reps[2].cl, reps[2].addr)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set(TenantHeader, "acme")
+	raw, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+
+	var view FleetView
+	resp = getJSON(t, reps[2].srv.URL+"/fleetz", &view)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if view.Self != reps[2].addr {
+		t.Errorf("self = %q, want %q", view.Self, reps[2].addr)
+	}
+	if view.MembersTotal != 3 || view.MembersLive != 3 || view.MembersStale != 0 {
+		t.Fatalf("members = %d total / %d live / %d stale, want 3/3/0: %+v",
+			view.MembersTotal, view.MembersLive, view.MembersStale, view.Members)
+	}
+	for i, m := range view.Members {
+		if m.Source != "live" || m.Stale {
+			t.Errorf("member %s: source %q stale %v, want live", m.Addr, m.Source, m.Stale)
+		}
+		if i > 0 && view.Members[i-1].Addr >= m.Addr {
+			t.Errorf("members not sorted by addr: %q then %q", view.Members[i-1].Addr, m.Addr)
+		}
+	}
+
+	// Fleet-wide forward accounting reconciles in one view.
+	if view.Engine.Forwarded != 1 || view.Engine.ForwardReceived != 1 {
+		t.Errorf("forwarded=%d received=%d, want 1/1", view.Engine.Forwarded, view.Engine.ForwardReceived)
+	}
+	// The owner computed the forwarded request and reps[2] its own; the
+	// proxy never entered its engine (the hop happens at the HTTP layer).
+	if view.Engine.Requests != 2 {
+		t.Errorf("engine.requests = %d, want 2", view.Engine.Requests)
+	}
+	// Tenant tables joined across replicas: the forwarded hop did not
+	// re-charge, so default has exactly the one entry-replica request.
+	byTenant := map[string]obs.TenantSnapshot{}
+	for _, row := range view.Tenants {
+		byTenant[row.Tenant] = row
+	}
+	if byTenant[DefaultTenant].Requests != 1 || byTenant["acme"].Requests != 1 {
+		t.Errorf("merged tenants = %+v", view.Tenants)
+	}
+}
+
+// TestFleetzDeadMemberGossipFallback: a dead member still appears in
+// /fleetz — its row filled from the last gossip-piggybacked health
+// summary, marked stale with its age — and its stale numbers are NOT
+// mixed into the fleet sums.
+func TestFleetzDeadMemberGossipFallback(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	observer, dead := reps[0], reps[1]
+
+	// Gossip delivers word that reps[1] died, alongside its last health
+	// summary (as a real digest merge would piggyback it).
+	observer.cl.Merge([]cluster.MemberInfo{{
+		Addr:        dead.addr,
+		Incarnation: 99,
+		State:       cluster.StateDead,
+		Health: &cluster.HealthSummary{
+			Healthy:  false,
+			Requests: 42,
+			UnixMs:   time.Now().Add(-3 * time.Second).UnixMilli(),
+		},
+	}})
+
+	var view FleetView
+	resp := getJSON(t, observer.srv.URL+"/fleetz", &view)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if view.MembersTotal != 3 || view.MembersLive != 2 || view.MembersStale != 1 {
+		t.Fatalf("members = %d/%d live/%d stale, want 3/2/1: %+v",
+			view.MembersTotal, view.MembersLive, view.MembersStale, view.Members)
+	}
+	var row *FleetMember
+	for i := range view.Members {
+		if view.Members[i].Addr == dead.addr {
+			row = &view.Members[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("dead member %s missing from %+v", dead.addr, view.Members)
+	}
+	if row.Source != "gossip" || !row.Stale {
+		t.Errorf("dead row source %q stale %v, want gossip/stale", row.Source, row.Stale)
+	}
+	if row.StalenessMs < 2000 {
+		t.Errorf("staleness = %dms, want ≥ the 3s summary age", row.StalenessMs)
+	}
+	if row.Requests != 42 || row.Healthy {
+		t.Errorf("dead row did not adopt the gossip summary: %+v", row)
+	}
+	// The stale 42 requests stay out of the live fleet sums.
+	if view.Engine.Requests != 0 {
+		t.Errorf("engine.requests = %d: gossip row leaked into the sums", view.Engine.Requests)
+	}
+}
+
+// TestFleetzUnreachableMemberFetchFallback: a member that gossip still
+// calls alive but whose /obs/summary fetch fails falls back the same
+// way, keeping the fetch error on the row, and feeds only the failure
+// detector — never the forwarding breaker.
+func TestFleetzUnreachableMemberFetchFallback(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	observer, victim := reps[0], reps[1]
+	victim.srv.Close() // crash, not a graceful leave: state stays alive
+
+	var view FleetView
+	resp := getJSON(t, observer.srv.URL+"/fleetz", &view)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var row *FleetMember
+	for i := range view.Members {
+		if view.Members[i].Addr == victim.addr {
+			row = &view.Members[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("unreachable member missing from %+v", view.Members)
+	}
+	// No health summary was ever gossiped (heartbeats are off in this
+	// harness), so the row degrades to source "none" — but it is there.
+	if !row.Stale || row.Source == "live" {
+		t.Errorf("unreachable row = %+v, want a stale fallback", row)
+	}
+	if row.Err == "" {
+		t.Errorf("unreachable row carries no fetch error: %+v", row)
+	}
+	if st := observer.cl.BreakerState(victim.addr); st != cluster.BreakerClosed {
+		t.Errorf("observability fan-out moved the forwarding breaker to %q", st)
+	}
+}
+
+// TestHealthzDegradedOnSLOBurn: an injected latency fault burning the
+// fast window past the alert flips /healthz to 503 degraded, naming the
+// burn.
+func TestHealthzDegradedOnSLOBurn(t *testing.T) {
+	spec, err := obs.ParseSLO("latency:p50:1ns:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stubEngine(Options{Workers: 1, SLOs: []obs.SLOSpec{spec}})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	var health struct {
+		Status string `json:"status"`
+		SLO    *HealthSLO
+	}
+	resp := getJSON(t, srv.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("fresh healthz: %d %+v", resp.StatusCode, health)
+	}
+
+	// Every request blows the 1ns objective; past the sample floor the
+	// fast window burns at 100/budget ≫ 14.4.
+	for seed := 0; seed < 2*minHealthSLOSamples; seed++ {
+		r := getJSON(t, fmt.Sprintf("%s/v1/layout?topology=Grid&strategy=qGDP-LG&seed=%d", srv.URL, seed), nil)
+		r.Body.Close()
+	}
+
+	raw, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(raw.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusServiceUnavailable || health.Status != "degraded" {
+		t.Fatalf("burning healthz: %d %+v", raw.StatusCode, health)
+	}
+	if health.SLO == nil || !health.SLO.Exceeded || health.SLO.MaxFastBurn < health.SLO.BurnAlert {
+		t.Errorf("healthz slo section = %+v", health.SLO)
+	}
+}
+
+// minHealthSLOSamples mirrors the obs sample floor without exporting
+// it: enough requests to trust the fast window.
+const minHealthSLOSamples = 5
+
+// TestSlowLogCarriesTenant: the slow-request line names the tenant that
+// issued the request (alongside the trace_id it already carried).
+func TestSlowLogCarriesTenant(t *testing.T) {
+	var buf bytes.Buffer
+	e := New(Options{Workers: 1, SlowRequestThreshold: 1, SlowLogWriter: &buf})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	hr, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/layout?topology=Grid&strategy=qGDP-LG&seed=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set(TenantHeader, "acme")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var entry struct {
+		Tenant  string `json:"tenant"`
+		TraceID string `json:"trace_id"`
+	}
+	line := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("slow log line is not JSON: %v (%q)", err, line)
+	}
+	if entry.Tenant != "acme" || entry.TraceID == "" {
+		t.Errorf("slow log entry = %+v, want tenant acme with a trace id", entry)
+	}
+}
+
+// TestTenantzAndSlolz: the JSON views serve the accounting table and
+// the SLO burn rows.
+func TestTenantzAndSlolz(t *testing.T) {
+	spec, _ := obs.ParseSLO("latency:p99:30s:99")
+	e, _ := stubEngine(Options{Workers: 1, SLOs: []obs.SLOSpec{spec}})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	hr, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/layout?topology=Grid&strategy=qGDP-LG&seed=9", nil)
+	hr.Header.Set(TenantHeader, "acme")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var tz struct {
+		Count   int                  `json:"count"`
+		Tenants []obs.TenantSnapshot `json:"tenants"`
+	}
+	resp = getJSON(t, srv.URL+"/tenantz", &tz)
+	if resp.StatusCode != http.StatusOK || tz.Count != 1 || tz.Tenants[0].Tenant != "acme" || tz.Tenants[0].Requests != 1 {
+		t.Fatalf("tenantz = %d %+v", resp.StatusCode, tz)
+	}
+
+	var sz struct {
+		SLOs      []obs.SLOState `json:"slos"`
+		BurnAlert float64        `json:"burn_alert"`
+	}
+	resp = getJSON(t, srv.URL+"/slolz", &sz)
+	if resp.StatusCode != http.StatusOK || len(sz.SLOs) != 2 || sz.BurnAlert != obs.DefaultBurnAlert {
+		t.Fatalf("slolz = %d %+v", resp.StatusCode, sz)
+	}
+	if sz.SLOs[0].Total != 1 || sz.SLOs[0].Good != 1 {
+		t.Errorf("slo fast row = %+v, want the one (good) request scored", sz.SLOs[0])
+	}
+}
+
+// TestProfilezRing: with a profiler attached /profilez indexes the
+// ring and serves artifact downloads; without one it reports disabled.
+func TestProfilezRing(t *testing.T) {
+	p, err := obs.StartProfiler(obs.ProfilerOptions{
+		Dir: t.TempDir(), Interval: 10 * time.Millisecond, CPUDuration: time.Millisecond, Keep: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stubEngine(Options{Workers: 1, Profiler: p})
+	defer e.Close()
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Captures() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var idx struct {
+		Enabled bool               `json:"enabled"`
+		Entries []obs.ProfileEntry `json:"entries"`
+	}
+	resp := getJSON(t, srv.URL+"/profilez", &idx)
+	if resp.StatusCode != http.StatusOK || !idx.Enabled || len(idx.Entries) == 0 {
+		t.Fatalf("profilez = %d %+v", resp.StatusCode, idx)
+	}
+
+	// The newest entry may be an in-flight CPU profile (still empty
+	// until its capture window closes) — download a finished artifact.
+	artifact := ""
+	for _, ent := range idx.Entries {
+		if ent.Bytes > 0 {
+			artifact = ent.Name
+			break
+		}
+	}
+	if artifact == "" {
+		t.Fatalf("no finished artifact in %+v", idx.Entries)
+	}
+	raw, err := http.Get(srv.URL + "/profilez?name=" + artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("artifact download: %d (%d bytes)", raw.StatusCode, len(body))
+	}
+	raw, err = http.Get(srv.URL + "/profilez?name=../../etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusNotFound {
+		t.Errorf("traversal name served status %d, want 404", raw.StatusCode)
+	}
+
+	// Disabled view on an engine without a profiler.
+	e2, _ := stubEngine(Options{Workers: 1})
+	defer e2.Close()
+	srv2 := httptest.NewServer(NewHandler(e2))
+	defer srv2.Close()
+	resp = getJSON(t, srv2.URL+"/profilez", &idx)
+	if resp.StatusCode != http.StatusOK || idx.Enabled {
+		t.Errorf("disabled profilez = %d enabled=%v", resp.StatusCode, idx.Enabled)
+	}
+}
+
+// promLine matches one valid sample line (metric name, optional sorted
+// label set with escaped values, float value).
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z0-9_]+="(?:[^"\\]|\\.)*"(,[a-zA-Z0-9_]+="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+-]+|NaN)$`)
+
+// validatePromText strictly checks one /metricsz body: every line is a
+// HELP, TYPE, or sample line; every TYPE is immediately preceded by its
+// HELP; every sample belongs to the most recent TYPE family (histogram
+// suffixes included); no duplicate series; tenant-family series sorted
+// by label.
+func validatePromText(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	seen := map[string]bool{}    // full series lines
+	typed := map[string]string{} // family -> type
+	var lastHelp, family, famType string
+	var tenantRows []string
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			lastHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			family, famType = fields[0], fields[1]
+			if lastHelp != family {
+				t.Errorf("TYPE %s not preceded by its HELP (last HELP %q)", family, lastHelp)
+			}
+			if prev, dup := typed[family]; dup {
+				t.Errorf("family %s typed twice (%s, %s)", family, prev, famType)
+			}
+			typed[family] = famType
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unknown comment line: %q", line)
+		default:
+			m := promSample.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			name := m[1]
+			base := name
+			if famType == "histogram" {
+				base = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			}
+			if base != family {
+				t.Errorf("sample %q outside its family block (in %s)", line, family)
+			}
+			series := name + m[2]
+			if seen[series] {
+				t.Errorf("duplicate series %q", series)
+			}
+			seen[series] = true
+			if strings.HasPrefix(name, "qgdp_tenant_requests_total") && m[2] != "" {
+				tenantRows = append(tenantRows, m[2])
+			}
+		}
+	}
+	for i := 1; i < len(tenantRows); i++ {
+		if tenantRows[i-1] >= tenantRows[i] {
+			t.Errorf("tenant series not sorted: %q then %q", tenantRows[i-1], tenantRows[i])
+		}
+	}
+}
+
+// TestConcurrentMetricszScrapes: /metricsz scraped concurrently while
+// layouts compute stays valid Prometheus text on every read (and the
+// race detector sees the whole interleaving in CI).
+func TestConcurrentMetricszScrapes(t *testing.T) {
+	spec, _ := obs.ParseSLO("latency:p99:30s:99.9")
+	e, _ := stubEngine(Options{Workers: 4, SLOs: []obs.SLOSpec{spec}})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				hr, _ := http.NewRequest(http.MethodGet,
+					fmt.Sprintf("%s/v1/layout?topology=Grid&strategy=qGDP-LG&seed=%d", srv.URL, g*100+i), nil)
+				hr.Header.Set(TenantHeader, fmt.Sprintf("tenant-%d", g))
+				resp, err := http.DefaultClient.Do(hr)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	for g := range bodies {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/metricsz")
+			if err != nil {
+				t.Errorf("scrape %d: %v", g, err)
+				return
+			}
+			bodies[g], _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}(g)
+	}
+	wg.Wait()
+
+	for g, body := range bodies {
+		if len(body) == 0 {
+			t.Fatalf("scrape %d empty", g)
+		}
+		validatePromText(t, string(body))
+	}
+
+	// A final quiet scrape carries every new family.
+	resp, err := http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	validatePromText(t, text)
+	for _, want := range []string{
+		`qgdp_tenant_requests_total{tenant="tenant-0"} 5`,
+		`qgdp_tenant_cache_hits_total{tenant=`,
+		`qgdp_slo_burn_rate{slo="latency_p99_30s",window="5m"}`,
+		`qgdp_slo_burn_rate{slo="latency_p99_30s",window="1h"}`,
+		"# HELP qgdp_engine_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+}
+
+// TestMetricszPeerLaneUtil: cluster replicas export one
+// qgdp_cluster_peer_lane_util series per peer, sorted.
+func TestMetricszPeerLaneUtil(t *testing.T) {
+	reps := testReplicas(t, 3, "")
+	raw, err := http.Get(reps[0].srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	text := string(body)
+	validatePromText(t, text)
+	if !strings.Contains(text, "# TYPE qgdp_cluster_peer_lane_util gauge") {
+		t.Fatal("metricsz missing the peer lane-util family")
+	}
+	for _, rep := range reps[1:] {
+		want := fmt.Sprintf("qgdp_cluster_peer_lane_util{peer=%q}", rep.addr)
+		if !strings.Contains(text, want) {
+			t.Errorf("metricsz missing %s", want)
+		}
+	}
+}

@@ -37,6 +37,11 @@ import (
 //	GET  /statsz                                              engine counters
 //	GET  /metricsz                                            Prometheus text exposition of the obs registry
 //	GET  /tracez                                              recent request traces (slowest-first; ?id= for one tree)
+//	GET  /tenantz                                             per-tenant accounting (requests, hits, compute, sheds)
+//	GET  /slolz                                               SLO compliance + burn rates over the 5m/1h windows
+//	GET  /profilez                                            continuous-profiling ring index (?name= downloads one)
+//	GET  /fleetz                                              merged observability view of the whole cluster
+//	GET  /obs/summary                                         this replica's compact snapshot (the /fleetz unit)
 //	GET  /clusterz                                            cluster mode: membership + health view
 //	POST /clusterz                                            cluster mode: gossip digest exchange (heartbeat target)
 //	GET  /clusterz/route?topology=...                         cluster mode: ring verdict for one request
@@ -113,6 +118,21 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /tracez", func(w http.ResponseWriter, r *http.Request) {
 		handleTracez(e, w, r)
 	})
+	mux.HandleFunc("GET /tenantz", func(w http.ResponseWriter, _ *http.Request) {
+		handleTenantz(e, w)
+	})
+	mux.HandleFunc("GET /slolz", func(w http.ResponseWriter, _ *http.Request) {
+		handleSlolz(e, w)
+	})
+	mux.HandleFunc("GET /profilez", func(w http.ResponseWriter, r *http.Request) {
+		handleProfilez(e, w, r)
+	})
+	mux.HandleFunc("GET /obs/summary", func(w http.ResponseWriter, _ *http.Request) {
+		handleObsSummary(e, w)
+	})
+	mux.HandleFunc("GET /fleetz", func(w http.ResponseWriter, r *http.Request) {
+		handleFleetz(e, w, r)
+	})
 	return mux
 }
 
@@ -129,9 +149,15 @@ func qosHandler(e *Engine, h http.HandlerFunc) http.HandlerFunc {
 		if tenant == "" {
 			tenant = DefaultTenant
 		}
+		ts := e.acct.Tenant(tenant)
 		if r.Header.Get(cluster.ForwardHeader) == "" {
+			// Entry replica only: a forwarded hop was already counted
+			// (and quota-charged) where it entered the fleet, so skipping
+			// it here keeps per-tenant rows addable across replicas.
+			ts.Request()
 			if ok, wait := e.adm.allowQuota(tenant); !ok {
 				kernstats.ShedQuota.Add(1)
+				ts.Shed()
 				writeShed(w, &ShedError{
 					Status:     http.StatusTooManyRequests,
 					RetryAfter: retryAfterFor(wait),
@@ -153,6 +179,7 @@ func qosHandler(e *Engine, h http.HandlerFunc) http.HandlerFunc {
 			if budget <= 0 {
 				kernstats.DeadlineRejected.Add(1)
 				e.adm.recordShed()
+				ts.DeadlineBlow()
 				writeError(w, http.StatusGatewayTimeout,
 					fmt.Errorf("deadline expired %s before arrival", (-budget).Round(time.Millisecond)))
 				return
@@ -201,7 +228,7 @@ func tracedHandler(e *Engine, name string, h http.HandlerFunc) http.HandlerFunc 
 			tr, root = obs.New(name)
 		}
 		h(w, r.WithContext(obs.WithSpan(r.Context(), root)))
-		e.recordTrace(name, tr.Finish())
+		e.recordTrace(name, tenantFrom(r.Context()), tr.Finish())
 	}
 }
 
@@ -231,10 +258,10 @@ func handleMetricsz(e *Engine, w http.ResponseWriter) {
 func writeEngineMetrics(w io.Writer, e *Engine) {
 	s := e.Stats()
 	counter := func(name string, v int64) {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		fmt.Fprintf(w, "# HELP %s Total %s events.\n# TYPE %s counter\n%s %d\n", name, name, name, name, v)
 	}
 	gauge := func(name string, v int64) {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+		fmt.Fprintf(w, "# HELP %s Current %s value.\n# TYPE %s gauge\n%s %d\n", name, name, name, name, v)
 	}
 	counter("qgdp_engine_requests_total", s.Requests)
 	counter("qgdp_engine_layout_hits_total", s.LayoutHits)
@@ -260,7 +287,7 @@ func writeEngineMetrics(w io.Writer, e *Engine) {
 	if s.Admission != nil {
 		gauge("qgdp_admission_queued", int64(s.Admission.Queued))
 		gauge("qgdp_admission_max_queue", int64(s.Admission.MaxQueue))
-		fmt.Fprintf(w, "# TYPE qgdp_admission_shed_rate_1m gauge\nqgdp_admission_shed_rate_1m %g\n", s.Admission.ShedRate1m)
+		fmt.Fprintf(w, "# HELP qgdp_admission_shed_rate_1m Shed fraction over the last minute.\n# TYPE qgdp_admission_shed_rate_1m gauge\nqgdp_admission_shed_rate_1m %g\n", s.Admission.ShedRate1m)
 	}
 	if s.Cluster != nil {
 		gauge("qgdp_cluster_replication", int64(s.Cluster.Replication))
@@ -269,19 +296,30 @@ func writeEngineMetrics(w io.Writer, e *Engine) {
 			peers = append(peers, p)
 		}
 		sort.Strings(peers)
-		fmt.Fprintf(w, "# TYPE qgdp_cluster_peer_up gauge\n")
+		fmt.Fprintf(w, "# HELP qgdp_cluster_peer_up Whether routing considers the peer usable.\n# TYPE qgdp_cluster_peer_up gauge\n")
 		for _, p := range peers {
 			fmt.Fprintf(w, "qgdp_cluster_peer_up{peer=\"%s\"} %d\n",
 				obs.EscapeLabel(p), boolGauge(s.Cluster.PeerUp[p]))
 		}
 		breaker := make(map[string]cluster.BreakerState, len(s.Cluster.Peers))
+		laneUtil := make(map[string]float64, len(s.Cluster.Peers))
 		for _, ps := range s.Cluster.Peers {
 			breaker[ps.Addr] = ps.Breaker
+			laneUtil[ps.Addr] = ps.LaneUtil
 		}
-		fmt.Fprintf(w, "# TYPE qgdp_cluster_breaker_open gauge\n")
+		fmt.Fprintf(w, "# HELP qgdp_cluster_breaker_open Whether the peer's forwarding breaker is not closed.\n# TYPE qgdp_cluster_breaker_open gauge\n")
 		for _, p := range peers {
 			fmt.Fprintf(w, "qgdp_cluster_breaker_open{peer=\"%s\"} %d\n",
 				obs.EscapeLabel(p), boolGauge(breaker[p] != cluster.BreakerClosed))
+		}
+		// The first consumer of the lane-utilization field every gossip
+		// digest has carried since PR 8: peers' self-reported parallel
+		// load, scraped next to peer_up so a hot replica is visible
+		// before it starts shedding.
+		fmt.Fprintf(w, "# HELP qgdp_cluster_peer_lane_util Peer's gossiped parallel-lane utilization in [0,1].\n# TYPE qgdp_cluster_peer_lane_util gauge\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "qgdp_cluster_peer_lane_util{peer=\"%s\"} %g\n",
+				obs.EscapeLabel(p), laneUtil[p])
 		}
 		gauge("qgdp_cluster_open_breakers", int64(s.Cluster.OpenBreakers))
 		gauge("qgdp_cluster_members", int64(s.Cluster.Members))
@@ -289,6 +327,63 @@ func writeEngineMetrics(w io.Writer, e *Engine) {
 	}
 	if s.Replication != nil {
 		gauge("qgdp_replication_pending", int64(s.Replication.Pending))
+	}
+	writeTenantMetrics(w, e.acct.Snapshot())
+	writeSLOMetrics(w, s.SLOs)
+}
+
+// writeTenantMetrics renders the qgdp_tenant_* labeled families from
+// the accounting table (rows pre-sorted by tenant, so series order is
+// deterministic).
+func writeTenantMetrics(w io.Writer, rows []obs.TenantSnapshot) {
+	if len(rows) == 0 {
+		return
+	}
+	intFamily := func(name, help string, get func(obs.TenantSnapshot) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range rows {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %d\n", name, obs.EscapeLabel(t.Tenant), get(t))
+		}
+	}
+	floatFamily := func(name, help string, get func(obs.TenantSnapshot) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range rows {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %g\n", name, obs.EscapeLabel(t.Tenant), get(t))
+		}
+	}
+	intFamily("qgdp_tenant_requests_total", "Requests admitted per tenant.",
+		func(t obs.TenantSnapshot) int64 { return t.Requests })
+	intFamily("qgdp_tenant_cache_hits_total", "Requests served from the layout store per tenant.",
+		func(t obs.TenantSnapshot) int64 { return t.CacheHits })
+	intFamily("qgdp_tenant_sheds_total", "Requests shed (quota or queue) per tenant.",
+		func(t obs.TenantSnapshot) int64 { return t.Sheds })
+	intFamily("qgdp_tenant_deadline_blown_total", "Requests that missed their deadline per tenant.",
+		func(t obs.TenantSnapshot) int64 { return t.DeadlineBlown })
+	floatFamily("qgdp_tenant_compute_seconds_total", "Compute seconds spent per tenant.",
+		func(t obs.TenantSnapshot) float64 { return t.ComputeSeconds })
+	floatFamily("qgdp_tenant_queue_wait_seconds_total", "Worker-queue wait seconds per tenant.",
+		func(t obs.TenantSnapshot) float64 { return t.QueueWaitSeconds })
+}
+
+// writeSLOMetrics renders qgdp_slo_* (rows pre-sorted by slo, window).
+func writeSLOMetrics(w io.Writer, rows []obs.SLOState) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP qgdp_slo_burn_rate Error-budget burn rate per objective and window.\n# TYPE qgdp_slo_burn_rate gauge\n")
+	for _, s := range rows {
+		fmt.Fprintf(w, "qgdp_slo_burn_rate{slo=\"%s\",window=\"%s\"} %g\n",
+			obs.EscapeLabel(s.SLO), obs.EscapeLabel(s.Window), s.BurnRate)
+	}
+	fmt.Fprintf(w, "# HELP qgdp_slo_good_total Good events per objective and window.\n# TYPE qgdp_slo_good_total gauge\n")
+	for _, s := range rows {
+		fmt.Fprintf(w, "qgdp_slo_good_total{slo=\"%s\",window=\"%s\"} %d\n",
+			obs.EscapeLabel(s.SLO), obs.EscapeLabel(s.Window), s.Good)
+	}
+	fmt.Fprintf(w, "# HELP qgdp_slo_events_total Scored events per objective and window.\n# TYPE qgdp_slo_events_total gauge\n")
+	for _, s := range rows {
+		fmt.Fprintf(w, "qgdp_slo_events_total{slo=\"%s\",window=\"%s\"} %d\n",
+			obs.EscapeLabel(s.SLO), obs.EscapeLabel(s.Window), s.Total)
 	}
 }
 
@@ -501,7 +596,7 @@ func handleLayout(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Layout(r.Context(), req)
 	if err != nil {
-		writeRequestError(r.Context(), w, err)
+		writeRequestError(e, r.Context(), w, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "svg" {
@@ -555,7 +650,7 @@ func handleFidelity(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Fidelity(r.Context(), FidelityRequest{LayoutRequest: lreq, Benchmark: bench})
 	if err != nil {
-		writeRequestError(r.Context(), w, err)
+		writeRequestError(e, r.Context(), w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -748,15 +843,18 @@ func writeShed(w http.ResponseWriter, shed *ShedError) {
 // the request context, not the error chain — a cancelled flight leader
 // surfaces plain context.Canceled to followers whose own deadline
 // expired, and the caller's verdict is what its context says.
-func writeRequestError(ctx context.Context, w http.ResponseWriter, err error) {
+func writeRequestError(e *Engine, ctx context.Context, w http.ResponseWriter, err error) {
 	var shed *ShedError
 	if errors.As(err, &shed) {
+		// The shed itself was charged to the tenant where it was decided
+		// (quota in qosHandler, queue in acquire).
 		writeShed(w, shed)
 		return
 	}
 	switch {
 	case errors.Is(ctx.Err(), context.DeadlineExceeded):
 		kernstats.DeadlineBlown.Add(1)
+		e.tenantAcct(ctx).DeadlineBlow()
 		writeError(w, http.StatusGatewayTimeout, err)
 	case ctx.Err() != nil:
 		kernstats.ClientCancelled.Add(1)

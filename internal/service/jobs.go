@@ -441,7 +441,7 @@ func (js *Jobs) finishWith(j *job, i int, apply func(it *JobItem)) {
 		if j.tr != nil {
 			// Exactly one item closes the job, so the trace is finished
 			// (and ring-recorded) exactly once.
-			js.e.recordTrace("/v1/jobs", j.tr.Finish())
+			js.e.recordTrace("/v1/jobs", "", j.tr.Finish())
 		}
 	}
 	js.persistManifest(j, gen, snap)

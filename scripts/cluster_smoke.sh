@@ -141,6 +141,25 @@ if [ "$SENT" -lt 1 ] || [ "$SENT" -ne "$RECV" ]; then
   grep 'qgdp_cluster_forward' "$WORK"/metrics?.txt
   exit 1
 fi
+grep -q '^qgdp_cluster_peer_lane_util{peer="' "$WORK/metrics0.txt" \
+  || { echo "FAIL: /metricsz lacks the gossiped peer lane-util gauges"; exit 1; }
+grep -q '^qgdp_tenant_requests_total{tenant="default"} [0-9]' "$WORK/metrics0.txt" \
+  || { echo "FAIL: /metricsz lacks the per-tenant accounting families"; exit 1; }
+
+echo "== /fleetz on a non-seed replica: every member covered live, forwards reconciled"
+curl -sf "http://$HOST:${PORTS[1]}/fleetz" -o "$WORK/fleetz.json"
+grep -q '"members_total": 3' "$WORK/fleetz.json" \
+  || { echo "FAIL: /fleetz does not cover all 3 members"; cat "$WORK/fleetz.json"; exit 1; }
+grep -q '"members_live": 3' "$WORK/fleetz.json" \
+  || { echo "FAIL: /fleetz reports non-live members in a healthy cluster"; exit 1; }
+grep -q '"lane_util"' "$WORK/fleetz.json" \
+  || { echo "FAIL: /fleetz member rows lack lane_util"; exit 1; }
+FLEET_SENT=$(sed -n 's/^ *"forwarded": \([0-9]*\),*$/\1/p' "$WORK/fleetz.json" | head -1)
+FLEET_RECV=$(sed -n 's/^ *"forward_received": \([0-9]*\),*$/\1/p' "$WORK/fleetz.json" | head -1)
+if [ -z "$FLEET_SENT" ] || [ "$FLEET_SENT" != "$FLEET_RECV" ] || [ "$FLEET_SENT" -lt 1 ]; then
+  echo "FAIL: /fleetz engine forwarded=$FLEET_SENT received=$FLEET_RECV, want equal and >= 1"
+  exit 1
+fi
 
 echo "== kill the owner of a fresh key; surviving replica must still answer"
 curl -sf "http://$HOST:${PORTS[0]}/clusterz/route?$Q2" -o "$WORK/route.json"
@@ -171,4 +190,40 @@ if ! diff <(norm "$WORK/ref2.json") <(norm "$WORK/failover.json") >/dev/null; th
   exit 1
 fi
 
-echo "PASS: 3-replica cluster served byte-identical layouts with one compute and survived the owner's death"
+echo "== crash (SIGKILL) a second replica: /fleetz keeps it with a gossip-cached, staleness-marked row"
+# The SIGTERMed owner left gracefully and drops off the fleet; a
+# SIGKILLed replica cannot announce anything, so the survivor must fall
+# back to the health summary gossip cached for it while it was alive.
+LAST=""
+VICTIM_PORT=""
+for i in 0 1 2; do
+  PORT=${PORTS[$i]}
+  [ "$PORT" = "$OWNER_PORT" ] && continue
+  if [ -z "$VICTIM_PORT" ]; then
+    VICTIM_PORT=$PORT
+    kill -9 "${PIDS[$((i + 1))]}" 2>/dev/null || true
+    wait "${PIDS[$((i + 1))]}" 2>/dev/null || true
+  else
+    LAST=$HOST:$PORT
+  fi
+done
+FLEET_OK=0
+for _ in $(seq 1 20); do
+  curl -sf "http://$LAST/fleetz" -o "$WORK/fleetz2.json" || { sleep 0.5; continue; }
+  if grep -q '"source": "gossip"' "$WORK/fleetz2.json" \
+     && grep -q '"staleness_ms"' "$WORK/fleetz2.json" \
+     && grep -q "\"addr\": \"$HOST:$VICTIM_PORT\"" "$WORK/fleetz2.json"; then
+    FLEET_OK=1
+    break
+  fi
+  sleep 0.5
+done
+if [ "$FLEET_OK" -ne 1 ]; then
+  echo "FAIL: /fleetz lost the crashed member (want a gossip-cached row with staleness)"
+  cat "$WORK/fleetz2.json"
+  exit 1
+fi
+grep -q '"members_stale": 1' "$WORK/fleetz2.json" \
+  || { echo "FAIL: /fleetz does not count the crashed member as stale"; exit 1; }
+
+echo "PASS: 3-replica cluster served byte-identical layouts with one compute, survived the owner's death, and kept fleet visibility of a crashed member"
